@@ -1,0 +1,46 @@
+"""Shared fixtures for the figure benchmarks.
+
+Each benchmark regenerates the series/table for one figure of the paper
+(see DESIGN.md §3 for the experiment index).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` shows the printed tables; the pytest-benchmark statistics cover
+the timed kernels.
+"""
+
+import pytest
+
+from repro.workload import (
+    RelationalWorkload,
+    XmlCorpus,
+    build_figure5_deployment,
+    build_single_service,
+    build_xml_deployment,
+)
+from repro.wsrf import ManualClock
+
+#: Medium scale used by most benchmarks.
+WORKLOAD = RelationalWorkload(customers=100, orders_per_customer=4, items_per_order=3)
+
+
+@pytest.fixture(scope="module")
+def single():
+    return build_single_service(WORKLOAD)
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return build_figure5_deployment(WORKLOAD)
+
+
+@pytest.fixture(scope="module")
+def wsrf_pair():
+    plain = build_single_service(WORKLOAD, wsrf=False)
+    wsrf = build_single_service(WORKLOAD, wsrf=True, clock=ManualClock(0.0))
+    return plain, wsrf
+
+
+@pytest.fixture(scope="module")
+def xml_deploy():
+    return build_xml_deployment(XmlCorpus(documents=120))

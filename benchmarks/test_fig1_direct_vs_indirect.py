@@ -1,0 +1,110 @@
+"""Figure 1 — direct vs indirect access patterns.
+
+Paper claim: direct access returns the data to the requesting consumer;
+indirect access returns only an EPR, so the first consumer's traffic is
+O(1) in the result size and the data can be pulled by a third party.
+
+Regenerated series: result-size sweep → response bytes seen by
+consumer 1 under each pattern, plus the crossover factor.
+"""
+
+from repro.bench import Table
+from repro.client.sql import SQLClient
+from repro.transport import LoopbackTransport
+from repro.workload import RelationalWorkload, build_single_service
+
+SWEEP = [10, 50, 200, 800]
+
+
+def _deployment_for(rows: int):
+    # lineitems scale = customers * orders * items; pick customers to hit `rows`
+    customers = max(1, rows // 12)
+    return build_single_service(
+        RelationalWorkload(customers=customers, orders_per_customer=4,
+                           items_per_order=3)
+    )
+
+
+def test_fig1_consumer1_bytes_sweep(benchmark):
+    table = Table(
+        "Figure 1 — response bytes at consumer 1",
+        ["rows", "direct bytes", "indirect bytes", "direct/indirect"],
+        note="indirect returns an EPR; size is independent of the result",
+    )
+    indirect_sizes = []
+
+    def run_sweep():
+        for target in SWEEP:
+            deployment = _deployment_for(target)
+            client = deployment.client
+            stats = client.transport.stats
+            query = "SELECT * FROM lineitems"
+
+            stats.reset()
+            rowset = client.sql_query_rowset(
+                deployment.address, deployment.name, query
+            )
+            direct = stats.calls[-1].response_bytes
+
+            stats.reset()
+            client.sql_execute_factory(deployment.address, deployment.name, query)
+            indirect = stats.calls[-1].response_bytes
+            indirect_sizes.append(indirect)
+
+            table.add(
+                len(rowset.rows), direct, indirect, f"{direct / indirect:6.1f}x"
+            )
+
+    benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table.show()
+
+    # Shape assertions: direct grows with rows, indirect does not.
+    assert max(indirect_sizes) - min(indirect_sizes) < 100
+    assert table.rows[-1][1] > 20 * table.rows[0][1] / 2
+
+
+def test_fig1_third_party_delivery_bytes(benchmark):
+    deployment = _deployment_for(400)
+    consumer1 = deployment.client
+    consumer2 = SQLClient(LoopbackTransport(deployment.registry))
+
+    def run_pipeline():
+        factory = consumer1.sql_execute_factory(
+            deployment.address, deployment.name, "SELECT * FROM lineitems"
+        )
+        return consumer2.get_sql_rowset(factory.address, factory.abstract_name)
+
+    rowset = benchmark.pedantic(run_pipeline, rounds=1, iterations=1)
+
+    table = Table(
+        "Figure 1 — third-party delivery",
+        ["party", "bytes received"],
+        note="consumer 1 initiated; consumer 2 received the data",
+    )
+    table.add("consumer 1", consumer1.transport.stats.bytes_received)
+    table.add("consumer 2", consumer2.transport.stats.bytes_received)
+    table.show()
+
+    assert len(rowset.rows) > 0
+    assert (
+        consumer2.transport.stats.bytes_received
+        > 10 * consumer1.transport.stats.bytes_received
+    )
+
+
+def test_fig1_direct_latency(benchmark, single):
+    benchmark(
+        lambda: single.client.sql_query_rowset(
+            single.address, single.name,
+            "SELECT id, total FROM orders WHERE total > 500",
+        )
+    )
+
+
+def test_fig1_indirect_create_latency(benchmark, single):
+    benchmark(
+        lambda: single.client.sql_execute_factory(
+            single.address, single.name,
+            "SELECT id, total FROM orders WHERE total > 500",
+        )
+    )

@@ -1,0 +1,105 @@
+"""Figure 2 — the direct data access message pattern.
+
+Paper claim: the WS-DAIR ``SQLExecute`` realisation follows the core
+template (abstract name + format URI + expression) and extends the
+response with the SQL communication area.  The wrapper is thin: the
+dominant cost of a large result is dataset serialization, not the
+engine.
+
+Regenerated table: round-trip decomposition (engine vs message layer)
+as result size grows, per dataset format.
+"""
+
+import time
+
+from repro.bench import Table
+from repro.dair import (
+    CSV_FORMAT_URI,
+    SQLROWSET_FORMAT_URI,
+    WEBROWSET_FORMAT_URI,
+)
+
+QUERY = "SELECT * FROM lineitems LIMIT {limit}"
+LIMITS = [10, 100, 1000]
+
+
+def test_fig2_roundtrip_decomposition(benchmark, single):
+    table = Table(
+        "Figure 2 — SQLExecute round trip decomposition",
+        ["rows", "engine ms", "total ms", "message-layer share"],
+        note="message layer = serialization + parsing + dispatch framing",
+    )
+
+    def run_sweep():
+        for limit in LIMITS:
+            query = QUERY.format(limit=limit)
+
+            start = time.perf_counter()
+            single.database.execute(query)
+            engine_seconds = time.perf_counter() - start
+
+            start = time.perf_counter()
+            single.client.sql_execute(single.address, single.name, query)
+            total_seconds = time.perf_counter() - start
+
+            share = 1 - min(engine_seconds / total_seconds, 1.0)
+            table.add(
+                limit,
+                f"{engine_seconds * 1e3:8.2f}",
+                f"{total_seconds * 1e3:8.2f}",
+                f"{share * 100:5.1f}%",
+            )
+
+    benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table.show()
+    # Shape: the wire total always exceeds the bare engine run.
+    assert all(float(row[1]) <= float(row[2]) for row in table.rows)
+
+
+def test_fig2_format_sizes(benchmark, single):
+    table = Table(
+        "Figure 2 — dataset format sizes (1000 rows)",
+        ["format", "response bytes"],
+        note="format negotiated per request via DatasetFormatURI",
+    )
+
+    def run_formats():
+        stats = single.client.transport.stats
+        for label, format_uri in (
+            ("SQLRowset", SQLROWSET_FORMAT_URI),
+            ("WebRowSet", WEBROWSET_FORMAT_URI),
+            ("CSV", CSV_FORMAT_URI),
+        ):
+            stats.reset()
+            single.client.sql_execute(
+                single.address,
+                single.name,
+                QUERY.format(limit=1000),
+                dataset_format_uri=format_uri,
+            )
+            table.add(label, stats.calls[-1].response_bytes)
+
+    benchmark.pedantic(run_formats, rounds=1, iterations=1)
+    table.show()
+    sizes = {row[0]: row[1] for row in table.rows}
+    assert sizes["CSV"] < sizes["SQLRowset"] < sizes["WebRowSet"]
+
+
+def test_fig2_sqlexecute_small(benchmark, single):
+    benchmark(
+        lambda: single.client.sql_execute(
+            single.address, single.name, "SELECT * FROM customers WHERE id = 7"
+        )
+    )
+
+
+def test_fig2_sqlexecute_1000_rows(benchmark, single):
+    benchmark(
+        lambda: single.client.sql_execute(
+            single.address, single.name, QUERY.format(limit=1000)
+        )
+    )
+
+
+def test_fig2_engine_only_1000_rows(benchmark, single):
+    benchmark(lambda: single.database.execute(QUERY.format(limit=1000)))

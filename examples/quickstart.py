@@ -1,0 +1,95 @@
+"""Quickstart: stand up one DAIS data service and query it.
+
+Demonstrates the WS-DAI/WS-DAIR basics:
+
+1. build a relational database (the externally managed data resource);
+2. expose it through a data service;
+3. as a consumer, discover the resource, read its property document,
+   and run direct-access queries (Figure 1, left side).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.client.sql import SQLClient
+from repro.core import ServiceRegistry, mint_abstract_name
+from repro.core.namespaces import WSDAI_NS
+from repro.dair import SQLDataResource, SQLRealisationService
+from repro.relational import Database
+from repro.transport import LoopbackTransport
+from repro.xmlutil import QName
+
+
+def build_database() -> Database:
+    db = Database("library")
+    db.execute(
+        """CREATE TABLE books (
+             id INT PRIMARY KEY,
+             title VARCHAR(80) NOT NULL,
+             year INT,
+             price DECIMAL(8,2) CHECK (price >= 0)
+           )"""
+    )
+    db.execute(
+        "INSERT INTO books VALUES "
+        "(1, 'Principles of Distributed Database Systems', 1999, 85.00),"
+        "(2, 'The Grid: Blueprint for a New Computing Infrastructure', 1998, 60.00),"
+        "(3, 'Data on the Web', 2000, 55.50),"
+        "(4, 'Web Services Essentials', 2002, 29.95)"
+    )
+    return db
+
+
+def main() -> None:
+    # --- provider side -----------------------------------------------------
+    registry = ServiceRegistry()
+    service = SQLRealisationService("library-service", "dais://library")
+    registry.register(service)
+
+    resource = SQLDataResource(mint_abstract_name("library"), build_database())
+    service.add_resource(resource)
+
+    # --- consumer side -----------------------------------------------------
+    client = SQLClient(LoopbackTransport(registry))
+
+    print("1. Discover resources (CoreResourceList / GetResourceList):")
+    for name in client.list_resources("dais://library"):
+        print(f"   - {name}")
+
+    print("\n2. Read the property document (data description interface):")
+    document = client.get_sql_property_document("dais://library", resource.abstract_name)
+    for local in ("DataResourceManagement", "Readable", "Writeable"):
+        print(f"   {local} = {document.findtext(QName(WSDAI_NS, local))}")
+    formats = document.descendants(QName(WSDAI_NS, "DataFormatURI"))
+    print(f"   DatasetMap advertises {len(formats)} formats")
+
+    print("\n3. Direct data access (SQLExecute):")
+    rowset = client.sql_query_rowset(
+        "dais://library",
+        resource.abstract_name,
+        "SELECT title, year FROM books WHERE price < ? ORDER BY year",
+        ["60"],
+    )
+    for title, year in rowset.rows:
+        print(f"   {year}  {title}")
+
+    print("\n4. Updates flow through the same operation:")
+    response = client.sql_execute(
+        "dais://library",
+        resource.abstract_name,
+        "UPDATE books SET price = price * 0.9 WHERE year < 2000",
+    )
+    area = response.communication
+    print(
+        f"   update count={response.update_count}, "
+        f"SQLSTATE={area.sqlstate}, message={area.message!r}"
+    )
+
+    stats = client.transport.stats
+    print(
+        f"\n5. Wire summary: {stats.call_count} message exchanges, "
+        f"{stats.total_bytes} bytes total"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""DAIS with and without WSRF (paper §5).
+
+The same consumer code runs against both profiles — the message bodies
+are identical (the abstract name is always in the body).  WSRF adds:
+
+* fine-grained property access (``GetResourceProperty`` /
+  ``QueryResourceProperties``) instead of whole-document retrieval;
+* soft-state lifetime: derived resources expire unless kept alive.
+
+Run:  python examples/wsrf_profiles.py
+"""
+
+from repro.core.namespaces import WSDAI_NS
+from repro.soap import SoapFault
+from repro.workload import RelationalWorkload, build_single_service
+from repro.wsrf import ManualClock
+from repro.xmlutil import QName
+
+WORKLOAD = RelationalWorkload(customers=25)
+
+
+def main() -> None:
+    plain = build_single_service(WORKLOAD, wsrf=False)
+    clock = ManualClock(0.0)
+    wsrf = build_single_service(WORKLOAD, wsrf=True, clock=clock)
+
+    query = "SELECT segment, COUNT(*) FROM customers GROUP BY segment ORDER BY 1"
+
+    print("1. Core functionality is identical in both profiles:")
+    for label, deployment in (("non-WSRF", plain), ("WSRF", wsrf)):
+        rows = deployment.client.sql_query_rowset(
+            deployment.address, deployment.name, query
+        ).rows
+        print(f"   {label:>8}: {rows}")
+
+    print("\n2. Property access — whole document vs fine grained:")
+    stats = plain.client.transport.stats
+    stats.reset()
+    plain.client.get_property_document(plain.address, plain.name)
+    print(f"   non-WSRF GetDataResourcePropertyDocument: "
+          f"{stats.calls[-1].response_bytes} bytes (includes CIM schema)")
+    try:
+        plain.client.get_resource_property(
+            plain.address, plain.name, QName(WSDAI_NS, "Readable")
+        )
+    except SoapFault as fault:
+        print(f"   non-WSRF GetResourceProperty: FAULT ({fault})")
+
+    stats = wsrf.client.transport.stats
+    stats.reset()
+    props = wsrf.client.get_resource_property(
+        wsrf.address, wsrf.name, QName(WSDAI_NS, "Readable")
+    )
+    print(f"   WSRF GetResourceProperty(Readable={props[0].text}): "
+          f"{stats.calls[-1].response_bytes} bytes")
+    languages = wsrf.client.query_resource_properties(
+        wsrf.address, wsrf.name, "//wsdai:GenericQueryLanguage"
+    )
+    print(f"   WSRF QueryResourceProperties: languages = "
+          f"{[l.text for l in languages]}")
+
+    print("\n3. Lifetime management:")
+    factory = wsrf.client.sql_execute_factory(
+        wsrf.address, wsrf.name, "SELECT COUNT(*) FROM orders"
+    )
+    response = wsrf.client.set_termination_time(
+        wsrf.address, factory.abstract_name, clock.now() + 300
+    )
+    print(f"   derived resource scheduled to terminate at "
+          f"t={response.new_termination_time} (now t={response.current_time})")
+    clock.advance(301)
+    destroyed = wsrf.registry.sweep_all()
+    print(f"   after advancing the clock, the sweeper destroyed: "
+          f"{destroyed[wsrf.address]}")
+
+    factory = plain.client.sql_execute_factory(
+        plain.address, plain.name, "SELECT COUNT(*) FROM orders"
+    )
+    print("   non-WSRF derived resources persist until DestroyDataResource:")
+    print(f"     before destroy: {len(plain.service.resource_names())} resources")
+    plain.client.destroy(plain.address, factory.abstract_name)
+    print(f"     after destroy:  {len(plain.service.resource_names())} resources")
+
+
+if __name__ == "__main__":
+    main()

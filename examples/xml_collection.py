@@ -1,0 +1,76 @@
+"""WS-DAIX: managing and querying an XML collection.
+
+Exercises the XML realisation: collection management (add/list/remove,
+subcollections), XPath and XQuery direct access, XUpdate modification,
+and the factory + sequence-paging pattern.
+
+Run:  python examples/xml_collection.py
+"""
+
+from repro.workload import XmlCorpus, build_xml_deployment
+from repro.xmlutil import E, parse, serialize
+
+
+def main() -> None:
+    deployment = build_xml_deployment(XmlCorpus(documents=30))
+    client = deployment.client
+    address, name = deployment.address, deployment.name
+
+    listing = client.list_documents(address, name)
+    print(f"collection holds {len(listing.names)} documents "
+          f"({listing.names[0]} .. {listing.names[-1]})")
+
+    print("\nXPath direct access — products over 400:")
+    items = client.xpath_execute(address, name, "/product[price > 400]/name")
+    for item in items[:5]:
+        print(f"  {item.full_text()}")
+
+    print("\nXQuery (FLWOR) — three cheapest products in 'tools':")
+    hits = client.xquery_execute(
+        address,
+        name,
+        "for $p in /product where $p/category = 'tools' "
+        "order by $p/price "
+        'return <pick name="{$p/name}" price="{$p/price}"/>',
+    )
+    for hit in hits[:3]:
+        print(f"  {serialize(hit.element_children()[0])}")
+
+    print("\nXUpdate — flag every out-of-stock product:")
+    modifications = parse(
+        """<xu:modifications xmlns:xu="http://www.xmldb.org/xupdate">
+             <xu:append select="/product[stock = 0]">
+               <xu:element name="restock">true</xu:element>
+             </xu:append>
+           </xu:modifications>"""
+    )
+    modified = client.xupdate_execute(address, name, modifications)
+    print(f"  modified {modified} documents")
+
+    print("\nFactory + SequenceAccess — page all names, 8 at a time:")
+    factory = client.xpath_execute_factory(address, name, "/product/name")
+    start, pages = 0, 0
+    while True:
+        items, total = client.get_items(
+            factory.address, factory.abstract_name, start, 8
+        )
+        pages += 1
+        start += 8
+        if start >= total:
+            break
+    print(f"  {total} items in {pages} pages "
+          f"(derived sequence resource: {factory.abstract_name[:40]}...)")
+
+    print("\nSubcollections:")
+    sub = client.create_subcollection(address, name, "discontinued")
+    client.add_documents(
+        address, sub.abstract_name, [("old-1", E("product", E("name", "relic")))]
+    )
+    sub_listing = client.list_documents(address, sub.abstract_name)
+    print(f"  created 'discontinued' with {len(sub_listing.names)} document(s)")
+    client.remove_subcollection(address, name, "discontinued")
+    print("  removed it again")
+
+
+if __name__ == "__main__":
+    main()

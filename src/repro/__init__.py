@@ -1,0 +1,29 @@
+"""dais-py: a reference implementation of the GGF DAIS specifications.
+
+Reproduces Antonioletti, Krause & Paton, *"An Outline of the Global Grid
+Forum Data Access and Integration Service Specifications"* (VLDB DMG
+2005): the WS-DAI core, the WS-DAIR relational realisation and the
+WS-DAIX XML realisation, layered optionally over WSRF, together with the
+substrates they wrap -- an in-memory relational engine, an XML database
+with XPath/XQuery/XUpdate, a SOAP/WS-Addressing messaging stack and a
+CIM metadata renderer.
+
+Quickstart::
+
+    from repro.workload import build_single_service
+
+    deployment = build_single_service()
+    rowset = deployment.client.sql_query_rowset(
+        deployment.address,
+        deployment.name,
+        "SELECT region, COUNT(*) FROM customers GROUP BY region",
+    )
+    for row in rowset.rows:
+        print(row)
+
+See ``examples/`` for the paper's Figure 5 pipeline and more.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,41 @@
+"""``python -m repro`` — print the library inventory and a self-check.
+
+A quick way to confirm an installation works: stands up an in-process
+deployment, runs one query through the full SOAP round trip and reports
+the wire numbers.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main() -> int:
+    import repro
+    from repro.workload import RelationalWorkload, build_single_service
+
+    print(f"dais-py {repro.__version__} — GGF WS-DAI/WS-DAIR/WS-DAIX "
+          f"reference implementation")
+    print(
+        "packages: xmlutil soap wsrf xpath relational xmldb cim core "
+        "dair daix daif filestore compose transport client workload bench"
+    )
+
+    deployment = build_single_service(RelationalWorkload(customers=10))
+    rowset = deployment.client.sql_query_rowset(
+        deployment.address,
+        deployment.name,
+        "SELECT region, COUNT(*) FROM customers GROUP BY region ORDER BY 1",
+    )
+    print("\nself-check (one service, one query through the wire):")
+    for region, count in rowset.rows:
+        print(f"  {region}: {count}")
+    stats = deployment.client.transport.stats
+    print(f"  ok — {stats.call_count} exchange(s), {stats.total_bytes} bytes")
+    print("\nsee examples/ for runnable scenarios and benchmarks/ for the "
+          "paper-figure harness")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Measurement and reporting helpers shared by the figure benchmarks."""
+
+from repro.bench.harness import (
+    Series,
+    Table,
+    format_bytes,
+    measure_wall,
+)
+
+__all__ = ["Series", "Table", "format_bytes", "measure_wall"]

@@ -1,0 +1,91 @@
+"""Small reporting toolkit for the figure benchmarks.
+
+Each benchmark prints one :class:`Table` (or a set of :class:`Series`)
+shaped like the claim the corresponding paper figure illustrates, so
+``pytest benchmarks/ --benchmark-only -s`` regenerates the whole set.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+def measure_wall(fn: Callable[[], Any], repeat: int = 3) -> float:
+    """Best-of-*repeat* wall-clock seconds for one call of *fn*."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def format_bytes(count: float) -> str:
+    """Human-readable byte count (fixed-point, stable width)."""
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:8.1f} {unit}"
+        value /= 1024
+    return f"{value:8.1f} GiB"  # pragma: no cover - unreachable
+
+
+@dataclass
+class Table:
+    """A fixed-width printable results table."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    note: str = ""
+
+    def add(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        cells = [[str(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in cells))
+            if cells
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [f"== {self.title} =="]
+        header = "  ".join(
+            name.ljust(widths[i]) for i, name in enumerate(self.columns)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells:
+            lines.append(
+                "  ".join(value.rjust(widths[i]) for i, value in enumerate(row))
+            )
+        if self.note:
+            lines.append(f"note: {self.note}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print("\n" + self.render())
+
+
+@dataclass
+class Series:
+    """One (x, y) series with a label, printable as aligned pairs."""
+
+    label: str
+    points: list[tuple[Any, Any]] = field(default_factory=list)
+
+    def add(self, x: Any, y: Any) -> None:
+        self.points.append((x, y))
+
+    def xs(self) -> list[Any]:
+        return [x for x, _ in self.points]
+
+    def ys(self) -> list[Any]:
+        return [y for _, y in self.points]

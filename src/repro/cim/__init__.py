@@ -1,0 +1,32 @@
+"""CIM relational metadata (paper §2.3).
+
+The DAIS-WG worked with the DMTF Database Working Group to extend the
+Common Information Model with relational metadata and an XML rendering;
+WS-DAIR's ``CIMDescription`` property carries that rendering.  This
+package provides a CIM-style class model of a relational schema
+(database → tables → columns → keys) mapped from the live
+:class:`~repro.relational.catalog.Catalog`, plus the CIM-XML
+(``INSTANCE``/``PROPERTY``/``VALUE``) serialization.
+"""
+
+from repro.cim.model import (
+    CimColumn,
+    CimDatabase,
+    CimForeignKey,
+    CimKey,
+    CimTable,
+    describe_catalog,
+)
+from repro.cim.render import CIM_XML_NS, parse_cim_xml, render_cim_xml
+
+__all__ = [
+    "CimDatabase",
+    "CimTable",
+    "CimColumn",
+    "CimKey",
+    "CimForeignKey",
+    "describe_catalog",
+    "render_cim_xml",
+    "parse_cim_xml",
+    "CIM_XML_NS",
+]

@@ -1,0 +1,176 @@
+"""CIM-XML rendering of the CIM relational model.
+
+Follows the DMTF CIM-XML mapping style: each object is an ``INSTANCE``
+with ``PROPERTY``/``PROPERTY.ARRAY`` children; containment is expressed
+by nesting instance values under an enclosing property, which keeps the
+document self-contained (no object paths needed for a schema snapshot).
+"""
+
+from __future__ import annotations
+
+from repro.cim.model import (
+    CimColumn,
+    CimDatabase,
+    CimForeignKey,
+    CimKey,
+    CimTable,
+)
+from repro.xmlutil import E, QName, XmlElement
+from repro.xmlutil.names import DEFAULT_REGISTRY
+
+#: Namespace for the CIM-XML rendering carried in DAIS property documents.
+CIM_XML_NS = "http://schemas.dmtf.org/wbem/wscim/1/cim-schema/2"
+
+DEFAULT_REGISTRY.register("cim", CIM_XML_NS)
+
+
+def _tag(local: str) -> QName:
+    return QName(CIM_XML_NS, local)
+
+
+def _property(name: str, value, cim_type: str = "string") -> XmlElement:
+    node = E(_tag("PROPERTY"), E(_tag("VALUE"), "" if value is None else value))
+    node.set("NAME", name)
+    node.set("TYPE", cim_type)
+    return node
+
+
+def _property_array(name: str, values) -> XmlElement:
+    node = E(
+        _tag("PROPERTY.ARRAY"),
+        [E(_tag("VALUE"), v) for v in values],
+    )
+    node.set("NAME", name)
+    node.set("TYPE", "string")
+    return node
+
+
+def _instance(classname: str, *children) -> XmlElement:
+    node = E(_tag("INSTANCE"), *children)
+    node.set("CLASSNAME", classname)
+    return node
+
+
+def render_cim_xml(database: CimDatabase) -> XmlElement:
+    """Render the full schema snapshot as one CIM-XML element tree."""
+    return _instance(
+        "CIM_CommonDatabase",
+        _property("Name", database.name),
+        *[_render_table(table) for table in database.tables],
+    )
+
+
+def _render_table(table: CimTable) -> XmlElement:
+    children = [_property("Name", table.name)]
+    children.extend(_render_column(column) for column in table.columns)
+    children.extend(_render_key(key) for key in table.keys)
+    children.extend(_render_foreign_key(fk) for fk in table.foreign_keys)
+    return _instance("CIM_Table", *children)
+
+
+def _render_column(column: CimColumn) -> XmlElement:
+    children = [
+        _property("Name", column.name),
+        _property("DataType", column.data_type),
+        _property("Nullable", "true" if column.nullable else "false", "boolean"),
+        _property("OrdinalPosition", column.ordinal_position, "uint16"),
+    ]
+    if column.length is not None:
+        children.append(_property("Length", column.length, "uint32"))
+    return _instance("CIM_Column", *children)
+
+
+def _render_key(key: CimKey) -> XmlElement:
+    return _instance(
+        "CIM_UniqueKey",
+        _property("KeyKind", key.kind),
+        _property_array("Columns", key.columns),
+    )
+
+
+def _render_foreign_key(fk: CimForeignKey) -> XmlElement:
+    return _instance(
+        "CIM_ForeignKey",
+        _property("Name", fk.name),
+        _property_array("Columns", fk.columns),
+        _property("ReferencedTable", fk.referenced_table),
+        _property_array("ReferencedColumns", fk.referenced_columns),
+    )
+
+
+# ---------------------------------------------------------------------------
+# parsing (consumers introspect the CIMDescription they fetched)
+# ---------------------------------------------------------------------------
+
+
+def parse_cim_xml(root: XmlElement) -> CimDatabase:
+    """Parse a rendering produced by :func:`render_cim_xml`."""
+    if root.tag != _tag("INSTANCE") or root.get("CLASSNAME") != "CIM_CommonDatabase":
+        raise ValueError("not a CIM_CommonDatabase instance")
+    name = _prop_value(root, "Name")
+    tables = tuple(
+        _parse_table(instance)
+        for instance in root.findall(_tag("INSTANCE"))
+        if instance.get("CLASSNAME") == "CIM_Table"
+    )
+    return CimDatabase(name, tables)
+
+
+def _parse_table(instance: XmlElement) -> CimTable:
+    columns = []
+    keys = []
+    foreign_keys = []
+    for child in instance.findall(_tag("INSTANCE")):
+        classname = child.get("CLASSNAME")
+        if classname == "CIM_Column":
+            length_text = _prop_value(child, "Length", optional=True)
+            columns.append(
+                CimColumn(
+                    name=_prop_value(child, "Name"),
+                    data_type=_prop_value(child, "DataType"),
+                    length=int(length_text) if length_text else None,
+                    nullable=_prop_value(child, "Nullable") == "true",
+                    ordinal_position=int(_prop_value(child, "OrdinalPosition")),
+                )
+            )
+        elif classname == "CIM_UniqueKey":
+            keys.append(
+                CimKey(
+                    kind=_prop_value(child, "KeyKind"),
+                    columns=_array_values(child, "Columns"),
+                )
+            )
+        elif classname == "CIM_ForeignKey":
+            foreign_keys.append(
+                CimForeignKey(
+                    name=_prop_value(child, "Name"),
+                    columns=_array_values(child, "Columns"),
+                    referenced_table=_prop_value(child, "ReferencedTable"),
+                    referenced_columns=_array_values(child, "ReferencedColumns"),
+                )
+            )
+    return CimTable(
+        _prop_value(instance, "Name"),
+        tuple(columns),
+        tuple(keys),
+        tuple(foreign_keys),
+    )
+
+
+def _prop_value(
+    instance: XmlElement, name: str, optional: bool = False
+) -> str | None:
+    for prop in instance.findall(_tag("PROPERTY")):
+        if prop.get("NAME") == name:
+            value = prop.find(_tag("VALUE"))
+            return value.text if value is not None else ""
+    if optional:
+        return None
+    raise ValueError(f"missing CIM property {name!r}")
+
+
+def _array_values(instance: XmlElement, name: str) -> tuple[str, ...]:
+    for prop in instance.findall(_tag("PROPERTY.ARRAY")):
+        if prop.get("NAME") == name:
+            return tuple(v.text for v in prop.findall(_tag("VALUE")))
+    raise ValueError(f"missing CIM array property {name!r}")

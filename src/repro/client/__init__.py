@@ -1,0 +1,14 @@
+"""Consumer-side proxies.
+
+A *consumer* (paper §3) talks to data services through these clients:
+:class:`CoreClient` covers the WS-DAI operations; the realisation
+clients — :class:`~repro.client.sql.SQLClient` and friends for WS-DAIR,
+:class:`~repro.client.xml.XMLCollectionClient` and friends for WS-DAIX —
+extend it.  All clients speak through a transport (loopback or HTTP) and
+raise typed DAIS faults on error responses.
+"""
+
+from repro.client.base import DaisClient
+from repro.client.core import CoreClient
+
+__all__ = ["DaisClient", "CoreClient"]

@@ -1,0 +1,59 @@
+"""The low-level request/response machinery shared by all clients."""
+
+from __future__ import annotations
+
+from typing import Type, TypeVar
+
+from repro.core.messages import DaisMessage
+from repro.soap.addressing import EndpointReference, MessageHeaders
+from repro.soap.envelope import Envelope
+
+ResponseT = TypeVar("ResponseT", bound=DaisMessage)
+
+
+class DaisClient:
+    """Sends DAIS messages over a transport and decodes typed responses."""
+
+    def __init__(self, transport) -> None:
+        self._transport = transport
+
+    @property
+    def transport(self):
+        return self._transport
+
+    def call(
+        self,
+        address: str,
+        request: DaisMessage,
+        response_cls: Type[ResponseT],
+        reference_parameters: tuple = (),
+    ) -> ResponseT:
+        """One request/response round trip; raises typed DAIS faults."""
+        envelope = Envelope(
+            headers=MessageHeaders(
+                to=address,
+                action=type(request).action(),
+                reference_parameters=reference_parameters,
+            ),
+            payload=request.to_xml(),
+        )
+        response = self._transport.send(address, envelope)
+        response.raise_if_fault()
+        return response_cls.from_xml(response.payload)
+
+    def call_epr(
+        self,
+        epr: EndpointReference,
+        request: DaisMessage,
+        response_cls: Type[ResponseT],
+    ) -> ResponseT:
+        """Call through a data resource address: the EPR's reference
+        parameters (carrying the abstract name) are echoed in the SOAP
+        header, per WS-Addressing — while the abstract name also travels
+        in the body, per DAIS."""
+        return self.call(
+            epr.address,
+            request,
+            response_cls,
+            reference_parameters=epr.reference_parameters,
+        )

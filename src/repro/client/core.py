@@ -1,0 +1,133 @@
+"""Consumer proxy for the WS-DAI core operations."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.client.base import DaisClient
+from repro.core import messages as msg
+from repro.core import wsrf_messages as wmsg
+from repro.soap.addressing import EndpointReference
+from repro.xmlutil import QName, XmlElement
+
+
+class CoreClient(DaisClient):
+    """CoreDataAccess + CoreResourceList + WSRF property/lifetime calls."""
+
+    # -- CoreDataAccess ------------------------------------------------------
+
+    def generic_query(
+        self,
+        address: str,
+        abstract_name: str,
+        language_uri: str,
+        expression: str,
+        parameters: list[str] | None = None,
+        dataset_format_uri: str | None = None,
+    ) -> msg.GenericQueryResponse:
+        request = msg.GenericQueryRequest(
+            abstract_name=abstract_name,
+            language_uri=language_uri,
+            expression=expression,
+            parameters=list(parameters or []),
+            dataset_format_uri=dataset_format_uri,
+        )
+        return self.call(address, request, msg.GenericQueryResponse)
+
+    def destroy(self, address: str, abstract_name: str) -> str:
+        response = self.call(
+            address,
+            msg.DestroyDataResourceRequest(abstract_name=abstract_name),
+            msg.DestroyDataResourceResponse,
+        )
+        return response.destroyed
+
+    def get_property_document(
+        self, address: str, abstract_name: str
+    ) -> XmlElement:
+        response = self.call(
+            address,
+            msg.GetDataResourcePropertyDocumentRequest(
+                abstract_name=abstract_name
+            ),
+            msg.GetDataResourcePropertyDocumentResponse,
+        )
+        if response.document is None:
+            raise ValueError("service returned an empty property document")
+        return response.document
+
+    # -- CoreResourceList ---------------------------------------------------
+
+    def list_resources(self, address: str) -> list[str]:
+        response = self.call(
+            address, msg.GetResourceListRequest(), msg.GetResourceListResponse
+        )
+        return response.names
+
+    def resolve(self, address: str, abstract_name: str) -> EndpointReference:
+        response = self.call(
+            address,
+            msg.ResolveRequest(abstract_name=abstract_name),
+            msg.ResolveResponse,
+        )
+        if response.address is None:
+            raise ValueError(f"service could not resolve {abstract_name!r}")
+        return response.address
+
+    # -- WSRF profile ---------------------------------------------------------
+
+    def get_resource_property(
+        self, address: str, abstract_name: str, property_qname: QName
+    ) -> list[XmlElement]:
+        response = self.call(
+            address,
+            wmsg.GetResourcePropertyRequest(
+                abstract_name=abstract_name, property_qname=property_qname
+            ),
+            wmsg.GetResourcePropertyResponse,
+        )
+        return response.properties
+
+    def get_multiple_resource_properties(
+        self, address: str, abstract_name: str, property_qnames: list[QName]
+    ) -> list[XmlElement]:
+        response = self.call(
+            address,
+            wmsg.GetMultipleResourcePropertiesRequest(
+                abstract_name=abstract_name, property_qnames=property_qnames
+            ),
+            wmsg.GetMultipleResourcePropertiesResponse,
+        )
+        return response.properties
+
+    def query_resource_properties(
+        self,
+        address: str,
+        abstract_name: str,
+        query: str,
+        dialect: Optional[str] = None,
+    ) -> list[XmlElement]:
+        request = wmsg.QueryResourcePropertiesRequest(
+            abstract_name=abstract_name, query=query
+        )
+        if dialect is not None:
+            request.dialect = dialect
+        response = self.call(
+            address, request, wmsg.QueryResourcePropertiesResponse
+        )
+        return response.properties
+
+    def set_termination_time(
+        self,
+        address: str,
+        abstract_name: str,
+        termination_time: Optional[float],
+    ) -> wmsg.SetTerminationTimeResponse:
+        return self.call(
+            address,
+            wmsg.SetTerminationTimeRequest(
+                abstract_name=abstract_name,
+                requested_termination_time=termination_time,
+            ),
+            wmsg.SetTerminationTimeResponse,
+        )

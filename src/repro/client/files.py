@@ -1,0 +1,97 @@
+"""Consumer proxy for the WS-DAIF files realisation."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.client.core import CoreClient
+from repro.daif import messages as msg
+from repro.soap.addressing import EndpointReference
+from repro.xmlutil import XmlElement
+
+
+class FilesClient(CoreClient):
+    """FileCollectionAccess / FileSelectionFactory / FileSetAccess."""
+
+    def list_files(
+        self, address: str, abstract_name: str, path: str = ""
+    ) -> msg.ListFilesResponse:
+        return self.call(
+            address,
+            msg.ListFilesRequest(abstract_name=abstract_name, path=path),
+            msg.ListFilesResponse,
+        )
+
+    def get_file(
+        self,
+        address: str,
+        abstract_name: str,
+        path: str,
+        offset: int = 0,
+        length: Optional[int] = None,
+    ) -> msg.GetFileResponse:
+        return self.call(
+            address,
+            msg.GetFileRequest(
+                abstract_name=abstract_name,
+                path=path,
+                offset=offset,
+                length=length,
+            ),
+            msg.GetFileResponse,
+        )
+
+    def put_file(
+        self, address: str, abstract_name: str, path: str, content: bytes
+    ) -> msg.PutFileResponse:
+        return self.call(
+            address,
+            msg.PutFileRequest(
+                abstract_name=abstract_name, path=path, content=content
+            ),
+            msg.PutFileResponse,
+        )
+
+    def delete_file(
+        self, address: str, abstract_name: str, path: str
+    ) -> msg.DeleteFileResponse:
+        return self.call(
+            address,
+            msg.DeleteFileRequest(abstract_name=abstract_name, path=path),
+            msg.DeleteFileResponse,
+        )
+
+    def file_selection_factory(
+        self,
+        address: str,
+        abstract_name: str,
+        pattern: str,
+        configuration: Optional[XmlElement] = None,
+    ) -> msg.FileSelectionFactoryResponse:
+        return self.call(
+            address,
+            msg.FileSelectionFactoryRequest(
+                abstract_name=abstract_name,
+                expression=pattern,
+                configuration_document=configuration,
+            ),
+            msg.FileSelectionFactoryResponse,
+        )
+
+    def get_fileset_members(
+        self,
+        epr: EndpointReference,
+        abstract_name: str,
+        start_position: int,
+        count: int,
+    ) -> tuple[list[str], int]:
+        response = self.call_epr(
+            epr,
+            msg.GetFileSetMembersRequest(
+                abstract_name=abstract_name,
+                start_position=start_position,
+                count=count,
+            ),
+            msg.GetFileSetMembersResponse,
+        )
+        return response.members, response.total_members

@@ -1,0 +1,308 @@
+"""Consumer proxies for the WS-DAIR port types.
+
+:class:`SQLClient` adds the relational operations to
+:class:`~repro.client.core.CoreClient`; calls can target either a plain
+service address + abstract name, or a data resource address (EPR) as
+returned by the factories — matching the two addressing styles of the
+paper (§3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.client.core import CoreClient
+from repro.dair import messages as msg
+from repro.dair.datasets import Rowset, parse_rowset
+from repro.relational import SqlCommunicationArea
+from repro.soap.addressing import EndpointReference
+from repro.xmlutil import E, QName, XmlElement
+from repro.core.namespaces import WSDAI_NS
+
+
+def configuration_document(**overrides) -> XmlElement:
+    """Build a WS-DAI ConfigurationDocument from keyword overrides.
+
+    Accepted keys mirror the configurable properties:
+    ``description``, ``readable``, ``writeable``,
+    ``transaction_initiation``, ``transaction_isolation``,
+    ``sensitivity`` (enum values or their strings).
+    """
+    mapping = {
+        "description": "DataResourceDescription",
+        "readable": "Readable",
+        "writeable": "Writeable",
+        "transaction_initiation": "TransactionInitiation",
+        "transaction_isolation": "TransactionIsolation",
+        "sensitivity": "Sensitivity",
+    }
+    document = E(QName(WSDAI_NS, "ConfigurationDocument"))
+    for key, value in overrides.items():
+        try:
+            local = mapping[key]
+        except KeyError:
+            raise ValueError(f"unknown configurable property {key!r}") from None
+        if isinstance(value, bool):
+            text = "true" if value else "false"
+        elif hasattr(value, "value"):
+            text = value.value
+        else:
+            text = str(value)
+        document.append(E(QName(WSDAI_NS, local), text))
+    return document
+
+
+class SQLClient(CoreClient):
+    """WS-DAIR consumer: SQLAccess / SQLFactory / ResponseAccess /
+    ResponseFactory / RowsetAccess."""
+
+    # -- SQLAccess ----------------------------------------------------------
+
+    def sql_execute(
+        self,
+        address: str,
+        abstract_name: str,
+        expression: str,
+        parameters: list[str] | None = None,
+        dataset_format_uri: str | None = None,
+        transaction_context: str | None = None,
+    ) -> msg.SQLExecuteResponse:
+        request = msg.SQLExecuteRequest(
+            abstract_name=abstract_name,
+            expression=expression,
+            parameters=[str(p) for p in (parameters or [])],
+            dataset_format_uri=dataset_format_uri,
+            transaction_context=transaction_context,
+        )
+        return self.call(address, request, msg.SQLExecuteResponse)
+
+    # -- consumer-controlled transactions ------------------------------------
+
+    def begin_transaction(
+        self, address: str, abstract_name: str, isolation: str | None = None
+    ) -> str:
+        """Open a consumer transaction context; returns its id."""
+        response = self.call(
+            address,
+            msg.BeginTransactionRequest(
+                abstract_name=abstract_name, isolation=isolation
+            ),
+            msg.BeginTransactionResponse,
+        )
+        return response.transaction_context
+
+    def commit_transaction(
+        self, address: str, abstract_name: str, transaction_context: str
+    ) -> str:
+        response = self.call(
+            address,
+            msg.CommitTransactionRequest(
+                abstract_name=abstract_name,
+                transaction_context=transaction_context,
+            ),
+            msg.TransactionOutcomeResponse,
+        )
+        return response.outcome
+
+    def rollback_transaction(
+        self, address: str, abstract_name: str, transaction_context: str
+    ) -> str:
+        response = self.call(
+            address,
+            msg.RollbackTransactionRequest(
+                abstract_name=abstract_name,
+                transaction_context=transaction_context,
+            ),
+            msg.TransactionOutcomeResponse,
+        )
+        return response.outcome
+
+    def sql_query_rowset(
+        self,
+        address: str,
+        abstract_name: str,
+        expression: str,
+        parameters: list[str] | None = None,
+        dataset_format_uri: str | None = None,
+    ) -> Rowset:
+        """SQLExecute + decode the dataset into a :class:`Rowset`."""
+        response = self.sql_execute(
+            address, abstract_name, expression, parameters, dataset_format_uri
+        )
+        if response.dataset is None:
+            return Rowset([], [], [])
+        return parse_rowset(response.dataset_format_uri, response.dataset)
+
+    def get_sql_property_document(
+        self, address: str, abstract_name: str
+    ) -> XmlElement:
+        response = self.call(
+            address,
+            msg.GetSQLPropertyDocumentRequest(abstract_name=abstract_name),
+            msg.GetSQLPropertyDocumentResponse,
+        )
+        if response.document is None:
+            raise ValueError("empty SQL property document")
+        return response.document
+
+    # -- SQLFactory ----------------------------------------------------------
+
+    def sql_execute_factory(
+        self,
+        address: str,
+        abstract_name: str,
+        expression: str,
+        parameters: list[str] | None = None,
+        port_type_qname: QName | None = None,
+        configuration: XmlElement | None = None,
+    ) -> msg.SQLExecuteFactoryResponse:
+        request = msg.SQLExecuteFactoryRequest(
+            abstract_name=abstract_name,
+            expression=expression,
+            parameters=[str(p) for p in (parameters or [])],
+            port_type_qname=port_type_qname,
+            configuration_document=configuration,
+        )
+        return self.call(address, request, msg.SQLExecuteFactoryResponse)
+
+    # -- ResponseAccess (EPR-addressed) ---------------------------------------
+
+    def get_sql_rowset(
+        self,
+        epr: EndpointReference,
+        abstract_name: str,
+        dataset_format_uri: str | None = None,
+    ) -> Rowset:
+        response = self.call_epr(
+            epr,
+            msg.GetSQLRowsetRequest(
+                abstract_name=abstract_name,
+                dataset_format_uri=dataset_format_uri,
+            ),
+            msg.GetSQLRowsetResponse,
+        )
+        if response.dataset is None:
+            return Rowset([], [], [])
+        return parse_rowset(response.dataset_format_uri, response.dataset)
+
+    def get_sql_update_count(
+        self, epr: EndpointReference, abstract_name: str
+    ) -> int:
+        response = self.call_epr(
+            epr,
+            msg.GetSQLUpdateCountRequest(abstract_name=abstract_name),
+            msg.GetSQLUpdateCountResponse,
+        )
+        return response.update_count
+
+    def get_sql_communication_area(
+        self, epr: EndpointReference, abstract_name: str
+    ) -> SqlCommunicationArea:
+        response = self.call_epr(
+            epr,
+            msg.GetSQLCommunicationAreaRequest(abstract_name=abstract_name),
+            msg.GetSQLCommunicationAreaResponse,
+        )
+        return response.communication
+
+    def get_sql_return_value(
+        self, epr: EndpointReference, abstract_name: str
+    ) -> Optional[str]:
+        response = self.call_epr(
+            epr,
+            msg.GetSQLReturnValueRequest(abstract_name=abstract_name),
+            msg.GetSQLReturnValueResponse,
+        )
+        return response.value
+
+    def get_sql_output_parameter(
+        self, epr: EndpointReference, abstract_name: str, parameter_name: str
+    ) -> Optional[str]:
+        response = self.call_epr(
+            epr,
+            msg.GetSQLOutputParameterRequest(
+                abstract_name=abstract_name, parameter_name=parameter_name
+            ),
+            msg.GetSQLOutputParameterResponse,
+        )
+        return response.value
+
+    def get_sql_response_items(
+        self, epr: EndpointReference, abstract_name: str
+    ) -> list[str]:
+        response = self.call_epr(
+            epr,
+            msg.GetSQLResponseItemRequest(abstract_name=abstract_name),
+            msg.GetSQLResponseItemResponse,
+        )
+        return response.items
+
+    def get_sql_response_property_document(
+        self, epr: EndpointReference, abstract_name: str
+    ) -> XmlElement:
+        response = self.call_epr(
+            epr,
+            msg.GetSQLResponsePropertyDocumentRequest(
+                abstract_name=abstract_name
+            ),
+            msg.GetSQLResponsePropertyDocumentResponse,
+        )
+        if response.document is None:
+            raise ValueError("empty SQL response property document")
+        return response.document
+
+    # -- ResponseFactory -------------------------------------------------------
+
+    def sql_rowset_factory(
+        self,
+        epr: EndpointReference,
+        abstract_name: str,
+        dataset_format_uri: str | None = None,
+        port_type_qname: QName | None = None,
+        configuration: XmlElement | None = None,
+    ) -> msg.SQLRowsetFactoryResponse:
+        request = msg.SQLRowsetFactoryRequest(
+            abstract_name=abstract_name,
+            dataset_format_uri=dataset_format_uri,
+            port_type_qname=port_type_qname,
+            configuration_document=configuration,
+        )
+        return self.call_epr(epr, request, msg.SQLRowsetFactoryResponse)
+
+    # -- RowsetAccess ------------------------------------------------------------
+
+    def get_tuples(
+        self,
+        epr: EndpointReference,
+        abstract_name: str,
+        start_position: int,
+        count: int,
+    ) -> tuple[Rowset, int]:
+        """Returns (window, total rows in the rowset resource)."""
+        response = self.call_epr(
+            epr,
+            msg.GetTuplesRequest(
+                abstract_name=abstract_name,
+                start_position=start_position,
+                count=count,
+            ),
+            msg.GetTuplesResponse,
+        )
+        if response.dataset is None:
+            return Rowset([], [], []), response.total_rows
+        return (
+            parse_rowset(response.dataset_format_uri, response.dataset),
+            response.total_rows,
+        )
+
+    def get_rowset_property_document(
+        self, epr: EndpointReference, abstract_name: str
+    ) -> XmlElement:
+        response = self.call_epr(
+            epr,
+            msg.GetRowsetPropertyDocumentRequest(abstract_name=abstract_name),
+            msg.GetRowsetPropertyDocumentResponse,
+        )
+        if response.document is None:
+            raise ValueError("empty rowset property document")
+        return response.document

@@ -1,0 +1,218 @@
+"""Consumer proxies for the WS-DAIX port types."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.client.core import CoreClient
+from repro.daix import messages as msg
+from repro.soap.addressing import EndpointReference
+from repro.xmlutil import QName, XmlElement
+
+
+class XMLClient(CoreClient):
+    """WS-DAIX consumer: collection management, queries, factories."""
+
+    # -- XMLCollectionAccess ------------------------------------------------
+
+    def add_documents(
+        self,
+        address: str,
+        abstract_name: str,
+        documents: list[tuple[str, XmlElement]],
+        replace: bool = False,
+    ) -> list[tuple[str, str]]:
+        response = self.call(
+            address,
+            msg.AddDocumentsRequest(
+                abstract_name=abstract_name,
+                documents=documents,
+                replace=replace,
+            ),
+            msg.AddDocumentsResponse,
+        )
+        return response.results
+
+    def get_documents(
+        self, address: str, abstract_name: str, names: list[str]
+    ) -> list[tuple[str, XmlElement]]:
+        response = self.call(
+            address,
+            msg.GetDocumentsRequest(abstract_name=abstract_name, names=names),
+            msg.GetDocumentsResponse,
+        )
+        return response.documents
+
+    def remove_documents(
+        self, address: str, abstract_name: str, names: list[str]
+    ) -> int:
+        response = self.call(
+            address,
+            msg.RemoveDocumentsRequest(abstract_name=abstract_name, names=names),
+            msg.RemoveDocumentsResponse,
+        )
+        return response.removed
+
+    def list_documents(
+        self, address: str, abstract_name: str
+    ) -> msg.ListDocumentsResponse:
+        return self.call(
+            address,
+            msg.ListDocumentsRequest(abstract_name=abstract_name),
+            msg.ListDocumentsResponse,
+        )
+
+    def create_subcollection(
+        self, address: str, abstract_name: str, collection_name: str
+    ) -> msg.CreateSubcollectionResponse:
+        return self.call(
+            address,
+            msg.CreateSubcollectionRequest(
+                abstract_name=abstract_name, collection_name=collection_name
+            ),
+            msg.CreateSubcollectionResponse,
+        )
+
+    def remove_subcollection(
+        self, address: str, abstract_name: str, collection_name: str
+    ) -> str:
+        response = self.call(
+            address,
+            msg.RemoveSubcollectionRequest(
+                abstract_name=abstract_name, collection_name=collection_name
+            ),
+            msg.RemoveSubcollectionResponse,
+        )
+        return response.removed
+
+    def get_collection_property_document(
+        self, address: str, abstract_name: str
+    ) -> XmlElement:
+        response = self.call(
+            address,
+            msg.GetCollectionPropertyDocumentRequest(
+                abstract_name=abstract_name
+            ),
+            msg.GetCollectionPropertyDocumentResponse,
+        )
+        if response.document is None:
+            raise ValueError("empty collection property document")
+        return response.document
+
+    # -- query access --------------------------------------------------------
+
+    def xpath_execute(
+        self,
+        address: str,
+        abstract_name: str,
+        expression: str,
+        document_name: Optional[str] = None,
+    ) -> list[XmlElement]:
+        response = self.call(
+            address,
+            msg.XPathExecuteRequest(
+                abstract_name=abstract_name,
+                expression=expression,
+                document_name=document_name,
+            ),
+            msg.XPathExecuteResponse,
+        )
+        return response.items
+
+    def xquery_execute(
+        self,
+        address: str,
+        abstract_name: str,
+        query: str,
+        document_name: Optional[str] = None,
+    ) -> list[XmlElement]:
+        response = self.call(
+            address,
+            msg.XQueryExecuteRequest(
+                abstract_name=abstract_name,
+                expression=query,
+                document_name=document_name,
+            ),
+            msg.XQueryExecuteResponse,
+        )
+        return response.items
+
+    def xupdate_execute(
+        self,
+        address: str,
+        abstract_name: str,
+        modifications: XmlElement,
+        document_name: Optional[str] = None,
+    ) -> int:
+        response = self.call(
+            address,
+            msg.XUpdateExecuteRequest(
+                abstract_name=abstract_name,
+                modifications=modifications,
+                document_name=document_name,
+            ),
+            msg.XUpdateExecuteResponse,
+        )
+        return response.modified
+
+    # -- factories + SequenceAccess ---------------------------------------------
+
+    def xpath_execute_factory(
+        self,
+        address: str,
+        abstract_name: str,
+        expression: str,
+        document_name: Optional[str] = None,
+        port_type_qname: Optional[QName] = None,
+        configuration: Optional[XmlElement] = None,
+    ) -> msg.XPathExecuteFactoryResponse:
+        return self.call(
+            address,
+            msg.XPathExecuteFactoryRequest(
+                abstract_name=abstract_name,
+                expression=expression,
+                document_name=document_name,
+                port_type_qname=port_type_qname,
+                configuration_document=configuration,
+            ),
+            msg.XPathExecuteFactoryResponse,
+        )
+
+    def xquery_execute_factory(
+        self,
+        address: str,
+        abstract_name: str,
+        query: str,
+        document_name: Optional[str] = None,
+        port_type_qname: Optional[QName] = None,
+        configuration: Optional[XmlElement] = None,
+    ) -> msg.XQueryExecuteFactoryResponse:
+        return self.call(
+            address,
+            msg.XQueryExecuteFactoryRequest(
+                abstract_name=abstract_name,
+                expression=query,
+                document_name=document_name,
+                port_type_qname=port_type_qname,
+                configuration_document=configuration,
+            ),
+            msg.XQueryExecuteFactoryResponse,
+        )
+
+    def get_items(
+        self,
+        epr: EndpointReference,
+        abstract_name: str,
+        start_position: int,
+        count: int,
+    ) -> tuple[list[XmlElement], int]:
+        response = self.call_epr(
+            epr,
+            msg.GetItemsRequest(
+                abstract_name=abstract_name,
+                start_position=start_position,
+                count=count,
+            ),
+            msg.GetItemsResponse,
+        )
+        return response.items, response.total_items

@@ -1,0 +1,51 @@
+"""Request composition: activity pipelines over DAIS interfaces.
+
+Paper §2.2: the DAIS-WG's requirements analysis found "significant
+demand for services that not only accessed data resources, but which
+supported flexible data movement and transformation capabilities" — e.g.
+"retrieve data from a database, transform the data using XSLT, and
+deliver the result to a third party".  That language became the
+OGSA-DAI *activity model*; the current specifications instead provide
+"extensibility points for more sophisticated data transformation or
+movement functionalities".
+
+This package is that extensibility point exercised: a small, typed
+activity pipeline whose activities are clients of the DAIS port types —
+query activities pull from WS-DAIR/WS-DAIX services, transformation
+activities reshape the data (XQuery stands in for XSLT; the substitution
+is recorded in DESIGN.md), and delivery activities push results into an
+XML collection or a file collection on a *different* service, enacting
+third-party delivery at the workflow level.
+"""
+
+from repro.compose.pipeline import (
+    Activity,
+    ActivityError,
+    Pipeline,
+    PipelineResult,
+)
+from repro.compose.activities import (
+    CsvRenderActivity,
+    DeliverToCollectionActivity,
+    DeliverToFileActivity,
+    ProjectColumnsActivity,
+    RowsetToXmlActivity,
+    SQLQueryActivity,
+    XPathQueryActivity,
+    XQueryTransformActivity,
+)
+
+__all__ = [
+    "Activity",
+    "ActivityError",
+    "Pipeline",
+    "PipelineResult",
+    "SQLQueryActivity",
+    "XPathQueryActivity",
+    "RowsetToXmlActivity",
+    "XQueryTransformActivity",
+    "ProjectColumnsActivity",
+    "CsvRenderActivity",
+    "DeliverToCollectionActivity",
+    "DeliverToFileActivity",
+]

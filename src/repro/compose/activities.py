@@ -1,0 +1,267 @@
+"""The activity library: DAIS access, transformation, delivery."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.client.files import FilesClient
+from repro.client.sql import SQLClient
+from repro.client.xml import XMLClient
+from repro.compose.pipeline import Activity
+from repro.dair.datasets import Rowset
+from repro.relational.types import NULL
+from repro.xmldb import XQueryEngine
+from repro.xmlutil import E, XmlElement, serialize
+
+
+# ---------------------------------------------------------------------------
+# access activities (pipeline sources)
+# ---------------------------------------------------------------------------
+
+
+class SQLQueryActivity(Activity):
+    """Pull a rowset from a WS-DAIR service (ignores its input)."""
+
+    CONSUMES = "any"
+    PRODUCES = "rowset"
+
+    def __init__(
+        self,
+        client: SQLClient,
+        address: str,
+        abstract_name: str,
+        sql: str,
+        parameters: Optional[list] = None,
+    ) -> None:
+        self._client = client
+        self._address = address
+        self._abstract_name = abstract_name
+        self._sql = sql
+        self._parameters = list(parameters or [])
+
+    def run(self, value) -> Rowset:
+        return self._client.sql_query_rowset(
+            self._address, self._abstract_name, self._sql, self._parameters
+        )
+
+
+class XPathQueryActivity(Activity):
+    """Pull items from a WS-DAIX collection (ignores its input)."""
+
+    CONSUMES = "any"
+    PRODUCES = "xml-items"
+
+    def __init__(
+        self,
+        client: XMLClient,
+        address: str,
+        abstract_name: str,
+        expression: str,
+    ) -> None:
+        self._client = client
+        self._address = address
+        self._abstract_name = abstract_name
+        self._expression = expression
+
+    def run(self, value) -> list[XmlElement]:
+        return self._client.xpath_execute(
+            self._address, self._abstract_name, self._expression
+        )
+
+
+# ---------------------------------------------------------------------------
+# transformation activities
+# ---------------------------------------------------------------------------
+
+
+class ProjectColumnsActivity(Activity):
+    """Keep a subset of rowset columns, in the requested order."""
+
+    CONSUMES = "rowset"
+    PRODUCES = "rowset"
+
+    def __init__(self, columns: list[str]) -> None:
+        self._columns = list(columns)
+
+    def run(self, rowset: Rowset) -> Rowset:
+        positions = []
+        for wanted in self._columns:
+            matches = [
+                index
+                for index, name in enumerate(rowset.columns)
+                if name.lower() == wanted.lower()
+            ]
+            if not matches:
+                raise KeyError(f"no column {wanted!r} in rowset")
+            positions.append(matches[0])
+        return Rowset(
+            columns=[rowset.columns[p] for p in positions],
+            types=[
+                rowset.types[p] if p < len(rowset.types) else ""
+                for p in positions
+            ],
+            rows=[tuple(row[p] for p in positions) for row in rowset.rows],
+        )
+
+
+class RowsetToXmlActivity(Activity):
+    """Render a rowset as a row-per-element XML document."""
+
+    CONSUMES = "rowset"
+    PRODUCES = "xml"
+
+    def __init__(self, root_tag: str = "rows", row_tag: str = "row") -> None:
+        self._root_tag = root_tag
+        self._row_tag = row_tag
+
+    def run(self, rowset: Rowset) -> XmlElement:
+        root = E(self._root_tag)
+        for row in rowset.rows:
+            element = E(self._row_tag)
+            for name, value in zip(rowset.columns, row):
+                child = E(_xml_name(name))
+                if value is NULL:
+                    child.set("null", "true")
+                else:
+                    child.text = value
+                element.append(child)
+            root.append(element)
+        return root
+
+
+class XQueryTransformActivity(Activity):
+    """Transform an XML document with an XQuery (the XSLT stand-in).
+
+    The paper's §2.2 example transforms query results "using XSLT";
+    dais-py ships an XQuery engine instead, which covers the same
+    reshape-select-reorder use cases (DESIGN.md records the
+    substitution).  The result is wrapped under *result_tag*.
+    """
+
+    CONSUMES = "xml"
+    PRODUCES = "xml"
+
+    def __init__(
+        self,
+        query: str,
+        result_tag: str = "result",
+        namespaces: Optional[dict] = None,
+    ) -> None:
+        self._engine = XQueryEngine(namespaces=namespaces)
+        self._query = query
+        self._result_tag = result_tag
+
+    def run(self, document: XmlElement) -> XmlElement:
+        items = self._engine.execute(self._query, document)
+        root = E(self._result_tag)
+        for item in items:
+            if isinstance(item, XmlElement):
+                root.append(item.copy())
+            else:
+                from repro.xpath.context import string_value
+                from repro.xpath.functions import to_string
+                from repro.xmlutil.tree import Text
+
+                if isinstance(item, (bool, float, str)):
+                    root.append(Text(to_string(item)))
+                else:
+                    root.append(Text(string_value(item)))
+        return root
+
+
+class CsvRenderActivity(Activity):
+    """Render a rowset as CSV bytes (for file delivery)."""
+
+    CONSUMES = "rowset"
+    PRODUCES = "bytes"
+
+    def run(self, rowset: Rowset) -> bytes:
+        from repro.dair.datasets import _csv_escape, _NULL_TOKEN
+
+        lines = [",".join(_csv_escape(c) for c in rowset.columns)]
+        for row in rowset.rows:
+            lines.append(
+                ",".join(
+                    _NULL_TOKEN if v is NULL else _csv_escape(v) for v in row
+                )
+            )
+        return "\n".join(lines).encode("utf-8")
+
+
+# ---------------------------------------------------------------------------
+# delivery activities (third-party delivery, §2.2)
+# ---------------------------------------------------------------------------
+
+
+class DeliverToCollectionActivity(Activity):
+    """Add the incoming XML document to a WS-DAIX collection."""
+
+    CONSUMES = "xml"
+    PRODUCES = "delivery"
+
+    def __init__(
+        self,
+        client: XMLClient,
+        address: str,
+        abstract_name: str,
+        document_name: str,
+        replace: bool = True,
+    ) -> None:
+        self._client = client
+        self._address = address
+        self._abstract_name = abstract_name
+        self._document_name = document_name
+        self._replace = replace
+
+    def run(self, document: XmlElement) -> dict:
+        results = self._client.add_documents(
+            self._address,
+            self._abstract_name,
+            [(self._document_name, document)],
+            replace=self._replace,
+        )
+        name, status = results[0]
+        if status != "Added":
+            raise RuntimeError(f"delivery of {name!r} failed: {status}")
+        return {
+            "delivered_to": self._address,
+            "document": name,
+            "bytes": len(serialize(document)),
+        }
+
+
+class DeliverToFileActivity(Activity):
+    """Write the incoming bytes to a WS-DAIF file collection."""
+
+    CONSUMES = "bytes"
+    PRODUCES = "delivery"
+
+    def __init__(
+        self,
+        client: FilesClient,
+        address: str,
+        abstract_name: str,
+        path: str,
+    ) -> None:
+        self._client = client
+        self._address = address
+        self._abstract_name = abstract_name
+        self._path = path
+
+    def run(self, content: bytes) -> dict:
+        response = self._client.put_file(
+            self._address, self._abstract_name, self._path, content
+        )
+        return {
+            "delivered_to": self._address,
+            "path": response.path,
+            "bytes": response.size,
+        }
+
+
+def _xml_name(column: str) -> str:
+    """Make a column name safe as an XML element name."""
+    cleaned = "".join(ch if ch.isalnum() or ch in "._-" else "_" for ch in column)
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] == "_"):
+        cleaned = f"c_{cleaned}"
+    return cleaned

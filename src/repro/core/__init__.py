@@ -1,0 +1,76 @@
+"""WS-DAI: the model-agnostic core of the DAIS specifications.
+
+This package implements the paper's §3–§4 core machinery:
+
+* **data resources** with unique, persistent *abstract names* (URIs),
+  classified as *externally managed* or *service managed* (§3);
+* **data services** exposing port-type operations addressed by
+  ``wsa:Action`` URIs, always targeted by the abstract name carried in
+  the SOAP *body* (§3, §5);
+* the **property document** (data description interface) with the core
+  static and configurable properties of Figure 4;
+* the **core operations** of Figure 6 — ``GenericQuery``,
+  ``DestroyDataResource``, ``GetDataResourcePropertyDocument`` plus the
+  optional ``CoreResourceList`` (``GetResourceList``, ``Resolve``);
+* the **direct and indirect (factory) access patterns** of Figure 1,
+  including configuration documents and requested-port-type negotiation;
+* the **DAIS fault family** carried as typed SOAP fault details.
+
+WS-DAIR (:mod:`repro.dair`) and WS-DAIX (:mod:`repro.daix`) extend these
+classes — mirroring how the specifications extend the core document.
+"""
+
+from repro.core.namespaces import WSDAI_NS, action_uri
+from repro.core.names import AbstractName, mint_abstract_name
+from repro.core.faults import (
+    DaisFault,
+    DataResourceUnavailableFault,
+    InvalidConfigurationDocumentFault,
+    InvalidDatasetFormatFault,
+    InvalidExpressionFault,
+    InvalidLanguageFault,
+    InvalidPortTypeQNameFault,
+    InvalidResourceNameFault,
+    NotAuthorizedFault,
+    ServiceBusyFault,
+)
+from repro.core.properties import (
+    ConfigurableProperties,
+    CorePropertyDocument,
+    DataResourceManagement,
+    DatasetMapEntry,
+    Sensitivity,
+    TransactionInitiation,
+    TransactionIsolation,
+)
+from repro.core.resource import DataResource
+from repro.core.service import DataService, ResourceBinding
+from repro.core.registry import ServiceRegistry
+
+__all__ = [
+    "WSDAI_NS",
+    "action_uri",
+    "AbstractName",
+    "mint_abstract_name",
+    "DaisFault",
+    "InvalidResourceNameFault",
+    "DataResourceUnavailableFault",
+    "InvalidLanguageFault",
+    "InvalidExpressionFault",
+    "InvalidDatasetFormatFault",
+    "InvalidConfigurationDocumentFault",
+    "InvalidPortTypeQNameFault",
+    "NotAuthorizedFault",
+    "ServiceBusyFault",
+    "DataResourceManagement",
+    "TransactionInitiation",
+    "TransactionIsolation",
+    "Sensitivity",
+    "DatasetMapEntry",
+    "ConfigurableProperties",
+    "CorePropertyDocument",
+    "DataResource",
+    "DataService",
+    "ResourceBinding",
+    "ServiceRegistry",
+]

@@ -1,0 +1,117 @@
+"""The DAIS fault family.
+
+WS-DAI defines a set of faults shared by all realisations; each is a SOAP
+fault whose detail carries a typed element in the WS-DAI namespace.  A
+resolver registered with the envelope layer restores the typed Python
+class on the consumer side, so ``except InvalidLanguageFault:`` works
+across the wire.
+"""
+
+from __future__ import annotations
+
+from repro.core.namespaces import WSDAI_NS
+from repro.soap.envelope import register_fault_resolver
+from repro.soap.fault import FaultCode, SoapFault
+from repro.xmlutil import E, QName
+
+
+class DaisFault(SoapFault):
+    """Base DAIS fault: typed detail element + human-readable message."""
+
+    DETAIL_LOCAL = "DataAccessFault"
+    CODE = FaultCode.CLIENT
+
+    def __init__(self, message: str) -> None:
+        detail = E(
+            QName(WSDAI_NS, self.DETAIL_LOCAL),
+            E(QName(WSDAI_NS, "Message"), message),
+        )
+        super().__init__(self.CODE, message, [detail])
+
+
+class InvalidResourceNameFault(DaisFault):
+    """The abstract name does not identify a resource known to the service."""
+
+    DETAIL_LOCAL = "InvalidResourceNameFault"
+
+
+class DataResourceUnavailableFault(DaisFault):
+    """The resource exists but cannot currently be accessed."""
+
+    DETAIL_LOCAL = "DataResourceUnavailableFault"
+    CODE = FaultCode.SERVER
+
+
+class InvalidLanguageFault(DaisFault):
+    """The query language is not in the resource's LanguageMap."""
+
+    DETAIL_LOCAL = "InvalidLanguageFault"
+
+
+class InvalidExpressionFault(DaisFault):
+    """The query expression is malformed or failed to evaluate."""
+
+    DETAIL_LOCAL = "InvalidExpressionFault"
+
+
+class InvalidDatasetFormatFault(DaisFault):
+    """The requested DataFormatURI is not in the resource's DatasetMap."""
+
+    DETAIL_LOCAL = "InvalidDatasetFormatFault"
+
+
+class InvalidConfigurationDocumentFault(DaisFault):
+    """A factory configuration document contains bad property values."""
+
+    DETAIL_LOCAL = "InvalidConfigurationDocumentFault"
+
+
+class InvalidPortTypeQNameFault(DaisFault):
+    """The requested access port type is not supported for derived data."""
+
+    DETAIL_LOCAL = "InvalidPortTypeQNameFault"
+
+
+class NotAuthorizedFault(DaisFault):
+    """The consumer may not perform this operation (Readable/Writeable)."""
+
+    DETAIL_LOCAL = "NotAuthorizedFault"
+
+
+class ServiceBusyFault(DaisFault):
+    """The service rejected the request due to concurrent access limits."""
+
+    DETAIL_LOCAL = "ServiceBusyFault"
+    CODE = FaultCode.SERVER
+
+
+_FAULTS_BY_DETAIL = {
+    fault.DETAIL_LOCAL: fault
+    for fault in (
+        DaisFault,
+        InvalidResourceNameFault,
+        DataResourceUnavailableFault,
+        InvalidLanguageFault,
+        InvalidExpressionFault,
+        InvalidDatasetFormatFault,
+        InvalidConfigurationDocumentFault,
+        InvalidPortTypeQNameFault,
+        NotAuthorizedFault,
+        ServiceBusyFault,
+    )
+}
+
+
+def _resolve_dais_fault(fault: SoapFault) -> SoapFault | None:
+    """Map a generic fault back to its typed DAIS class via the detail."""
+    for detail in fault.detail:
+        if detail.tag.namespace != WSDAI_NS:
+            continue
+        cls = _FAULTS_BY_DETAIL.get(detail.tag.local)
+        if cls is not None:
+            message = detail.findtext(QName(WSDAI_NS, "Message"), fault.message)
+            return cls(message or fault.message)
+    return None
+
+
+register_fault_resolver(_resolve_dais_fault)

@@ -1,0 +1,52 @@
+"""Abstract names for data resources.
+
+Per the paper (§3): *"A data resource must always have an identifier, an
+abstract name, which is unique and persistent ... for now DAIS uses a URI
+to represent data resource's abstract names."*
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+import uuid
+
+#: Scheme prefix used for names minted by this library.
+ABSTRACT_NAME_PREFIX = "urn:dais:resource:"
+
+_URI_RE = re.compile(r"^[A-Za-z][A-Za-z0-9+.\-]*:\S+$")
+
+_counter = itertools.count(1)
+
+
+class AbstractName(str):
+    """A data resource abstract name — a validated URI string.
+
+    Subclassing ``str`` keeps names directly usable in messages and as
+    dictionary keys while rejecting junk at construction time.
+    """
+
+    def __new__(cls, value: str) -> "AbstractName":
+        value = value.strip()
+        if not _URI_RE.match(value):
+            from repro.core.faults import InvalidResourceNameFault
+
+            raise InvalidResourceNameFault(
+                f"abstract name must be a URI, got {value!r}"
+            )
+        return super().__new__(cls, value)
+
+
+def mint_abstract_name(hint: str = "") -> AbstractName:
+    """Mint a fresh globally-unique abstract name.
+
+    *hint* (e.g. ``"sqlresponse"``) makes traces readable; uniqueness
+    comes from a UUID.
+    """
+    label = f"{hint}:" if hint else ""
+    return AbstractName(f"{ABSTRACT_NAME_PREFIX}{label}{uuid.uuid4()}")
+
+
+def deterministic_abstract_name(hint: str = "r") -> AbstractName:
+    """Mint a process-unique, *deterministic* name (tests/benchmarks)."""
+    return AbstractName(f"{ABSTRACT_NAME_PREFIX}{hint}:{next(_counter)}")

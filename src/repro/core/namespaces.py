@@ -1,0 +1,20 @@
+"""WS-DAI wire namespace and action URIs."""
+
+from repro.xmlutil.names import DEFAULT_REGISTRY
+
+#: The WS-DAI 1.0 namespace (GGF DAIS-WG, 2005 drafts).
+WSDAI_NS = "http://www.ggf.org/namespaces/2005/05/WS-DAI"
+
+DEFAULT_REGISTRY.register("wsdai", WSDAI_NS)
+
+
+def action_uri(operation: str, namespace: str = WSDAI_NS) -> str:
+    """The ``wsa:Action`` URI for *operation* in a DAIS namespace."""
+    return f"{namespace}/{operation}"
+
+
+#: Well-known generic query language URIs advertised in LanguageMap.
+SQL_LANGUAGE_URI = "http://www.sql.org/sql-92"
+XPATH_LANGUAGE_URI = "http://www.w3.org/TR/1999/REC-xpath-19991116"
+XQUERY_LANGUAGE_URI = "http://www.w3.org/TR/xquery"
+XUPDATE_LANGUAGE_URI = "http://www.xmldb.org/xupdate"

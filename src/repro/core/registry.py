@@ -1,0 +1,52 @@
+"""Service registry: the directory transports dispatch through.
+
+Maps service addresses to :class:`~repro.core.service.DataService`
+instances and resolves data resource addresses (EPRs) back to the
+service + abstract name pair they designate.
+"""
+
+from __future__ import annotations
+
+from repro.core.service import RESOURCE_REFERENCE_PARAMETER, DataService
+from repro.soap.addressing import EndpointReference
+
+
+class ServiceRegistry:
+    """All services reachable in one deployment (one 'grid fabric')."""
+
+    def __init__(self) -> None:
+        self._services: dict[str, DataService] = {}
+
+    def register(self, service: DataService) -> DataService:
+        if service.address in self._services:
+            raise ValueError(f"address {service.address!r} already registered")
+        self._services[service.address] = service
+        return service
+
+    def unregister(self, address: str) -> None:
+        self._services.pop(address, None)
+
+    def addresses(self) -> list[str]:
+        return sorted(self._services)
+
+    def service_at(self, address: str) -> DataService:
+        try:
+            return self._services[address]
+        except KeyError:
+            raise LookupError(f"no service at {address!r}") from None
+
+    def resolve_epr(self, epr: EndpointReference) -> tuple[DataService, str | None]:
+        """Resolve an EPR to (service, abstract name from ref params)."""
+        service = self.service_at(epr.address)
+        name = epr.reference_parameter_text(RESOURCE_REFERENCE_PARAMETER)
+        return service, name
+
+    def sweep_all(self) -> dict[str, list[str]]:
+        """Run soft-state sweeps on every WSRF service; returns what each
+        destroyed (address → abstract names)."""
+        destroyed: dict[str, list[str]] = {}
+        for address, service in self._services.items():
+            expired = service.sweep_expired()
+            if expired:
+                destroyed[address] = expired
+        return destroyed

@@ -1,0 +1,85 @@
+"""The data resource abstraction.
+
+A :class:`DataResource` is "any entity that can act as a source or sink
+of data" (paper §3).  Concrete resources — a relational database, an XML
+collection, a derived SQL response or rowset — subclass this and
+implement the hooks their port types need.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.faults import InvalidLanguageFault
+from repro.core.names import AbstractName
+from repro.core.properties import (
+    ConfigurableProperties,
+    CorePropertyDocument,
+    DataResourceManagement,
+)
+from repro.xmlutil import XmlElement
+
+
+class DataResource(ABC):
+    """Base class for everything a data service can represent."""
+
+    def __init__(
+        self,
+        abstract_name: AbstractName,
+        management: DataResourceManagement,
+        parent: str = "",
+    ) -> None:
+        self.abstract_name = abstract_name
+        self.management = management
+        self.parent = parent
+
+    # -- property document -------------------------------------------------
+
+    @abstractmethod
+    def property_document(
+        self, configurable: ConfigurableProperties
+    ) -> CorePropertyDocument:
+        """Build the current property document for this resource as bound
+        to a service with the given configurable properties."""
+
+    # -- generic query ----------------------------------------------------
+
+    def generic_query_languages(self) -> list[str]:
+        """Language URIs accepted by :meth:`generic_query`."""
+        return []
+
+    def generic_query(
+        self, language_uri: str, expression: str, parameters: list[str]
+    ) -> list[XmlElement]:
+        """Evaluate a generic query; returns result elements.
+
+        The default implementation rejects every language — resources
+        that advertise ``GenericQueryLanguage`` properties override it.
+        """
+        raise InvalidLanguageFault(
+            f"this resource does not support generic queries "
+            f"(language {language_uri!r})"
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def on_destroy(self) -> None:
+        """Release resource state when the service↔resource relationship
+        is destroyed.
+
+        Externally managed resources typically do nothing (the data
+        remains in place, paper §4.3); service managed resources drop
+        their data.
+        """
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def is_service_managed(self) -> bool:
+        return self.management is DataResourceManagement.SERVICE_MANAGED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} {self.abstract_name} "
+            f"({self.management.value})>"
+        )

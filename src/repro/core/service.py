@@ -1,0 +1,395 @@
+"""The data service: resource bindings, operation dispatch, two profiles.
+
+A :class:`DataService` represents zero or more data resources (paper §3)
+and exposes operations keyed by ``wsa:Action``.  The service always
+implements the ``CoreDataAccess`` operations; ``CoreResourceList`` is on
+by default (it is optional in the spec, so it can be disabled); the WSRF
+profile adds fine-grained property access and soft-state lifetime
+(paper §5) without changing any message body.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core import messages as msg
+from repro.core import wsrf_messages as wmsg
+from repro.core.faults import (
+    InvalidResourceNameFault,
+    NotAuthorizedFault,
+    ServiceBusyFault,
+)
+from repro.core.names import AbstractName
+from repro.core.properties import ConfigurableProperties
+from repro.core.resource import DataResource
+from repro.soap.addressing import EndpointReference, MessageHeaders
+from repro.soap.envelope import Envelope, fault_envelope
+from repro.soap.fault import FaultCode, SoapFault
+from repro.wsrf.clock import Clock
+from repro.wsrf.faults import WsrfFault
+from repro.wsrf.lifetime import LifetimeManager
+from repro.wsrf.properties import PropertyAccess
+from repro.xmlutil import E, QName, XmlElement
+from repro.core.namespaces import WSDAI_NS
+
+#: The reference-parameter tag DAIS puts in data resource EPRs.
+RESOURCE_REFERENCE_PARAMETER = QName(WSDAI_NS, "DataResourceAbstractName")
+
+Handler = Callable[[XmlElement, MessageHeaders], msg.DaisMessage]
+
+
+class ResourceBinding:
+    """One service↔resource relationship and its configurable properties."""
+
+    def __init__(
+        self,
+        resource: DataResource,
+        configurable: ConfigurableProperties,
+        service: "DataService",
+    ) -> None:
+        self.resource = resource
+        self.configurable = configurable
+        self._service = service
+
+    @property
+    def abstract_name(self) -> str:
+        return self.resource.abstract_name
+
+    def property_document(self) -> XmlElement:
+        """Render the current property document (WSRF provider protocol)."""
+        return self.resource.property_document(self.configurable).to_xml()
+
+    def require_readable(self) -> None:
+        if not self.configurable.readable:
+            raise NotAuthorizedFault(
+                f"resource {self.abstract_name} is not readable"
+            )
+
+    def require_writeable(self) -> None:
+        if not self.configurable.writeable:
+            raise NotAuthorizedFault(
+                f"resource {self.abstract_name} is not writeable"
+            )
+
+
+class DataService:
+    """A DAIS data service bound to zero or more data resources."""
+
+    def __init__(
+        self,
+        name: str,
+        address: str,
+        wsrf: bool = False,
+        resource_list_enabled: bool = True,
+        clock: Clock | None = None,
+        property_namespaces: dict[str, str] | None = None,
+        max_concurrent: int | None = None,
+    ) -> None:
+        import threading
+
+        self.name = name
+        self.address = address
+        self.wsrf = wsrf
+        self._bindings: dict[str, ResourceBinding] = {}
+        self._handlers: dict[str, Handler] = {}
+        self._property_namespaces = dict(property_namespaces or {})
+        self._property_namespaces.setdefault("wsdai", WSDAI_NS)
+        self.lifetime = LifetimeManager(clock) if wsrf else None
+        #: Failure injection: when set, every dispatch faults ServiceBusy.
+        self.fail_busy = False
+        #: The ConcurrentAccess limit: None = unbounded.  Exceeding it
+        #: (possible under the threaded HTTP binding) faults ServiceBusy.
+        self.max_concurrent = max_concurrent
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        #: Wire metrics: dispatch count per action URI.
+        self.dispatch_counts: dict[str, int] = {}
+
+        self._install_core_operations()
+        if resource_list_enabled:
+            self._install_resource_list_operations()
+        if wsrf:
+            self._install_wsrf_operations()
+
+    # -- resource management ---------------------------------------------------
+
+    def add_resource(
+        self,
+        resource: DataResource,
+        configurable: ConfigurableProperties | None = None,
+        lifetime_seconds: float | None = None,
+    ) -> ResourceBinding:
+        """Bind *resource* to this service.
+
+        *lifetime_seconds* only applies under the WSRF profile (soft
+        state); without WSRF the resource lives until explicit destroy.
+        """
+        name = resource.abstract_name
+        if name in self._bindings:
+            raise ValueError(f"resource {name} already bound to {self.name}")
+        binding = ResourceBinding(
+            resource, (configurable or ConfigurableProperties()).copy(), self
+        )
+        self._bindings[name] = binding
+        if self.lifetime is not None:
+            self.lifetime.register(
+                name, self._destroy_by_lifetime, lifetime_seconds
+            )
+        return binding
+
+    def resource_names(self) -> list[str]:
+        return sorted(self._bindings)
+
+    def has_resource(self, abstract_name: str) -> bool:
+        return abstract_name in self._bindings
+
+    def binding(self, abstract_name: str) -> ResourceBinding:
+        try:
+            return self._bindings[abstract_name]
+        except KeyError:
+            raise InvalidResourceNameFault(
+                f"service {self.name!r} does not know resource "
+                f"{abstract_name!r}"
+            ) from None
+
+    def destroy_resource(self, abstract_name: str) -> None:
+        """Sever the service↔resource relationship (paper §4.3)."""
+        binding = self.binding(abstract_name)
+        if self.lifetime is not None and self.lifetime.registered(abstract_name):
+            # Route through the lifetime manager so records stay coherent.
+            self.lifetime.destroy(abstract_name)
+            return
+        del self._bindings[abstract_name]
+        binding.resource.on_destroy()
+
+    def _destroy_by_lifetime(self, abstract_name: str) -> None:
+        binding = self._bindings.pop(abstract_name, None)
+        if binding is not None:
+            binding.resource.on_destroy()
+
+    def sweep_expired(self) -> list[str]:
+        """WSRF soft state: destroy resources past their termination time."""
+        if self.lifetime is None:
+            return []
+        return self.lifetime.sweep()
+
+    def epr_for(self, abstract_name: str) -> EndpointReference:
+        """The data resource address: service address + abstract name as a
+        reference parameter (paper §3)."""
+        self.binding(abstract_name)  # existence check
+        return EndpointReference(
+            address=self.address,
+            reference_parameters=(
+                E(RESOURCE_REFERENCE_PARAMETER, abstract_name),
+            ),
+        )
+
+    # -- operation registry ------------------------------------------------
+
+    def register_operation(self, action: str, handler: Handler) -> None:
+        """Register *handler* for an action URI (realisations extend here)."""
+        self._handlers[action] = handler
+
+    def supports_action(self, action: str) -> bool:
+        return action in self._handlers
+
+    def actions(self) -> list[str]:
+        return sorted(self._handlers)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def dispatch(self, request: Envelope) -> Envelope:
+        """Process one request envelope; always returns a response
+        envelope (success or fault)."""
+        action = request.headers.action
+        self.dispatch_counts[action] = self.dispatch_counts.get(action, 0) + 1
+        admitted = False
+        try:
+            if self.fail_busy:
+                raise ServiceBusyFault(f"service {self.name!r} is busy")
+            admitted = self._admit()
+            if not admitted:
+                raise ServiceBusyFault(
+                    f"service {self.name!r} is at its concurrency limit "
+                    f"({self.max_concurrent})"
+                )
+            handler = self._handlers.get(action)
+            if handler is None:
+                raise SoapFault(
+                    FaultCode.CLIENT, f"unsupported wsa:Action {action!r}"
+                )
+            response_message = handler(request.payload, request.headers)
+            return Envelope(
+                headers=request.headers.reply(f"{action}Response"),
+                payload=response_message.to_xml(),
+            )
+        except SoapFault as fault:
+            return fault_envelope(request.headers, fault)
+        except Exception as exc:  # pragma: no cover - defensive boundary
+            return fault_envelope(
+                request.headers,
+                SoapFault(FaultCode.SERVER, f"internal error: {exc}"),
+            )
+        finally:
+            if admitted:
+                self._release()
+
+    def _admit(self) -> bool:
+        with self._inflight_lock:
+            if (
+                self.max_concurrent is not None
+                and self._inflight >= self.max_concurrent
+            ):
+                return False
+            self._inflight += 1
+            return True
+
+    def _release(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+
+    # -- CoreDataAccess handlers ----------------------------------------------
+
+    def _install_core_operations(self) -> None:
+        self.register_operation(
+            msg.GenericQueryRequest.action(), self._handle_generic_query
+        )
+        self.register_operation(
+            msg.DestroyDataResourceRequest.action(), self._handle_destroy
+        )
+        self.register_operation(
+            msg.GetDataResourcePropertyDocumentRequest.action(),
+            self._handle_get_property_document,
+        )
+
+    def _handle_generic_query(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.GenericQueryResponse:
+        request = msg.GenericQueryRequest.from_xml(payload)
+        binding = self.binding(request.abstract_name)
+        binding.require_readable()
+        from repro.core.faults import InvalidLanguageFault
+
+        if request.language_uri not in binding.resource.generic_query_languages():
+            raise InvalidLanguageFault(
+                f"language {request.language_uri!r} not supported; "
+                f"advertised: {binding.resource.generic_query_languages()}"
+            )
+        data = binding.resource.generic_query(
+            request.language_uri, request.expression, request.parameters
+        )
+        return msg.GenericQueryResponse(
+            dataset_format_uri=request.dataset_format_uri or "",
+            data=data,
+        )
+
+    def _handle_destroy(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.DestroyDataResourceResponse:
+        request = msg.DestroyDataResourceRequest.from_xml(payload)
+        self.destroy_resource(request.abstract_name)
+        return msg.DestroyDataResourceResponse(destroyed=request.abstract_name)
+
+    def _handle_get_property_document(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.GetDataResourcePropertyDocumentResponse:
+        request = msg.GetDataResourcePropertyDocumentRequest.from_xml(payload)
+        binding = self.binding(request.abstract_name)
+        return msg.GetDataResourcePropertyDocumentResponse(
+            document=binding.property_document()
+        )
+
+    # -- CoreResourceList handlers ----------------------------------------------
+
+    def _install_resource_list_operations(self) -> None:
+        self.register_operation(
+            msg.GetResourceListRequest.action(), self._handle_get_resource_list
+        )
+        self.register_operation(msg.ResolveRequest.action(), self._handle_resolve)
+
+    def _handle_get_resource_list(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.GetResourceListResponse:
+        return msg.GetResourceListResponse(names=self.resource_names())
+
+    def _handle_resolve(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.ResolveResponse:
+        request = msg.ResolveRequest.from_xml(payload)
+        return msg.ResolveResponse(address=self.epr_for(request.abstract_name))
+
+    # -- WSRF handlers -------------------------------------------------------
+
+    def _install_wsrf_operations(self) -> None:
+        self.register_operation(
+            wmsg.GetResourcePropertyRequest.action(),
+            self._handle_get_resource_property,
+        )
+        self.register_operation(
+            wmsg.GetMultipleResourcePropertiesRequest.action(),
+            self._handle_get_multiple_properties,
+        )
+        self.register_operation(
+            wmsg.QueryResourcePropertiesRequest.action(),
+            self._handle_query_properties,
+        )
+        self.register_operation(
+            wmsg.SetTerminationTimeRequest.action(),
+            self._handle_set_termination_time,
+        )
+        # WS-ResourceLifetime's immediate Destroy is an alias for the DAIS
+        # DestroyDataResource semantics on this service.
+        from repro.wsrf.namespaces import WSRF_RL_NS
+
+        self.register_operation(f"{WSRF_RL_NS}/Destroy", self._handle_destroy)
+
+    def _property_access(self, binding: ResourceBinding) -> PropertyAccess:
+        return PropertyAccess(binding, namespaces=self._property_namespaces)
+
+    def _handle_get_resource_property(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> wmsg.GetResourcePropertyResponse:
+        request = wmsg.GetResourcePropertyRequest.from_xml(payload)
+        binding = self.binding(request.abstract_name)
+        if request.property_qname is None:
+            raise WsrfFault("GetResourceProperty requires a property QName")
+        return wmsg.GetResourcePropertyResponse(
+            properties=self._property_access(binding).get(request.property_qname)
+        )
+
+    def _handle_get_multiple_properties(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> wmsg.GetMultipleResourcePropertiesResponse:
+        request = wmsg.GetMultipleResourcePropertiesRequest.from_xml(payload)
+        binding = self.binding(request.abstract_name)
+        return wmsg.GetMultipleResourcePropertiesResponse(
+            properties=self._property_access(binding).get_multiple(
+                request.property_qnames
+            )
+        )
+
+    def _handle_query_properties(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> wmsg.QueryResourcePropertiesResponse:
+        request = wmsg.QueryResourcePropertiesRequest.from_xml(payload)
+        binding = self.binding(request.abstract_name)
+        return wmsg.QueryResourcePropertiesResponse(
+            properties=self._property_access(binding).query(
+                request.query, request.dialect
+            )
+        )
+
+    def _handle_set_termination_time(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> wmsg.SetTerminationTimeResponse:
+        request = wmsg.SetTerminationTimeRequest.from_xml(payload)
+        self.binding(request.abstract_name)
+        if self.lifetime is None:  # pragma: no cover - wsrf only installs this
+            raise WsrfFault("service runs the non-WSRF profile")
+        record = self.lifetime.set_termination_time(
+            request.abstract_name, request.requested_termination_time
+        )
+        return wmsg.SetTerminationTimeResponse(
+            new_termination_time=record.termination_time,
+            current_time=record.current_time,
+        )

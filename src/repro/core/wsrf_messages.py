@@ -1,0 +1,174 @@
+"""WSRF operation payloads in the DAIS framing.
+
+Paper §5: even under WSRF, DAIS mandates the resource abstract name in
+the message *body* ("... you still require the data resource abstract
+name to be included in the message body even if it is only for a WSRF
+implementation to ignore it").  These payloads therefore extend
+:class:`~repro.core.messages.DaisRequest` and carry WSRF particulars as
+additional children.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar, Optional
+
+from repro.core.messages import DaisMessage, DaisRequest
+from repro.wsrf.namespaces import WSRF_RL_NS, WSRF_RP_NS
+from repro.xmlutil import E, QName, XmlElement
+
+
+@dataclass
+class GetResourcePropertyRequest(DaisRequest):
+    TAG: ClassVar[QName] = QName(WSRF_RP_NS, "GetResourceProperty")
+
+    property_qname: Optional[QName] = None
+
+    def to_xml(self) -> XmlElement:
+        root = self._root()
+        if self.property_qname is not None:
+            root.append(
+                E(QName(WSRF_RP_NS, "ResourceProperty"), self.property_qname.clark())
+            )
+        return root
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        text = element.findtext(QName(WSRF_RP_NS, "ResourceProperty"))
+        return cls(
+            abstract_name=cls._read_name(element),
+            property_qname=QName.parse(text.strip()) if text else None,
+        )
+
+
+@dataclass
+class GetResourcePropertyResponse(DaisMessage):
+    TAG: ClassVar[QName] = QName(WSRF_RP_NS, "GetResourcePropertyResponse")
+
+    properties: list[XmlElement] = field(default_factory=list)
+
+    def to_xml(self) -> XmlElement:
+        return E(self.TAG, [p.copy() for p in self.properties])
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        return cls(properties=[c.copy() for c in element.element_children()])
+
+
+@dataclass
+class GetMultipleResourcePropertiesRequest(DaisRequest):
+    TAG: ClassVar[QName] = QName(WSRF_RP_NS, "GetMultipleResourceProperties")
+
+    property_qnames: list[QName] = field(default_factory=list)
+
+    def to_xml(self) -> XmlElement:
+        root = self._root()
+        for name in self.property_qnames:
+            root.append(E(QName(WSRF_RP_NS, "ResourceProperty"), name.clark()))
+        return root
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        return cls(
+            abstract_name=cls._read_name(element),
+            property_qnames=[
+                QName.parse(c.text.strip())
+                for c in element.findall(QName(WSRF_RP_NS, "ResourceProperty"))
+            ],
+        )
+
+
+@dataclass
+class GetMultipleResourcePropertiesResponse(GetResourcePropertyResponse):
+    TAG: ClassVar[QName] = QName(
+        WSRF_RP_NS, "GetMultipleResourcePropertiesResponse"
+    )
+
+
+@dataclass
+class QueryResourcePropertiesRequest(DaisRequest):
+    TAG: ClassVar[QName] = QName(WSRF_RP_NS, "QueryResourceProperties")
+
+    query: str = ""
+    dialect: str = "http://www.w3.org/TR/1999/REC-xpath-19991116"
+
+    def to_xml(self) -> XmlElement:
+        root = self._root()
+        expression = E(QName(WSRF_RP_NS, "QueryExpression"), self.query)
+        expression.set("Dialect", self.dialect)
+        root.append(expression)
+        return root
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        expression = element.find(QName(WSRF_RP_NS, "QueryExpression"))
+        return cls(
+            abstract_name=cls._read_name(element),
+            query=expression.text if expression is not None else "",
+            dialect=(
+                expression.get("Dialect", "") if expression is not None else ""
+            )
+            or "",
+        )
+
+
+@dataclass
+class QueryResourcePropertiesResponse(GetResourcePropertyResponse):
+    TAG: ClassVar[QName] = QName(WSRF_RP_NS, "QueryResourcePropertiesResponse")
+
+
+@dataclass
+class SetTerminationTimeRequest(DaisRequest):
+    TAG: ClassVar[QName] = QName(WSRF_RL_NS, "SetTerminationTime")
+
+    #: Absolute termination time (seconds since epoch), or None = infinite.
+    requested_termination_time: Optional[float] = None
+
+    def to_xml(self) -> XmlElement:
+        root = self._root()
+        node = E(QName(WSRF_RL_NS, "RequestedTerminationTime"))
+        if self.requested_termination_time is None:
+            node.set("nil", "true")
+        else:
+            node.text = repr(self.requested_termination_time)
+        root.append(node)
+        return root
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        node = element.find(QName(WSRF_RL_NS, "RequestedTerminationTime"))
+        requested: Optional[float] = None
+        if node is not None and node.get("nil") != "true" and node.text.strip():
+            requested = float(node.text.strip())
+        return cls(
+            abstract_name=cls._read_name(element),
+            requested_termination_time=requested,
+        )
+
+
+@dataclass
+class SetTerminationTimeResponse(DaisMessage):
+    TAG: ClassVar[QName] = QName(WSRF_RL_NS, "SetTerminationTimeResponse")
+
+    new_termination_time: Optional[float] = None
+    current_time: float = 0.0
+
+    def to_xml(self) -> XmlElement:
+        root = E(self.TAG)
+        node = E(QName(WSRF_RL_NS, "NewTerminationTime"))
+        if self.new_termination_time is None:
+            node.set("nil", "true")
+        else:
+            node.text = repr(self.new_termination_time)
+        root.append(node)
+        root.append(E(QName(WSRF_RL_NS, "CurrentTime"), repr(self.current_time)))
+        return root
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        node = element.find(QName(WSRF_RL_NS, "NewTerminationTime"))
+        new_time: Optional[float] = None
+        if node is not None and node.get("nil") != "true" and node.text.strip():
+            new_time = float(node.text.strip())
+        current = element.findtext(QName(WSRF_RL_NS, "CurrentTime"), "0") or "0"
+        return cls(new_termination_time=new_time, current_time=float(current))

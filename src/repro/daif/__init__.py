@@ -1,0 +1,27 @@
+"""WS-DAIF: a files realisation of the WS-DAI core.
+
+The paper's conclusion flags files as a realisation under exploration
+("different groups are exploring the development of additional
+realisations for object databases, ontologies and files"); the DAIS-WG
+later published WS-DAI-Files drafts along exactly these lines.  This
+package applies the established WS-DAI construction to a file store:
+
+* **FileCollectionAccess** (direct) — ``ListFiles``, ``GetFile`` (with
+  byte ranges), ``PutFile``, ``DeleteFile``;
+* **FileSelectionFactory** (indirect) — a glob pattern derives a
+  service managed *file set* resource;
+* **FileSetAccess** — ``GetFileSetMembers`` paging over the selection.
+
+File content travels base64-encoded in the message body.
+"""
+
+from repro.daif.namespaces import WSDAIF_NS
+from repro.daif.resources import FileCollectionResource, FileSetResource
+from repro.daif.service import FileRealisationService
+
+__all__ = [
+    "WSDAIF_NS",
+    "FileCollectionResource",
+    "FileSetResource",
+    "FileRealisationService",
+]

@@ -1,0 +1,236 @@
+"""WS-DAIF message payloads."""
+
+from __future__ import annotations
+
+import base64
+from dataclasses import dataclass, field
+from typing import ClassVar, Optional
+
+from repro.core.messages import DaisMessage, DaisRequest, FactoryRequest, FactoryResponse
+from repro.daif.namespaces import WSDAIF_NS
+from repro.xmlutil import E, QName, XmlElement
+
+
+def _q(local: str) -> QName:
+    return QName(WSDAIF_NS, local)
+
+
+@dataclass
+class ListFilesRequest(DaisRequest):
+    TAG: ClassVar[QName] = _q("ListFilesRequest")
+
+    path: str = ""
+
+    def to_xml(self) -> XmlElement:
+        root = self._root()
+        root.append(E(_q("Path"), self.path))
+        return root
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        return cls(
+            abstract_name=cls._read_name(element),
+            path=element.findtext(_q("Path"), "") or "",
+        )
+
+
+@dataclass
+class ListFilesResponse(DaisMessage):
+    TAG: ClassVar[QName] = _q("ListFilesResponse")
+
+    #: (name, size, modified) triples.
+    files: list[tuple[str, int, float]] = field(default_factory=list)
+    directories: list[str] = field(default_factory=list)
+
+    def to_xml(self) -> XmlElement:
+        root = E(self.TAG)
+        for name, size, modified in self.files:
+            entry = E(_q("File"))
+            entry.set("name", name)
+            entry.set("size", size)
+            entry.set("modified", repr(modified))
+            root.append(entry)
+        for name in self.directories:
+            entry = E(_q("Directory"))
+            entry.set("name", name)
+            root.append(entry)
+        return root
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        files = [
+            (
+                entry.get("name", "") or "",
+                int(entry.get("size", "0") or "0"),
+                float(entry.get("modified", "0") or "0"),
+            )
+            for entry in element.findall(_q("File"))
+        ]
+        directories = [
+            entry.get("name", "") or ""
+            for entry in element.findall(_q("Directory"))
+        ]
+        return cls(files=files, directories=directories)
+
+
+@dataclass
+class GetFileRequest(DaisRequest):
+    TAG: ClassVar[QName] = _q("GetFileRequest")
+
+    path: str = ""
+    offset: int = 0
+    length: Optional[int] = None
+
+    def to_xml(self) -> XmlElement:
+        root = self._root()
+        root.append(E(_q("Path"), self.path))
+        if self.offset:
+            root.append(E(_q("Offset"), self.offset))
+        if self.length is not None:
+            root.append(E(_q("Length"), self.length))
+        return root
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        length_text = element.findtext(_q("Length"))
+        return cls(
+            abstract_name=cls._read_name(element),
+            path=element.findtext(_q("Path"), "") or "",
+            offset=int(element.findtext(_q("Offset"), "0") or "0"),
+            length=int(length_text) if length_text else None,
+        )
+
+
+@dataclass
+class GetFileResponse(DaisMessage):
+    TAG: ClassVar[QName] = _q("GetFileResponse")
+
+    path: str = ""
+    content: bytes = b""
+    total_size: int = 0
+
+    def to_xml(self) -> XmlElement:
+        return E(
+            self.TAG,
+            E(_q("Path"), self.path),
+            E(_q("TotalSize"), self.total_size),
+            E(_q("Content"), base64.b64encode(self.content).decode("ascii")),
+        )
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        encoded = element.findtext(_q("Content"), "") or ""
+        return cls(
+            path=element.findtext(_q("Path"), "") or "",
+            content=base64.b64decode(encoded),
+            total_size=int(element.findtext(_q("TotalSize"), "0") or "0"),
+        )
+
+
+@dataclass
+class PutFileRequest(DaisRequest):
+    TAG: ClassVar[QName] = _q("PutFileRequest")
+
+    path: str = ""
+    content: bytes = b""
+
+    def to_xml(self) -> XmlElement:
+        root = self._root()
+        root.append(E(_q("Path"), self.path))
+        root.append(
+            E(_q("Content"), base64.b64encode(self.content).decode("ascii"))
+        )
+        return root
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        encoded = element.findtext(_q("Content"), "") or ""
+        return cls(
+            abstract_name=cls._read_name(element),
+            path=element.findtext(_q("Path"), "") or "",
+            content=base64.b64decode(encoded),
+        )
+
+
+@dataclass
+class PutFileResponse(DaisMessage):
+    TAG: ClassVar[QName] = _q("PutFileResponse")
+
+    path: str = ""
+    size: int = 0
+
+    def to_xml(self) -> XmlElement:
+        return E(self.TAG, E(_q("Path"), self.path), E(_q("Size"), self.size))
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        return cls(
+            path=element.findtext(_q("Path"), "") or "",
+            size=int(element.findtext(_q("Size"), "0") or "0"),
+        )
+
+
+@dataclass
+class DeleteFileRequest(GetFileRequest):
+    TAG: ClassVar[QName] = _q("DeleteFileRequest")
+
+
+@dataclass
+class DeleteFileResponse(PutFileResponse):
+    TAG: ClassVar[QName] = _q("DeleteFileResponse")
+
+
+@dataclass
+class FileSelectionFactoryRequest(FactoryRequest):
+    """``expression`` carries the glob pattern."""
+
+    TAG: ClassVar[QName] = _q("FileSelectionFactoryRequest")
+
+
+@dataclass
+class FileSelectionFactoryResponse(FactoryResponse):
+    TAG: ClassVar[QName] = _q("FileSelectionFactoryResponse")
+
+
+@dataclass
+class GetFileSetMembersRequest(DaisRequest):
+    TAG: ClassVar[QName] = _q("GetFileSetMembersRequest")
+
+    start_position: int = 0
+    count: int = 0
+
+    def to_xml(self) -> XmlElement:
+        root = self._root()
+        root.append(E(_q("StartPosition"), self.start_position))
+        root.append(E(_q("Count"), self.count))
+        return root
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        return cls(
+            abstract_name=cls._read_name(element),
+            start_position=int(element.findtext(_q("StartPosition"), "0") or "0"),
+            count=int(element.findtext(_q("Count"), "0") or "0"),
+        )
+
+
+@dataclass
+class GetFileSetMembersResponse(DaisMessage):
+    TAG: ClassVar[QName] = _q("GetFileSetMembersResponse")
+
+    members: list[str] = field(default_factory=list)
+    total_members: int = 0
+
+    def to_xml(self) -> XmlElement:
+        return E(
+            self.TAG,
+            E(_q("TotalMembers"), self.total_members),
+            [E(_q("Member"), member) for member in self.members],
+        )
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        return cls(
+            members=[c.text for c in element.findall(_q("Member"))],
+            total_members=int(element.findtext(_q("TotalMembers"), "0") or "0"),
+        )

@@ -1,0 +1,12 @@
+"""WS-DAIF wire namespace and port type QNames."""
+
+from repro.xmlutil import QName
+from repro.xmlutil.names import DEFAULT_REGISTRY
+
+#: Namespace for the files realisation (post-paper DAIS-WG direction).
+WSDAIF_NS = "http://www.ggf.org/namespaces/2005/05/WS-DAIF"
+
+DEFAULT_REGISTRY.register("wsdaif", WSDAIF_NS)
+
+FILE_COLLECTION_ACCESS_PT = QName(WSDAIF_NS, "FileCollectionAccessPT")
+FILE_SET_ACCESS_PT = QName(WSDAIF_NS, "FileSetAccessPT")

@@ -1,0 +1,160 @@
+"""WS-DAIF data resources: file collections and derived file sets."""
+
+from __future__ import annotations
+
+from repro.core.faults import (
+    DataResourceUnavailableFault,
+    InvalidExpressionFault,
+)
+from repro.core.names import AbstractName
+from repro.core.properties import (
+    ConfigurableProperties,
+    CorePropertyDocument,
+    DataResourceManagement,
+    DatasetMapEntry,
+)
+from repro.core.resource import DataResource
+from repro.daif.namespaces import WSDAIF_NS
+from repro.filestore import FileEntry, FileStore, FileStoreError
+from repro.xmlutil import QName
+
+#: Dataset format URI for base64-encoded file content.
+FILE_CONTENT_FORMAT_URI = f"{WSDAIF_NS}/Base64Content"
+
+
+def _q(local: str) -> QName:
+    return QName(WSDAIF_NS, local)
+
+
+class FileCollectionResource(DataResource):
+    """An externally managed directory tree behind a data service."""
+
+    def __init__(
+        self,
+        abstract_name: AbstractName,
+        store: FileStore,
+        base_path: str = "",
+    ) -> None:
+        super().__init__(
+            abstract_name, DataResourceManagement.EXTERNALLY_MANAGED
+        )
+        self.store = store
+        self.base_path = base_path.strip("/")
+
+    def _resolve(self, path: str) -> str:
+        path = path.strip("/")
+        if ".." in path.split("/"):
+            raise InvalidExpressionFault(f"path {path!r} escapes the collection")
+        if not self.base_path:
+            return path
+        return f"{self.base_path}/{path}" if path else self.base_path
+
+    # -- file operations -----------------------------------------------------
+
+    def list_files(self, path: str = "") -> tuple[list[FileEntry], list[str]]:
+        try:
+            full = self._resolve(path)
+            return self.store.list_files(full), self.store.list_directories(full)
+        except FileStoreError as exc:
+            raise InvalidExpressionFault(str(exc)) from exc
+
+    def get_file(
+        self, path: str, offset: int = 0, length: int | None = None
+    ) -> tuple[FileEntry, bytes]:
+        try:
+            full = self._resolve(path)
+            return self.store.stat(full), self.store.read(full, offset, length)
+        except FileStoreError as exc:
+            raise InvalidExpressionFault(str(exc)) from exc
+
+    def put_file(self, path: str, content: bytes) -> FileEntry:
+        try:
+            full = self._resolve(path)
+            directory = "/".join(full.split("/")[:-1])
+            if directory:
+                self.store.make_directory(directory)
+            return self.store.write(full, content)
+        except FileStoreError as exc:
+            raise InvalidExpressionFault(str(exc)) from exc
+
+    def delete_file(self, path: str) -> FileEntry:
+        try:
+            return self.store.delete(self._resolve(path))
+        except FileStoreError as exc:
+            raise InvalidExpressionFault(str(exc)) from exc
+
+    def select(self, pattern: str) -> list[str]:
+        """Relative paths matching a glob pattern (the factory input)."""
+        try:
+            return self.store.glob(self.base_path, pattern)
+        except FileStoreError as exc:
+            raise InvalidExpressionFault(str(exc)) from exc
+
+    # -- property document ------------------------------------------------------
+
+    def property_document(
+        self, configurable: ConfigurableProperties
+    ) -> CorePropertyDocument:
+        document = CorePropertyDocument(
+            abstract_name=self.abstract_name,
+            management=self.management,
+            parent=self.parent,
+            dataset_maps=[
+                DatasetMapEntry(_q("GetFileRequest"), FILE_CONTENT_FORMAT_URI)
+            ],
+            configurable=configurable,
+        )
+        document.ROOT_LOCAL = "FileCollectionPropertyDocument"
+        document.ROOT_NS = WSDAIF_NS
+        return document
+
+
+class FileSetResource(DataResource):
+    """A derived, immutable selection of files (service managed)."""
+
+    def __init__(
+        self,
+        abstract_name: AbstractName,
+        parent: FileCollectionResource,
+        members: list[str],
+    ) -> None:
+        super().__init__(
+            abstract_name,
+            DataResourceManagement.SERVICE_MANAGED,
+            parent=parent.abstract_name,
+        )
+        self._members = list(members)
+        self._destroyed = False
+
+    def members(self) -> list[str]:
+        if self._destroyed:
+            raise DataResourceUnavailableFault(
+                f"file set {self.abstract_name} has been destroyed"
+            )
+        return self._members
+
+    def page(self, start: int, count: int) -> list[str]:
+        if start < 0 or count < 0:
+            raise InvalidExpressionFault("start/count must be non-negative")
+        return self.members()[start : start + count]
+
+    @property
+    def member_count(self) -> int:
+        return len(self.members())
+
+    def on_destroy(self) -> None:
+        self._members = []
+        self._destroyed = True
+
+    def property_document(
+        self, configurable: ConfigurableProperties
+    ) -> CorePropertyDocument:
+        document = CorePropertyDocument(
+            abstract_name=self.abstract_name,
+            management=self.management,
+            parent=self.parent,
+            configurable=configurable,
+        )
+        document.ROOT_LOCAL = "FileSetPropertyDocument"
+        document.ROOT_NS = WSDAIF_NS
+        return document

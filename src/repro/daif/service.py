@@ -1,0 +1,181 @@
+"""The WS-DAIF data service."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.faults import (
+    InvalidPortTypeQNameFault,
+    InvalidResourceNameFault,
+)
+from repro.core.names import mint_abstract_name
+from repro.core.service import DataService, ResourceBinding
+from repro.daif import messages as msg
+from repro.daif.namespaces import FILE_SET_ACCESS_PT, WSDAIF_NS
+from repro.daif.resources import FileCollectionResource, FileSetResource
+from repro.soap.addressing import MessageHeaders
+from repro.xmlutil import XmlElement
+
+PORT_TYPES = {"collection_access", "selection_factory", "fileset_access"}
+
+
+class FileRealisationService(DataService):
+    """A data service exposing the files realisation port types."""
+
+    def __init__(
+        self,
+        name: str,
+        address: str,
+        port_types: Iterable[str] = tuple(sorted(PORT_TYPES)),
+        fileset_target: Optional["FileRealisationService"] = None,
+        **kwargs,
+    ) -> None:
+        from repro.core.namespaces import WSDAI_NS
+
+        kwargs.setdefault(
+            "property_namespaces", {"wsdai": WSDAI_NS, "wsdaif": WSDAIF_NS}
+        )
+        super().__init__(name, address, **kwargs)
+        self.port_types = set(port_types)
+        unknown = self.port_types - PORT_TYPES
+        if unknown:
+            raise ValueError(f"unknown port types {sorted(unknown)}")
+        self.fileset_target = fileset_target or self
+
+        if "collection_access" in self.port_types:
+            self.register_operation(
+                msg.ListFilesRequest.action(), self._handle_list_files
+            )
+            self.register_operation(
+                msg.GetFileRequest.action(), self._handle_get_file
+            )
+            self.register_operation(
+                msg.PutFileRequest.action(), self._handle_put_file
+            )
+            self.register_operation(
+                msg.DeleteFileRequest.action(), self._handle_delete_file
+            )
+        if "selection_factory" in self.port_types:
+            self.register_operation(
+                msg.FileSelectionFactoryRequest.action(),
+                self._handle_selection_factory,
+            )
+        if "fileset_access" in self.port_types:
+            self.register_operation(
+                msg.GetFileSetMembersRequest.action(),
+                self._handle_get_members,
+            )
+
+    # -- typed lookups -------------------------------------------------------
+
+    def _collection_binding(self, abstract_name: str) -> ResourceBinding:
+        binding = self.binding(abstract_name)
+        if not isinstance(binding.resource, FileCollectionResource):
+            raise InvalidResourceNameFault(
+                f"{abstract_name} is not a file collection resource"
+            )
+        return binding
+
+    def _fileset_binding(self, abstract_name: str) -> ResourceBinding:
+        binding = self.binding(abstract_name)
+        if not isinstance(binding.resource, FileSetResource):
+            raise InvalidResourceNameFault(
+                f"{abstract_name} is not a file set resource"
+            )
+        return binding
+
+    # -- FileCollectionAccess --------------------------------------------------
+
+    def _handle_list_files(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.ListFilesResponse:
+        request = msg.ListFilesRequest.from_xml(payload)
+        binding = self._collection_binding(request.abstract_name)
+        binding.require_readable()
+        files, directories = binding.resource.list_files(request.path)
+        return msg.ListFilesResponse(
+            files=[(f.name, f.size, f.modified) for f in files],
+            directories=directories,
+        )
+
+    def _handle_get_file(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.GetFileResponse:
+        request = msg.GetFileRequest.from_xml(payload)
+        binding = self._collection_binding(request.abstract_name)
+        binding.require_readable()
+        entry, content = binding.resource.get_file(
+            request.path, request.offset, request.length
+        )
+        return msg.GetFileResponse(
+            path=request.path, content=content, total_size=entry.size
+        )
+
+    def _handle_put_file(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.PutFileResponse:
+        request = msg.PutFileRequest.from_xml(payload)
+        binding = self._collection_binding(request.abstract_name)
+        binding.require_writeable()
+        entry = binding.resource.put_file(request.path, request.content)
+        return msg.PutFileResponse(path=request.path, size=entry.size)
+
+    def _handle_delete_file(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.DeleteFileResponse:
+        request = msg.DeleteFileRequest.from_xml(payload)
+        binding = self._collection_binding(request.abstract_name)
+        binding.require_writeable()
+        entry = binding.resource.delete_file(request.path)
+        return msg.DeleteFileResponse(path=request.path, size=entry.size)
+
+    # -- FileSelectionFactory ----------------------------------------------------
+
+    def _handle_selection_factory(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.FileSelectionFactoryResponse:
+        request = msg.FileSelectionFactoryRequest.from_xml(payload)
+        binding = self._collection_binding(request.abstract_name)
+        binding.require_readable()
+        resource: FileCollectionResource = binding.resource
+
+        requested_pt = request.port_type_qname or FILE_SET_ACCESS_PT
+        if requested_pt != FILE_SET_ACCESS_PT:
+            raise InvalidPortTypeQNameFault(
+                f"FileSelectionFactory wires up {FILE_SET_ACCESS_PT.clark()}"
+            )
+        target = self.fileset_target
+        if "fileset_access" not in target.port_types:
+            raise InvalidPortTypeQNameFault(
+                f"target service {target.name!r} lacks FileSetAccess"
+            )
+
+        configurable = binding.configurable.copy()
+        if request.configuration_document is not None:
+            configurable = configurable.apply_configuration_document(
+                request.configuration_document
+            )
+        derived = FileSetResource(
+            mint_abstract_name("fileset"),
+            resource,
+            resource.select(request.expression),
+        )
+        target.add_resource(derived, configurable)
+        return msg.FileSelectionFactoryResponse(
+            address=target.epr_for(derived.abstract_name),
+            abstract_name=derived.abstract_name,
+        )
+
+    # -- FileSetAccess -----------------------------------------------------------
+
+    def _handle_get_members(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.GetFileSetMembersResponse:
+        request = msg.GetFileSetMembersRequest.from_xml(payload)
+        binding = self._fileset_binding(request.abstract_name)
+        binding.require_readable()
+        resource: FileSetResource = binding.resource
+        return msg.GetFileSetMembersResponse(
+            members=resource.page(request.start_position, request.count),
+            total_members=resource.member_count,
+        )

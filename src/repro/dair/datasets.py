@@ -1,0 +1,310 @@
+"""Rowset dataset formats.
+
+A :class:`Rowset` is the neutral in-memory form (column names, SQL type
+names, row tuples).  Three wire renderings are supported, negotiated via
+``DatasetMap`` (paper §4.1: "the DataFormatURI specifies the format in
+which the data should be returned ... valid return formats are specified
+in one or more DatasetMap properties"):
+
+* **SQLRowset XML** — the WS-DAIR native rendering;
+* **WebRowSet** — the Sun JDBC WebRowSet dialect Figure 5 calls out;
+* **CSV** — a compact textual rendering inside a wrapper element.
+
+All three parse back to an equal :class:`Rowset` (values come back as
+their lexical strings; NULL is preserved exactly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.faults import InvalidDatasetFormatFault
+from repro.dair.namespaces import (
+    CSV_FORMAT_URI,
+    SQLROWSET_FORMAT_URI,
+    WEBROWSET_FORMAT_URI,
+    WSDAIR_NS,
+)
+from repro.relational.engine import ResultSet
+from repro.relational.types import NULL
+from repro.xmlutil import E, QName, XmlElement
+
+_WEBROWSET_NS = "http://java.sun.com/xml/ns/jdbc"
+
+
+@dataclass
+class Rowset:
+    """Format-neutral rowset: names, type names, lexical row values."""
+
+    columns: list[str]
+    types: list[str] = field(default_factory=list)
+    rows: list[tuple] = field(default_factory=list)
+
+    @classmethod
+    def from_result(cls, result: ResultSet) -> "Rowset":
+        """Capture a relational result set (values become lexical text)."""
+        rows = [
+            tuple(NULL if v is NULL else _lexical(v) for v in row)
+            for row in result.rows
+        ]
+        return cls(
+            columns=list(result.columns),
+            types=["" for _ in result.columns],
+            rows=rows,
+        )
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+    def slice(self, start: int, count: int) -> "Rowset":
+        """Rows [start, start+count) — the GetTuples paging window."""
+        if start < 0 or count < 0:
+            raise ValueError("start and count must be non-negative")
+        return Rowset(
+            columns=list(self.columns),
+            types=list(self.types),
+            rows=self.rows[start : start + count],
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rowset):
+            return NotImplemented
+        return self.columns == other.columns and self.rows == other.rows
+
+
+def _lexical(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+#: Format URIs every SQL resource advertises, in preference order.
+ALL_FORMATS = [SQLROWSET_FORMAT_URI, WEBROWSET_FORMAT_URI, CSV_FORMAT_URI]
+
+
+def render_rowset(data_format_uri: str, rowset: Rowset) -> XmlElement:
+    """Render *rowset* in the requested format; faults on unknown URIs."""
+    renderer = _RENDERERS.get(data_format_uri)
+    if renderer is None:
+        raise InvalidDatasetFormatFault(
+            f"unsupported dataset format {data_format_uri!r}"
+        )
+    return renderer(rowset)
+
+
+def parse_rowset(data_format_uri: str, element: XmlElement) -> Rowset:
+    """Parse a rendering back to a :class:`Rowset`."""
+    parser = _PARSERS.get(data_format_uri)
+    if parser is None:
+        raise InvalidDatasetFormatFault(
+            f"unsupported dataset format {data_format_uri!r}"
+        )
+    return parser(element)
+
+
+# ---------------------------------------------------------------------------
+# SQLRowset XML (WS-DAIR native)
+# ---------------------------------------------------------------------------
+
+
+def _q(local: str) -> QName:
+    return QName(WSDAIR_NS, local)
+
+
+def _render_sqlrowset(rowset: Rowset) -> XmlElement:
+    root = E(_q("SQLRowset"))
+    metadata = E(_q("ColumnMetadata"))
+    for index, name in enumerate(rowset.columns):
+        column = E(_q("Column"))
+        column.set("name", name)
+        if index < len(rowset.types) and rowset.types[index]:
+            column.set("type", rowset.types[index])
+        metadata.append(column)
+    root.append(metadata)
+    for row in rowset.rows:
+        row_el = E(_q("Row"))
+        for value in row:
+            if value is NULL:
+                row_el.append(E(_q("Null")))
+            else:
+                row_el.append(E(_q("Value"), value))
+        root.append(row_el)
+    return root
+
+
+def _parse_sqlrowset(element: XmlElement) -> Rowset:
+    metadata = element.find(_q("ColumnMetadata"))
+    columns: list[str] = []
+    types: list[str] = []
+    if metadata is not None:
+        for column in metadata.findall(_q("Column")):
+            columns.append(column.get("name", "") or "")
+            types.append(column.get("type", "") or "")
+    rows = []
+    for row_el in element.findall(_q("Row")):
+        values = []
+        for child in row_el.element_children():
+            if child.tag == _q("Null"):
+                values.append(NULL)
+            else:
+                values.append(child.text)
+        rows.append(tuple(values))
+    return Rowset(columns, types, rows)
+
+
+# ---------------------------------------------------------------------------
+# WebRowSet (Sun JDBC dialect)
+# ---------------------------------------------------------------------------
+
+
+def _w(local: str) -> QName:
+    return QName(_WEBROWSET_NS, local)
+
+
+def _render_webrowset(rowset: Rowset) -> XmlElement:
+    metadata = E(_w("metadata"), E(_w("column-count"), len(rowset.columns)))
+    for index, name in enumerate(rowset.columns):
+        definition = E(
+            _w("column-definition"),
+            E(_w("column-index"), index + 1),
+            E(_w("column-name"), name),
+        )
+        if index < len(rowset.types) and rowset.types[index]:
+            definition.append(E(_w("column-type-name"), rowset.types[index]))
+        metadata.append(definition)
+    data = E(_w("data"))
+    for row in rowset.rows:
+        current = E(_w("currentRow"))
+        for value in row:
+            if value is NULL:
+                column_value = E(_w("columnValue"))
+                column_value.set("null", "true")
+                current.append(column_value)
+            else:
+                current.append(E(_w("columnValue"), value))
+        data.append(current)
+    return E(_w("webRowSet"), metadata, data)
+
+
+def _parse_webrowset(element: XmlElement) -> Rowset:
+    metadata = element.find(_w("metadata"))
+    columns: list[str] = []
+    types: list[str] = []
+    if metadata is not None:
+        for definition in metadata.findall(_w("column-definition")):
+            columns.append(definition.findtext(_w("column-name"), "") or "")
+            types.append(definition.findtext(_w("column-type-name"), "") or "")
+    rows = []
+    data = element.find(_w("data"))
+    if data is not None:
+        for current in data.findall(_w("currentRow")):
+            values = []
+            for column_value in current.findall(_w("columnValue")):
+                if column_value.get("null") == "true":
+                    values.append(NULL)
+                else:
+                    values.append(column_value.text)
+            rows.append(tuple(values))
+    return Rowset(columns, types, rows)
+
+
+# ---------------------------------------------------------------------------
+# CSV-in-XML
+# ---------------------------------------------------------------------------
+
+_NULL_TOKEN = "\\N"
+
+
+def _csv_escape(value: str) -> str:
+    if value == _NULL_TOKEN or any(c in value for c in ',"\n\r'):
+        return '"' + value.replace('"', '""') + '"'
+    return value
+
+
+def _csv_split(line: str) -> list[str]:
+    fields: list[str] = []
+    buffer: list[str] = []
+    index = 0
+    in_quotes = False
+    while index < len(line):
+        ch = line[index]
+        if in_quotes:
+            if ch == '"':
+                if index + 1 < len(line) and line[index + 1] == '"':
+                    buffer.append('"')
+                    index += 1
+                else:
+                    in_quotes = False
+            else:
+                buffer.append(ch)
+        elif ch == '"':
+            in_quotes = True
+        elif ch == ",":
+            fields.append("".join(buffer))
+            buffer.clear()
+        else:
+            buffer.append(ch)
+        index += 1
+    fields.append("".join(buffer))
+    return fields
+
+
+def _render_csv(rowset: Rowset) -> XmlElement:
+    lines = [",".join(_csv_escape(name) for name in rowset.columns)]
+    for row in rowset.rows:
+        lines.append(
+            ",".join(
+                _NULL_TOKEN if value is NULL else _csv_escape(value)
+                for value in row
+            )
+        )
+    root = E(_q("CsvRowset"), "\n".join(lines))
+    root.set("columns", len(rowset.columns))
+    return root
+
+
+def _split_records(text: str) -> list[str]:
+    """Split CSV text into records, honouring quoted newlines."""
+    records: list[str] = []
+    buffer: list[str] = []
+    in_quotes = False
+    for ch in text:
+        if ch == '"':
+            in_quotes = not in_quotes
+            buffer.append(ch)
+        elif ch == "\n" and not in_quotes:
+            records.append("".join(buffer))
+            buffer.clear()
+        else:
+            buffer.append(ch)
+    records.append("".join(buffer))
+    return records
+
+
+def _parse_csv(element: XmlElement) -> Rowset:
+    text = element.text
+    if not text:
+        return Rowset([], [], [])
+    lines = _split_records(text)
+    columns = _csv_split(lines[0]) if lines else []
+    rows = []
+    for line in lines[1:]:
+        fields = _csv_split(line)
+        rows.append(
+            tuple(NULL if field == _NULL_TOKEN else field for field in fields)
+        )
+    return Rowset(columns, ["" for _ in columns], rows)
+
+
+_RENDERERS = {
+    SQLROWSET_FORMAT_URI: _render_sqlrowset,
+    WEBROWSET_FORMAT_URI: _render_webrowset,
+    CSV_FORMAT_URI: _render_csv,
+}
+
+_PARSERS = {
+    SQLROWSET_FORMAT_URI: _parse_sqlrowset,
+    WEBROWSET_FORMAT_URI: _parse_webrowset,
+    CSV_FORMAT_URI: _parse_csv,
+}

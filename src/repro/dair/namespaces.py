@@ -1,0 +1,21 @@
+"""WS-DAIR wire namespace, port type QNames and dataset format URIs."""
+
+from repro.xmlutil import QName
+from repro.xmlutil.names import DEFAULT_REGISTRY
+
+#: The WS-DAIR 1.0 namespace (GGF DAIS-WG, 2005 drafts).
+WSDAIR_NS = "http://www.ggf.org/namespaces/2005/05/WS-DAIR"
+
+DEFAULT_REGISTRY.register("wsdair", WSDAIR_NS)
+
+#: Dataset format URIs advertised in DatasetMap properties.
+SQLROWSET_FORMAT_URI = f"{WSDAIR_NS}/SQLRowset"
+WEBROWSET_FORMAT_URI = "http://java.sun.com/xml/ns/jdbc/webrowset"
+CSV_FORMAT_URI = "urn:dais-py:format:csv"
+
+#: Port type QNames used in ConfigurationMap / factory requests.
+SQL_ACCESS_PT = QName(WSDAIR_NS, "SQLAccessPT")
+SQL_FACTORY_PT = QName(WSDAIR_NS, "SQLFactoryPT")
+SQL_RESPONSE_ACCESS_PT = QName(WSDAIR_NS, "SQLResponseAccessPT")
+SQL_RESPONSE_FACTORY_PT = QName(WSDAIR_NS, "SQLResponseFactoryPT")
+SQL_ROWSET_ACCESS_PT = QName(WSDAIR_NS, "SQLRowsetAccessPT")

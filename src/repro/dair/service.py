@@ -1,0 +1,471 @@
+"""The WS-DAIR data service.
+
+One service class implements all five WS-DAIR port types; a deployment
+enables the subset each service instance should expose (Figure 5 shows
+three services with different port types).  Factories can target a
+*different* service for the derived resource — exactly the Figure 5
+topology — via ``response_target`` / ``rowset_target``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.faults import (
+    InvalidDatasetFormatFault,
+    InvalidPortTypeQNameFault,
+    InvalidResourceNameFault,
+)
+from repro.core.names import mint_abstract_name
+from repro.core.properties import ConfigurationMapEntry
+from repro.core.service import DataService, ResourceBinding
+from repro.dair import messages as msg
+from repro.dair.datasets import ALL_FORMATS, Rowset, render_rowset
+from repro.dair.namespaces import (
+    SQL_ACCESS_PT,
+    SQL_FACTORY_PT,
+    SQL_RESPONSE_ACCESS_PT,
+    SQL_RESPONSE_FACTORY_PT,
+    SQL_ROWSET_ACCESS_PT,
+    SQLROWSET_FORMAT_URI,
+    WSDAIR_NS,
+)
+from repro.dair.resources import (
+    SQLDataResource,
+    SQLResponseResource,
+    SQLRowsetResource,
+)
+from repro.soap.addressing import MessageHeaders
+from repro.xmlutil import QName, XmlElement
+
+#: The five WS-DAIR port types, by short name.
+PORT_TYPES = {
+    "sql_access": SQL_ACCESS_PT,
+    "sql_factory": SQL_FACTORY_PT,
+    "response_access": SQL_RESPONSE_ACCESS_PT,
+    "response_factory": SQL_RESPONSE_FACTORY_PT,
+    "rowset_access": SQL_ROWSET_ACCESS_PT,
+}
+
+
+class SQLRealisationService(DataService):
+    """A data service exposing a configurable set of WS-DAIR port types."""
+
+    def __init__(
+        self,
+        name: str,
+        address: str,
+        port_types: Iterable[str] = tuple(PORT_TYPES),
+        response_target: Optional["SQLRealisationService"] = None,
+        rowset_target: Optional["SQLRealisationService"] = None,
+        **kwargs,
+    ) -> None:
+        from repro.core.namespaces import WSDAI_NS
+
+        kwargs.setdefault(
+            "property_namespaces",
+            {"wsdai": WSDAI_NS, "wsdair": WSDAIR_NS},
+        )
+        super().__init__(name, address, **kwargs)
+        self.port_types = set(port_types)
+        unknown = self.port_types - set(PORT_TYPES)
+        if unknown:
+            raise ValueError(f"unknown port types {sorted(unknown)}")
+        #: Where SQLExecuteFactory registers derived responses (default: here).
+        self.response_target = response_target or self
+        #: Where SQLRowsetFactory registers derived rowsets (default: here).
+        self.rowset_target = rowset_target or self
+
+        if "sql_access" in self.port_types:
+            self.register_operation(
+                msg.SQLExecuteRequest.action(), self._handle_sql_execute
+            )
+            self.register_operation(
+                msg.GetSQLPropertyDocumentRequest.action(),
+                self._handle_get_sql_property_document,
+            )
+            self.register_operation(
+                msg.BeginTransactionRequest.action(),
+                self._handle_begin_transaction,
+            )
+            self.register_operation(
+                msg.CommitTransactionRequest.action(),
+                self._handle_commit_transaction,
+            )
+            self.register_operation(
+                msg.RollbackTransactionRequest.action(),
+                self._handle_rollback_transaction,
+            )
+        if "sql_factory" in self.port_types:
+            self.register_operation(
+                msg.SQLExecuteFactoryRequest.action(),
+                self._handle_sql_execute_factory,
+            )
+        if "response_access" in self.port_types:
+            self._install_response_access()
+        if "response_factory" in self.port_types:
+            self.register_operation(
+                msg.SQLRowsetFactoryRequest.action(),
+                self._handle_sql_rowset_factory,
+            )
+        if "rowset_access" in self.port_types:
+            self.register_operation(
+                msg.GetTuplesRequest.action(), self._handle_get_tuples
+            )
+            self.register_operation(
+                msg.GetRowsetPropertyDocumentRequest.action(),
+                self._handle_get_rowset_property_document,
+            )
+
+    # -- typed binding lookups -----------------------------------------------
+
+    def _sql_binding(self, abstract_name: str) -> ResourceBinding:
+        binding = self.binding(abstract_name)
+        if not isinstance(binding.resource, SQLDataResource):
+            raise InvalidResourceNameFault(
+                f"{abstract_name} is not a SQL data resource"
+            )
+        return binding
+
+    def _response_binding(self, abstract_name: str) -> ResourceBinding:
+        binding = self.binding(abstract_name)
+        if not isinstance(binding.resource, SQLResponseResource):
+            raise InvalidResourceNameFault(
+                f"{abstract_name} is not a SQL response resource"
+            )
+        return binding
+
+    def _rowset_binding(self, abstract_name: str) -> ResourceBinding:
+        binding = self.binding(abstract_name)
+        if not isinstance(binding.resource, SQLRowsetResource):
+            raise InvalidResourceNameFault(
+                f"{abstract_name} is not a SQL rowset resource"
+            )
+        return binding
+
+    # -- SQLAccess --------------------------------------------------------
+
+    def _handle_sql_execute(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.SQLExecuteResponse:
+        request = msg.SQLExecuteRequest.from_xml(payload)
+        binding = self._sql_binding(request.abstract_name)
+        resource: SQLDataResource = binding.resource
+
+        document = resource.property_document(binding.configurable)
+        format_uri = request.dataset_format_uri or SQLROWSET_FORMAT_URI
+        if not document.supports_format(format_uri):
+            raise InvalidDatasetFormatFault(
+                f"format {format_uri!r} not in DatasetMap"
+            )
+
+        if request.transaction_context:
+            self._require_consumer_transactions(binding)
+            result = resource.sql_execute_in_context(
+                request.transaction_context,
+                request.expression,
+                request.parameters,
+            )
+        else:
+            result = resource.sql_execute(
+                request.expression, request.parameters, binding.configurable
+            )
+        dataset = None
+        if result.is_query:
+            dataset = render_rowset(format_uri, Rowset.from_result(result))
+        return msg.SQLExecuteResponse(
+            dataset_format_uri=format_uri,
+            dataset=dataset,
+            update_count=result.update_count,
+            communication=result.communication,
+        )
+
+    def _handle_get_sql_property_document(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.GetSQLPropertyDocumentResponse:
+        request = msg.GetSQLPropertyDocumentRequest.from_xml(payload)
+        binding = self._sql_binding(request.abstract_name)
+        return msg.GetSQLPropertyDocumentResponse(
+            document=binding.property_document()
+        )
+
+    # -- consumer-controlled transactions ------------------------------------
+
+    @staticmethod
+    def _require_consumer_transactions(binding: ResourceBinding) -> None:
+        from repro.core.faults import NotAuthorizedFault
+        from repro.core.properties import TransactionInitiation
+
+        if (
+            binding.configurable.transaction_initiation
+            is not TransactionInitiation.CONSUMER
+        ):
+            raise NotAuthorizedFault(
+                "TransactionInitiation is "
+                f"{binding.configurable.transaction_initiation.value}; "
+                "consumer transaction contexts are not enabled for this "
+                "resource"
+            )
+
+    def _handle_begin_transaction(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.BeginTransactionResponse:
+        request = msg.BeginTransactionRequest.from_xml(payload)
+        binding = self._sql_binding(request.abstract_name)
+        self._require_consumer_transactions(binding)
+        binding.require_writeable()
+        context_id = binding.resource.begin_transaction(request.isolation)
+        return msg.BeginTransactionResponse(transaction_context=context_id)
+
+    def _handle_commit_transaction(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.TransactionOutcomeResponse:
+        request = msg.CommitTransactionRequest.from_xml(payload)
+        binding = self._sql_binding(request.abstract_name)
+        self._require_consumer_transactions(binding)
+        binding.resource.commit_transaction(request.transaction_context)
+        return msg.TransactionOutcomeResponse(
+            transaction_context=request.transaction_context,
+            outcome="Committed",
+        )
+
+    def _handle_rollback_transaction(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.TransactionOutcomeResponse:
+        request = msg.RollbackTransactionRequest.from_xml(payload)
+        binding = self._sql_binding(request.abstract_name)
+        self._require_consumer_transactions(binding)
+        binding.resource.rollback_transaction(request.transaction_context)
+        return msg.TransactionOutcomeResponse(
+            transaction_context=request.transaction_context,
+            outcome="RolledBack",
+        )
+
+    # -- SQLFactory --------------------------------------------------------
+
+    def _handle_sql_execute_factory(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.SQLExecuteFactoryResponse:
+        request = msg.SQLExecuteFactoryRequest.from_xml(payload)
+        binding = self._sql_binding(request.abstract_name)
+        resource: SQLDataResource = binding.resource
+
+        requested_pt = request.port_type_qname or SQL_RESPONSE_ACCESS_PT
+        if requested_pt != SQL_RESPONSE_ACCESS_PT:
+            raise InvalidPortTypeQNameFault(
+                f"SQLExecuteFactory can wire up {SQL_RESPONSE_ACCESS_PT.clark()}"
+                f", not {requested_pt.clark()}"
+            )
+        target = self.response_target
+        if "response_access" not in target.port_types:
+            raise InvalidPortTypeQNameFault(
+                f"target service {target.name!r} lacks ResponseAccess"
+            )
+
+        configurable = binding.configurable.copy()
+        if request.configuration_document is not None:
+            configurable = configurable.apply_configuration_document(
+                request.configuration_document
+            )
+
+        derived = SQLResponseResource(
+            abstract_name=mint_abstract_name("sqlresponse"),
+            parent=resource,
+            expression=request.expression,
+            parameters=request.parameters,
+            sensitivity=configurable.sensitivity,
+            # Evaluation runs under the PARENT binding's permissions;
+            # the configuration document governs the derived resource.
+            configurable=binding.configurable,
+        )
+        target.add_resource(derived, configurable)
+        return msg.SQLExecuteFactoryResponse(
+            address=target.epr_for(derived.abstract_name),
+            abstract_name=derived.abstract_name,
+        )
+
+    # -- ResponseAccess ----------------------------------------------------
+
+    def _install_response_access(self) -> None:
+        self.register_operation(
+            msg.GetSQLResponsePropertyDocumentRequest.action(),
+            self._handle_get_response_property_document,
+        )
+        self.register_operation(
+            msg.GetSQLRowsetRequest.action(), self._handle_get_sql_rowset
+        )
+        self.register_operation(
+            msg.GetSQLUpdateCountRequest.action(), self._handle_get_update_count
+        )
+        self.register_operation(
+            msg.GetSQLCommunicationAreaRequest.action(),
+            self._handle_get_communication_area,
+        )
+        self.register_operation(
+            msg.GetSQLReturnValueRequest.action(), self._handle_get_return_value
+        )
+        self.register_operation(
+            msg.GetSQLOutputParameterRequest.action(),
+            self._handle_get_output_parameter,
+        )
+        self.register_operation(
+            msg.GetSQLResponseItemRequest.action(),
+            self._handle_get_response_item,
+        )
+
+    def _handle_get_response_property_document(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.GetSQLResponsePropertyDocumentResponse:
+        request = msg.GetSQLResponsePropertyDocumentRequest.from_xml(payload)
+        binding = self._response_binding(request.abstract_name)
+        return msg.GetSQLResponsePropertyDocumentResponse(
+            document=binding.property_document()
+        )
+
+    def _handle_get_sql_rowset(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.GetSQLRowsetResponse:
+        request = msg.GetSQLRowsetRequest.from_xml(payload)
+        binding = self._response_binding(request.abstract_name)
+        binding.require_readable()
+        resource: SQLResponseResource = binding.resource
+        format_uri = request.dataset_format_uri or SQLROWSET_FORMAT_URI
+        return msg.GetSQLRowsetResponse(
+            dataset_format_uri=format_uri,
+            dataset=render_rowset(format_uri, resource.rowset()),
+        )
+
+    def _handle_get_update_count(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.GetSQLUpdateCountResponse:
+        request = msg.GetSQLUpdateCountRequest.from_xml(payload)
+        binding = self._response_binding(request.abstract_name)
+        return msg.GetSQLUpdateCountResponse(
+            update_count=binding.resource.update_count()
+        )
+
+    def _handle_get_communication_area(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.GetSQLCommunicationAreaResponse:
+        request = msg.GetSQLCommunicationAreaRequest.from_xml(payload)
+        binding = self._response_binding(request.abstract_name)
+        return msg.GetSQLCommunicationAreaResponse(
+            communication=binding.resource.communication_area()
+        )
+
+    def _handle_get_return_value(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.GetSQLReturnValueResponse:
+        request = msg.GetSQLReturnValueRequest.from_xml(payload)
+        binding = self._response_binding(request.abstract_name)
+        return msg.GetSQLReturnValueResponse(value=binding.resource.return_value())
+
+    def _handle_get_output_parameter(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.GetSQLOutputParameterResponse:
+        request = msg.GetSQLOutputParameterRequest.from_xml(payload)
+        binding = self._response_binding(request.abstract_name)
+        value = binding.resource.output_parameters().get(request.parameter_name)
+        return msg.GetSQLOutputParameterResponse(value=value)
+
+    def _handle_get_response_item(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.GetSQLResponseItemResponse:
+        request = msg.GetSQLResponseItemRequest.from_xml(payload)
+        binding = self._response_binding(request.abstract_name)
+        resource: SQLResponseResource = binding.resource
+        items = ["SQLCommunicationArea", "SQLUpdateCount"]
+        if resource.rowset().columns:
+            items.insert(0, "SQLRowset")
+        if resource.return_value() is not None:
+            items.append("SQLReturnValue")
+        items.extend(sorted(resource.output_parameters()))
+        return msg.GetSQLResponseItemResponse(items=items)
+
+    # -- ResponseFactory -------------------------------------------------------
+
+    def _handle_sql_rowset_factory(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.SQLRowsetFactoryResponse:
+        request = msg.SQLRowsetFactoryRequest.from_xml(payload)
+        binding = self._response_binding(request.abstract_name)
+        resource: SQLResponseResource = binding.resource
+
+        requested_pt = request.port_type_qname or SQL_ROWSET_ACCESS_PT
+        if requested_pt != SQL_ROWSET_ACCESS_PT:
+            raise InvalidPortTypeQNameFault(
+                f"SQLRowsetFactory can wire up {SQL_ROWSET_ACCESS_PT.clark()}"
+                f", not {requested_pt.clark()}"
+            )
+        target = self.rowset_target
+        if "rowset_access" not in target.port_types:
+            raise InvalidPortTypeQNameFault(
+                f"target service {target.name!r} lacks RowsetAccess"
+            )
+
+        format_uri = request.dataset_format_uri or SQLROWSET_FORMAT_URI
+        if format_uri not in ALL_FORMATS:
+            raise InvalidDatasetFormatFault(
+                f"format {format_uri!r} not supported for rowset resources"
+            )
+
+        configurable = binding.configurable.copy()
+        if request.configuration_document is not None:
+            configurable = configurable.apply_configuration_document(
+                request.configuration_document
+            )
+
+        derived = SQLRowsetResource(
+            abstract_name=mint_abstract_name("sqlrowset"),
+            parent=resource,
+            data_format_uri=format_uri,
+            rowset=resource.rowset(),
+        )
+        target.add_resource(derived, configurable)
+        return msg.SQLRowsetFactoryResponse(
+            address=target.epr_for(derived.abstract_name),
+            abstract_name=derived.abstract_name,
+        )
+
+    # -- RowsetAccess ----------------------------------------------------------
+
+    def _handle_get_tuples(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.GetTuplesResponse:
+        request = msg.GetTuplesRequest.from_xml(payload)
+        binding = self._rowset_binding(request.abstract_name)
+        binding.require_readable()
+        resource: SQLRowsetResource = binding.resource
+        window = resource.get_tuples(request.start_position, request.count)
+        return msg.GetTuplesResponse(
+            dataset_format_uri=resource.data_format_uri,
+            dataset=render_rowset(resource.data_format_uri, window),
+            total_rows=resource.row_count,
+        )
+
+    def _handle_get_rowset_property_document(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.GetRowsetPropertyDocumentResponse:
+        request = msg.GetRowsetPropertyDocumentRequest.from_xml(payload)
+        binding = self._rowset_binding(request.abstract_name)
+        return msg.GetRowsetPropertyDocumentResponse(
+            document=binding.property_document()
+        )
+
+    # -- property document wiring (ConfigurationMap) ----------------------------
+
+    def configuration_map(self) -> list[ConfigurationMapEntry]:
+        entries = []
+        if "sql_factory" in self.port_types:
+            entries.append(
+                ConfigurationMapEntry(
+                    msg.SQLExecuteFactoryRequest.TAG, SQL_RESPONSE_ACCESS_PT
+                )
+            )
+        if "response_factory" in self.port_types:
+            entries.append(
+                ConfigurationMapEntry(
+                    msg.SQLRowsetFactoryRequest.TAG, SQL_ROWSET_ACCESS_PT
+                )
+            )
+        return entries

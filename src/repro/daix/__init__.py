@@ -1,0 +1,28 @@
+"""WS-DAIX: the XML realisation (paper §4 closing remarks and [WS-DAIX]).
+
+Follows the same core principles as WS-DAIR (the paper: "The XML
+extensions follow the same principles"):
+
+* **XMLCollectionAccess** — document and subcollection management:
+  ``AddDocuments``, ``GetDocuments``, ``RemoveDocuments``,
+  ``ListDocuments``, ``CreateSubcollection``, ``RemoveSubcollection``,
+  ``GetCollectionPropertyDocument``;
+* **XPathAccess** — ``XPathExecute`` (direct access);
+* **XQueryAccess** — ``XQueryExecute`` (direct access, FLWOR-lite);
+* **XUpdateAccess** — ``XUpdateExecute`` (in-place modification);
+* **XPath/XQueryFactory** — derive a service managed *sequence*
+  resource from query results;
+* **SequenceAccess** — ``GetItems`` paged retrieval over a derived
+  sequence (the XML analogue of WS-DAIR's ``GetTuples``).
+"""
+
+from repro.daix.namespaces import WSDAIX_NS
+from repro.daix.resources import XMLCollectionResource, XMLSequenceResource
+from repro.daix.service import XMLRealisationService
+
+__all__ = [
+    "WSDAIX_NS",
+    "XMLCollectionResource",
+    "XMLSequenceResource",
+    "XMLRealisationService",
+]

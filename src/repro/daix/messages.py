@@ -1,0 +1,458 @@
+"""WS-DAIX message payloads.
+
+Same construction as :mod:`repro.dair.messages`: each message extends
+the core templates, carries the mandatory abstract name first, and
+(de)serializes itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar, Optional
+
+from repro.core.messages import (
+    DaisMessage,
+    DaisRequest,
+    FactoryRequest,
+    FactoryResponse,
+)
+from repro.daix.namespaces import WSDAIX_NS
+from repro.xmlutil import E, QName, XmlElement
+
+
+def _q(local: str) -> QName:
+    return QName(WSDAIX_NS, local)
+
+
+# ---------------------------------------------------------------------------
+# XMLCollectionAccess
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AddDocumentsRequest(DaisRequest):
+    TAG: ClassVar[QName] = _q("AddDocumentsRequest")
+
+    #: (document name, root element) pairs.
+    documents: list[tuple[str, XmlElement]] = field(default_factory=list)
+    replace: bool = False
+
+    def to_xml(self) -> XmlElement:
+        root = self._root()
+        root.set("replace", "true" if self.replace else "false")
+        for name, content in self.documents:
+            wrapper = E(_q("Document"))
+            wrapper.set("name", name)
+            wrapper.append(content.copy())
+            root.append(wrapper)
+        return root
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        documents = []
+        for wrapper in element.findall(_q("Document")):
+            children = wrapper.element_children()
+            if children:
+                documents.append((wrapper.get("name", "") or "", children[0].copy()))
+        return cls(
+            abstract_name=cls._read_name(element),
+            documents=documents,
+            replace=element.get("replace") == "true",
+        )
+
+
+@dataclass
+class AddDocumentsResponse(DaisMessage):
+    TAG: ClassVar[QName] = _q("AddDocumentsResponse")
+
+    #: (document name, status) — status is "Added" or an error token.
+    results: list[tuple[str, str]] = field(default_factory=list)
+
+    def to_xml(self) -> XmlElement:
+        root = E(self.TAG)
+        for name, status in self.results:
+            result = E(_q("Result"), status)
+            result.set("name", name)
+            root.append(result)
+        return root
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        return cls(
+            results=[
+                (r.get("name", "") or "", r.text)
+                for r in element.findall(_q("Result"))
+            ]
+        )
+
+
+@dataclass
+class _NamesRequest(DaisRequest):
+    """Shared shape: abstract name + list of document names."""
+
+    names: list[str] = field(default_factory=list)
+
+    def to_xml(self) -> XmlElement:
+        root = self._root()
+        for name in self.names:
+            root.append(E(_q("DocumentName"), name))
+        return root
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        return cls(
+            abstract_name=cls._read_name(element),
+            names=[c.text for c in element.findall(_q("DocumentName"))],
+        )
+
+
+@dataclass
+class GetDocumentsRequest(_NamesRequest):
+    TAG: ClassVar[QName] = _q("GetDocumentsRequest")
+
+
+@dataclass
+class GetDocumentsResponse(DaisMessage):
+    TAG: ClassVar[QName] = _q("GetDocumentsResponse")
+
+    documents: list[tuple[str, XmlElement]] = field(default_factory=list)
+
+    def to_xml(self) -> XmlElement:
+        root = E(self.TAG)
+        for name, content in self.documents:
+            wrapper = E(_q("Document"))
+            wrapper.set("name", name)
+            wrapper.append(content.copy())
+            root.append(wrapper)
+        return root
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        documents = []
+        for wrapper in element.findall(_q("Document")):
+            children = wrapper.element_children()
+            if children:
+                documents.append((wrapper.get("name", "") or "", children[0].copy()))
+        return cls(documents=documents)
+
+
+@dataclass
+class RemoveDocumentsRequest(_NamesRequest):
+    TAG: ClassVar[QName] = _q("RemoveDocumentsRequest")
+
+
+@dataclass
+class RemoveDocumentsResponse(DaisMessage):
+    TAG: ClassVar[QName] = _q("RemoveDocumentsResponse")
+
+    removed: int = 0
+
+    def to_xml(self) -> XmlElement:
+        return E(self.TAG, E(_q("Removed"), self.removed))
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        return cls(removed=int(element.findtext(_q("Removed"), "0") or "0"))
+
+
+@dataclass
+class ListDocumentsRequest(DaisRequest):
+    TAG: ClassVar[QName] = _q("ListDocumentsRequest")
+
+    def to_xml(self) -> XmlElement:
+        return self._root()
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        return cls(abstract_name=cls._read_name(element))
+
+
+@dataclass
+class ListDocumentsResponse(DaisMessage):
+    TAG: ClassVar[QName] = _q("ListDocumentsResponse")
+
+    names: list[str] = field(default_factory=list)
+    subcollections: list[str] = field(default_factory=list)
+
+    def to_xml(self) -> XmlElement:
+        return E(
+            self.TAG,
+            [E(_q("DocumentName"), name) for name in self.names],
+            [E(_q("SubcollectionName"), name) for name in self.subcollections],
+        )
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        return cls(
+            names=[c.text for c in element.findall(_q("DocumentName"))],
+            subcollections=[
+                c.text for c in element.findall(_q("SubcollectionName"))
+            ],
+        )
+
+
+@dataclass
+class CreateSubcollectionRequest(DaisRequest):
+    TAG: ClassVar[QName] = _q("CreateSubcollectionRequest")
+
+    collection_name: str = ""
+
+    def to_xml(self) -> XmlElement:
+        root = self._root()
+        root.append(E(_q("CollectionName"), self.collection_name))
+        return root
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        return cls(
+            abstract_name=cls._read_name(element),
+            collection_name=element.findtext(_q("CollectionName"), "") or "",
+        )
+
+
+@dataclass
+class CreateSubcollectionResponse(FactoryResponse):
+    """The new subcollection is itself a data resource → factory shape."""
+
+    TAG: ClassVar[QName] = _q("CreateSubcollectionResponse")
+
+
+@dataclass
+class RemoveSubcollectionRequest(CreateSubcollectionRequest):
+    TAG: ClassVar[QName] = _q("RemoveSubcollectionRequest")
+
+
+@dataclass
+class RemoveSubcollectionResponse(DaisMessage):
+    TAG: ClassVar[QName] = _q("RemoveSubcollectionResponse")
+
+    removed: str = ""
+
+    def to_xml(self) -> XmlElement:
+        return E(self.TAG, E(_q("CollectionName"), self.removed))
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        return cls(removed=element.findtext(_q("CollectionName"), "") or "")
+
+
+@dataclass
+class GetCollectionPropertyDocumentRequest(ListDocumentsRequest):
+    TAG: ClassVar[QName] = _q("GetCollectionPropertyDocumentRequest")
+
+
+@dataclass
+class GetCollectionPropertyDocumentResponse(DaisMessage):
+    TAG: ClassVar[QName] = _q("GetCollectionPropertyDocumentResponse")
+
+    document: Optional[XmlElement] = None
+
+    def to_xml(self) -> XmlElement:
+        root = E(self.TAG)
+        if self.document is not None:
+            root.append(self.document.copy())
+        return root
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        children = element.element_children()
+        return cls(document=children[0].copy() if children else None)
+
+
+# ---------------------------------------------------------------------------
+# XPath / XQuery / XUpdate access
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _ExpressionRequest(DaisRequest):
+    """Shared shape: expression + optional single-document scope."""
+
+    expression: str = ""
+    document_name: Optional[str] = None
+
+    EXPR_LOCAL: ClassVar[str] = "Expression"
+
+    def to_xml(self) -> XmlElement:
+        root = self._root()
+        if self.document_name:
+            root.append(E(_q("DocumentName"), self.document_name))
+        root.append(E(_q(self.EXPR_LOCAL), self.expression))
+        return root
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        return cls(
+            abstract_name=cls._read_name(element),
+            expression=element.findtext(_q(cls.EXPR_LOCAL), "") or "",
+            document_name=element.findtext(_q("DocumentName")),
+        )
+
+
+@dataclass
+class XPathExecuteRequest(_ExpressionRequest):
+    TAG: ClassVar[QName] = _q("XPathExecuteRequest")
+    EXPR_LOCAL: ClassVar[str] = "XPathExpression"
+
+
+@dataclass
+class XQueryExecuteRequest(_ExpressionRequest):
+    TAG: ClassVar[QName] = _q("XQueryExecuteRequest")
+    EXPR_LOCAL: ClassVar[str] = "XQueryExpression"
+
+
+@dataclass
+class ItemSequenceResponse(DaisMessage):
+    """Shared response shape: a sequence of result items."""
+
+    items: list[XmlElement] = field(default_factory=list)
+
+    def to_xml(self) -> XmlElement:
+        return E(self.TAG, [item.copy() for item in self.items])
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        return cls(items=[c.copy() for c in element.findall(_q("Item"))])
+
+
+@dataclass
+class XPathExecuteResponse(ItemSequenceResponse):
+    TAG: ClassVar[QName] = _q("XPathExecuteResponse")
+
+
+@dataclass
+class XQueryExecuteResponse(ItemSequenceResponse):
+    TAG: ClassVar[QName] = _q("XQueryExecuteResponse")
+
+
+@dataclass
+class XUpdateExecuteRequest(DaisRequest):
+    TAG: ClassVar[QName] = _q("XUpdateExecuteRequest")
+
+    modifications: Optional[XmlElement] = None
+    document_name: Optional[str] = None
+
+    def to_xml(self) -> XmlElement:
+        root = self._root()
+        if self.document_name:
+            root.append(E(_q("DocumentName"), self.document_name))
+        if self.modifications is not None:
+            root.append(self.modifications.copy())
+        return root
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        from repro.xmldb.xupdate import XUPDATE_NS
+
+        modifications = element.find(QName(XUPDATE_NS, "modifications"))
+        return cls(
+            abstract_name=cls._read_name(element),
+            modifications=modifications.copy()
+            if modifications is not None
+            else None,
+            document_name=element.findtext(_q("DocumentName")),
+        )
+
+
+@dataclass
+class XUpdateExecuteResponse(DaisMessage):
+    TAG: ClassVar[QName] = _q("XUpdateExecuteResponse")
+
+    modified: int = 0
+
+    def to_xml(self) -> XmlElement:
+        return E(self.TAG, E(_q("Modified"), self.modified))
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        return cls(modified=int(element.findtext(_q("Modified"), "0") or "0"))
+
+
+# ---------------------------------------------------------------------------
+# Factories + SequenceAccess
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class XPathExecuteFactoryRequest(FactoryRequest):
+    TAG: ClassVar[QName] = _q("XPathExecuteFactoryRequest")
+
+    document_name: Optional[str] = None
+
+    def to_xml(self) -> XmlElement:
+        root = super().to_xml()
+        if self.document_name:
+            root.append(E(_q("DocumentName"), self.document_name))
+        return root
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        base = FactoryRequest.from_xml(element)
+        return cls(
+            abstract_name=base.abstract_name,
+            port_type_qname=base.port_type_qname,
+            configuration_document=base.configuration_document,
+            expression=base.expression,
+            language_uri=base.language_uri,
+            parameters=base.parameters,
+            document_name=element.findtext(_q("DocumentName")),
+        )
+
+
+@dataclass
+class XQueryExecuteFactoryRequest(XPathExecuteFactoryRequest):
+    TAG: ClassVar[QName] = _q("XQueryExecuteFactoryRequest")
+
+
+@dataclass
+class XPathExecuteFactoryResponse(FactoryResponse):
+    TAG: ClassVar[QName] = _q("XPathExecuteFactoryResponse")
+
+
+@dataclass
+class XQueryExecuteFactoryResponse(FactoryResponse):
+    TAG: ClassVar[QName] = _q("XQueryExecuteFactoryResponse")
+
+
+@dataclass
+class GetItemsRequest(DaisRequest):
+    TAG: ClassVar[QName] = _q("GetItemsRequest")
+
+    start_position: int = 0
+    count: int = 0
+
+    def to_xml(self) -> XmlElement:
+        root = self._root()
+        root.append(E(_q("StartPosition"), self.start_position))
+        root.append(E(_q("Count"), self.count))
+        return root
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        return cls(
+            abstract_name=cls._read_name(element),
+            start_position=int(element.findtext(_q("StartPosition"), "0") or "0"),
+            count=int(element.findtext(_q("Count"), "0") or "0"),
+        )
+
+
+@dataclass
+class GetItemsResponse(DaisMessage):
+    TAG: ClassVar[QName] = _q("GetItemsResponse")
+
+    items: list[XmlElement] = field(default_factory=list)
+    total_items: int = 0
+
+    def to_xml(self) -> XmlElement:
+        return E(
+            self.TAG,
+            E(_q("TotalItems"), self.total_items),
+            [item.copy() for item in self.items],
+        )
+
+    @classmethod
+    def from_xml(cls, element: XmlElement):
+        return cls(
+            items=[c.copy() for c in element.findall(_q("Item"))],
+            total_items=int(element.findtext(_q("TotalItems"), "0") or "0"),
+        )

@@ -1,0 +1,15 @@
+"""WS-DAIX wire namespace and port type QNames."""
+
+from repro.xmlutil import QName
+from repro.xmlutil.names import DEFAULT_REGISTRY
+
+#: The WS-DAIX 1.0 namespace (GGF DAIS-WG, 2005 drafts).
+WSDAIX_NS = "http://www.ggf.org/namespaces/2005/05/WS-DAIX"
+
+DEFAULT_REGISTRY.register("wsdaix", WSDAIX_NS)
+
+XML_COLLECTION_ACCESS_PT = QName(WSDAIX_NS, "XMLCollectionAccessPT")
+XPATH_ACCESS_PT = QName(WSDAIX_NS, "XPathAccessPT")
+XQUERY_ACCESS_PT = QName(WSDAIX_NS, "XQueryAccessPT")
+XUPDATE_ACCESS_PT = QName(WSDAIX_NS, "XUpdateAccessPT")
+XML_SEQUENCE_ACCESS_PT = QName(WSDAIX_NS, "XMLSequenceAccessPT")

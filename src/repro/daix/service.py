@@ -1,0 +1,364 @@
+"""The WS-DAIX data service."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.faults import (
+    InvalidExpressionFault,
+    InvalidPortTypeQNameFault,
+    InvalidResourceNameFault,
+)
+from repro.core.names import mint_abstract_name
+from repro.core.service import DataService, ResourceBinding
+from repro.daix import messages as msg
+from repro.daix.namespaces import (
+    WSDAIX_NS,
+    XML_SEQUENCE_ACCESS_PT,
+)
+from repro.daix.resources import XMLCollectionResource, XMLSequenceResource
+from repro.soap.addressing import MessageHeaders
+from repro.xmldb.errors import XmlDbError
+from repro.xmlutil import XmlElement
+
+#: Short names of the WS-DAIX port types.
+PORT_TYPES = {
+    "collection_access",
+    "xpath_access",
+    "xquery_access",
+    "xupdate_access",
+    "xpath_factory",
+    "xquery_factory",
+    "sequence_access",
+}
+
+
+class XMLRealisationService(DataService):
+    """A data service exposing a configurable set of WS-DAIX port types."""
+
+    def __init__(
+        self,
+        name: str,
+        address: str,
+        port_types: Iterable[str] = tuple(sorted(PORT_TYPES)),
+        sequence_target: Optional["XMLRealisationService"] = None,
+        **kwargs,
+    ) -> None:
+        from repro.core.namespaces import WSDAI_NS
+
+        kwargs.setdefault(
+            "property_namespaces", {"wsdai": WSDAI_NS, "wsdaix": WSDAIX_NS}
+        )
+        super().__init__(name, address, **kwargs)
+        self.port_types = set(port_types)
+        unknown = self.port_types - PORT_TYPES
+        if unknown:
+            raise ValueError(f"unknown port types {sorted(unknown)}")
+        self.sequence_target = sequence_target or self
+
+        if "collection_access" in self.port_types:
+            self._install_collection_access()
+        if "xpath_access" in self.port_types:
+            self.register_operation(
+                msg.XPathExecuteRequest.action(), self._handle_xpath_execute
+            )
+        if "xquery_access" in self.port_types:
+            self.register_operation(
+                msg.XQueryExecuteRequest.action(), self._handle_xquery_execute
+            )
+        if "xupdate_access" in self.port_types:
+            self.register_operation(
+                msg.XUpdateExecuteRequest.action(), self._handle_xupdate_execute
+            )
+        if "xpath_factory" in self.port_types:
+            self.register_operation(
+                msg.XPathExecuteFactoryRequest.action(),
+                self._handle_xpath_factory,
+            )
+        if "xquery_factory" in self.port_types:
+            self.register_operation(
+                msg.XQueryExecuteFactoryRequest.action(),
+                self._handle_xquery_factory,
+            )
+        if "sequence_access" in self.port_types:
+            self.register_operation(
+                msg.GetItemsRequest.action(), self._handle_get_items
+            )
+
+    # -- typed binding lookups ----------------------------------------------
+
+    def _collection_binding(self, abstract_name: str) -> ResourceBinding:
+        binding = self.binding(abstract_name)
+        if not isinstance(binding.resource, XMLCollectionResource):
+            raise InvalidResourceNameFault(
+                f"{abstract_name} is not an XML collection resource"
+            )
+        return binding
+
+    def _sequence_binding(self, abstract_name: str) -> ResourceBinding:
+        binding = self.binding(abstract_name)
+        if not isinstance(binding.resource, XMLSequenceResource):
+            raise InvalidResourceNameFault(
+                f"{abstract_name} is not an XML sequence resource"
+            )
+        return binding
+
+    # -- XMLCollectionAccess -------------------------------------------------
+
+    def _install_collection_access(self) -> None:
+        self.register_operation(
+            msg.AddDocumentsRequest.action(), self._handle_add_documents
+        )
+        self.register_operation(
+            msg.GetDocumentsRequest.action(), self._handle_get_documents
+        )
+        self.register_operation(
+            msg.RemoveDocumentsRequest.action(), self._handle_remove_documents
+        )
+        self.register_operation(
+            msg.ListDocumentsRequest.action(), self._handle_list_documents
+        )
+        self.register_operation(
+            msg.CreateSubcollectionRequest.action(),
+            self._handle_create_subcollection,
+        )
+        self.register_operation(
+            msg.RemoveSubcollectionRequest.action(),
+            self._handle_remove_subcollection,
+        )
+        self.register_operation(
+            msg.GetCollectionPropertyDocumentRequest.action(),
+            self._handle_get_collection_property_document,
+        )
+
+    def _handle_add_documents(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.AddDocumentsResponse:
+        request = msg.AddDocumentsRequest.from_xml(payload)
+        binding = self._collection_binding(request.abstract_name)
+        binding.require_writeable()
+        collection = binding.resource.collection
+        results = []
+        for name, content in request.documents:
+            try:
+                collection.add(name, content, replace=request.replace)
+                results.append((name, "Added"))
+            except XmlDbError as exc:
+                results.append((name, f"Error: {exc}"))
+        return msg.AddDocumentsResponse(results=results)
+
+    def _handle_get_documents(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.GetDocumentsResponse:
+        request = msg.GetDocumentsRequest.from_xml(payload)
+        binding = self._collection_binding(request.abstract_name)
+        binding.require_readable()
+        collection = binding.resource.collection
+        documents = []
+        for name in request.names:
+            try:
+                documents.append((name, collection.get(name).root.copy()))
+            except XmlDbError:
+                continue  # absent documents are simply omitted
+        return msg.GetDocumentsResponse(documents=documents)
+
+    def _handle_remove_documents(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.RemoveDocumentsResponse:
+        request = msg.RemoveDocumentsRequest.from_xml(payload)
+        binding = self._collection_binding(request.abstract_name)
+        binding.require_writeable()
+        collection = binding.resource.collection
+        removed = 0
+        for name in request.names:
+            try:
+                collection.remove(name)
+                removed += 1
+            except XmlDbError:
+                continue
+        return msg.RemoveDocumentsResponse(removed=removed)
+
+    def _handle_list_documents(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.ListDocumentsResponse:
+        request = msg.ListDocumentsRequest.from_xml(payload)
+        binding = self._collection_binding(request.abstract_name)
+        collection = binding.resource.collection
+        return msg.ListDocumentsResponse(
+            names=collection.document_names(),
+            subcollections=collection.child_names(),
+        )
+
+    def _handle_create_subcollection(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.CreateSubcollectionResponse:
+        request = msg.CreateSubcollectionRequest.from_xml(payload)
+        binding = self._collection_binding(request.abstract_name)
+        binding.require_writeable()
+        parent: XMLCollectionResource = binding.resource
+        try:
+            child = parent.collection.create_child(request.collection_name)
+        except XmlDbError as exc:
+            raise InvalidExpressionFault(str(exc)) from exc
+        derived = XMLCollectionResource(
+            mint_abstract_name("xmlcollection"),
+            child,
+            namespaces=parent._namespaces,
+        )
+        derived.parent = parent.abstract_name
+        self.add_resource(derived, binding.configurable.copy())
+        return msg.CreateSubcollectionResponse(
+            address=self.epr_for(derived.abstract_name),
+            abstract_name=derived.abstract_name,
+        )
+
+    def _handle_remove_subcollection(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.RemoveSubcollectionResponse:
+        request = msg.RemoveSubcollectionRequest.from_xml(payload)
+        binding = self._collection_binding(request.abstract_name)
+        binding.require_writeable()
+        collection = binding.resource.collection
+        try:
+            removed = collection.remove_child(request.collection_name)
+        except XmlDbError as exc:
+            raise InvalidExpressionFault(str(exc)) from exc
+        # Destroy any binding this service holds for the removed subtree.
+        for name in list(self.resource_names()):
+            other = self.binding(name).resource
+            if (
+                isinstance(other, XMLCollectionResource)
+                and other.collection is removed
+            ):
+                self.destroy_resource(name)
+        return msg.RemoveSubcollectionResponse(removed=request.collection_name)
+
+    def _handle_get_collection_property_document(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.GetCollectionPropertyDocumentResponse:
+        request = msg.GetCollectionPropertyDocumentRequest.from_xml(payload)
+        binding = self._collection_binding(request.abstract_name)
+        return msg.GetCollectionPropertyDocumentResponse(
+            document=binding.property_document()
+        )
+
+    # -- query access ------------------------------------------------------
+
+    def _handle_xpath_execute(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.XPathExecuteResponse:
+        request = msg.XPathExecuteRequest.from_xml(payload)
+        binding = self._collection_binding(request.abstract_name)
+        binding.require_readable()
+        items = binding.resource.xpath_execute(
+            request.expression, request.document_name
+        )
+        return msg.XPathExecuteResponse(items=items)
+
+    def _handle_xquery_execute(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.XQueryExecuteResponse:
+        request = msg.XQueryExecuteRequest.from_xml(payload)
+        binding = self._collection_binding(request.abstract_name)
+        binding.require_readable()
+        items = binding.resource.xquery_execute(
+            request.expression, request.document_name
+        )
+        return msg.XQueryExecuteResponse(items=items)
+
+    def _handle_xupdate_execute(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.XUpdateExecuteResponse:
+        request = msg.XUpdateExecuteRequest.from_xml(payload)
+        binding = self._collection_binding(request.abstract_name)
+        binding.require_writeable()
+        if request.modifications is None:
+            raise InvalidExpressionFault(
+                "XUpdateExecute requires an xupdate:modifications element"
+            )
+        modified = binding.resource.xupdate_execute(
+            request.modifications, request.document_name
+        )
+        return msg.XUpdateExecuteResponse(modified=modified)
+
+    # -- factories ------------------------------------------------------------
+
+    def _handle_xpath_factory(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.XPathExecuteFactoryResponse:
+        request = msg.XPathExecuteFactoryRequest.from_xml(payload)
+        return msg.XPathExecuteFactoryResponse(
+            **self._run_factory(request, use_xquery=False)
+        )
+
+    def _handle_xquery_factory(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.XQueryExecuteFactoryResponse:
+        request = msg.XQueryExecuteFactoryRequest.from_xml(payload)
+        return msg.XQueryExecuteFactoryResponse(
+            **self._run_factory(request, use_xquery=True)
+        )
+
+    def _run_factory(
+        self, request: msg.XPathExecuteFactoryRequest, use_xquery: bool
+    ) -> dict:
+        binding = self._collection_binding(request.abstract_name)
+        binding.require_readable()
+        resource: XMLCollectionResource = binding.resource
+
+        requested_pt = request.port_type_qname or XML_SEQUENCE_ACCESS_PT
+        if requested_pt != XML_SEQUENCE_ACCESS_PT:
+            raise InvalidPortTypeQNameFault(
+                f"XML factories wire up {XML_SEQUENCE_ACCESS_PT.clark()}, "
+                f"not {requested_pt.clark()}"
+            )
+        target = self.sequence_target
+        if "sequence_access" not in target.port_types:
+            raise InvalidPortTypeQNameFault(
+                f"target service {target.name!r} lacks SequenceAccess"
+            )
+
+        configurable = binding.configurable.copy()
+        if request.configuration_document is not None:
+            configurable = configurable.apply_configuration_document(
+                request.configuration_document
+            )
+
+        if use_xquery:
+            items = resource.xquery_execute(
+                request.expression, request.document_name
+            )
+        else:
+            items = resource.xpath_execute(
+                request.expression, request.document_name
+            )
+        from repro.core.properties import Sensitivity
+
+        derived = XMLSequenceResource(
+            mint_abstract_name("xmlsequence"),
+            resource,
+            items,
+            query=request.expression,
+            use_xquery=use_xquery,
+            document_name=request.document_name,
+            sensitive=configurable.sensitivity is Sensitivity.SENSITIVE,
+        )
+        target.add_resource(derived, configurable)
+        return {
+            "address": target.epr_for(derived.abstract_name),
+            "abstract_name": derived.abstract_name,
+        }
+
+    # -- SequenceAccess -----------------------------------------------------------
+
+    def _handle_get_items(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.GetItemsResponse:
+        request = msg.GetItemsRequest.from_xml(payload)
+        binding = self._sequence_binding(request.abstract_name)
+        binding.require_readable()
+        resource: XMLSequenceResource = binding.resource
+        return msg.GetItemsResponse(
+            items=resource.get_items(request.start_position, request.count),
+            total_items=resource.item_count,
+        )

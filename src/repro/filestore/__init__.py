@@ -1,0 +1,11 @@
+"""An in-memory hierarchical file store.
+
+Substrate for the files realisation (:mod:`repro.daif`).  The paper's
+conclusions note that "different groups are exploring the development of
+additional realisations for object databases, ontologies and files";
+this store plays the role a real filesystem or GridFTP endpoint would.
+"""
+
+from repro.filestore.store import FileEntry, FileStore, FileStoreError
+
+__all__ = ["FileStore", "FileEntry", "FileStoreError"]

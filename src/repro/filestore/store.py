@@ -1,0 +1,177 @@
+"""The file store: directories, files, byte content, metadata."""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+
+from repro.wsrf.clock import Clock, SystemClock
+
+
+class FileStoreError(Exception):
+    """Any file-store failure (missing path, bad name, type mismatch)."""
+
+
+def _validate_segment(name: str) -> str:
+    if not name or "/" in name or name in (".", ".."):
+        raise FileStoreError(f"invalid name {name!r}")
+    return name
+
+
+def _split(path: str) -> list[str]:
+    return [segment for segment in path.split("/") if segment]
+
+
+@dataclass
+class FileEntry:
+    """One file: content bytes plus metadata."""
+
+    name: str
+    content: bytes = b""
+    modified: float = 0.0
+
+    @property
+    def size(self) -> int:
+        return len(self.content)
+
+
+@dataclass
+class _Directory:
+    name: str
+    files: dict[str, FileEntry] = field(default_factory=dict)
+    children: dict[str, "_Directory"] = field(default_factory=dict)
+
+
+class FileStore:
+    """A rooted tree of directories and files.
+
+    Paths are slash-separated, relative to the root (``"a/b/file.txt"``).
+    All mutation stamps modification times from the supplied clock.
+    """
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self._root = _Directory("")
+        self._clock = clock if clock is not None else SystemClock()
+
+    # -- path resolution ------------------------------------------------------
+
+    def _directory(self, path: str, create: bool = False) -> _Directory:
+        current = self._root
+        for segment in _split(path):
+            if segment not in current.children:
+                if not create:
+                    raise FileStoreError(f"no such directory {path!r}")
+                _validate_segment(segment)
+                current.children[segment] = _Directory(segment)
+            current = current.children[segment]
+        return current
+
+    def _locate(self, path: str) -> tuple[_Directory, str]:
+        segments = _split(path)
+        if not segments:
+            raise FileStoreError("a file path cannot be empty")
+        directory = self._directory("/".join(segments[:-1]))
+        return directory, segments[-1]
+
+    # -- directories -------------------------------------------------------
+
+    def make_directory(self, path: str) -> None:
+        self._directory(path, create=True)
+
+    def directory_exists(self, path: str) -> bool:
+        try:
+            self._directory(path)
+            return True
+        except FileStoreError:
+            return False
+
+    def list_directories(self, path: str = "") -> list[str]:
+        return sorted(self._directory(path).children)
+
+    def remove_directory(self, path: str) -> None:
+        segments = _split(path)
+        if not segments:
+            raise FileStoreError("cannot remove the root")
+        parent = self._directory("/".join(segments[:-1]))
+        target = parent.children.get(segments[-1])
+        if target is None:
+            raise FileStoreError(f"no such directory {path!r}")
+        if target.files or target.children:
+            raise FileStoreError(f"directory {path!r} is not empty")
+        del parent.children[segments[-1]]
+
+    # -- files ---------------------------------------------------------------
+
+    def write(self, path: str, content: bytes) -> FileEntry:
+        """Create or overwrite the file at *path* (directories must exist)."""
+        directory, name = self._locate(path)
+        _validate_segment(name)
+        entry = FileEntry(name, bytes(content), self._clock.now())
+        directory.files[name] = entry
+        return entry
+
+    def read(self, path: str, offset: int = 0, length: int | None = None) -> bytes:
+        """Read content (optionally a byte range)."""
+        entry = self.stat(path)
+        if offset < 0 or (length is not None and length < 0):
+            raise FileStoreError("offset/length must be non-negative")
+        if length is None:
+            return entry.content[offset:]
+        return entry.content[offset : offset + length]
+
+    def stat(self, path: str) -> FileEntry:
+        directory, name = self._locate(path)
+        entry = directory.files.get(name)
+        if entry is None:
+            raise FileStoreError(f"no such file {path!r}")
+        return entry
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.stat(path)
+            return True
+        except FileStoreError:
+            return False
+
+    def delete(self, path: str) -> FileEntry:
+        directory, name = self._locate(path)
+        entry = directory.files.pop(name, None)
+        if entry is None:
+            raise FileStoreError(f"no such file {path!r}")
+        return entry
+
+    def list_files(self, path: str = "") -> list[FileEntry]:
+        directory = self._directory(path)
+        return [directory.files[name] for name in sorted(directory.files)]
+
+    def glob(self, path: str, pattern: str) -> list[str]:
+        """Relative paths (under *path*) of files matching *pattern*.
+
+        The pattern applies to the path relative to *path*, with ``*``
+        not crossing ``/`` and ``**`` unsupported (fnmatch semantics per
+        segment would be overkill here; patterns are matched against the
+        whole relative path with fnmatch).
+        """
+        base = self._directory(path)
+        matches: list[str] = []
+
+        def walk(directory: _Directory, prefix: str) -> None:
+            for name in sorted(directory.files):
+                relative = f"{prefix}{name}"
+                if fnmatch.fnmatchcase(relative, pattern):
+                    matches.append(relative)
+            for name in sorted(directory.children):
+                walk(directory.children[name], f"{prefix}{name}/")
+
+        walk(base, "")
+        return matches
+
+    def total_bytes(self, path: str = "") -> int:
+        base = self._directory(path)
+        total = 0
+        stack = [base]
+        while stack:
+            directory = stack.pop()
+            total += sum(entry.size for entry in directory.files.values())
+            stack.extend(directory.children.values())
+        return total

@@ -1,0 +1,52 @@
+"""An in-memory relational database engine.
+
+This is the substrate behind the WS-DAIR realisation: the paper's data
+services *wrap* an existing DBMS (§2.1), so dais-py ships one.  The engine
+implements the SQL-92-flavoured subset the DAIS operations exercise:
+
+* DDL: ``CREATE TABLE`` (PRIMARY KEY / UNIQUE / NOT NULL / CHECK /
+  DEFAULT / REFERENCES), ``DROP TABLE``, ``CREATE INDEX``, ``DROP INDEX``
+* DML: ``INSERT``, ``UPDATE``, ``DELETE``, parameterised via ``?`` markers
+* Queries: ``SELECT`` with joins (inner/left), ``WHERE``, ``GROUP BY`` /
+  ``HAVING``, aggregates, ``DISTINCT``, ``ORDER BY``, ``LIMIT``/``OFFSET``,
+  scalar/``IN``/``EXISTS`` subqueries, set operations (``UNION [ALL]``)
+* Transactions: ``BEGIN`` / ``COMMIT`` / ``ROLLBACK`` with the four
+  standard isolation levels (the WS-DAIR ``TransactionIsolation`` property
+  maps straight onto them)
+
+Expression evaluation follows SQL three-valued logic; a query returns a
+:class:`~repro.relational.engine.ResultSet` plus a
+:class:`~repro.relational.communication.SqlCommunicationArea`, which is
+exactly what the WS-DAIR response messages carry.
+"""
+
+from repro.relational.errors import (
+    CatalogError,
+    ConstraintViolation,
+    SqlError,
+    SqlSyntaxError,
+    SqlTypeError,
+    TransactionError,
+)
+from repro.relational.types import SqlType, Null, NULL
+from repro.relational.engine import Database, ProcedureResult, ResultSet, Session
+from repro.relational.communication import SqlCommunicationArea
+from repro.relational.transactions import IsolationLevel
+
+__all__ = [
+    "SqlError",
+    "SqlSyntaxError",
+    "CatalogError",
+    "ConstraintViolation",
+    "SqlTypeError",
+    "TransactionError",
+    "SqlType",
+    "Null",
+    "NULL",
+    "Database",
+    "Session",
+    "ResultSet",
+    "ProcedureResult",
+    "SqlCommunicationArea",
+    "IsolationLevel",
+]

@@ -1,0 +1,985 @@
+"""Statement execution.
+
+The executor turns parsed statements into results against the storage
+layer.  Queries flow through relation-shaped intermediates — a
+:class:`Relation` is a list of bindings plus materialized rows — which
+keeps joins, grouping and set operations composable; DML routes every
+mutation through the active transaction's journal so rollback can undo it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from decimal import Decimal
+from functools import cmp_to_key
+from typing import Any
+
+from repro.relational import ast_nodes as ast
+from repro.relational.catalog import Catalog
+from repro.relational.errors import (
+    CatalogError,
+    ConstraintViolation,
+    SqlError,
+    SqlTypeError,
+)
+from repro.relational.expressions import ExpressionEvaluator, RowEnvironment
+from repro.relational.planner import (
+    EqualityLookup,
+    RangeLookup,
+    choose_access_path,
+    conjuncts,
+    recognise_equi_join,
+)
+from repro.relational.storage import TableStorage
+from repro.relational.types import NULL, coerce, compare_values
+
+
+@dataclass
+class Relation:
+    """An intermediate result: qualified bindings + materialized rows."""
+
+    bindings: list[tuple[str, str]]  # (qualifier, column), lower-cased
+    rows: list[tuple]
+
+    def qualifiers(self) -> set[str]:
+        return {qualifier for qualifier, _ in self.bindings}
+
+
+class Journal:
+    """Mutation log for the active transaction (or autocommit statement)."""
+
+    def __init__(self) -> None:
+        self.entries: list[tuple] = []
+
+    def record_insert(self, storage: TableStorage, row_id: int) -> None:
+        self.entries.append(("insert", storage, row_id))
+
+    def record_delete(self, storage: TableStorage, row_id: int, row: tuple) -> None:
+        self.entries.append(("delete", storage, row_id, row))
+
+    def record_update(self, storage: TableStorage, row_id: int, old: tuple) -> None:
+        self.entries.append(("update", storage, row_id, old))
+
+    def undo(self) -> None:
+        for entry in reversed(self.entries):
+            kind = entry[0]
+            if kind == "insert":
+                _, storage, row_id = entry
+                storage.delete(row_id)
+            elif kind == "delete":
+                _, storage, row_id, row = entry
+                storage.restore(row_id, row)
+            else:
+                _, storage, row_id, old = entry
+                storage.update(row_id, old)
+        self.entries.clear()
+
+
+class Executor:
+    """Executes one statement against catalog + storage."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        storages: dict[str, TableStorage],
+        parameters: tuple = (),
+        journal: Journal | None = None,
+        on_table_read=None,
+        on_table_write=None,
+    ) -> None:
+        self._catalog = catalog
+        self._storages = storages
+        self._parameters = parameters
+        self._journal = journal if journal is not None else Journal()
+        self._on_table_read = on_table_read or (lambda name: None)
+        self._on_table_write = on_table_write or (lambda name: None)
+        self._evaluator = ExpressionEvaluator(
+            parameters, subquery_runner=self._run_subquery
+        )
+
+    # -- helpers --------------------------------------------------------------
+
+    def with_parameters(self, parameters: tuple) -> "Executor":
+        """A sibling executor sharing this one's journal and lock hooks —
+        used by stored procedures to run parameterised statements inside
+        the caller's transaction."""
+        return Executor(
+            self._catalog,
+            self._storages,
+            parameters,
+            journal=self._journal,
+            on_table_read=self._on_table_read,
+            on_table_write=self._on_table_write,
+        )
+
+    def _storage(self, table: str) -> TableStorage:
+        schema = self._catalog.table(table)
+        return self._storages[schema.name.lower()]
+
+    def _run_subquery(
+        self, query: ast.Select, env: RowEnvironment
+    ) -> list[tuple]:
+        _, rows = self.execute_select(query, outer_env=env)
+        return rows
+
+    # =========================================================================
+    # SELECT
+    # =========================================================================
+
+    def execute_select(
+        self, select: ast.Select, outer_env: RowEnvironment | None = None
+    ) -> tuple[list[str], list[tuple]]:
+        """Run a SELECT; returns (output column names, rows)."""
+        columns, rows, order_keys = self._select_core(select, outer_env)
+
+        if select.union is not None:
+            union_columns, union_rows = self.execute_select(
+                select.union.query, outer_env
+            )
+            if len(union_columns) != len(columns):
+                raise SqlError("UNION operands must have the same column count")
+            rows = rows + union_rows
+            if not select.union.all:
+                rows = _distinct(rows)
+            order_keys = None  # source rows are gone; order on outputs
+
+        if select.order_by:
+            if order_keys is not None:
+                rows = _sort_by_keys(rows, order_keys, select.order_by)
+            else:
+                rows = self._order_output_rows(select, columns, rows, outer_env)
+
+        rows = self._apply_limit(select, rows, outer_env)
+        return columns, rows
+
+    def _select_core(
+        self, select: ast.Select, outer_env: RowEnvironment | None
+    ) -> tuple[list[str], list[tuple], list[list] | None]:
+        """Project a SELECT (no union/order/limit).
+
+        Returns (columns, rows, order_keys) where order_keys — when the
+        query has ORDER BY and no DISTINCT — are the evaluated sort keys
+        per row, computed against the source relation so ORDER BY may
+        reference non-projected columns.
+        """
+        relation = self._evaluate_from(select, outer_env)
+
+        where_parts = conjuncts(select.where)
+        if where_parts:
+            relation = self._filter(relation, where_parts, outer_env)
+
+        aggregates = _collect_aggregates(select)
+        if select.group_by or aggregates:
+            return self._grouped_projection(select, relation, aggregates, outer_env)
+
+        columns, rows, order_keys = self._projection(select, relation, outer_env)
+        if select.distinct:
+            rows = _distinct(rows)
+            order_keys = None  # key rows no longer align after dedup
+        return columns, rows, order_keys
+
+    # -- FROM -------------------------------------------------------------
+
+    def _evaluate_from(
+        self, select: ast.Select, outer_env: RowEnvironment | None
+    ) -> Relation:
+        if select.from_item is None:
+            return Relation([], [()])  # one empty row: SELECT 1+1
+        return self._from_item(
+            select.from_item, conjuncts(select.where), outer_env
+        )
+
+    def _from_item(
+        self,
+        item: ast.FromItem,
+        where_parts: list[ast.Expression],
+        outer_env: RowEnvironment | None,
+    ) -> Relation:
+        if isinstance(item, ast.TableRef):
+            return self._base_table(item, where_parts)
+        if isinstance(item, ast.SubqueryRef):
+            columns, rows = self.execute_select(item.query, outer_env)
+            alias = item.alias.lower()
+            return Relation([(alias, c.lower()) for c in columns], rows)
+        if isinstance(item, ast.Join):
+            return self._join(item, where_parts, outer_env)
+        raise SqlError(f"unsupported FROM item {type(item).__name__}")
+
+    def _base_table(
+        self, ref: ast.TableRef, where_parts: list[ast.Expression]
+    ) -> Relation:
+        if self._catalog.has_view(ref.name):
+            return self._view(ref)
+        schema = self._catalog.table(ref.name)
+        self._on_table_read(schema.name.lower())
+        storage = self._storage(ref.name)
+        qualifier = (ref.alias or ref.name).lower()
+        bindings = [(qualifier, c.lower()) for c in schema.column_names]
+
+        path = choose_access_path(storage, qualifier, where_parts, self._parameters)
+        if isinstance(path, EqualityLookup):
+            row_ids = sorted(path.index.lookup(path.key))
+            rows = [storage.get(rid) for rid in row_ids]
+            rows = [row for row in rows if row is not None]
+        elif isinstance(path, RangeLookup):
+            row_ids = path.index.range(
+                path.low, path.high, path.low_inclusive, path.high_inclusive
+            )
+            rows = [storage.get(rid) for rid in sorted(set(row_ids))]
+            rows = [row for row in rows if row is not None]
+        else:
+            rows = [row for _, row in storage.rows()]
+        return Relation(bindings, rows)
+
+    def _view(self, ref: ast.TableRef) -> Relation:
+        """Expand a view: run its stored query, bind under the alias."""
+        view = self._catalog.view(ref.name)
+        columns, rows = self.execute_select(view.query)
+        if view.columns:
+            if len(view.columns) != len(columns):
+                raise SqlError(
+                    f"view {view.name!r} declares {len(view.columns)} "
+                    f"columns but its query yields {len(columns)}"
+                )
+            columns = list(view.columns)
+        qualifier = (ref.alias or ref.name).lower()
+        return Relation([(qualifier, c.lower()) for c in columns], rows)
+
+    def _join(
+        self,
+        join: ast.Join,
+        where_parts: list[ast.Expression],
+        outer_env: RowEnvironment | None,
+    ) -> Relation:
+        left = self._from_item(join.left, where_parts, outer_env)
+        right = self._from_item(join.right, where_parts, outer_env)
+        bindings = left.bindings + right.bindings
+
+        if join.kind == "CROSS":
+            rows = [
+                lrow + rrow for lrow in left.rows for rrow in right.rows
+            ]
+            return Relation(bindings, rows)
+
+        equi = recognise_equi_join(
+            join.condition, left.qualifiers(), right.qualifiers()
+        )
+        if equi is not None:
+            return self._hash_join(join.kind, left, right, equi, outer_env)
+        return self._nested_loop_join(join, left, right, outer_env)
+
+    def _hash_join(
+        self,
+        kind: str,
+        left: Relation,
+        right: Relation,
+        equi,
+        outer_env: RowEnvironment | None,
+    ) -> Relation:
+        bindings = left.bindings + right.bindings
+        buckets: dict[Any, list[tuple]] = {}
+        for rrow in right.rows:
+            env = RowEnvironment(right.bindings, rrow, outer_env)
+            key = self._evaluator.evaluate(equi.right_expr, env)
+            if key is NULL:
+                continue
+            buckets.setdefault(_join_key(key), []).append(rrow)
+
+        null_padding = (NULL,) * len(right.bindings)
+        rows: list[tuple] = []
+        for lrow in left.rows:
+            env = RowEnvironment(left.bindings, lrow, outer_env)
+            key = self._evaluator.evaluate(equi.left_expr, env)
+            matches = [] if key is NULL else buckets.get(_join_key(key), [])
+            matched = False
+            for rrow in matches:
+                combined = lrow + rrow
+                if self._residual_passes(equi.residual, bindings, combined, outer_env):
+                    rows.append(combined)
+                    matched = True
+            if kind == "LEFT" and not matched:
+                rows.append(lrow + null_padding)
+        return Relation(bindings, rows)
+
+    def _nested_loop_join(
+        self,
+        join: ast.Join,
+        left: Relation,
+        right: Relation,
+        outer_env: RowEnvironment | None,
+    ) -> Relation:
+        bindings = left.bindings + right.bindings
+        null_padding = (NULL,) * len(right.bindings)
+        rows: list[tuple] = []
+        for lrow in left.rows:
+            matched = False
+            for rrow in right.rows:
+                combined = lrow + rrow
+                env = RowEnvironment(bindings, combined, outer_env)
+                if join.condition is None or self._evaluator.truthy(
+                    join.condition, env
+                ):
+                    rows.append(combined)
+                    matched = True
+            if join.kind == "LEFT" and not matched:
+                rows.append(lrow + null_padding)
+        return Relation(bindings, rows)
+
+    def _residual_passes(
+        self,
+        residual: list[ast.Expression],
+        bindings: list[tuple[str, str]],
+        row: tuple,
+        outer_env: RowEnvironment | None,
+    ) -> bool:
+        if not residual:
+            return True
+        env = RowEnvironment(bindings, row, outer_env)
+        return all(self._evaluator.truthy(part, env) for part in residual)
+
+    # -- WHERE -------------------------------------------------------------
+
+    def _filter(
+        self,
+        relation: Relation,
+        predicates: list[ast.Expression],
+        outer_env: RowEnvironment | None,
+    ) -> Relation:
+        rows = []
+        for row in relation.rows:
+            env = RowEnvironment(relation.bindings, row, outer_env)
+            if all(self._evaluator.truthy(p, env) for p in predicates):
+                rows.append(row)
+        return Relation(relation.bindings, rows)
+
+    # -- projection ---------------------------------------------------------
+
+    def _expand_items(
+        self, select: ast.Select, relation: Relation
+    ) -> list[tuple[str, ast.Expression]]:
+        """Resolve the select list into (output name, expression) pairs."""
+        items: list[tuple[str, ast.Expression]] = []
+        for item in select.items:
+            expression = item.expression
+            if isinstance(expression, ast.Star):
+                wanted = expression.table.lower() if expression.table else None
+                found = False
+                for qualifier, column in relation.bindings:
+                    if wanted is None or qualifier == wanted:
+                        items.append(
+                            (column, ast.ColumnRef(qualifier, column))
+                        )
+                        found = True
+                if not found:
+                    raise CatalogError(
+                        f"unknown table alias {expression.table!r} in select list"
+                    )
+                continue
+            items.append((_output_name(item), expression))
+        return items
+
+    def _projection(
+        self,
+        select: ast.Select,
+        relation: Relation,
+        outer_env: RowEnvironment | None,
+    ) -> tuple[list[str], list[tuple], list[list] | None]:
+        items = self._expand_items(select, relation)
+        columns = [name for name, _ in items]
+        rows = []
+        order_keys: list[list] | None = [] if select.order_by else None
+        for row in relation.rows:
+            env = RowEnvironment(relation.bindings, row, outer_env)
+            projected = tuple(
+                self._evaluator.evaluate(expr, env) for _, expr in items
+            )
+            rows.append(projected)
+            if order_keys is not None:
+                order_keys.append(
+                    self._order_key_row(select, columns, projected, env)
+                )
+        return columns, rows, order_keys
+
+    def _order_key_row(
+        self,
+        select: ast.Select,
+        columns: list[str],
+        projected: tuple,
+        source_env: RowEnvironment,
+    ) -> list:
+        """Evaluate ORDER BY terms with output aliases layered over the
+        source row, so both ``ORDER BY alias`` and ``ORDER BY raw_col``
+        (and 1-based ordinals) resolve."""
+        alias_bindings = [("", c.lower()) for c in columns]
+        env = source_env.child(alias_bindings, projected)
+        env.aggregates = source_env.aggregates
+        keys = []
+        for order in select.order_by:
+            expression = order.expression
+            if isinstance(expression, ast.Literal) and isinstance(
+                expression.value, int
+            ) and not isinstance(expression.value, bool):
+                ordinal = expression.value
+                if not 1 <= ordinal <= len(columns):
+                    raise SqlError(f"ORDER BY ordinal {ordinal} out of range")
+                keys.append(projected[ordinal - 1])
+            else:
+                keys.append(self._evaluator.evaluate(expression, env))
+        return keys
+
+    # -- grouping ------------------------------------------------------------
+
+    def _grouped_projection(
+        self,
+        select: ast.Select,
+        relation: Relation,
+        aggregates: list[ast.Aggregate],
+        outer_env: RowEnvironment | None,
+    ) -> tuple[list[str], list[tuple], list[list] | None]:
+        items = self._expand_items(select, relation)
+        columns = [name for name, _ in items]
+
+        groups: dict[tuple, list[tuple]] = {}
+        order: list[tuple] = []
+        for row in relation.rows:
+            env = RowEnvironment(relation.bindings, row, outer_env)
+            key = tuple(
+                _group_key(self._evaluator.evaluate(g, env))
+                for g in select.group_by
+            )
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+
+        if not select.group_by and not groups:
+            groups[()] = []
+            order.append(())
+
+        out_rows: list[tuple] = []
+        order_keys: list[list] | None = [] if select.order_by else None
+        for key in order:
+            member_rows = groups[key]
+            representative = (
+                member_rows[0]
+                if member_rows
+                else tuple([NULL] * len(relation.bindings))
+            )
+            env = RowEnvironment(relation.bindings, representative, outer_env)
+            env.aggregates = self._compute_aggregates(
+                aggregates, relation, member_rows, outer_env
+            )
+            if select.having is not None and not self._evaluator.truthy(
+                select.having, env
+            ):
+                continue
+            projected = tuple(
+                self._evaluator.evaluate(expr, env) for _, expr in items
+            )
+            out_rows.append(projected)
+            if order_keys is not None:
+                order_keys.append(
+                    self._order_key_row(select, columns, projected, env)
+                )
+        if select.distinct:
+            out_rows = _distinct(out_rows)
+            order_keys = None
+        return columns, out_rows, order_keys
+
+    def _compute_aggregates(
+        self,
+        aggregates: list[ast.Aggregate],
+        relation: Relation,
+        rows: list[tuple],
+        outer_env: RowEnvironment | None,
+    ) -> dict[ast.Aggregate, Any]:
+        results: dict[ast.Aggregate, Any] = {}
+        for aggregate in aggregates:
+            if aggregate.argument is None:  # COUNT(*)
+                results[aggregate] = len(rows)
+                continue
+            values = []
+            for row in rows:
+                env = RowEnvironment(relation.bindings, row, outer_env)
+                value = self._evaluator.evaluate(aggregate.argument, env)
+                if value is not NULL:
+                    values.append(value)
+            if aggregate.distinct:
+                values = _distinct_values(values)
+            results[aggregate] = _fold_aggregate(aggregate.name, values)
+        return results
+
+    # -- ORDER BY / LIMIT -----------------------------------------------------
+
+    def _order_output_rows(
+        self,
+        select: ast.Select,
+        columns: list[str],
+        rows: list[tuple],
+        outer_env: RowEnvironment | None,
+    ) -> list[tuple]:
+        """Sort projected rows when source rows are unavailable (UNION,
+        DISTINCT): terms must be output columns, ordinals or expressions
+        over the output columns."""
+        bindings = [("", c.lower()) for c in columns]
+        keys: list[list[Any]] = []
+        for row in rows:
+            env = RowEnvironment(bindings, row, outer_env)
+            keys.append(self._order_key_row(select, columns, row, env))
+        return _sort_by_keys(rows, keys, select.order_by)
+
+    def _apply_limit(
+        self,
+        select: ast.Select,
+        rows: list[tuple],
+        outer_env: RowEnvironment | None,
+    ) -> list[tuple]:
+        env = RowEnvironment([], (), outer_env)
+        offset = 0
+        if select.offset is not None:
+            offset = _expect_int(self._evaluator.evaluate(select.offset, env), "OFFSET")
+        if offset:
+            rows = rows[offset:]
+        if select.limit is not None:
+            limit = _expect_int(self._evaluator.evaluate(select.limit, env), "LIMIT")
+            rows = rows[:limit]
+        return rows
+
+    # -- EXPLAIN ---------------------------------------------------------------
+
+    def explain_select(self, select: ast.Select) -> list[str]:
+        """A one-line-per-source description of the chosen access paths."""
+        lines: list[str] = []
+        where_parts = conjuncts(select.where)
+        self._explain_from(select.from_item, where_parts, lines)
+        if select.group_by or _collect_aggregates(select):
+            lines.append("AGGREGATE")
+        if select.order_by:
+            lines.append(f"SORT ({len(select.order_by)} key(s))")
+        if select.limit is not None:
+            lines.append("LIMIT")
+        return lines
+
+    def _explain_from(self, item, where_parts, lines: list[str]) -> None:
+        if item is None:
+            lines.append("NO TABLE (constant row)")
+            return
+        if isinstance(item, ast.TableRef):
+            if self._catalog.has_view(item.name):
+                lines.append(f"VIEW EXPANSION {item.name}")
+                return
+            schema = self._catalog.table(item.name)
+            storage = self._storages[schema.name.lower()]
+            qualifier = (item.alias or item.name).lower()
+            path = choose_access_path(
+                storage, qualifier, where_parts, self._parameters
+            )
+            if isinstance(path, EqualityLookup):
+                lines.append(
+                    f"INDEX LOOKUP {schema.name} ({path.index.name})"
+                )
+            elif isinstance(path, RangeLookup):
+                lines.append(
+                    f"INDEX RANGE SCAN {schema.name} ({path.index.name})"
+                )
+            else:
+                lines.append(f"FULL SCAN {schema.name}")
+            return
+        if isinstance(item, ast.SubqueryRef):
+            lines.append(f"DERIVED TABLE {item.alias}")
+            return
+        if isinstance(item, ast.Join):
+            self._explain_from(item.left, where_parts, lines)
+            self._explain_from(item.right, where_parts, lines)
+            if item.kind == "CROSS":
+                lines.append("CROSS JOIN")
+                return
+            left_q = self._qualifiers_of(item.left)
+            right_q = self._qualifiers_of(item.right)
+            equi = recognise_equi_join(item.condition, left_q, right_q)
+            strategy = "HASH JOIN" if equi is not None else "NESTED LOOP JOIN"
+            lines.append(f"{item.kind} {strategy}")
+
+    def _qualifiers_of(self, item) -> set[str]:
+        if isinstance(item, ast.TableRef):
+            return {(item.alias or item.name).lower()}
+        if isinstance(item, ast.SubqueryRef):
+            return {item.alias.lower()}
+        if isinstance(item, ast.Join):
+            return self._qualifiers_of(item.left) | self._qualifiers_of(item.right)
+        return set()
+
+    # =========================================================================
+    # DML
+    # =========================================================================
+
+    def execute_insert(self, insert: ast.Insert) -> int:
+        schema = self._catalog.table(insert.table)
+        self._on_table_write(schema.name.lower())
+        storage = self._storage(insert.table)
+
+        if insert.columns:
+            positions = [schema.column_index(c) for c in insert.columns]
+        else:
+            positions = list(range(len(schema.columns)))
+
+        if insert.query is not None:
+            _, source_rows = self.execute_select(insert.query)
+            value_rows = source_rows
+        else:
+            env = RowEnvironment([], ())
+            value_rows = [
+                tuple(self._evaluator.evaluate(e, env) for e in row)
+                for row in insert.rows
+            ]
+
+        count = 0
+        for values in value_rows:
+            if len(values) != len(positions):
+                raise SqlError(
+                    f"INSERT supplies {len(values)} values for "
+                    f"{len(positions)} columns"
+                )
+            row = self._build_row(schema, positions, values)
+            self._check_row(schema, row)
+            self._check_foreign_keys(schema, row)
+            row_id = storage.insert(row)
+            self._journal.record_insert(storage, row_id)
+            count += 1
+        return count
+
+    def _build_row(self, schema, positions: list[int], values: tuple) -> tuple:
+        row: list[Any] = [None] * len(schema.columns)
+        supplied = set(positions)
+        for position, value in zip(positions, values):
+            column = schema.columns[position]
+            row[position] = coerce(value, column.sql_type, column.length)
+        env = RowEnvironment([], ())
+        for position, column in enumerate(schema.columns):
+            if position in supplied:
+                continue
+            if column.default is not None:
+                default_value = self._evaluator.evaluate(column.default, env)
+                row[position] = coerce(
+                    default_value, column.sql_type, column.length
+                )
+            else:
+                row[position] = NULL
+        return tuple(row)
+
+    def _check_row(self, schema, row: tuple) -> None:
+        for column in schema.columns:
+            if column.not_null and row[column.position] is NULL:
+                raise ConstraintViolation(
+                    f"column {schema.name}.{column.name} may not be NULL"
+                )
+        if schema.checks:
+            # Unqualified references match any qualifier, so one binding
+            # set under the table name serves both styles.
+            bindings = [
+                (schema.name.lower(), c.lower()) for c in schema.column_names
+            ]
+            env = RowEnvironment(bindings, row)
+            for check in schema.checks:
+                result = self._evaluator.evaluate(check.expression, env)
+                if result is False:  # NULL passes a CHECK per the standard
+                    raise ConstraintViolation(
+                        f"check constraint {check.name!r} violated"
+                    )
+
+    def _check_foreign_keys(self, schema, row: tuple) -> None:
+        for fk in schema.foreign_keys:
+            key = tuple(
+                row[schema.column_index(column)] for column in fk.columns
+            )
+            if any(value is NULL for value in key):
+                continue
+            parent_schema = self._catalog.table(fk.ref_table)
+            parent_storage = self._storage(fk.ref_table)
+            index = parent_storage.find_hash_index(fk.ref_columns)
+            if index is not None:
+                if not index.lookup(key):
+                    raise ConstraintViolation(
+                        f"foreign key {fk.name!r}: no parent row {key!r} "
+                        f"in {fk.ref_table}"
+                    )
+                continue
+            positions = [parent_schema.column_index(c) for c in fk.ref_columns]
+            if not any(
+                tuple(parent_row[p] for p in positions) == key
+                for _, parent_row in parent_storage.rows()
+            ):
+                raise ConstraintViolation(
+                    f"foreign key {fk.name!r}: no parent row {key!r} "
+                    f"in {fk.ref_table}"
+                )
+
+    def _check_no_children(self, schema, row: tuple) -> None:
+        """RESTRICT semantics: reject delete/update of a referenced key."""
+        for other_name in self._catalog.table_names():
+            other = self._catalog.table(other_name)
+            for fk in other.foreign_keys:
+                if fk.ref_table.lower() != schema.name.lower():
+                    continue
+                key = tuple(
+                    row[schema.column_index(c)] for c in fk.ref_columns
+                )
+                if any(value is NULL for value in key):
+                    continue
+                child_storage = self._storage(other_name)
+                index = child_storage.find_hash_index(fk.columns)
+                if index is not None:
+                    if index.lookup(key):
+                        raise ConstraintViolation(
+                            f"row is referenced by {other.name}.{fk.name}"
+                        )
+                    continue
+                positions = [other.column_index(c) for c in fk.columns]
+                for _, child_row in child_storage.rows():
+                    if tuple(child_row[p] for p in positions) == key:
+                        raise ConstraintViolation(
+                            f"row is referenced by {other.name}.{fk.name}"
+                        )
+
+    def execute_update(self, update: ast.Update) -> int:
+        schema = self._catalog.table(update.table)
+        self._on_table_write(schema.name.lower())
+        storage = self._storage(update.table)
+        qualifier = schema.name.lower()
+        bindings = [(qualifier, c.lower()) for c in schema.column_names]
+
+        assignments = [
+            (schema.column_index(column), schema.column(column), expression)
+            for column, expression in update.assignments
+        ]
+
+        targets: list[tuple[int, tuple]] = []
+        for row_id, row in storage.rows():
+            env = RowEnvironment(bindings, row)
+            if update.where is None or self._evaluator.truthy(update.where, env):
+                targets.append((row_id, row))
+
+        for row_id, old_row in targets:
+            env = RowEnvironment(bindings, old_row)
+            new_values = list(old_row)
+            for position, column, expression in assignments:
+                value = self._evaluator.evaluate(expression, env)
+                new_values[position] = coerce(value, column.sql_type, column.length)
+            new_row = tuple(new_values)
+            self._check_row(schema, new_row)
+            self._check_foreign_keys(schema, new_row)
+            if self._key_changed(schema, old_row, new_row):
+                self._check_no_children(schema, old_row)
+            storage.update(row_id, new_row)
+            self._journal.record_update(storage, row_id, old_row)
+        return len(targets)
+
+    def _key_changed(self, schema, old_row: tuple, new_row: tuple) -> bool:
+        referenced: set[int] = set()
+        for other_name in self._catalog.table_names():
+            for fk in self._catalog.table(other_name).foreign_keys:
+                if fk.ref_table.lower() == schema.name.lower():
+                    referenced.update(
+                        schema.column_index(c) for c in fk.ref_columns
+                    )
+        return any(
+            compare_values(old_row[p], new_row[p]) != 0
+            if old_row[p] is not NULL and new_row[p] is not NULL
+            else (old_row[p] is NULL) != (new_row[p] is NULL)
+            for p in referenced
+        )
+
+    def execute_delete(self, delete: ast.Delete) -> int:
+        schema = self._catalog.table(delete.table)
+        self._on_table_write(schema.name.lower())
+        storage = self._storage(delete.table)
+        qualifier = schema.name.lower()
+        bindings = [(qualifier, c.lower()) for c in schema.column_names]
+
+        targets: list[tuple[int, tuple]] = []
+        for row_id, row in storage.rows():
+            env = RowEnvironment(bindings, row)
+            if delete.where is None or self._evaluator.truthy(delete.where, env):
+                targets.append((row_id, row))
+
+        for row_id, row in targets:
+            self._check_no_children(schema, row)
+            storage.delete(row_id)
+            self._journal.record_delete(storage, row_id, row)
+        return len(targets)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _output_name(item: ast.SelectItem) -> str:
+    if item.alias:
+        return item.alias
+    expression = item.expression
+    if isinstance(expression, ast.ColumnRef):
+        return expression.column
+    if isinstance(expression, ast.Aggregate):
+        return expression.name
+    if isinstance(expression, ast.FunctionCall):
+        return expression.name
+    return "expr"
+
+
+def _collect_aggregates(select: ast.Select) -> list[ast.Aggregate]:
+    found: list[ast.Aggregate] = []
+    seen: set[ast.Aggregate] = set()
+
+    def walk(node) -> None:
+        if isinstance(node, ast.Aggregate):
+            if node not in seen:
+                seen.add(node)
+                found.append(node)
+            return  # nested aggregates are invalid anyway
+        if isinstance(node, (ast.Select,)):
+            return  # subqueries manage their own aggregates
+        if hasattr(node, "__dataclass_fields__"):
+            for field_name in node.__dataclass_fields__:
+                value = getattr(node, field_name)
+                if isinstance(value, tuple):
+                    for element in value:
+                        if isinstance(element, tuple):
+                            for sub in element:
+                                walk(sub)
+                        else:
+                            walk(element)
+                else:
+                    walk(value)
+
+    for item in select.items:
+        walk(item.expression)
+    if select.having is not None:
+        walk(select.having)
+    for order in select.order_by:
+        walk(order.expression)
+    return found
+
+
+def _fold_aggregate(name: str, values: list) -> Any:
+    if name == "COUNT":
+        return len(values)
+    if not values:
+        return NULL
+    if name == "SUM":
+        return _numeric_sum(values)
+    if name == "AVG":
+        total = _numeric_sum(values)
+        if isinstance(total, Decimal):
+            return total / Decimal(len(values))
+        return total / len(values)
+    if name == "MIN":
+        return _extreme(values, want_smaller=True)
+    if name == "MAX":
+        return _extreme(values, want_smaller=False)
+    raise SqlError(f"unknown aggregate {name}")
+
+
+def _numeric_sum(values: list) -> Any:
+    total = values[0]
+    if not isinstance(total, (int, float, Decimal)) or isinstance(total, bool):
+        raise SqlTypeError("SUM/AVG require numeric values")
+    for value in values[1:]:
+        if not isinstance(value, (int, float, Decimal)) or isinstance(value, bool):
+            raise SqlTypeError("SUM/AVG require numeric values")
+        if isinstance(total, Decimal) or isinstance(value, Decimal):
+            total = Decimal(str(total)) + Decimal(str(value))
+        else:
+            total = total + value
+    return total
+
+
+def _extreme(values: list, want_smaller: bool) -> Any:
+    best = values[0]
+    for value in values[1:]:
+        comparison = compare_values(value, best)
+        if comparison is None:
+            continue
+        if (comparison < 0) == want_smaller and comparison != 0:
+            best = value
+    return best
+
+
+def _distinct(rows: list[tuple]) -> list[tuple]:
+    seen: set = set()
+    out: list[tuple] = []
+    for row in rows:
+        key = tuple(_group_key(v) for v in row)
+        if key not in seen:
+            seen.add(key)
+            out.append(row)
+    return out
+
+
+def _distinct_values(values: list) -> list:
+    seen: set = set()
+    out = []
+    for value in values:
+        key = _group_key(value)
+        if key not in seen:
+            seen.add(key)
+            out.append(value)
+    return out
+
+
+def _group_key(value: Any) -> Any:
+    if value is NULL:
+        return ("\0null",)
+    if isinstance(value, bool):
+        return ("\0bool", value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, Decimal):
+        return float(value)
+    return value
+
+
+def _join_key(value: Any) -> Any:
+    return _group_key(value)
+
+
+def _sort_by_keys(
+    rows: list[tuple], keys: list[list], order_by: tuple[ast.OrderItem, ...]
+) -> list[tuple]:
+    """Stable sort of *rows* by parallel *keys* honouring per-term direction."""
+    directions = [order.ascending for order in order_by]
+
+    def compare(a_index: int, b_index: int) -> int:
+        for position, ascending in enumerate(directions):
+            a_value = keys[a_index][position]
+            b_value = keys[b_index][position]
+            # NULLs always sort last, regardless of direction.
+            if a_value is NULL or b_value is NULL:
+                if a_value is NULL and b_value is NULL:
+                    continue
+                return 1 if a_value is NULL else -1
+            comparison = _null_aware_compare(a_value, b_value)
+            if comparison != 0:
+                return comparison if ascending else -comparison
+        return 0
+
+    order_indexes = sorted(range(len(rows)), key=cmp_to_key(compare))
+    return [rows[i] for i in order_indexes]
+
+
+def _null_aware_compare(a: Any, b: Any) -> int:
+    """NULLs sort after everything (ascending)."""
+    if a is NULL and b is NULL:
+        return 0
+    if a is NULL:
+        return 1
+    if b is NULL:
+        return -1
+    comparison = compare_values(a, b)
+    return comparison if comparison is not None else 0
+
+
+def _expect_int(value: Any, clause: str) -> int:
+    if isinstance(value, int) and not isinstance(value, bool) and value >= 0:
+        return value
+    raise SqlError(f"{clause} requires a non-negative integer")

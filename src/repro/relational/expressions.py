@@ -1,0 +1,489 @@
+"""Expression evaluation with SQL three-valued logic.
+
+Boolean results are ``True``, ``False`` or :data:`NULL` (unknown).  The
+evaluator is shared by the WHERE/HAVING filters, projections, CHECK
+constraints and DEFAULT expressions; aggregates are *not* computed here —
+the executor computes them per group and binds the results into the
+environment, so an expression like ``SUM(x) / COUNT(*)`` evaluates
+uniformly.
+"""
+
+from __future__ import annotations
+
+import re
+from decimal import Decimal
+from typing import Any, Callable, Optional
+
+from repro.relational import ast_nodes as ast
+from repro.relational.errors import (
+    CatalogError,
+    DivisionByZero,
+    SqlError,
+    SqlTypeError,
+)
+from repro.relational.types import NULL, SqlType, coerce, compare_values
+
+
+class RowEnvironment:
+    """Column bindings for one row, chained for correlated subqueries.
+
+    ``columns`` is a list of ``(qualifier, name)`` pairs (both lower-case,
+    qualifier may be ``None`` only conceptually — it is always a string
+    here since every from-item has at least a generated alias).
+    """
+
+    def __init__(
+        self,
+        columns: list[tuple[str, str]],
+        values: tuple,
+        parent: Optional["RowEnvironment"] = None,
+    ) -> None:
+        self.columns = columns
+        self.values = values
+        self.parent = parent
+        #: aggregate results bound by the executor, keyed by AST node
+        self.aggregates: dict[ast.Aggregate, Any] = {}
+
+    def child(self, columns: list[tuple[str, str]], values: tuple) -> "RowEnvironment":
+        return RowEnvironment(columns, values, parent=self)
+
+    def lookup(self, table: str | None, column: str) -> Any:
+        wanted_table = table.lower() if table else None
+        wanted_column = column.lower()
+        matches = [
+            index
+            for index, (qualifier, name) in enumerate(self.columns)
+            if name == wanted_column
+            and (wanted_table is None or qualifier == wanted_table)
+        ]
+        if len(matches) > 1:
+            raise CatalogError(f"ambiguous column reference {column!r}")
+        if matches:
+            return self.values[matches[0]]
+        if self.parent is not None:
+            return self.parent.lookup(table, column)
+        display = f"{table}.{column}" if table else column
+        raise CatalogError(f"unknown column {display!r}")
+
+
+SubqueryRunner = Callable[[ast.Select, "RowEnvironment"], list[tuple]]
+
+
+class ExpressionEvaluator:
+    """Evaluates expression ASTs against row environments."""
+
+    def __init__(
+        self,
+        parameters: tuple = (),
+        subquery_runner: SubqueryRunner | None = None,
+    ) -> None:
+        self._parameters = parameters
+        self._subquery_runner = subquery_runner
+
+    # -- entry points -------------------------------------------------------
+
+    def evaluate(self, expr: ast.Expression, env: RowEnvironment) -> Any:
+        method = self._DISPATCH.get(type(expr))
+        if method is None:
+            raise SqlError(f"cannot evaluate {type(expr).__name__} here")
+        return method(self, expr, env)
+
+    def truthy(self, expr: ast.Expression, env: RowEnvironment) -> bool:
+        """Three-valued filter semantics: only TRUE passes."""
+        return self.evaluate(expr, env) is True
+
+    # -- leaves ---------------------------------------------------------------
+
+    def _literal(self, expr: ast.Literal, env: RowEnvironment) -> Any:
+        return expr.value
+
+    def _parameter(self, expr: ast.Parameter, env: RowEnvironment) -> Any:
+        try:
+            value = self._parameters[expr.index]
+        except IndexError:
+            raise SqlError(
+                f"statement uses parameter {expr.index + 1} but only "
+                f"{len(self._parameters)} supplied"
+            ) from None
+        return NULL if value is None else value
+
+    def _column(self, expr: ast.ColumnRef, env: RowEnvironment) -> Any:
+        return env.lookup(expr.table, expr.column)
+
+    def _aggregate(self, expr: ast.Aggregate, env: RowEnvironment) -> Any:
+        scope: RowEnvironment | None = env
+        while scope is not None:
+            if expr in scope.aggregates:
+                return scope.aggregates[expr]
+            scope = scope.parent
+        raise SqlError(
+            f"aggregate {expr.name} used outside GROUP BY / aggregate query"
+        )
+
+    # -- operators -----------------------------------------------------------
+
+    def _unary(self, expr: ast.Unary, env: RowEnvironment) -> Any:
+        value = self.evaluate(expr.operand, env)
+        if expr.op == "NOT":
+            if value is NULL:
+                return NULL
+            if isinstance(value, bool):
+                return not value
+            raise SqlTypeError("NOT requires a boolean operand")
+        if value is NULL:
+            return NULL
+        if isinstance(value, (int, float, Decimal)) and not isinstance(value, bool):
+            return -value
+        raise SqlTypeError("unary minus requires a numeric operand")
+
+    def _binary(self, expr: ast.Binary, env: RowEnvironment) -> Any:
+        op = expr.op
+        if op == "AND":
+            return _and3(
+                lambda: self._boolean_operand(expr.left, env),
+                lambda: self._boolean_operand(expr.right, env),
+            )
+        if op == "OR":
+            return _or3(
+                lambda: self._boolean_operand(expr.left, env),
+                lambda: self._boolean_operand(expr.right, env),
+            )
+        left = self.evaluate(expr.left, env)
+        right = self.evaluate(expr.right, env)
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            comparison = compare_values(left, right)
+            if comparison is None:
+                return NULL
+            return _COMPARISONS[op](comparison)
+        if op == "||":
+            if left is NULL or right is NULL:
+                return NULL
+            return _stringify(left) + _stringify(right)
+        # arithmetic
+        if left is NULL or right is NULL:
+            return NULL
+        return _arithmetic(op, left, right)
+
+    def _boolean_operand(self, expr: ast.Expression, env: RowEnvironment) -> Any:
+        value = self.evaluate(expr, env)
+        if value is NULL or isinstance(value, bool):
+            return value
+        raise SqlTypeError(
+            f"expected a boolean operand, got {type(value).__name__}"
+        )
+
+    def _is_null(self, expr: ast.IsNull, env: RowEnvironment) -> bool:
+        value = self.evaluate(expr.operand, env)
+        result = value is NULL
+        return not result if expr.negated else result
+
+    def _like(self, expr: ast.Like, env: RowEnvironment) -> Any:
+        value = self.evaluate(expr.operand, env)
+        pattern = self.evaluate(expr.pattern, env)
+        if value is NULL or pattern is NULL:
+            return NULL
+        if not isinstance(value, str) or not isinstance(pattern, str):
+            raise SqlTypeError("LIKE requires string operands")
+        matched = bool(_like_regex(pattern).match(value))
+        return not matched if expr.negated else matched
+
+    def _between(self, expr: ast.Between, env: RowEnvironment) -> Any:
+        value = self.evaluate(expr.operand, env)
+        low = self.evaluate(expr.low, env)
+        high = self.evaluate(expr.high, env)
+        lower = compare_values(value, low)
+        upper = compare_values(value, high)
+        result = _and3(
+            lambda: NULL if lower is None else lower >= 0,
+            lambda: NULL if upper is None else upper <= 0,
+        )
+        if expr.negated:
+            return NULL if result is NULL else not result
+        return result
+
+    def _in_list(self, expr: ast.InList, env: RowEnvironment) -> Any:
+        value = self.evaluate(expr.operand, env)
+        candidates = [self.evaluate(item, env) for item in expr.items]
+        return self._in_semantics(value, candidates, expr.negated)
+
+    def _in_subquery(self, expr: ast.InSubquery, env: RowEnvironment) -> Any:
+        value = self.evaluate(expr.operand, env)
+        rows = self._run_subquery(expr.query, env)
+        candidates = [row[0] for row in rows]
+        return self._in_semantics(value, candidates, expr.negated)
+
+    def _in_semantics(self, value: Any, candidates: list, negated: bool) -> Any:
+        if value is NULL:
+            return NULL
+        saw_null = False
+        for candidate in candidates:
+            comparison = compare_values(value, candidate)
+            if comparison is None:
+                saw_null = True
+            elif comparison == 0:
+                return not negated
+        if saw_null:
+            return NULL
+        return negated
+
+    def _exists(self, expr: ast.Exists, env: RowEnvironment) -> bool:
+        rows = self._run_subquery(expr.query, env)
+        found = bool(rows)
+        return not found if expr.negated else found
+
+    def _scalar_subquery(self, expr: ast.ScalarSubquery, env: RowEnvironment) -> Any:
+        rows = self._run_subquery(expr.query, env)
+        if not rows:
+            return NULL
+        if len(rows) > 1:
+            raise SqlError("scalar subquery returned more than one row")
+        if len(rows[0]) != 1:
+            raise SqlError("scalar subquery must select exactly one column")
+        return rows[0][0]
+
+    def _run_subquery(self, query: ast.Select, env: RowEnvironment) -> list[tuple]:
+        if self._subquery_runner is None:
+            raise SqlError("subqueries are not available in this context")
+        return self._subquery_runner(query, env)
+
+    # -- functions ------------------------------------------------------------
+
+    def _function(self, expr: ast.FunctionCall, env: RowEnvironment) -> Any:
+        handler = _FUNCTIONS.get(expr.name)
+        if handler is None:
+            raise SqlError(f"unknown function {expr.name}()")
+        args = [self.evaluate(arg, env) for arg in expr.args]
+        return handler(args)
+
+    def _case(self, expr: ast.Case, env: RowEnvironment) -> Any:
+        if expr.operand is not None:
+            # Simple CASE: compare the operand with each WHEN value.
+            subject = self.evaluate(expr.operand, env)
+            for candidate, result in expr.whens:
+                comparison = compare_values(
+                    subject, self.evaluate(candidate, env)
+                )
+                if comparison == 0:
+                    return self.evaluate(result, env)
+        else:
+            for condition, result in expr.whens:
+                if self.evaluate(condition, env) is True:
+                    return self.evaluate(result, env)
+        if expr.default is not None:
+            return self.evaluate(expr.default, env)
+        return NULL
+
+    def _cast(self, expr: ast.Cast, env: RowEnvironment) -> Any:
+        value = self.evaluate(expr.operand, env)
+        return coerce(value, expr.target, expr.length)
+
+    _DISPATCH = {}
+
+
+ExpressionEvaluator._DISPATCH = {
+    ast.Literal: ExpressionEvaluator._literal,
+    ast.Parameter: ExpressionEvaluator._parameter,
+    ast.ColumnRef: ExpressionEvaluator._column,
+    ast.Aggregate: ExpressionEvaluator._aggregate,
+    ast.Unary: ExpressionEvaluator._unary,
+    ast.Binary: ExpressionEvaluator._binary,
+    ast.IsNull: ExpressionEvaluator._is_null,
+    ast.Like: ExpressionEvaluator._like,
+    ast.Between: ExpressionEvaluator._between,
+    ast.InList: ExpressionEvaluator._in_list,
+    ast.InSubquery: ExpressionEvaluator._in_subquery,
+    ast.Exists: ExpressionEvaluator._exists,
+    ast.ScalarSubquery: ExpressionEvaluator._scalar_subquery,
+    ast.FunctionCall: ExpressionEvaluator._function,
+    ast.Case: ExpressionEvaluator._case,
+    ast.Cast: ExpressionEvaluator._cast,
+}
+
+
+# ---------------------------------------------------------------------------
+# Three-valued connectives
+# ---------------------------------------------------------------------------
+
+
+def _and3(left_thunk, right_thunk) -> Any:
+    left = left_thunk()
+    if left is False:
+        return False
+    right = right_thunk()
+    if right is False:
+        return False
+    if left is NULL or right is NULL:
+        return NULL
+    return True
+
+
+def _or3(left_thunk, right_thunk) -> Any:
+    left = left_thunk()
+    if left is True:
+        return True
+    right = right_thunk()
+    if right is True:
+        return True
+    if left is NULL or right is NULL:
+        return NULL
+    return False
+
+
+_COMPARISONS = {
+    "=": lambda c: c == 0,
+    "<>": lambda c: c != 0,
+    "<": lambda c: c < 0,
+    "<=": lambda c: c <= 0,
+    ">": lambda c: c > 0,
+    ">=": lambda c: c >= 0,
+}
+
+
+def _arithmetic(op: str, left: Any, right: Any) -> Any:
+    if not _is_number(left) or not _is_number(right):
+        raise SqlTypeError(f"operator {op} requires numeric operands")
+    left, right = _unify_numeric(left, right)
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise DivisionByZero("division by zero")
+        if isinstance(left, int) and isinstance(right, int):
+            quotient = abs(left) // abs(right)
+            return quotient if (left >= 0) == (right >= 0) else -quotient
+        return left / right
+    if op == "%":
+        if right == 0:
+            raise DivisionByZero("division by zero")
+        remainder = abs(left) % abs(right)
+        return remainder if left >= 0 else -remainder
+    raise SqlError(f"unknown operator {op}")
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float, Decimal)) and not isinstance(value, bool)
+
+
+def _unify_numeric(left: Any, right: Any) -> tuple[Any, Any]:
+    if isinstance(left, Decimal) and isinstance(right, float):
+        return left, Decimal(str(right))
+    if isinstance(right, Decimal) and isinstance(left, float):
+        return Decimal(str(left)), right
+    if isinstance(left, Decimal) and isinstance(right, int):
+        return left, Decimal(right)
+    if isinstance(right, Decimal) and isinstance(left, int):
+        return Decimal(left), right
+    return left, right
+
+
+def _stringify(value: Any) -> str:
+    return coerce(value, SqlType.TEXT)
+
+
+_LIKE_CACHE: dict[str, re.Pattern] = {}
+
+
+def _like_regex(pattern: str) -> re.Pattern:
+    compiled = _LIKE_CACHE.get(pattern)
+    if compiled is None:
+        parts = ["^"]
+        for ch in pattern:
+            if ch == "%":
+                parts.append(".*")
+            elif ch == "_":
+                parts.append(".")
+            else:
+                parts.append(re.escape(ch))
+        parts.append("$")
+        compiled = re.compile("".join(parts), re.DOTALL)
+        _LIKE_CACHE[pattern] = compiled
+    return compiled
+
+
+# ---------------------------------------------------------------------------
+# Scalar function library
+# ---------------------------------------------------------------------------
+
+
+def _null_propagating(fn):
+    def wrapper(args):
+        if any(arg is NULL for arg in args):
+            return NULL
+        return fn(args)
+
+    return wrapper
+
+
+def _fn_coalesce(args):
+    for arg in args:
+        if arg is not NULL:
+            return arg
+    return NULL
+
+
+def _fn_nullif(args):
+    if len(args) != 2:
+        raise SqlError("NULLIF takes exactly two arguments")
+    a, b = args
+    comparison = compare_values(a, b)
+    if comparison == 0:
+        return NULL
+    return a
+
+
+def _fn_substr(args):
+    if len(args) not in (2, 3):
+        raise SqlError("SUBSTR takes two or three arguments")
+    text = _expect_str(args[0], "SUBSTR")
+    start = int(args[1])
+    length = int(args[2]) if len(args) == 3 else None
+    begin = max(start - 1, 0)
+    if length is None:
+        return text[begin:]
+    if length < 0:
+        raise SqlError("SUBSTR length must be non-negative")
+    return text[begin : begin + length]
+
+
+def _expect_str(value, fn):
+    if not isinstance(value, str):
+        raise SqlTypeError(f"{fn} requires a string argument")
+    return value
+
+
+def _fn_round(args):
+    if len(args) not in (1, 2):
+        raise SqlError("ROUND takes one or two arguments")
+    digits = int(args[1]) if len(args) == 2 else 0
+    value = args[0]
+    if not _is_number(value):
+        raise SqlTypeError("ROUND requires a numeric argument")
+    result = round(value, digits)
+    if digits == 0 and isinstance(value, float):
+        return float(result)
+    return result
+
+
+_FUNCTIONS = {
+    "UPPER": _null_propagating(lambda a: _expect_str(a[0], "UPPER").upper()),
+    "LOWER": _null_propagating(lambda a: _expect_str(a[0], "LOWER").lower()),
+    "LENGTH": _null_propagating(lambda a: len(_expect_str(a[0], "LENGTH"))),
+    "CHAR_LENGTH": _null_propagating(
+        lambda a: len(_expect_str(a[0], "CHAR_LENGTH"))
+    ),
+    "TRIM": _null_propagating(lambda a: _expect_str(a[0], "TRIM").strip()),
+    "LTRIM": _null_propagating(lambda a: _expect_str(a[0], "LTRIM").lstrip()),
+    "RTRIM": _null_propagating(lambda a: _expect_str(a[0], "RTRIM").rstrip()),
+    "ABS": _null_propagating(lambda a: abs(a[0])),
+    "MOD": _null_propagating(lambda a: _arithmetic("%", a[0], a[1])),
+    "ROUND": _null_propagating(_fn_round),
+    "SUBSTR": _null_propagating(_fn_substr),
+    "SUBSTRING": _null_propagating(_fn_substr),
+    "CONCAT": _null_propagating(lambda a: "".join(_stringify(x) for x in a)),
+    "COALESCE": _fn_coalesce,
+    "NULLIF": _fn_nullif,
+}

@@ -1,0 +1,104 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.relational.errors import SqlSyntaxError
+
+
+class TokenKind(Enum):
+    KEYWORD = auto()
+    IDENTIFIER = auto()
+    NUMBER = auto()
+    STRING = auto()
+    OPERATOR = auto()
+    PUNCT = auto()       # ( ) , . ;
+    PARAMETER = auto()   # ? positional parameter marker
+    EOF = auto()
+
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "ASC",
+    "DESC", "LIMIT", "OFFSET", "DISTINCT", "ALL", "AS", "AND", "OR", "NOT",
+    "NULL", "TRUE", "FALSE", "IN", "IS", "LIKE", "BETWEEN", "EXISTS",
+    "CASE", "WHEN", "THEN", "ELSE", "END", "CAST", "JOIN", "INNER", "LEFT",
+    "RIGHT", "OUTER", "CROSS", "ON", "UNION", "INSERT", "INTO", "VALUES",
+    "UPDATE", "SET", "DELETE", "CREATE", "DROP", "TABLE", "INDEX", "UNIQUE",
+    "PRIMARY", "KEY", "FOREIGN", "REFERENCES", "CHECK", "DEFAULT",
+    "CONSTRAINT", "BEGIN", "START", "TRANSACTION", "COMMIT", "ROLLBACK",
+    "WORK", "ISOLATION", "LEVEL", "READ", "WRITE", "COMMITTED",
+    "UNCOMMITTED", "REPEATABLE", "SERIALIZABLE", "IF", "COUNT", "SUM",
+    "AVG", "MIN", "MAX", "VIEW", "ALTER", "ADD", "COLUMN", "EXPLAIN",
+    "CALL",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    value: str
+    position: int
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.value in words
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|--[^\n]*\n?|/\*.*?\*/)
+  | (?P<number>\d+(\.\d*)?([eE][+-]?\d+)?|\.\d+([eE][+-]?\d+)?)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<qident>"(?:[^"]|"")*")
+  | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><=|>=|<>|!=|\|\||[=<>+\-*/%])
+  | (?P<param>\?)
+  | (?P<punct>[(),.;])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def tokenize(statement: str) -> list[Token]:
+    """Tokenize a SQL statement; keywords are upper-cased, identifiers keep
+    case but match case-insensitively downstream."""
+    tokens: list[Token] = []
+    pos = 0
+    length = len(statement)
+    while pos < length:
+        match = _TOKEN_RE.match(statement, pos)
+        if match is None:
+            raise SqlSyntaxError(
+                f"unexpected character {statement[pos]!r}", statement, pos
+            )
+        if match.lastgroup == "ws":
+            pos = match.end()
+            continue
+        value = match.group()
+        if match.lastgroup == "number":
+            tokens.append(Token(TokenKind.NUMBER, value, pos))
+        elif match.lastgroup == "string":
+            tokens.append(
+                Token(TokenKind.STRING, value[1:-1].replace("''", "'"), pos)
+            )
+        elif match.lastgroup == "qident":
+            tokens.append(
+                Token(TokenKind.IDENTIFIER, value[1:-1].replace('""', '"'), pos)
+            )
+        elif match.lastgroup == "word":
+            upper = value.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, upper, pos))
+            else:
+                tokens.append(Token(TokenKind.IDENTIFIER, value, pos))
+        elif match.lastgroup == "op":
+            tokens.append(Token(TokenKind.OPERATOR, value, pos))
+        elif match.lastgroup == "param":
+            tokens.append(Token(TokenKind.PARAMETER, "?", pos))
+        else:
+            tokens.append(Token(TokenKind.PUNCT, value, pos))
+        pos = match.end()
+    tokens.append(Token(TokenKind.EOF, "", length))
+    return tokens

@@ -1,0 +1,750 @@
+"""Recursive-descent SQL parser."""
+
+from __future__ import annotations
+
+from repro.relational import ast_nodes as ast
+from repro.relational.errors import SqlSyntaxError
+from repro.relational.lexer import Token, TokenKind, tokenize
+from repro.relational.types import NULL, TYPE_NAMES, SqlType
+
+_AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+def parse_statement(statement: str) -> ast.Statement:
+    """Parse one SQL statement (a trailing ``;`` is tolerated)."""
+    parser = _Parser(statement)
+    node = parser.parse_statement()
+    parser.accept_punct(";")
+    parser.expect_eof()
+    return node
+
+
+def parse_expression(expression: str) -> ast.Expression:
+    """Parse a standalone SQL expression (used by CHECK constraints)."""
+    parser = _Parser(expression)
+    node = parser.parse_expr()
+    parser.expect_eof()
+    return node
+
+
+class _Parser:
+    def __init__(self, statement: str) -> None:
+        self._statement = statement
+        self._tokens = tokenize(statement)
+        self._index = 0
+        self._parameter_count = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def error(self, message: str) -> SqlSyntaxError:
+        return SqlSyntaxError(message, self._statement, self.current.position)
+
+    def accept_keyword(self, *words: str) -> Token | None:
+        if self.current.is_keyword(*words):
+            return self.advance()
+        return None
+
+    def expect_keyword(self, *words: str) -> Token:
+        token = self.accept_keyword(*words)
+        if token is None:
+            raise self.error(f"expected {' or '.join(words)}")
+        return token
+
+    def accept_punct(self, punct: str) -> bool:
+        if self.current.kind is TokenKind.PUNCT and self.current.value == punct:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, punct: str) -> None:
+        if not self.accept_punct(punct):
+            raise self.error(f"expected {punct!r}")
+
+    def accept_operator(self, *ops: str) -> Token | None:
+        if self.current.kind is TokenKind.OPERATOR and self.current.value in ops:
+            return self.advance()
+        return None
+
+    def expect_identifier(self, what: str = "identifier") -> str:
+        token = self.current
+        if token.kind is TokenKind.IDENTIFIER:
+            self.advance()
+            return token.value
+        # Non-reserved use of soft keywords as identifiers.
+        if token.kind is TokenKind.KEYWORD and token.value in (
+            "KEY", "LEVEL", "WORK", "READ", "WRITE",
+        ):
+            self.advance()
+            return token.value
+        raise self.error(f"expected {what}")
+
+    def expect_eof(self) -> None:
+        if self.current.kind is not TokenKind.EOF:
+            raise self.error(f"unexpected input {self.current.value!r}")
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        token = self.current
+        if token.is_keyword("SELECT"):
+            return self.parse_select()
+        if token.is_keyword("INSERT"):
+            return self.parse_insert()
+        if token.is_keyword("UPDATE"):
+            return self.parse_update()
+        if token.is_keyword("DELETE"):
+            return self.parse_delete()
+        if token.is_keyword("CREATE"):
+            if self.peek().is_keyword("TABLE"):
+                return self.parse_create_table()
+            if self.peek().is_keyword("VIEW"):
+                return self.parse_create_view()
+            return self.parse_create_index()
+        if token.is_keyword("DROP"):
+            if self.peek().is_keyword("TABLE"):
+                return self.parse_drop_table()
+            if self.peek().is_keyword("VIEW"):
+                return self.parse_drop_view()
+            return self.parse_drop_index()
+        if token.is_keyword("ALTER"):
+            return self.parse_alter_table()
+        if token.is_keyword("EXPLAIN"):
+            self.advance()
+            return ast.Explain(self.parse_select())
+        if token.is_keyword("CALL"):
+            return self.parse_call()
+        if token.is_keyword("BEGIN", "START"):
+            return self.parse_begin()
+        if token.is_keyword("COMMIT"):
+            self.advance()
+            self.accept_keyword("WORK")
+            return ast.Commit()
+        if token.is_keyword("ROLLBACK"):
+            self.advance()
+            self.accept_keyword("WORK")
+            return ast.Rollback()
+        raise self.error("expected a SQL statement")
+
+    # -- SELECT ---------------------------------------------------------------
+
+    def parse_select(self, allow_trailing: bool = True) -> ast.Select:
+        """Parse a SELECT.
+
+        *allow_trailing* is False for the right-hand side of a UNION so
+        that ORDER BY / LIMIT / OFFSET attach to the whole union, per the
+        standard.
+        """
+        self.expect_keyword("SELECT")
+        distinct = False
+        if self.accept_keyword("DISTINCT"):
+            distinct = True
+        else:
+            self.accept_keyword("ALL")
+
+        items = [self.parse_select_item()]
+        while self.accept_punct(","):
+            items.append(self.parse_select_item())
+
+        from_item = None
+        if self.accept_keyword("FROM"):
+            from_item = self.parse_from()
+
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+
+        group_by: tuple[ast.Expression, ...] = ()
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            terms = [self.parse_expr()]
+            while self.accept_punct(","):
+                terms.append(self.parse_expr())
+            group_by = tuple(terms)
+
+        having = self.parse_expr() if self.accept_keyword("HAVING") else None
+
+        union = None
+        if self.accept_keyword("UNION"):
+            union_all = bool(self.accept_keyword("ALL"))
+            union = ast.Union_(union_all, self.parse_select(allow_trailing=False))
+
+        order_by: tuple[ast.OrderItem, ...] = ()
+        limit = offset = None
+        if allow_trailing:
+            if self.accept_keyword("ORDER"):
+                self.expect_keyword("BY")
+                orders = [self.parse_order_item()]
+                while self.accept_punct(","):
+                    orders.append(self.parse_order_item())
+                order_by = tuple(orders)
+            limit = self.parse_expr() if self.accept_keyword("LIMIT") else None
+            offset = self.parse_expr() if self.accept_keyword("OFFSET") else None
+
+        return ast.Select(
+            items=tuple(items),
+            from_item=from_item,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+            union=union,
+        )
+
+    def parse_select_item(self) -> ast.SelectItem:
+        if self.accept_operator("*"):
+            return ast.SelectItem(ast.Star())
+        # alias.* — identifier '.' '*'
+        if (
+            self.current.kind is TokenKind.IDENTIFIER
+            and self.peek().kind is TokenKind.PUNCT
+            and self.peek().value == "."
+            and self.peek(2).kind is TokenKind.OPERATOR
+            and self.peek(2).value == "*"
+        ):
+            table = self.advance().value
+            self.advance()  # .
+            self.advance()  # *
+            return ast.SelectItem(ast.Star(table))
+        expression = self.parse_expr()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_identifier("alias")
+        elif self.current.kind is TokenKind.IDENTIFIER:
+            alias = self.advance().value
+        return ast.SelectItem(expression, alias)
+
+    def parse_order_item(self) -> ast.OrderItem:
+        expression = self.parse_expr()
+        ascending = True
+        if self.accept_keyword("DESC"):
+            ascending = False
+        else:
+            self.accept_keyword("ASC")
+        return ast.OrderItem(expression, ascending)
+
+    def parse_from(self) -> ast.FromItem:
+        left = self.parse_table_factor()
+        while True:
+            if self.accept_keyword("CROSS"):
+                self.expect_keyword("JOIN")
+                right = self.parse_table_factor()
+                left = ast.Join("CROSS", left, right, None)
+                continue
+            kind = None
+            if self.accept_keyword("INNER"):
+                kind = "INNER"
+            elif self.accept_keyword("LEFT"):
+                self.accept_keyword("OUTER")
+                kind = "LEFT"
+            elif self.current.is_keyword("JOIN"):
+                kind = "INNER"
+            if kind is None:
+                if self.accept_punct(","):
+                    right = self.parse_table_factor()
+                    left = ast.Join("CROSS", left, right, None)
+                    continue
+                return left
+            self.expect_keyword("JOIN")
+            right = self.parse_table_factor()
+            self.expect_keyword("ON")
+            condition = self.parse_expr()
+            left = ast.Join(kind, left, right, condition)
+
+    def parse_table_factor(self) -> ast.FromItem:
+        if self.accept_punct("("):
+            if self.current.is_keyword("SELECT"):
+                query = self.parse_select()
+                self.expect_punct(")")
+                self.accept_keyword("AS")
+                alias = self.expect_identifier("derived-table alias")
+                return ast.SubqueryRef(query, alias)
+            inner = self.parse_from()
+            self.expect_punct(")")
+            return inner
+        name = self.expect_identifier("table name")
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_identifier("alias")
+        elif self.current.kind is TokenKind.IDENTIFIER:
+            alias = self.advance().value
+        return ast.TableRef(name, alias)
+
+    # -- DML --------------------------------------------------------------
+
+    def parse_insert(self) -> ast.Insert:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_identifier("table name")
+        columns: tuple[str, ...] = ()
+        if self.accept_punct("("):
+            names = [self.expect_identifier("column name")]
+            while self.accept_punct(","):
+                names.append(self.expect_identifier("column name"))
+            self.expect_punct(")")
+            columns = tuple(names)
+        if self.current.is_keyword("SELECT"):
+            return ast.Insert(table, columns, (), query=self.parse_select())
+        self.expect_keyword("VALUES")
+        rows = [self.parse_value_row()]
+        while self.accept_punct(","):
+            rows.append(self.parse_value_row())
+        return ast.Insert(table, columns, tuple(rows))
+
+    def parse_value_row(self) -> tuple[ast.Expression, ...]:
+        self.expect_punct("(")
+        values = [self.parse_expr()]
+        while self.accept_punct(","):
+            values.append(self.parse_expr())
+        self.expect_punct(")")
+        return tuple(values)
+
+    def parse_update(self) -> ast.Update:
+        self.expect_keyword("UPDATE")
+        table = self.expect_identifier("table name")
+        self.expect_keyword("SET")
+        assignments = [self.parse_assignment()]
+        while self.accept_punct(","):
+            assignments.append(self.parse_assignment())
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        return ast.Update(table, tuple(assignments), where)
+
+    def parse_assignment(self) -> tuple[str, ast.Expression]:
+        column = self.expect_identifier("column name")
+        if self.accept_operator("=") is None:
+            raise self.error("expected '=' in assignment")
+        return (column, self.parse_expr())
+
+    def parse_delete(self) -> ast.Delete:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_identifier("table name")
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        return ast.Delete(table, where)
+
+    # -- DDL --------------------------------------------------------------
+
+    def parse_create_table(self) -> ast.CreateTable:
+        self.expect_keyword("CREATE")
+        self.expect_keyword("TABLE")
+        if_not_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("NOT")
+            if not self.accept_keyword("EXISTS"):
+                raise self.error("expected EXISTS")
+            if_not_exists = True
+        name = self.expect_identifier("table name")
+        self.expect_punct("(")
+        columns: list[ast.ColumnDef] = []
+        constraints: list[ast.TableConstraint] = []
+        while True:
+            if self.current.is_keyword(
+                "PRIMARY", "UNIQUE", "CHECK", "FOREIGN", "CONSTRAINT"
+            ):
+                constraints.append(self.parse_table_constraint())
+            else:
+                columns.append(self.parse_column_def())
+            if not self.accept_punct(","):
+                break
+        self.expect_punct(")")
+        if not columns:
+            raise self.error("a table needs at least one column")
+        return ast.CreateTable(name, tuple(columns), tuple(constraints), if_not_exists)
+
+    def parse_column_def(self) -> ast.ColumnDef:
+        name = self.expect_identifier("column name")
+        sql_type, length = self.parse_type()
+        not_null = primary = unique = False
+        default = check = None
+        references = None
+        while True:
+            if self.accept_keyword("NOT"):
+                self.expect_keyword("NULL")
+                not_null = True
+            elif self.accept_keyword("NULL"):
+                pass
+            elif self.accept_keyword("PRIMARY"):
+                self.expect_keyword("KEY")
+                primary = True
+            elif self.accept_keyword("UNIQUE"):
+                unique = True
+            elif self.accept_keyword("DEFAULT"):
+                default = self.parse_expr()
+            elif self.accept_keyword("CHECK"):
+                self.expect_punct("(")
+                check = self.parse_expr()
+                self.expect_punct(")")
+            elif self.accept_keyword("REFERENCES"):
+                ref_table = self.expect_identifier("referenced table")
+                self.expect_punct("(")
+                ref_column = self.expect_identifier("referenced column")
+                self.expect_punct(")")
+                references = (ref_table, ref_column)
+            else:
+                break
+        return ast.ColumnDef(
+            name, sql_type, length, not_null, primary, unique, default, check,
+            references,
+        )
+
+    def parse_type(self) -> tuple[SqlType, int | None]:
+        token = self.current
+        if token.kind not in (TokenKind.IDENTIFIER, TokenKind.KEYWORD):
+            raise self.error("expected a type name")
+        upper = token.value.upper()
+        if upper == "DOUBLE":
+            self.advance()
+            if (
+                self.current.kind is TokenKind.IDENTIFIER
+                and self.current.value.upper() == "PRECISION"
+            ):
+                self.advance()
+            return SqlType.DOUBLE, None
+        if upper not in TYPE_NAMES:
+            raise self.error(f"unknown type {token.value!r}")
+        self.advance()
+        sql_type = TYPE_NAMES[upper]
+        length = None
+        if self.accept_punct("("):
+            first = self.current
+            if first.kind is not TokenKind.NUMBER:
+                raise self.error("expected a length")
+            self.advance()
+            length = int(first.value)
+            if self.accept_punct(","):
+                scale = self.current
+                if scale.kind is not TokenKind.NUMBER:
+                    raise self.error("expected a scale")
+                self.advance()  # scale recorded but not enforced
+            self.expect_punct(")")
+        return sql_type, length
+
+    def parse_table_constraint(self) -> ast.TableConstraint:
+        name = None
+        if self.accept_keyword("CONSTRAINT"):
+            name = self.expect_identifier("constraint name")
+        if self.accept_keyword("PRIMARY"):
+            self.expect_keyword("KEY")
+            return ast.TableConstraint(
+                "PRIMARY_KEY", name, self.parse_column_list()
+            )
+        if self.accept_keyword("UNIQUE"):
+            return ast.TableConstraint("UNIQUE", name, self.parse_column_list())
+        if self.accept_keyword("CHECK"):
+            self.expect_punct("(")
+            expression = self.parse_expr()
+            self.expect_punct(")")
+            return ast.TableConstraint("CHECK", name, expression=expression)
+        if self.accept_keyword("FOREIGN"):
+            self.expect_keyword("KEY")
+            columns = self.parse_column_list()
+            self.expect_keyword("REFERENCES")
+            ref_table = self.expect_identifier("referenced table")
+            ref_columns = self.parse_column_list()
+            return ast.TableConstraint(
+                "FOREIGN_KEY",
+                name,
+                columns,
+                ref_table=ref_table,
+                ref_columns=ref_columns,
+            )
+        raise self.error("expected a table constraint")
+
+    def parse_column_list(self) -> tuple[str, ...]:
+        self.expect_punct("(")
+        names = [self.expect_identifier("column name")]
+        while self.accept_punct(","):
+            names.append(self.expect_identifier("column name"))
+        self.expect_punct(")")
+        return tuple(names)
+
+    def parse_drop_table(self) -> ast.DropTable:
+        self.expect_keyword("DROP")
+        self.expect_keyword("TABLE")
+        if_exists = False
+        if self.accept_keyword("IF"):
+            if not self.accept_keyword("EXISTS"):
+                raise self.error("expected EXISTS")
+            if_exists = True
+        return ast.DropTable(self.expect_identifier("table name"), if_exists)
+
+    def parse_create_index(self) -> ast.CreateIndex:
+        self.expect_keyword("CREATE")
+        unique = bool(self.accept_keyword("UNIQUE"))
+        self.expect_keyword("INDEX")
+        name = self.expect_identifier("index name")
+        self.expect_keyword("ON")
+        table = self.expect_identifier("table name")
+        columns = self.parse_column_list()
+        return ast.CreateIndex(name, table, columns, unique)
+
+    def parse_drop_index(self) -> ast.DropIndex:
+        self.expect_keyword("DROP")
+        self.expect_keyword("INDEX")
+        return ast.DropIndex(self.expect_identifier("index name"))
+
+    def parse_create_view(self) -> ast.CreateView:
+        self.expect_keyword("CREATE")
+        self.expect_keyword("VIEW")
+        name = self.expect_identifier("view name")
+        columns: tuple[str, ...] = ()
+        if self.current.kind is TokenKind.PUNCT and self.current.value == "(":
+            columns = self.parse_column_list()
+        self.expect_keyword("AS")
+        return ast.CreateView(name, self.parse_select(), columns)
+
+    def parse_drop_view(self) -> ast.DropView:
+        self.expect_keyword("DROP")
+        self.expect_keyword("VIEW")
+        if_exists = False
+        if self.accept_keyword("IF"):
+            if not self.accept_keyword("EXISTS"):
+                raise self.error("expected EXISTS")
+            if_exists = True
+        return ast.DropView(self.expect_identifier("view name"), if_exists)
+
+    def parse_alter_table(self) -> ast.AlterTableAddColumn:
+        self.expect_keyword("ALTER")
+        self.expect_keyword("TABLE")
+        table = self.expect_identifier("table name")
+        self.expect_keyword("ADD")
+        self.accept_keyword("COLUMN")
+        column = self.parse_column_def()
+        if column.primary_key:
+            raise self.error("cannot add a PRIMARY KEY column")
+        return ast.AlterTableAddColumn(table, column)
+
+    def parse_call(self) -> ast.Call:
+        self.expect_keyword("CALL")
+        name = self.expect_identifier("procedure name")
+        arguments: list[ast.Expression] = []
+        if self.accept_punct("("):
+            if not (
+                self.current.kind is TokenKind.PUNCT and self.current.value == ")"
+            ):
+                arguments.append(self.parse_expr())
+                while self.accept_punct(","):
+                    arguments.append(self.parse_expr())
+            self.expect_punct(")")
+        return ast.Call(name, tuple(arguments))
+
+    # -- transactions --------------------------------------------------------
+
+    def parse_begin(self) -> ast.BeginTransaction:
+        if self.accept_keyword("START"):
+            self.expect_keyword("TRANSACTION")
+        else:
+            self.expect_keyword("BEGIN")
+            self.accept_keyword("TRANSACTION") or self.accept_keyword("WORK")
+        isolation = None
+        if self.accept_keyword("ISOLATION"):
+            self.expect_keyword("LEVEL")
+            if self.accept_keyword("READ"):
+                word = self.expect_keyword("COMMITTED", "UNCOMMITTED")
+                isolation = f"READ {word.value}"
+            elif self.accept_keyword("REPEATABLE"):
+                self.expect_keyword("READ")
+                isolation = "REPEATABLE READ"
+            else:
+                self.expect_keyword("SERIALIZABLE")
+                isolation = "SERIALIZABLE"
+        return ast.BeginTransaction(isolation)
+
+    # -- expressions -----------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expression:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expression:
+        left = self.parse_and()
+        while self.accept_keyword("OR"):
+            left = ast.Binary("OR", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> ast.Expression:
+        left = self.parse_not()
+        while self.accept_keyword("AND"):
+            left = ast.Binary("AND", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> ast.Expression:
+        if self.accept_keyword("NOT"):
+            return ast.Unary("NOT", self.parse_not())
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> ast.Expression:
+        left = self.parse_additive()
+        negated = bool(self.accept_keyword("NOT"))
+        if self.accept_keyword("IS"):
+            is_negated = bool(self.accept_keyword("NOT"))
+            self.expect_keyword("NULL")
+            return ast.IsNull(left, negated=is_negated)
+        if self.accept_keyword("LIKE"):
+            return ast.Like(left, self.parse_additive(), negated)
+        if self.accept_keyword("BETWEEN"):
+            low = self.parse_additive()
+            self.expect_keyword("AND")
+            high = self.parse_additive()
+            return ast.Between(left, low, high, negated)
+        if self.accept_keyword("IN"):
+            self.expect_punct("(")
+            if self.current.is_keyword("SELECT"):
+                query = self.parse_select()
+                self.expect_punct(")")
+                return ast.InSubquery(left, query, negated)
+            items = [self.parse_expr()]
+            while self.accept_punct(","):
+                items.append(self.parse_expr())
+            self.expect_punct(")")
+            return ast.InList(left, tuple(items), negated)
+        if negated:
+            raise self.error("expected LIKE, BETWEEN or IN after NOT")
+        op = self.accept_operator("=", "<>", "!=", "<", "<=", ">", ">=")
+        if op is not None:
+            value = "<>" if op.value == "!=" else op.value
+            return ast.Binary(value, left, self.parse_additive())
+        return left
+
+    def parse_additive(self) -> ast.Expression:
+        left = self.parse_multiplicative()
+        while True:
+            op = self.accept_operator("+", "-", "||")
+            if op is None:
+                return left
+            left = ast.Binary(op.value, left, self.parse_multiplicative())
+
+    def parse_multiplicative(self) -> ast.Expression:
+        left = self.parse_unary()
+        while True:
+            op = self.accept_operator("*", "/", "%")
+            if op is None:
+                return left
+            left = ast.Binary(op.value, left, self.parse_unary())
+
+    def parse_unary(self) -> ast.Expression:
+        if self.accept_operator("-"):
+            return ast.Unary("-", self.parse_unary())
+        if self.accept_operator("+"):
+            return self.parse_unary()
+        return self.parse_primary()
+
+    def parse_primary(self) -> ast.Expression:
+        token = self.current
+
+        if token.kind is TokenKind.NUMBER:
+            self.advance()
+            if "." in token.value or "e" in token.value or "E" in token.value:
+                return ast.Literal(float(token.value))
+            return ast.Literal(int(token.value))
+        if token.kind is TokenKind.STRING:
+            self.advance()
+            return ast.Literal(token.value)
+        if token.kind is TokenKind.PARAMETER:
+            self.advance()
+            index = self._parameter_count
+            self._parameter_count += 1
+            return ast.Parameter(index)
+        if token.is_keyword("NULL"):
+            self.advance()
+            return ast.Literal(NULL)
+        if token.is_keyword("TRUE"):
+            self.advance()
+            return ast.Literal(True)
+        if token.is_keyword("FALSE"):
+            self.advance()
+            return ast.Literal(False)
+        if token.is_keyword("EXISTS"):
+            self.advance()
+            self.expect_punct("(")
+            query = self.parse_select()
+            self.expect_punct(")")
+            return ast.Exists(query)
+        if token.is_keyword("CASE"):
+            return self.parse_case()
+        if token.is_keyword("CAST"):
+            return self.parse_cast()
+        if token.is_keyword(*_AGGREGATES):
+            return self.parse_aggregate()
+        if self.accept_punct("("):
+            if self.current.is_keyword("SELECT"):
+                query = self.parse_select()
+                self.expect_punct(")")
+                return ast.ScalarSubquery(query)
+            inner = self.parse_expr()
+            self.expect_punct(")")
+            return inner
+        if token.kind is TokenKind.IDENTIFIER:
+            return self.parse_identifier_expression()
+        raise self.error(f"unexpected token {token.value!r}")
+
+    def parse_identifier_expression(self) -> ast.Expression:
+        name = self.advance().value
+        # function call
+        if self.current.kind is TokenKind.PUNCT and self.current.value == "(":
+            self.advance()
+            args: list[ast.Expression] = []
+            if not (
+                self.current.kind is TokenKind.PUNCT and self.current.value == ")"
+            ):
+                args.append(self.parse_expr())
+                while self.accept_punct(","):
+                    args.append(self.parse_expr())
+            self.expect_punct(")")
+            return ast.FunctionCall(name.upper(), tuple(args))
+        # qualified column
+        if self.accept_punct("."):
+            if self.accept_operator("*"):
+                return ast.Star(name)
+            column = self.expect_identifier("column name")
+            return ast.ColumnRef(name, column)
+        return ast.ColumnRef(None, name)
+
+    def parse_case(self) -> ast.Case:
+        self.expect_keyword("CASE")
+        operand = None
+        if not self.current.is_keyword("WHEN"):
+            operand = self.parse_expr()  # simple CASE: compare against this
+        whens: list[tuple[ast.Expression, ast.Expression]] = []
+        while self.accept_keyword("WHEN"):
+            condition = self.parse_expr()
+            self.expect_keyword("THEN")
+            whens.append((condition, self.parse_expr()))
+        if not whens:
+            raise self.error("CASE requires at least one WHEN")
+        default = self.parse_expr() if self.accept_keyword("ELSE") else None
+        self.expect_keyword("END")
+        return ast.Case(tuple(whens), default, operand)
+
+    def parse_cast(self) -> ast.Cast:
+        self.expect_keyword("CAST")
+        self.expect_punct("(")
+        operand = self.parse_expr()
+        self.expect_keyword("AS")
+        sql_type, length = self.parse_type()
+        self.expect_punct(")")
+        return ast.Cast(operand, sql_type, length)
+
+    def parse_aggregate(self) -> ast.Aggregate:
+        name = self.advance().value
+        self.expect_punct("(")
+        if name == "COUNT" and self.accept_operator("*"):
+            self.expect_punct(")")
+            return ast.Aggregate("COUNT", None)
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        argument = self.parse_expr()
+        self.expect_punct(")")
+        return ast.Aggregate(name, argument, distinct)

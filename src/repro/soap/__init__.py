@@ -1,0 +1,33 @@
+"""SOAP 1.1-style messaging substrate.
+
+Every DAIS operation in dais-py is carried as a SOAP envelope: a header
+carrying WS-Addressing blocks (``To``, ``Action``, ``MessageID`` and —
+optionally — the data resource address as an endpoint reference) and a body
+carrying exactly one request or response element.  The paper (§3) mandates
+that the data resource *abstract name* always travels in the body so the
+message framework is identical with and without WSRF; this package enforces
+that convention at the envelope level and leaves the body payloads to
+:mod:`repro.core`, :mod:`repro.dair` and :mod:`repro.daix`.
+"""
+
+from repro.soap.namespaces import SOAP_ENV_NS, WSA_NS
+from repro.soap.fault import SoapFault, FaultCode
+from repro.soap.envelope import Envelope
+from repro.soap.addressing import (
+    EndpointReference,
+    MessageHeaders,
+    new_message_id,
+    ANONYMOUS_ADDRESS,
+)
+
+__all__ = [
+    "SOAP_ENV_NS",
+    "WSA_NS",
+    "SoapFault",
+    "FaultCode",
+    "Envelope",
+    "EndpointReference",
+    "MessageHeaders",
+    "new_message_id",
+    "ANONYMOUS_ADDRESS",
+]

@@ -1,0 +1,156 @@
+"""WS-Addressing: endpoint references and message-addressing headers.
+
+Per the paper (§3), a *data resource address* is an End Point Reference
+(EPR) whose reference parameters carry the resource's abstract name; DAIS
+additionally mandates the abstract name in the message body, so the EPR in
+the SOAP header is an optional optimization.  This module implements the
+subset of WS-Addressing 1.0 the specifications rely on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import uuid
+from dataclasses import dataclass, field
+
+from repro.soap.namespaces import WSA_NS
+from repro.xmlutil import E, QName, XmlElement
+
+#: The WS-Addressing anonymous address: "reply on the same channel".
+ANONYMOUS_ADDRESS = f"{WSA_NS}/anonymous"
+
+_EPR_TAG = QName(WSA_NS, "EndpointReference")
+_ADDRESS = QName(WSA_NS, "Address")
+_REF_PARAMS = QName(WSA_NS, "ReferenceParameters")
+_METADATA = QName(WSA_NS, "Metadata")
+
+_message_counter = itertools.count(1)
+
+
+def new_message_id() -> str:
+    """Mint a globally unique ``wsa:MessageID`` URI."""
+    return f"urn:uuid:{uuid.uuid4()}"
+
+
+def deterministic_message_id() -> str:
+    """Mint a process-unique, *deterministic* message id (for replayable
+    tests and benchmarks, where UUID churn would defeat comparisons)."""
+    return f"urn:dais-py:msg:{next(_message_counter)}"
+
+
+@dataclass(frozen=True)
+class EndpointReference:
+    """A WS-Addressing endpoint reference.
+
+    :param address: the endpoint URI the messages are sent to.
+    :param reference_parameters: opaque elements echoed in the header of
+        every message addressed with this EPR.  DAIS data services put the
+        resource abstract name here.
+    """
+
+    address: str
+    reference_parameters: tuple[XmlElement, ...] = ()
+    metadata: tuple[XmlElement, ...] = ()
+
+    def to_xml(self, tag: QName | None = None) -> XmlElement:
+        """Render as ``wsa:EndpointReference`` (or a caller-supplied tag,
+        for specs that embed EPRs under their own element names)."""
+        node = E(tag or _EPR_TAG, E(_ADDRESS, self.address))
+        if self.reference_parameters:
+            node.append(
+                E(_REF_PARAMS, [p.copy() for p in self.reference_parameters])
+            )
+        if self.metadata:
+            node.append(E(_METADATA, [m.copy() for m in self.metadata]))
+        return node
+
+    @classmethod
+    def from_xml(cls, element: XmlElement) -> "EndpointReference":
+        """Parse an EPR regardless of the wrapping element name."""
+        address = element.findtext(_ADDRESS)
+        if address is None:
+            raise ValueError("EndpointReference without wsa:Address")
+        params = element.find(_REF_PARAMS)
+        meta = element.find(_METADATA)
+        return cls(
+            address=address.strip(),
+            reference_parameters=tuple(
+                p.copy() for p in (params.element_children() if params else [])
+            ),
+            metadata=tuple(
+                m.copy() for m in (meta.element_children() if meta else [])
+            ),
+        )
+
+    def reference_parameter_text(self, tag: QName) -> str | None:
+        """Text of the first reference parameter with the given tag."""
+        for param in self.reference_parameters:
+            if param.tag == tag:
+                return param.text
+        return None
+
+
+@dataclass
+class MessageHeaders:
+    """The message-addressing properties of one SOAP message."""
+
+    to: str
+    action: str
+    message_id: str = field(default_factory=new_message_id)
+    relates_to: str | None = None
+    reply_to: EndpointReference | None = None
+    #: Reference parameters copied from the target EPR (e.g. the DAIS data
+    #: resource address), echoed verbatim per WS-Addressing.
+    reference_parameters: tuple[XmlElement, ...] = ()
+
+    def to_header_blocks(self) -> list[XmlElement]:
+        """Render as the list of header-child elements."""
+        blocks = [
+            E(QName(WSA_NS, "To"), self.to),
+            E(QName(WSA_NS, "Action"), self.action),
+            E(QName(WSA_NS, "MessageID"), self.message_id),
+        ]
+        if self.relates_to:
+            blocks.append(E(QName(WSA_NS, "RelatesTo"), self.relates_to))
+        if self.reply_to is not None:
+            blocks.append(self.reply_to.to_xml(QName(WSA_NS, "ReplyTo")))
+        blocks.extend(p.copy() for p in self.reference_parameters)
+        return blocks
+
+    @classmethod
+    def from_header_blocks(cls, blocks: list[XmlElement]) -> "MessageHeaders":
+        """Parse addressing properties out of the header children.
+
+        Elements that are not WS-Addressing blocks are collected as echoed
+        reference parameters.
+        """
+        values: dict[str, str] = {}
+        reply_to: EndpointReference | None = None
+        extras: list[XmlElement] = []
+        for block in blocks:
+            if block.tag.namespace != WSA_NS:
+                extras.append(block.copy())
+                continue
+            if block.tag.local == "ReplyTo":
+                reply_to = EndpointReference.from_xml(block)
+            else:
+                values[block.tag.local] = block.text.strip()
+        if "To" not in values or "Action" not in values:
+            raise ValueError("missing mandatory wsa:To / wsa:Action headers")
+        return cls(
+            to=values["To"],
+            action=values["Action"],
+            message_id=values.get("MessageID", ""),
+            relates_to=values.get("RelatesTo"),
+            reply_to=reply_to,
+            reference_parameters=tuple(extras),
+        )
+
+    def reply(self, action: str) -> "MessageHeaders":
+        """Headers for the response correlated to this request."""
+        target = self.reply_to.address if self.reply_to else ANONYMOUS_ADDRESS
+        return MessageHeaders(
+            to=target,
+            action=action,
+            relates_to=self.message_id or None,
+        )

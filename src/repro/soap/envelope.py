@@ -1,0 +1,114 @@
+"""The SOAP envelope: header + single-payload body.
+
+DAIS messages are document-literal: the body carries exactly one request or
+response element (or a fault).  :class:`Envelope` couples the payload with
+its :class:`~repro.soap.addressing.MessageHeaders` and handles the
+XML-bytes round trip that every transport performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.soap.addressing import MessageHeaders
+from repro.soap.fault import FaultCode, SoapFault
+from repro.soap.namespaces import SOAP_ENV_NS
+from repro.xmlutil import E, QName, XmlElement, parse_bytes, serialize_bytes
+
+_ENVELOPE = QName(SOAP_ENV_NS, "Envelope")
+_HEADER = QName(SOAP_ENV_NS, "Header")
+_BODY = QName(SOAP_ENV_NS, "Body")
+
+
+@dataclass
+class Envelope:
+    """One SOAP message: addressing headers plus a single body payload."""
+
+    headers: MessageHeaders
+    payload: XmlElement
+
+    def to_xml(self) -> XmlElement:
+        """Render the full ``soapenv:Envelope``."""
+        return E(
+            _ENVELOPE,
+            E(_HEADER, self.headers.to_header_blocks()),
+            E(_BODY, self.payload.copy()),
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialize to UTF-8 wire bytes."""
+        return serialize_bytes(self.to_xml())
+
+    @classmethod
+    def from_xml(cls, root: XmlElement) -> "Envelope":
+        """Parse an envelope element back into headers + payload."""
+        if root.tag != _ENVELOPE:
+            raise SoapFault(
+                FaultCode.VERSION_MISMATCH,
+                f"expected soapenv:Envelope, found {root.tag.clark()}",
+            )
+        header = root.find(_HEADER)
+        body = root.find(_BODY)
+        if body is None:
+            raise ValueError("envelope without soapenv:Body")
+        payload_elements = body.element_children()
+        if len(payload_elements) != 1:
+            raise ValueError(
+                f"DAIS messages carry exactly one body element, "
+                f"found {len(payload_elements)}"
+            )
+        blocks = header.element_children() if header is not None else []
+        return cls(
+            headers=MessageHeaders.from_header_blocks(blocks),
+            payload=payload_elements[0].copy(),
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Envelope":
+        """Parse wire bytes into an envelope."""
+        return cls.from_xml(parse_bytes(data))
+
+    # -- fault plumbing ----------------------------------------------------
+
+    def is_fault(self) -> bool:
+        """True when the body carries a ``soapenv:Fault``."""
+        return SoapFault.is_fault(self.payload)
+
+    def raise_if_fault(self) -> "Envelope":
+        """Raise the carried fault as an exception, else return self.
+
+        The raised exception is re-typed to the registered DAIS fault class
+        when the detail identifies one (see :mod:`repro.core.faults`).
+        """
+        if not self.is_fault():
+            return self
+        fault = SoapFault.from_xml(self.payload)
+        raise _specialize(fault)
+
+
+def _specialize(fault: SoapFault) -> SoapFault:
+    """Hook point: :mod:`repro.core.faults` installs a resolver that maps
+    detail elements back to typed DAIS fault classes."""
+    for resolver in _FAULT_RESOLVERS:
+        typed = resolver(fault)
+        if typed is not None:
+            return typed
+    return fault
+
+
+_FAULT_RESOLVERS: list = []
+
+
+def register_fault_resolver(resolver) -> None:
+    """Register a callable ``SoapFault -> SoapFault | None`` used by
+    :meth:`Envelope.raise_if_fault` to restore typed fault classes."""
+    _FAULT_RESOLVERS.append(resolver)
+
+
+def fault_envelope(request_headers: MessageHeaders, fault: SoapFault) -> Envelope:
+    """Build the response envelope carrying *fault*, correlated to the
+    request it answers."""
+    return Envelope(
+        headers=request_headers.reply(f"{SOAP_ENV_NS}/fault"),
+        payload=fault.to_xml(),
+    )

@@ -1,0 +1,81 @@
+"""SOAP fault model.
+
+A :class:`SoapFault` is both the wire representation (``soapenv:Fault``) and
+the Python exception raised on the consumer side when a response envelope
+carries a fault.  DAIS-specific faults (:mod:`repro.core.faults`) subclass it
+and contribute a typed ``detail`` element.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.soap.namespaces import SOAP_ENV_NS
+from repro.xmlutil import E, QName, XmlElement
+
+_FAULT_TAG = QName(SOAP_ENV_NS, "Fault")
+
+
+class FaultCode(enum.Enum):
+    """The SOAP 1.1 fault code taxonomy."""
+
+    CLIENT = "Client"
+    SERVER = "Server"
+    VERSION_MISMATCH = "VersionMismatch"
+    MUST_UNDERSTAND = "MustUnderstand"
+
+
+class SoapFault(Exception):
+    """A SOAP fault, usable as an exception and serializable to XML.
+
+    :param code: coarse SOAP fault code (who is to blame).
+    :param message: human-readable fault string.
+    :param detail: optional list of application-defined detail elements;
+        DAIS faults put their typed fault element here.
+    """
+
+    def __init__(
+        self,
+        code: FaultCode,
+        message: str,
+        detail: list[XmlElement] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.detail = [item.copy() for item in (detail or [])]
+
+    def to_xml(self) -> XmlElement:
+        """Render as a ``soapenv:Fault`` element."""
+        fault = E(
+            _FAULT_TAG,
+            E(QName("", "faultcode"), f"soapenv:{self.code.value}"),
+            E(QName("", "faultstring"), self.message),
+        )
+        if self.detail:
+            detail = E(QName("", "detail"))
+            for item in self.detail:
+                detail.append(item.copy())
+            fault.append(detail)
+        return fault
+
+    @classmethod
+    def from_xml(cls, element: XmlElement) -> "SoapFault":
+        """Parse a ``soapenv:Fault`` element (inverse of :meth:`to_xml`)."""
+        if element.tag != _FAULT_TAG:
+            raise ValueError(f"not a SOAP fault: {element.tag.clark()}")
+        raw_code = element.findtext("faultcode", "Server") or "Server"
+        local = raw_code.rpartition(":")[2]
+        try:
+            code = FaultCode(local)
+        except ValueError:
+            code = FaultCode.SERVER
+        message = element.findtext("faultstring", "") or ""
+        detail_el = element.find("detail")
+        detail = detail_el.element_children() if detail_el is not None else []
+        return cls(code, message, [d.copy() for d in detail])
+
+    @staticmethod
+    def is_fault(element: XmlElement) -> bool:
+        """True when *element* is a ``soapenv:Fault``."""
+        return element.tag == _FAULT_TAG

@@ -1,0 +1,11 @@
+"""Wire namespaces for the SOAP and WS-Addressing layers."""
+
+from repro.xmlutil.names import DEFAULT_REGISTRY
+
+#: SOAP 1.1 envelope namespace.
+SOAP_ENV_NS = "http://schemas.xmlsoap.org/soap/envelope/"
+#: WS-Addressing 1.0 core namespace (W3C CR, August 2005 — as cited by the paper).
+WSA_NS = "http://www.w3.org/2005/08/addressing"
+
+DEFAULT_REGISTRY.register("soapenv", SOAP_ENV_NS)
+DEFAULT_REGISTRY.register("wsa", WSA_NS)

@@ -1,0 +1,21 @@
+"""Message transports.
+
+Every transport serializes the request envelope to bytes and parses the
+response from bytes — even in-process — so all tests and benchmarks
+exercise the real wire format.  The loopback transport additionally
+keeps per-call byte accounts and can model network latency/bandwidth
+deterministically, which is what the figure benchmarks report.
+"""
+
+from repro.transport.wire import CallRecord, NetworkModel, WireStats
+from repro.transport.loopback import LoopbackTransport
+from repro.transport.httpserver import DaisHttpServer, HttpTransport
+
+__all__ = [
+    "CallRecord",
+    "NetworkModel",
+    "WireStats",
+    "LoopbackTransport",
+    "DaisHttpServer",
+    "HttpTransport",
+]

@@ -1,0 +1,125 @@
+"""A real SOAP-over-HTTP binding on localhost.
+
+``DaisHttpServer`` serves every service in a registry from one port —
+the request path selects the service (its address is
+``http://host:port/<name>``).  ``HttpTransport`` is the matching client
+side.  Used by the examples and a handful of integration tests; the
+loopback transport remains the default elsewhere.
+"""
+
+from __future__ import annotations
+
+import threading
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.core.registry import ServiceRegistry
+from repro.soap.envelope import Envelope
+from repro.transport.wire import CallRecord, NetworkModel, WireStats
+
+
+class DaisHttpServer:
+    """Serves a :class:`ServiceRegistry` over HTTP on 127.0.0.1."""
+
+    def __init__(self, registry: ServiceRegistry, port: int = 0) -> None:
+        self._registry = registry
+
+        outer = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_POST(self) -> None:  # noqa: N802 - stdlib API
+                length = int(self.headers.get("Content-Length", "0"))
+                body = self.rfile.read(length)
+                try:
+                    request = Envelope.from_bytes(body)
+                    address = outer.address_for_path(self.path)
+                    service = outer._registry.service_at(address)
+                    response = service.dispatch(request)
+                    payload = response.to_bytes()
+                    self.send_response(200)
+                except Exception as exc:  # defensive: malformed requests
+                    payload = f"<error>{exc}</error>".encode()
+                    self.send_response(500)
+                self.send_header("Content-Type", "text/xml; charset=utf-8")
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def log_message(self, *args) -> None:  # silence stderr
+                pass
+
+        self._server = ThreadingHTTPServer(("127.0.0.1", port), _Handler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def base_url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    def address_for_path(self, path: str) -> str:
+        return f"{self.base_url}{path}"
+
+    def url_for(self, service_path: str) -> str:
+        """The address a service should be constructed with, e.g.
+        ``server.url_for('/relational')``."""
+        if not service_path.startswith("/"):
+            service_path = "/" + service_path
+        return f"{self.base_url}{service_path}"
+
+    def start(self) -> "DaisHttpServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "DaisHttpServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class HttpTransport:
+    """Client side: POST envelopes to service URLs."""
+
+    def __init__(self, network: NetworkModel | None = None, timeout: float = 10.0) -> None:
+        self._network = network if network is not None else NetworkModel()
+        self._timeout = timeout
+        self.stats = WireStats()
+
+    def send(self, address: str, request: Envelope) -> Envelope:
+        request_bytes = request.to_bytes()
+        http_request = urllib.request.Request(
+            address,
+            data=request_bytes,
+            headers={
+                "Content-Type": "text/xml; charset=utf-8",
+                "SOAPAction": request.headers.action,
+            },
+            method="POST",
+        )
+        with urllib.request.urlopen(http_request, timeout=self._timeout) as reply:
+            response_bytes = reply.read()
+        modeled = self._network.transfer_time(
+            len(request_bytes)
+        ) + self._network.transfer_time(len(response_bytes))
+        self.stats.record(
+            CallRecord(
+                address=address,
+                action=request.headers.action,
+                request_bytes=len(request_bytes),
+                response_bytes=len(response_bytes),
+                modeled_seconds=modeled,
+            )
+        )
+        return Envelope.from_bytes(response_bytes)

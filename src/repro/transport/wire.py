@@ -1,0 +1,89 @@
+"""Wire accounting and the deterministic network model.
+
+The paper's figures make claims about *who moves how many bytes where*
+(direct vs indirect access, third-party delivery).  :class:`WireStats`
+records exact request/response byte counts per call;
+:class:`NetworkModel` converts them into a modeled transfer time
+(latency + size/bandwidth) so benchmarks can report reproducible
+"transfer cost" series independent of host speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """A fixed-latency, fixed-bandwidth link model."""
+
+    latency_seconds: float = 0.0
+    bandwidth_bytes_per_second: float | None = None  # None = infinite
+
+    def transfer_time(self, payload_bytes: int) -> float:
+        """Modeled one-way time to move *payload_bytes* over this link."""
+        time = self.latency_seconds
+        if self.bandwidth_bytes_per_second:
+            time += payload_bytes / self.bandwidth_bytes_per_second
+        return time
+
+
+#: A LAN-ish default: 0.5 ms latency, 100 MB/s.
+LAN = NetworkModel(latency_seconds=0.0005, bandwidth_bytes_per_second=100e6)
+#: A WAN-ish default: 40 ms latency, 10 MB/s.
+WAN = NetworkModel(latency_seconds=0.040, bandwidth_bytes_per_second=10e6)
+
+
+@dataclass(frozen=True)
+class CallRecord:
+    """One request/response exchange as observed on the wire."""
+
+    address: str
+    action: str
+    request_bytes: int
+    response_bytes: int
+    modeled_seconds: float
+
+    @property
+    def total_bytes(self) -> int:
+        return self.request_bytes + self.response_bytes
+
+
+@dataclass
+class WireStats:
+    """Accumulated wire activity for one transport."""
+
+    calls: list[CallRecord] = field(default_factory=list)
+
+    def record(self, record: CallRecord) -> None:
+        self.calls.append(record)
+
+    def reset(self) -> None:
+        self.calls.clear()
+
+    @property
+    def call_count(self) -> int:
+        return len(self.calls)
+
+    @property
+    def bytes_sent(self) -> int:
+        return sum(record.request_bytes for record in self.calls)
+
+    @property
+    def bytes_received(self) -> int:
+        return sum(record.response_bytes for record in self.calls)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_sent + self.bytes_received
+
+    @property
+    def modeled_seconds(self) -> float:
+        return sum(record.modeled_seconds for record in self.calls)
+
+    def by_action(self) -> dict[str, int]:
+        """Total bytes per action URI (handy for per-operation tables)."""
+        totals: dict[str, int] = {}
+        for record in self.calls:
+            totals[record.action] = totals.get(record.action, 0) + record.total_bytes
+        return totals

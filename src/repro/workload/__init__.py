@@ -1,0 +1,34 @@
+"""Deterministic workload generation and standard deployment topologies.
+
+The paper has no benchmark datasets (it is a specification outline), so
+the figure benchmarks use synthetic-but-shaped workloads: an
+orders/customers relational schema in the TPC style and a product
+catalog XML corpus, both generated from fixed seeds.
+"""
+
+from repro.workload.relational import (
+    RelationalWorkload,
+    populate_shop_database,
+)
+from repro.workload.xmlcorpus import XmlCorpus, populate_catalog_collection
+from repro.workload.deploy import (
+    Figure5Deployment,
+    SingleServiceDeployment,
+    XmlDeployment,
+    build_figure5_deployment,
+    build_single_service,
+    build_xml_deployment,
+)
+
+__all__ = [
+    "RelationalWorkload",
+    "populate_shop_database",
+    "XmlCorpus",
+    "populate_catalog_collection",
+    "Figure5Deployment",
+    "SingleServiceDeployment",
+    "XmlDeployment",
+    "build_figure5_deployment",
+    "build_single_service",
+    "build_xml_deployment",
+]

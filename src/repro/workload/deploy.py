@@ -1,0 +1,144 @@
+"""Standard deployment topologies used by tests, examples and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.client.sql import SQLClient
+from repro.client.xml import XMLClient
+from repro.core import ServiceRegistry, mint_abstract_name
+from repro.core.names import AbstractName
+from repro.dair import SQLDataResource, SQLRealisationService
+from repro.daix import XMLCollectionResource, XMLRealisationService
+from repro.relational import Database
+from repro.transport import LoopbackTransport
+from repro.transport.wire import NetworkModel
+from repro.workload.relational import RelationalWorkload, populate_shop_database
+from repro.workload.xmlcorpus import XmlCorpus, populate_catalog_collection
+from repro.wsrf import Clock
+
+
+@dataclass
+class SingleServiceDeployment:
+    """One service exposing every WS-DAIR port type over one database."""
+
+    registry: ServiceRegistry
+    service: SQLRealisationService
+    database: Database
+    resource: SQLDataResource
+    client: SQLClient
+
+    @property
+    def address(self) -> str:
+        return self.service.address
+
+    @property
+    def name(self) -> AbstractName:
+        return self.resource.abstract_name
+
+
+def build_single_service(
+    workload: RelationalWorkload = RelationalWorkload(),
+    wsrf: bool = False,
+    network: NetworkModel | None = None,
+    clock: Clock | None = None,
+) -> SingleServiceDeployment:
+    """One-service topology: the common direct-access setup."""
+    database = populate_shop_database(workload)
+    registry = ServiceRegistry()
+    service = SQLRealisationService(
+        "sql-service", "dais://sql-service", wsrf=wsrf, clock=clock
+    )
+    registry.register(service)
+    resource = SQLDataResource(mint_abstract_name("shop"), database)
+    service.add_resource(resource)
+    client = SQLClient(LoopbackTransport(registry, network=network))
+    return SingleServiceDeployment(registry, service, database, resource, client)
+
+
+@dataclass
+class Figure5Deployment:
+    """The paper's Figure 5 topology: three chained services.
+
+    * service 1: SQLAccess + SQLFactory over the relational database;
+    * service 2: ResponseAccess + ResponseFactory (derived responses);
+    * service 3: RowsetAccess (derived rowsets).
+    """
+
+    registry: ServiceRegistry
+    service1: SQLRealisationService
+    service2: SQLRealisationService
+    service3: SQLRealisationService
+    database: Database
+    resource: SQLDataResource
+    client: SQLClient
+
+
+def build_figure5_deployment(
+    workload: RelationalWorkload = RelationalWorkload(),
+    wsrf: bool = False,
+    network: NetworkModel | None = None,
+    clock: Clock | None = None,
+) -> Figure5Deployment:
+    database = populate_shop_database(workload)
+    registry = ServiceRegistry()
+    service3 = SQLRealisationService(
+        "data-service-3", "dais://ds3", port_types=["rowset_access"],
+        wsrf=wsrf, clock=clock,
+    )
+    service2 = SQLRealisationService(
+        "data-service-2", "dais://ds2",
+        port_types=["response_access", "response_factory"],
+        rowset_target=service3, wsrf=wsrf, clock=clock,
+    )
+    service1 = SQLRealisationService(
+        "data-service-1", "dais://ds1",
+        port_types=["sql_access", "sql_factory"],
+        response_target=service2, wsrf=wsrf, clock=clock,
+    )
+    for service in (service1, service2, service3):
+        registry.register(service)
+    resource = SQLDataResource(mint_abstract_name("shop"), database)
+    service1.add_resource(resource)
+    client = SQLClient(LoopbackTransport(registry, network=network))
+    return Figure5Deployment(
+        registry, service1, service2, service3, database, resource, client
+    )
+
+
+@dataclass
+class XmlDeployment:
+    """One WS-DAIX service over a catalog collection."""
+
+    registry: ServiceRegistry
+    service: XMLRealisationService
+    resource: XMLCollectionResource
+    client: XMLClient
+
+    @property
+    def address(self) -> str:
+        return self.service.address
+
+    @property
+    def name(self) -> AbstractName:
+        return self.resource.abstract_name
+
+
+def build_xml_deployment(
+    corpus: XmlCorpus = XmlCorpus(),
+    wsrf: bool = False,
+    network: NetworkModel | None = None,
+    clock: Clock | None = None,
+) -> XmlDeployment:
+    collection = populate_catalog_collection(corpus)
+    registry = ServiceRegistry()
+    service = XMLRealisationService(
+        "xml-service", "dais://xml-service", wsrf=wsrf, clock=clock
+    )
+    registry.register(service)
+    resource = XMLCollectionResource(
+        mint_abstract_name("catalog"), collection
+    )
+    service.add_resource(resource)
+    client = XMLClient(LoopbackTransport(registry, network=network))
+    return XmlDeployment(registry, service, resource, client)

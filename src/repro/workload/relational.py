@@ -1,0 +1,137 @@
+"""Relational workload: a shop schema with deterministic data.
+
+Schema (TPC-flavoured, scaled by ``customers``):
+
+* ``customers(id, name, region, segment)``
+* ``orders(id, customer_id, order_date, status, total)``
+* ``lineitems(id, order_id, product, qty, price)``
+
+Row counts scale linearly: each customer gets ``orders_per_customer``
+orders, each order ``items_per_order`` line items.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.relational import Database
+
+_REGIONS = ["emea", "amer", "apac"]
+_SEGMENTS = ["retail", "wholesale", "public"]
+_STATUSES = ["open", "shipped", "billed", "closed"]
+_PRODUCTS = [
+    "bolt", "nut", "washer", "gear", "bearing", "shaft", "flange",
+    "valve", "pump", "gasket",
+]
+
+
+@dataclass(frozen=True)
+class RelationalWorkload:
+    """Scale parameters for the shop database."""
+
+    customers: int = 50
+    orders_per_customer: int = 4
+    items_per_order: int = 3
+    seed: int = 20050829  # the WS-Addressing CR date; any fixed value works
+
+    @property
+    def order_count(self) -> int:
+        return self.customers * self.orders_per_customer
+
+    @property
+    def lineitem_count(self) -> int:
+        return self.order_count * self.items_per_order
+
+
+SHOP_DDL = [
+    """CREATE TABLE customers (
+         id INT PRIMARY KEY,
+         name VARCHAR(60) NOT NULL,
+         region VARCHAR(10) NOT NULL,
+         segment VARCHAR(20) NOT NULL
+       )""",
+    """CREATE TABLE orders (
+         id INT PRIMARY KEY,
+         customer_id INT NOT NULL REFERENCES customers(id),
+         order_date VARCHAR(10) NOT NULL,
+         status VARCHAR(10) NOT NULL,
+         total FLOAT NOT NULL CHECK (total >= 0)
+       )""",
+    """CREATE TABLE lineitems (
+         id INT PRIMARY KEY,
+         order_id INT NOT NULL REFERENCES orders(id),
+         product VARCHAR(20) NOT NULL,
+         qty INT NOT NULL CHECK (qty > 0),
+         price FLOAT NOT NULL
+       )""",
+]
+
+
+def populate_shop_database(
+    workload: RelationalWorkload = RelationalWorkload(),
+    name: str = "shop",
+) -> Database:
+    """Create and fill a shop database per *workload* (deterministic)."""
+    rng = random.Random(workload.seed)
+    db = Database(name)
+    for ddl in SHOP_DDL:
+        db.execute(ddl)
+
+    session = db.create_session()
+    order_id = 0
+    item_id = 0
+    for customer_id in range(1, workload.customers + 1):
+        session.execute(
+            "INSERT INTO customers VALUES (?,?,?,?)",
+            (
+                customer_id,
+                f"customer-{customer_id:05d}",
+                rng.choice(_REGIONS),
+                rng.choice(_SEGMENTS),
+            ),
+        )
+        for _ in range(workload.orders_per_customer):
+            order_id += 1
+            items = []
+            for _ in range(workload.items_per_order):
+                item_id += 1
+                qty = rng.randint(1, 20)
+                price = round(rng.uniform(0.5, 99.5), 2)
+                items.append((item_id, order_id, rng.choice(_PRODUCTS), qty, price))
+            total = round(sum(qty * price for _, _, _, qty, price in items), 2)
+            session.execute(
+                "INSERT INTO orders VALUES (?,?,?,?,?)",
+                (
+                    order_id,
+                    customer_id,
+                    f"2005-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}",
+                    rng.choice(_STATUSES),
+                    total,
+                ),
+            )
+            for item in items:
+                session.execute(
+                    "INSERT INTO lineitems VALUES (?,?,?,?,?)", item
+                )
+    session.close()
+    db.execute("CREATE INDEX ix_orders_customer ON orders (customer_id)")
+    db.execute("CREATE INDEX ix_lineitems_order ON lineitems (order_id)")
+    db.execute("CREATE INDEX ix_orders_total ON orders (total)")
+    return db
+
+
+#: Query mix exercised by benchmarks (id → SQL).
+QUERY_MIX = {
+    "point": "SELECT * FROM customers WHERE id = ?",
+    "range": "SELECT id, total FROM orders WHERE total >= ? ORDER BY total",
+    "join": (
+        "SELECT c.region, COUNT(*) AS n, SUM(o.total) AS revenue "
+        "FROM orders o JOIN customers c ON o.customer_id = c.id "
+        "GROUP BY c.region ORDER BY revenue DESC"
+    ),
+    "scan": "SELECT * FROM lineitems",
+    "topk": (
+        "SELECT o.id, o.total FROM orders o ORDER BY o.total DESC LIMIT 10"
+    ),
+}

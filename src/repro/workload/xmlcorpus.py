@@ -1,0 +1,73 @@
+"""XML workload: a deterministic product-catalog corpus."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.xmldb import Collection, CollectionManager
+from repro.xmlutil import E, XmlElement
+
+_CATEGORIES = ["tools", "fasteners", "electrical", "plumbing", "safety"]
+_ADJECTIVES = ["heavy", "light", "compact", "industrial", "premium"]
+_NOUNS = ["drill", "hammer", "wrench", "clamp", "saw", "level", "torch"]
+
+
+@dataclass(frozen=True)
+class XmlCorpus:
+    """Scale parameters for the catalog corpus."""
+
+    documents: int = 60
+    reviews_per_product: int = 2
+    seed: int = 3836  # LNCS volume of the paper
+
+
+def product_document(index: int, rng: random.Random, corpus: XmlCorpus) -> XmlElement:
+    """One ``<product>`` document."""
+    name = f"{rng.choice(_ADJECTIVES)}-{rng.choice(_NOUNS)}-{index}"
+    product = E(
+        "product",
+        E("name", name),
+        E("category", rng.choice(_CATEGORIES)),
+        E("price", str(round(rng.uniform(1.0, 500.0), 2))),
+        E("stock", str(rng.randint(0, 250))),
+        id=str(index),
+    )
+    for review_index in range(corpus.reviews_per_product):
+        product.append(
+            E(
+                "review",
+                E("rating", str(rng.randint(1, 5))),
+                E("comment", f"review {review_index} of {name}"),
+                reviewer=f"user{rng.randint(1, 30)}",
+            )
+        )
+    return product
+
+
+def populate_catalog_collection(
+    corpus: XmlCorpus = XmlCorpus(),
+    manager: CollectionManager | None = None,
+    path: str = "catalog/products",
+) -> Collection:
+    """Create and fill a catalog collection per *corpus* (deterministic)."""
+    rng = random.Random(corpus.seed)
+    manager = manager if manager is not None else CollectionManager()
+    collection = manager.create_path(path)
+    for index in range(corpus.documents):
+        collection.add(f"p{index:05d}", product_document(index, rng, corpus))
+    return collection
+
+
+#: Query mix exercised by the WS-DAIX benchmarks (id → (kind, text)).
+XML_QUERY_MIX = {
+    "xpath_point": ("xpath", "/product[@id = '3']/name"),
+    "xpath_filter": ("xpath", "/product[price > 250]/name"),
+    "xpath_agg": ("xpath", "count(/product/review[rating >= 4])"),
+    "xquery_flwor": (
+        "xquery",
+        "for $p in /product where $p/stock < 50 "
+        "order by $p/price descending "
+        "return <low name=\"{$p/name}\">{$p/stock/text()}</low>",
+    ),
+}

@@ -1,0 +1,40 @@
+"""WSRF substrate: WS-ResourceProperties and WS-ResourceLifetime.
+
+The paper (§5) layers DAIS over WSRF for two capabilities the non-WSRF
+profile lacks:
+
+* *fine-grained property access* — ``GetResourceProperty`` /
+  ``GetMultipleResourceProperties`` / ``QueryResourceProperties`` instead of
+  fetching the whole property document;
+* *soft-state lifetime management* — scheduled termination instead of an
+  explicit ``DestroyDataResource`` message.
+
+Both are implemented here against abstract providers so the same machinery
+serves relational, XML and derived data resources.
+"""
+
+from repro.wsrf.clock import Clock, ManualClock, SystemClock
+from repro.wsrf.namespaces import WSRF_RP_NS, WSRF_RL_NS
+from repro.wsrf.faults import (
+    InvalidQueryExpressionFault,
+    ResourceUnknownFault,
+    UnableToSetTerminationTimeFault,
+    WsrfFault,
+)
+from repro.wsrf.properties import PropertyAccess
+from repro.wsrf.lifetime import LifetimeManager, TerminationRecord
+
+__all__ = [
+    "Clock",
+    "ManualClock",
+    "SystemClock",
+    "WSRF_RP_NS",
+    "WSRF_RL_NS",
+    "WsrfFault",
+    "ResourceUnknownFault",
+    "InvalidQueryExpressionFault",
+    "UnableToSetTerminationTimeFault",
+    "PropertyAccess",
+    "LifetimeManager",
+    "TerminationRecord",
+]

@@ -1,0 +1,49 @@
+"""Clock abstraction for soft-state lifetime management.
+
+Scheduled termination is time-driven; tests and benchmarks need to move
+time by hand, so the lifetime manager consumes this small protocol instead
+of calling ``time.time`` directly.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+
+class Clock(ABC):
+    """Source of the current time, in seconds since the epoch."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in seconds."""
+
+
+class SystemClock(Clock):
+    """The real wall clock."""
+
+    def now(self) -> float:
+        return time.time()
+
+
+class ManualClock(Clock):
+    """A clock that only moves when told to — deterministic tests/benches."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; negative deltas are rejected."""
+        if seconds < 0:
+            raise ValueError("time cannot move backwards")
+        self._now += seconds
+        return self._now
+
+    def set(self, timestamp: float) -> None:
+        """Jump directly to *timestamp* (must not be in the past)."""
+        if timestamp < self._now:
+            raise ValueError("time cannot move backwards")
+        self._now = float(timestamp)

@@ -1,0 +1,38 @@
+"""WSRF fault types, expressed as SOAP faults with typed detail."""
+
+from __future__ import annotations
+
+from repro.soap.fault import FaultCode, SoapFault
+from repro.wsrf.namespaces import WSRF_BF_NS
+from repro.xmlutil import E, QName
+
+
+class WsrfFault(SoapFault):
+    """Base class: carries a typed detail element in the WSRF-BF style."""
+
+    DETAIL_LOCAL = "BaseFault"
+
+    def __init__(self, message: str, code: FaultCode = FaultCode.CLIENT) -> None:
+        detail = E(
+            QName(WSRF_BF_NS, self.DETAIL_LOCAL),
+            E(QName(WSRF_BF_NS, "Description"), message),
+        )
+        super().__init__(code, message, [detail])
+
+
+class ResourceUnknownFault(WsrfFault):
+    """The EPR/abstract name does not identify a live resource."""
+
+    DETAIL_LOCAL = "ResourceUnknownFault"
+
+
+class InvalidQueryExpressionFault(WsrfFault):
+    """QueryResourceProperties received an unusable query."""
+
+    DETAIL_LOCAL = "InvalidQueryExpressionFault"
+
+
+class UnableToSetTerminationTimeFault(WsrfFault):
+    """SetTerminationTime could not be honoured."""
+
+    DETAIL_LOCAL = "UnableToSetTerminationTimeFault"

@@ -1,0 +1,14 @@
+"""Wire namespaces for the WSRF family (1.2 committee drafts, as cited)."""
+
+from repro.xmlutil.names import DEFAULT_REGISTRY
+
+#: WS-ResourceProperties 1.2.
+WSRF_RP_NS = "http://docs.oasis-open.org/wsrf/rp-2"
+#: WS-ResourceLifetime 1.2.
+WSRF_RL_NS = "http://docs.oasis-open.org/wsrf/rl-2"
+#: Base faults namespace.
+WSRF_BF_NS = "http://docs.oasis-open.org/wsrf/bf-2"
+
+DEFAULT_REGISTRY.register("wsrf-rp", WSRF_RP_NS)
+DEFAULT_REGISTRY.register("wsrf-rl", WSRF_RL_NS)
+DEFAULT_REGISTRY.register("wsrf-bf", WSRF_BF_NS)

@@ -1,0 +1,91 @@
+"""WS-ResourceProperties operations over a property-document provider.
+
+The provider is anything with a ``property_document() -> XmlElement``
+method (DAIS data-service/resource pairs implement it); this module adds
+the three WSRF read operations on top:
+
+* ``GetResourcePropertyDocument`` — the whole document (this is also all
+  the non-WSRF profile offers, per paper §5);
+* ``GetResourceProperty`` — the child elements with one QName;
+* ``GetMultipleResourceProperties`` — several QNames in one round trip;
+* ``QueryResourceProperties`` — an XPath 1.0 query over the document.
+
+The query dialect URI follows WS-ResourceProperties 1.2.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.wsrf.faults import InvalidQueryExpressionFault
+from repro.xmlutil import QName, XmlElement
+from repro.xpath import XPathEngine, XPathError
+
+#: The only query dialect WS-ResourceProperties 1.2 mandates.
+XPATH_DIALECT = "http://www.w3.org/TR/1999/REC-xpath-19991116"
+
+
+class PropertyDocumentProvider(Protocol):
+    """Anything that can render its current resource property document."""
+
+    def property_document(self) -> XmlElement: ...
+
+
+class PropertyAccess:
+    """Fine-grained read access to one provider's property document."""
+
+    def __init__(
+        self,
+        provider: PropertyDocumentProvider,
+        namespaces: dict[str, str] | None = None,
+    ) -> None:
+        self._provider = provider
+        self._engine = XPathEngine(namespaces=namespaces)
+
+    def document(self) -> XmlElement:
+        """GetResourcePropertyDocument: the whole property document."""
+        return self._provider.property_document()
+
+    def get(self, name: QName) -> list[XmlElement]:
+        """GetResourceProperty: all top-level property elements named *name*."""
+        return [child.copy() for child in self.document().findall(name)]
+
+    def get_multiple(self, names: list[QName]) -> list[XmlElement]:
+        """GetMultipleResourceProperties: one document render, many reads."""
+        document = self.document()
+        out: list[XmlElement] = []
+        for name in names:
+            out.extend(child.copy() for child in document.findall(name))
+        return out
+
+    def query(
+        self, expression: str, dialect: str = XPATH_DIALECT
+    ) -> list[XmlElement]:
+        """QueryResourceProperties: evaluate *expression* over the document.
+
+        Only element results are returned (the WSRF response carries
+        elements); attribute/text results raise
+        :class:`InvalidQueryExpressionFault`, as does any syntax error or a
+        dialect other than XPath 1.0.
+        """
+        if dialect != XPATH_DIALECT:
+            raise InvalidQueryExpressionFault(f"unsupported dialect {dialect!r}")
+        document = self.document()
+        try:
+            result = self._engine.evaluate(expression, document)
+        except XPathError as exc:
+            raise InvalidQueryExpressionFault(str(exc)) from exc
+        if not isinstance(result, list):
+            raise InvalidQueryExpressionFault(
+                "query must select nodes, got a "
+                f"{type(result).__name__} ({result!r})"
+            )
+        elements: list[XmlElement] = []
+        for node in result:
+            if not isinstance(node, XmlElement):
+                raise InvalidQueryExpressionFault(
+                    "query selected non-element nodes; only elements can be "
+                    "returned in a QueryResourceProperties response"
+                )
+            elements.append(node.copy())
+        return elements

@@ -1,0 +1,42 @@
+"""An in-memory XML database.
+
+The substrate behind the WS-DAIX realisation: a tree of named
+*collections*, each holding *documents* (XML trees) and subcollections —
+the model of the Xindice/eXist generation of XML databases the DAIS-WG
+targeted.  Query facilities:
+
+* **XPath 1.0 subset** (via :mod:`repro.xpath`) over single documents or
+  whole collections;
+* **XUpdate** (the XML:DB update language): ``insert-before``,
+  ``insert-after``, ``append``, ``update``, ``remove``, ``rename``;
+* **XQuery FLWOR-lite**: ``for``/``let``/``where``/``order by``/``return``
+  with XPath expressions and element constructors — the subset WS-DAIX's
+  ``XQueryExecute`` exercises (documented in DESIGN.md).
+"""
+
+from repro.xmldb.errors import (
+    CollectionNotFoundError,
+    DocumentExistsError,
+    DocumentNotFoundError,
+    XmlDbError,
+    XQueryError,
+    XUpdateError,
+)
+from repro.xmldb.collection import Collection, CollectionManager, Document
+from repro.xmldb.xupdate import XUpdateProcessor, XUPDATE_NS
+from repro.xmldb.xquery import XQueryEngine
+
+__all__ = [
+    "XmlDbError",
+    "CollectionNotFoundError",
+    "DocumentNotFoundError",
+    "DocumentExistsError",
+    "XUpdateError",
+    "XQueryError",
+    "Collection",
+    "CollectionManager",
+    "Document",
+    "XUpdateProcessor",
+    "XUPDATE_NS",
+    "XQueryEngine",
+]

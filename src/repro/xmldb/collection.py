@@ -1,0 +1,160 @@
+"""Collections and documents.
+
+A :class:`CollectionManager` owns a root collection; collections nest and
+hold named documents.  Paths are slash-separated (``inventory/books``).
+All WS-DAIX collection operations (AddDocuments, GetDocuments,
+CreateSubcollection, ...) are thin wrappers over this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.xmldb.errors import (
+    CollectionNotFoundError,
+    DocumentExistsError,
+    DocumentNotFoundError,
+    XmlDbError,
+)
+from repro.xmlutil import XmlElement, parse, serialize
+
+
+@dataclass
+class Document:
+    """A named XML document inside a collection."""
+
+    name: str
+    root: XmlElement
+
+    def copy(self) -> "Document":
+        return Document(self.name, self.root.copy())
+
+    def to_text(self) -> str:
+        return serialize(self.root)
+
+
+def _validate_segment(name: str) -> str:
+    if not name or "/" in name:
+        raise XmlDbError(f"invalid name {name!r}")
+    return name
+
+
+class Collection:
+    """A node in the collection tree."""
+
+    def __init__(self, name: str, parent: "Collection | None" = None) -> None:
+        self.name = _validate_segment(name) if parent is not None else name
+        self.parent = parent
+        self._documents: dict[str, Document] = {}
+        self._children: dict[str, Collection] = {}
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def path(self) -> str:
+        """Slash-separated path from the root ('' for the root itself)."""
+        if self.parent is None:
+            return ""
+        parent_path = self.parent.path
+        return f"{parent_path}/{self.name}" if parent_path else self.name
+
+    # -- subcollections --------------------------------------------------------
+
+    def child_names(self) -> list[str]:
+        return sorted(self._children)
+
+    def child(self, name: str) -> "Collection":
+        try:
+            return self._children[name]
+        except KeyError:
+            raise CollectionNotFoundError(
+                f"no subcollection {name!r} in {self.path or '/'}"
+            ) from None
+
+    def create_child(self, name: str) -> "Collection":
+        _validate_segment(name)
+        if name in self._children:
+            raise XmlDbError(f"subcollection {name!r} already exists")
+        child = Collection(name, parent=self)
+        self._children[name] = child
+        return child
+
+    def remove_child(self, name: str) -> "Collection":
+        removed = self.child(name)
+        del self._children[name]
+        removed.parent = None
+        return removed
+
+    # -- documents ---------------------------------------------------------
+
+    def document_names(self) -> list[str]:
+        return sorted(self._documents)
+
+    def document_count(self) -> int:
+        return len(self._documents)
+
+    def has_document(self, name: str) -> bool:
+        return name in self._documents
+
+    def get(self, name: str) -> Document:
+        try:
+            return self._documents[name]
+        except KeyError:
+            raise DocumentNotFoundError(
+                f"no document {name!r} in collection {self.path or '/'}"
+            ) from None
+
+    def add(self, name: str, root: XmlElement, replace: bool = False) -> Document:
+        _validate_segment(name)
+        if not replace and name in self._documents:
+            raise DocumentExistsError(
+                f"document {name!r} already exists in {self.path or '/'}"
+            )
+        document = Document(name, root)
+        self._documents[name] = document
+        return document
+
+    def add_text(self, name: str, text: str, replace: bool = False) -> Document:
+        return self.add(name, parse(text), replace)
+
+    def remove(self, name: str) -> Document:
+        document = self.get(name)
+        del self._documents[name]
+        return document
+
+    def documents(self) -> list[Document]:
+        """All documents, sorted by name (deterministic iteration)."""
+        return [self._documents[name] for name in sorted(self._documents)]
+
+    def walk(self):
+        """Yield this collection and all descendants, depth-first."""
+        yield self
+        for name in sorted(self._children):
+            yield from self._children[name].walk()
+
+
+class CollectionManager:
+    """The root of a collection tree plus path resolution."""
+
+    def __init__(self, root_name: str = "db") -> None:
+        self.root = Collection(root_name)
+
+    def resolve(self, path: str) -> Collection:
+        """Resolve ``a/b/c`` (or ``''``/``'/'`` for the root)."""
+        current = self.root
+        for segment in [s for s in path.split("/") if s]:
+            current = current.child(segment)
+        return current
+
+    def create_path(self, path: str) -> Collection:
+        """Create any missing collections along *path*; returns the leaf."""
+        current = self.root
+        for segment in [s for s in path.split("/") if s]:
+            if segment in current._children:
+                current = current.child(segment)
+            else:
+                current = current.create_child(segment)
+        return current
+
+    def total_documents(self) -> int:
+        return sum(c.document_count() for c in self.root.walk())

@@ -1,0 +1,25 @@
+"""XML database error taxonomy."""
+
+
+class XmlDbError(Exception):
+    """Base class for XML database failures."""
+
+
+class CollectionNotFoundError(XmlDbError):
+    """The collection path does not resolve."""
+
+
+class DocumentNotFoundError(XmlDbError):
+    """No document with the requested name."""
+
+
+class DocumentExistsError(XmlDbError):
+    """A document with the requested name already exists."""
+
+
+class XUpdateError(XmlDbError):
+    """The XUpdate modifications document is invalid."""
+
+
+class XQueryError(XmlDbError):
+    """The XQuery expression failed to parse or evaluate."""

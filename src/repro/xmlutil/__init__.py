@@ -1,0 +1,40 @@
+"""Namespace-aware XML infoset layer.
+
+This package is the foundation of every message and document format in
+dais-py: SOAP envelopes, WS-DAI property documents, WS-DAIR rowsets and
+WS-DAIX collections are all built from :class:`~repro.xmlutil.tree.XmlElement`
+trees, serialized with :mod:`repro.xmlutil.serialize` and parsed back with
+:mod:`repro.xmlutil.parser`.
+
+The implementation is deliberately self-contained (no dependency on
+``xml.etree``) so that the wire format is fully under the library's control
+and round-trip fidelity can be property-tested.
+"""
+
+from repro.xmlutil.names import QName, NamespaceRegistry, XMLNS_NS, XML_NS
+from repro.xmlutil.tree import XmlElement, Text, Comment, is_element
+from repro.xmlutil.builder import E, element
+from repro.xmlutil.serialize import serialize, serialize_bytes
+from repro.xmlutil.parser import parse, parse_bytes, XmlParseError
+from repro.xmlutil.escape import escape_text, escape_attribute, unescape
+
+__all__ = [
+    "QName",
+    "NamespaceRegistry",
+    "XMLNS_NS",
+    "XML_NS",
+    "XmlElement",
+    "Text",
+    "Comment",
+    "is_element",
+    "E",
+    "element",
+    "serialize",
+    "serialize_bytes",
+    "parse",
+    "parse_bytes",
+    "XmlParseError",
+    "escape_text",
+    "escape_attribute",
+    "unescape",
+]

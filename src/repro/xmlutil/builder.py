@@ -1,0 +1,54 @@
+"""Terse element construction.
+
+``E("{ns}Tag", child, "text", attr=value)`` builds nested
+:class:`~repro.xmlutil.tree.XmlElement` trees in one expression, which keeps
+message-construction code close to the shape of the XML it produces.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.xmlutil.names import QName
+from repro.xmlutil.tree import Comment, Text, XmlElement
+
+
+def element(tag: QName | str, *children: Any, **attributes: Any) -> XmlElement:
+    """Build an :class:`XmlElement`.
+
+    Positional arguments may be elements, :class:`Text`/:class:`Comment`
+    nodes, plain strings (become text), ``None`` (skipped), or lists/tuples
+    (flattened).  Keyword arguments become attributes in no namespace, with
+    a trailing underscore stripped so reserved words work (``class_``).
+    Attribute QNames can be given via a dict first positional argument is
+    *not* supported — use :meth:`XmlElement.set` for namespaced attributes.
+    """
+    node = XmlElement(tag if isinstance(tag, QName) else QName.parse(tag))
+    _append_all(node, children)
+    for name, value in attributes.items():
+        if value is None:
+            continue
+        node.set(QName("", name.rstrip("_")), _to_text(value))
+    return node
+
+
+def _append_all(node: XmlElement, children: Any) -> None:
+    for child in children:
+        if child is None:
+            continue
+        if isinstance(child, (list, tuple)):
+            _append_all(node, child)
+        elif isinstance(child, (XmlElement, Text, Comment)):
+            node.append(child)
+        else:
+            node.append(_to_text(child))
+
+
+def _to_text(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+#: Conventional short alias, e.g. ``E("Envelope", E("Body"))``.
+E = element

@@ -1,0 +1,58 @@
+"""Character escaping for XML text and attribute values."""
+
+from __future__ import annotations
+
+import re
+
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {
+    "&": "&amp;",
+    "<": "&lt;",
+    ">": "&gt;",
+    '"': "&quot;",
+    "\n": "&#10;",
+    "\t": "&#9;",
+    "\r": "&#13;",
+}
+
+_ENTITY_RE = re.compile(r"&(#x[0-9A-Fa-f]+|#[0-9]+|[A-Za-z][A-Za-z0-9]*);")
+_NAMED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+
+
+def escape_text(value: str) -> str:
+    """Escape *value* for use as XML character data."""
+    return "".join(_TEXT_ESCAPES.get(ch, ch) for ch in value) if any(
+        ch in _TEXT_ESCAPES for ch in value
+    ) else value
+
+
+def escape_attribute(value: str) -> str:
+    """Escape *value* for use inside a double-quoted attribute."""
+    if not any(ch in _ATTR_ESCAPES for ch in value):
+        return value
+    return "".join(_ATTR_ESCAPES.get(ch, ch) for ch in value)
+
+
+def _decode_entity(match: re.Match[str]) -> str:
+    body = match.group(1)
+    if body.startswith("#x") or body.startswith("#X"):
+        return chr(int(body[2:], 16))
+    if body.startswith("#"):
+        return chr(int(body[1:]))
+    try:
+        return _NAMED_ENTITIES[body]
+    except KeyError:
+        raise ValueError(f"unknown entity reference &{body};") from None
+
+
+def unescape(value: str) -> str:
+    """Resolve the five predefined entities and numeric character refs."""
+    if "&" not in value:
+        return value
+    return _ENTITY_RE.sub(_decode_entity, value)

@@ -1,0 +1,249 @@
+"""A from-scratch, namespace-aware XML parser.
+
+Covers the profile of XML that appears on a DAIS wire: the prolog,
+elements, attributes, namespace declarations (prefixed and default),
+character data with the predefined/numeric entities, CDATA sections,
+comments and processing instructions (skipped).  DTDs are rejected, which
+doubles as a defence against entity-expansion attacks.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.xmlutil.escape import unescape
+from repro.xmlutil.names import XML_NS, QName
+from repro.xmlutil.tree import Comment, Text, XmlElement
+
+
+class XmlParseError(ValueError):
+    """Raised for any well-formedness or namespace violation."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+_NAME_RE = re.compile(r"[A-Za-z_:À-￿][\w.\-:·À-￿]*")
+_WS_RE = re.compile(r"[ \t\r\n]+")
+
+
+class _Scanner:
+    """Cursor over the document text with primitive token operations."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> XmlParseError:
+        return XmlParseError(message, self.pos)
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self, literal: str) -> bool:
+        return self.text.startswith(literal, self.pos)
+
+    def accept(self, literal: str) -> bool:
+        if self.peek(literal):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def expect(self, literal: str) -> None:
+        if not self.accept(literal):
+            raise self.error(f"expected {literal!r}")
+
+    def skip_ws(self) -> None:
+        match = _WS_RE.match(self.text, self.pos)
+        if match:
+            self.pos = match.end()
+
+    def name(self) -> str:
+        match = _NAME_RE.match(self.text, self.pos)
+        if not match:
+            raise self.error("expected an XML name")
+        self.pos = match.end()
+        return match.group()
+
+    def until(self, literal: str) -> str:
+        end = self.text.find(literal, self.pos)
+        if end < 0:
+            raise self.error(f"unterminated construct, missing {literal!r}")
+        chunk = self.text[self.pos : end]
+        self.pos = end + len(literal)
+        return chunk
+
+
+def _split_prefixed(name: str, scanner: _Scanner) -> tuple[str, str]:
+    prefix, sep, local = name.partition(":")
+    if not sep:
+        return "", name
+    if not prefix or not local or ":" in local:
+        raise scanner.error(f"malformed qualified name {name!r}")
+    return prefix, local
+
+
+def _resolve(
+    prefix: str,
+    local: str,
+    scopes: list[dict[str, str]],
+    scanner: _Scanner,
+    is_attribute: bool,
+) -> QName:
+    if prefix == "xml":
+        return QName(XML_NS, local)
+    if not prefix:
+        if is_attribute:
+            return QName("", local)
+        for scope in reversed(scopes):
+            if "" in scope:
+                return QName(scope[""], local)
+        return QName("", local)
+    for scope in reversed(scopes):
+        if prefix in scope:
+            return QName(scope[prefix], local)
+    raise scanner.error(f"undeclared namespace prefix {prefix!r}")
+
+
+def _parse_attributes(scanner: _Scanner) -> dict[str, str]:
+    attributes: dict[str, str] = {}
+    while True:
+        scanner.skip_ws()
+        if scanner.peek(">") or scanner.peek("/>"):
+            return attributes
+        raw_name = scanner.name()
+        scanner.skip_ws()
+        scanner.expect("=")
+        scanner.skip_ws()
+        quote = '"' if scanner.accept('"') else None
+        if quote is None:
+            if not scanner.accept("'"):
+                raise scanner.error("attribute value must be quoted")
+            quote = "'"
+        value = scanner.until(quote)
+        if "<" in value:
+            raise scanner.error("'<' not allowed in attribute values")
+        if raw_name in attributes:
+            raise scanner.error(f"duplicate attribute {raw_name!r}")
+        attributes[raw_name] = unescape(value)
+
+
+def _skip_misc(scanner: _Scanner) -> None:
+    """Skip whitespace, comments and PIs between top-level constructs."""
+    while True:
+        scanner.skip_ws()
+        if scanner.accept("<!--"):
+            scanner.until("-->")
+        elif scanner.peek("<?"):
+            scanner.pos += 2
+            scanner.until("?>")
+        else:
+            return
+
+
+def parse(text: str) -> XmlElement:
+    """Parse an XML document string and return its root element."""
+    scanner = _Scanner(text)
+    if scanner.accept("﻿"):
+        pass  # tolerate a BOM that survived decoding
+    _skip_misc(scanner)
+    if scanner.peek("<!DOCTYPE"):
+        raise scanner.error("DTDs are not supported")
+    if not scanner.peek("<"):
+        raise scanner.error("expected the root element")
+    root = _parse_element(scanner, [])
+    _skip_misc(scanner)
+    if not scanner.eof():
+        raise scanner.error("content after the root element")
+    return root
+
+
+def parse_bytes(data: bytes) -> XmlElement:
+    """Decode UTF-8 bytes (BOM tolerated) and parse."""
+    return parse(data.decode("utf-8-sig"))
+
+
+def _parse_element(scanner: _Scanner, scopes: list[dict[str, str]]) -> XmlElement:
+    scanner.expect("<")
+    raw_tag = scanner.name()
+    raw_attributes = _parse_attributes(scanner)
+
+    scope: dict[str, str] = {}
+    plain: dict[str, str] = {}
+    for raw_name, value in raw_attributes.items():
+        if raw_name == "xmlns":
+            scope[""] = value
+        elif raw_name.startswith("xmlns:"):
+            prefix = raw_name[6:]
+            if not value:
+                raise scanner.error("cannot undeclare a namespace prefix")
+            scope[prefix] = value
+        else:
+            plain[raw_name] = value
+    scopes.append(scope)
+
+    prefix, local = _split_prefixed(raw_tag, scanner)
+    tag = _resolve(prefix, local, scopes, scanner, is_attribute=False)
+    node = XmlElement(tag)
+    for raw_name, value in plain.items():
+        aprefix, alocal = _split_prefixed(raw_name, scanner)
+        aname = _resolve(aprefix, alocal, scopes, scanner, is_attribute=True)
+        if aname in node.attributes:
+            raise scanner.error(f"duplicate attribute {aname.clark()}")
+        node.attributes[aname] = value
+
+    if scanner.accept("/>"):
+        scopes.pop()
+        return node
+    scanner.expect(">")
+    _parse_content(scanner, node, scopes)
+
+    closing = scanner.name()
+    if closing != raw_tag:
+        raise scanner.error(
+            f"mismatched end tag: expected </{raw_tag}>, got </{closing}>"
+        )
+    scanner.skip_ws()
+    scanner.expect(">")
+    scopes.pop()
+    return node
+
+
+def _parse_content(
+    scanner: _Scanner, node: XmlElement, scopes: list[dict[str, str]]
+) -> None:
+    buffer: list[str] = []
+
+    def flush() -> None:
+        if buffer:
+            node.append(Text("".join(buffer)))
+            buffer.clear()
+
+    while True:
+        if scanner.eof():
+            raise scanner.error(f"unexpected end of input inside <{node.tag.local}>")
+        if scanner.accept("<![CDATA["):
+            buffer.append(scanner.until("]]>"))
+        elif scanner.accept("<!--"):
+            flush()
+            node.append(Comment(scanner.until("-->")))
+        elif scanner.peek("<?"):
+            scanner.pos += 2
+            scanner.until("?>")
+        elif scanner.accept("</"):
+            flush()
+            return
+        elif scanner.peek("<"):
+            flush()
+            node.append(_parse_element(scanner, scopes))
+        else:
+            end = scanner.text.find("<", scanner.pos)
+            if end < 0:
+                raise scanner.error("unexpected end of input in character data")
+            raw = scanner.text[scanner.pos : end]
+            scanner.pos = end
+            try:
+                buffer.append(unescape(raw))
+            except ValueError as exc:
+                raise scanner.error(str(exc)) from None

@@ -1,0 +1,125 @@
+"""Serialization of element trees to XML text.
+
+The serializer declares every namespace used in the document on the root
+element with a stable prefix (preferred prefixes come from a
+:class:`~repro.xmlutil.names.NamespaceRegistry`), and never uses default
+namespace declarations.  This makes output deterministic, diff-friendly and
+trivially re-parseable.
+"""
+
+from __future__ import annotations
+
+from repro.xmlutil.escape import escape_attribute, escape_text
+from repro.xmlutil.names import DEFAULT_REGISTRY, XML_NS, NamespaceRegistry, QName
+from repro.xmlutil.tree import Comment, Text, XmlElement
+
+
+def _collect_namespaces(root: XmlElement) -> list[str]:
+    seen: dict[str, None] = {}
+    for node in root.iter():
+        if node.tag.namespace:
+            seen.setdefault(node.tag.namespace, None)
+        for attr in node.attributes:
+            if attr.namespace:
+                seen.setdefault(attr.namespace, None)
+    seen.pop(XML_NS, None)
+    return list(seen)
+
+
+def _assign_prefixes(
+    uris: list[str], registry: NamespaceRegistry
+) -> dict[str, str]:
+    prefixes: dict[str, str] = {XML_NS: "xml"}
+    used: set[str] = {"xml", "xmlns"}
+    counter = 0
+    for uri in uris:
+        preferred = registry.prefix_for(uri)
+        if preferred and preferred not in used:
+            prefixes[uri] = preferred
+            used.add(preferred)
+            continue
+        while f"ns{counter}" in used:
+            counter += 1
+        prefixes[uri] = f"ns{counter}"
+        used.add(f"ns{counter}")
+    return prefixes
+
+
+class _Writer:
+    def __init__(self, prefixes: dict[str, str], indent: str | None) -> None:
+        self._prefixes = prefixes
+        self._indent = indent
+        self._parts: list[str] = []
+
+    def result(self) -> str:
+        return "".join(self._parts)
+
+    def _qname(self, name: QName) -> str:
+        if not name.namespace:
+            return name.local
+        return f"{self._prefixes[name.namespace]}:{name.local}"
+
+    def write(self, node: XmlElement, depth: int, declare: dict[str, str] | None) -> None:
+        pad = "" if self._indent is None else "\n" + self._indent * depth
+        if depth > 0 or self._indent is not None:
+            if depth > 0 and self._indent is not None:
+                self._parts.append(pad)
+        self._parts.append(f"<{self._qname(node.tag)}")
+        if declare:
+            for uri, prefix in declare.items():
+                self._parts.append(f' xmlns:{prefix}="{escape_attribute(uri)}"')
+        for attr, value in node.attributes.items():
+            self._parts.append(
+                f' {self._qname(attr)}="{escape_attribute(value)}"'
+            )
+        if not node.children:
+            self._parts.append("/>")
+            return
+        self._parts.append(">")
+        text_only = all(isinstance(c, Text) for c in node.children)
+        for child in node.children:
+            if isinstance(child, Text):
+                self._parts.append(escape_text(child.value))
+            elif isinstance(child, Comment):
+                self._parts.append(f"<!--{child.value}-->")
+            else:
+                self.write(child, depth + 1, None)
+        if not text_only and self._indent is not None:
+            self._parts.append("\n" + self._indent * depth)
+        self._parts.append(f"</{self._qname(node.tag)}>")
+
+
+def serialize(
+    root: XmlElement,
+    registry: NamespaceRegistry | None = None,
+    indent: str | None = None,
+    xml_declaration: bool = False,
+) -> str:
+    """Serialize *root* to an XML string.
+
+    :param registry: preferred prefixes; defaults to the library-wide
+        :data:`~repro.xmlutil.names.DEFAULT_REGISTRY`.
+    :param indent: when given (e.g. ``"  "``), pretty-print with that unit.
+        Note that pretty-printed output inserts whitespace text nodes; use
+        compact output (the default) when round-trip fidelity matters.
+    :param xml_declaration: prepend ``<?xml version="1.0" ...?>``.
+    """
+    registry = registry if registry is not None else DEFAULT_REGISTRY
+    uris = _collect_namespaces(root)
+    prefixes = _assign_prefixes(uris, registry)
+    writer = _Writer(prefixes, indent)
+    declare = {uri: prefixes[uri] for uri in uris}
+    writer.write(root, 0, declare)
+    body = writer.result().lstrip("\n")
+    if xml_declaration:
+        return '<?xml version="1.0" encoding="UTF-8"?>\n' + body
+    return body
+
+
+def serialize_bytes(
+    root: XmlElement,
+    registry: NamespaceRegistry | None = None,
+    indent: str | None = None,
+) -> bytes:
+    """Serialize *root* to UTF-8 bytes with an XML declaration."""
+    return serialize(root, registry, indent, xml_declaration=True).encode("utf-8")

@@ -1,0 +1,213 @@
+"""A small, explicit XML element tree.
+
+The tree model is deliberately minimal: an :class:`XmlElement` has a
+:class:`~repro.xmlutil.names.QName` tag, a ``{QName: str}`` attribute map and
+an ordered child list of elements, :class:`Text` nodes and :class:`Comment`
+nodes.  Processing instructions and DTDs are out of scope for DAIS messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Union
+
+from repro.xmlutil.names import QName
+
+
+@dataclass(slots=True)
+class Text:
+    """A character-data node."""
+
+    value: str
+
+    def __bool__(self) -> bool:
+        return bool(self.value)
+
+
+@dataclass(slots=True)
+class Comment:
+    """An XML comment node; preserved on round trips."""
+
+    value: str
+
+
+Node = Union["XmlElement", Text, Comment]
+
+
+def is_element(node: Node) -> bool:
+    """True when *node* is an :class:`XmlElement` (not text or comment)."""
+    return isinstance(node, XmlElement)
+
+
+def _coerce_tag(tag: QName | str) -> QName:
+    if isinstance(tag, QName):
+        return tag
+    return QName.parse(tag)
+
+
+@dataclass(slots=True)
+class XmlElement:
+    """An element node.
+
+    Attributes are keyed by :class:`QName`; unprefixed attributes live in
+    the empty namespace.  Child order is significant and preserved.
+    """
+
+    tag: QName
+    attributes: dict[QName, str] = field(default_factory=dict)
+    children: list[Node] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.tag = _coerce_tag(self.tag)
+        coerced: dict[QName, str] = {}
+        for key, value in self.attributes.items():
+            coerced[_coerce_tag(key)] = str(value)
+        self.attributes = coerced
+
+    # -- construction -----------------------------------------------------
+
+    def append(self, node: Node | str) -> "XmlElement":
+        """Append a child node (a bare ``str`` becomes a :class:`Text`).
+
+        Text is normalized on the way in: empty strings are dropped and a
+        text node appended directly after another text node is merged into
+        it, so trees always round-trip through serialization unchanged.
+        """
+        if isinstance(node, str):
+            node = Text(node)
+        if isinstance(node, Text):
+            if not node.value:
+                return self
+            if self.children and isinstance(self.children[-1], Text):
+                self.children[-1] = Text(self.children[-1].value + node.value)
+                return self
+        self.children.append(node)
+        return self
+
+    def extend(self, nodes: Iterable[Node | str]) -> "XmlElement":
+        for node in nodes:
+            self.append(node)
+        return self
+
+    def set(self, name: QName | str, value: str) -> "XmlElement":
+        """Set an attribute; returns self for chaining."""
+        self.attributes[_coerce_tag(name)] = str(value)
+        return self
+
+    # -- accessors --------------------------------------------------------
+
+    def get(self, name: QName | str, default: str | None = None) -> str | None:
+        """Return an attribute value, or *default* when absent."""
+        return self.attributes.get(_coerce_tag(name), default)
+
+    @property
+    def text(self) -> str:
+        """Concatenated character data of the *direct* children."""
+        return "".join(c.value for c in self.children if isinstance(c, Text))
+
+    @text.setter
+    def text(self, value: str) -> None:
+        self.children = [c for c in self.children if not isinstance(c, Text)]
+        if value:
+            self.children.insert(0, Text(value))
+
+    def full_text(self) -> str:
+        """Concatenated character data of the entire subtree."""
+        parts: list[str] = []
+        for node in self.iter():
+            for child in node.children:
+                if isinstance(child, Text):
+                    parts.append(child.value)
+        return "".join(parts)
+
+    def element_children(self) -> list["XmlElement"]:
+        """Direct children that are elements, in document order."""
+        return [c for c in self.children if isinstance(c, XmlElement)]
+
+    def find(self, tag: QName | str) -> "XmlElement | None":
+        """First direct child element with the given tag, or None."""
+        wanted = _coerce_tag(tag)
+        for child in self.children:
+            if isinstance(child, XmlElement) and child.tag == wanted:
+                return child
+        return None
+
+    def findall(self, tag: QName | str) -> list["XmlElement"]:
+        """All direct child elements with the given tag."""
+        wanted = _coerce_tag(tag)
+        return [
+            c for c in self.children if isinstance(c, XmlElement) and c.tag == wanted
+        ]
+
+    def findtext(self, tag: QName | str, default: str | None = None) -> str | None:
+        """Text of the first matching direct child, or *default*."""
+        child = self.find(tag)
+        if child is None:
+            return default
+        return child.text
+
+    def require(self, tag: QName | str) -> "XmlElement":
+        """Like :meth:`find` but raises ``KeyError`` when missing."""
+        child = self.find(tag)
+        if child is None:
+            raise KeyError(f"required child {_coerce_tag(tag).clark()} missing "
+                           f"under {self.tag.clark()}")
+        return child
+
+    def iter(self) -> Iterator["XmlElement"]:
+        """Depth-first iterator over this element and all descendants."""
+        stack: list[XmlElement] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(
+                reversed([c for c in node.children if isinstance(c, XmlElement)])
+            )
+
+    def descendants(self, tag: QName | str) -> list["XmlElement"]:
+        """All descendant-or-self elements with the given tag."""
+        wanted = _coerce_tag(tag)
+        return [node for node in self.iter() if node.tag == wanted]
+
+    # -- structure --------------------------------------------------------
+
+    def copy(self) -> "XmlElement":
+        """Deep structural copy."""
+        clone = XmlElement(self.tag, dict(self.attributes))
+        for child in self.children:
+            if isinstance(child, XmlElement):
+                clone.children.append(child.copy())
+            elif isinstance(child, Text):
+                clone.children.append(Text(child.value))
+            else:
+                clone.children.append(Comment(child.value))
+        return clone
+
+    def equals(self, other: "XmlElement", ignore_whitespace: bool = False) -> bool:
+        """Structural equality, optionally ignoring whitespace-only text."""
+        if self.tag != other.tag or self.attributes != other.attributes:
+            return False
+        mine = _significant(self.children, ignore_whitespace)
+        theirs = _significant(other.children, ignore_whitespace)
+        if len(mine) != len(theirs):
+            return False
+        for a, b in zip(mine, theirs):
+            if type(a) is not type(b):
+                return False
+            if isinstance(a, XmlElement):
+                if not a.equals(b, ignore_whitespace):
+                    return False
+            elif a.value != b.value:
+                return False
+        return True
+
+
+def _significant(children: list[Node], ignore_whitespace: bool) -> list[Node]:
+    out: list[Node] = []
+    for child in children:
+        if isinstance(child, Comment):
+            continue
+        if ignore_whitespace and isinstance(child, Text) and not child.value.strip():
+            continue
+        out.append(child)
+    return out

@@ -1,0 +1,122 @@
+"""XPath abstract syntax tree node types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+Expr = Union[
+    "OrExpr",
+    "AndExpr",
+    "ComparisonExpr",
+    "ArithmeticExpr",
+    "NegateExpr",
+    "UnionExpr",
+    "PathExpr",
+    "FilterExpr",
+    "FunctionCall",
+    "VariableRef",
+    "NumberLiteral",
+    "StringLiteral",
+    "LocationPath",
+]
+
+
+@dataclass(frozen=True)
+class NumberLiteral:
+    value: float
+
+
+@dataclass(frozen=True)
+class StringLiteral:
+    value: str
+
+
+@dataclass(frozen=True)
+class VariableRef:
+    name: str  # possibly prefixed
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    name: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class NodeTest:
+    """A step's node test.
+
+    ``kind`` is one of ``"name"`` (match *prefix*/*local*), ``"wildcard"``
+    (``*`` or ``prefix:*``), ``"node"``, ``"text"``, ``"comment"`` or
+    ``"processing-instruction"``.
+    """
+
+    kind: str
+    prefix: str = ""
+    local: str = ""
+
+
+@dataclass(frozen=True)
+class Step:
+    axis: str
+    test: NodeTest
+    predicates: tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class LocationPath:
+    absolute: bool
+    steps: tuple[Step, ...]
+
+
+@dataclass(frozen=True)
+class FilterExpr:
+    """A primary expression filtered by predicates, optionally continued
+    with a relative path: ``$var[1]/child``."""
+
+    primary: Expr
+    predicates: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class PathExpr:
+    """``filter / relative-path`` — the filter's node-set is the start."""
+
+    start: Expr
+    descendant_glue: bool  # True for ``//``
+    path: LocationPath
+
+
+@dataclass(frozen=True)
+class UnionExpr:
+    parts: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class NegateExpr:
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class ArithmeticExpr:
+    op: str  # + - * div mod
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class ComparisonExpr:
+    op: str  # = != < <= > >=
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class AndExpr:
+    parts: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class OrExpr:
+    parts: tuple[Expr, ...]

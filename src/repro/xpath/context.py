@@ -1,0 +1,152 @@
+"""Evaluation context and the node model the engine walks.
+
+:mod:`repro.xmlutil` trees have no parent pointers (they are plain value
+trees), so each evaluation builds a :class:`DocumentContext` that indexes
+the tree once: parent links, document order, and synthetic nodes for the
+document root and for attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Union
+
+from repro.xmlutil import QName, XmlElement
+from repro.xmlutil.tree import Comment, Text
+
+
+@dataclass(frozen=True)
+class AttributeNode:
+    """An attribute viewed as an XPath node."""
+
+    owner: XmlElement
+    name: QName
+    value: str
+
+
+@dataclass(frozen=True)
+class DocumentNode:
+    """The synthetic root node (parent of the document element)."""
+
+    root: XmlElement
+
+
+XPathNode = Union[DocumentNode, XmlElement, Text, Comment, AttributeNode]
+#: The four XPath value types: node-set, boolean, number, string.
+XPathValue = Union[list, bool, float, str]
+
+
+class DocumentContext:
+    """Per-document index: parent links and document order."""
+
+    def __init__(self, root: XmlElement) -> None:
+        self.document = DocumentNode(root)
+        self._parents: dict[int, XPathNode] = {}
+        self._order: dict[int, int] = {id(self.document): 0}
+        self._attr_cache: dict[int, dict[QName, AttributeNode]] = {}
+        self._counter = 1
+        self._index(root, self.document)
+
+    def _index(self, element: XmlElement, parent: XPathNode) -> None:
+        """Depth-first walk assigning parent links and document order.
+
+        Attributes are ordered immediately after their owning element, as
+        XPath 1.0 prescribes.
+        """
+        self._parents[id(element)] = parent
+        self._order[id(element)] = self._counter
+        self._counter += 1
+        attrs: dict[QName, AttributeNode] = {}
+        for name, value in element.attributes.items():
+            attr = AttributeNode(element, name, value)
+            attrs[name] = attr
+            self._parents[id(attr)] = element
+            self._order[id(attr)] = self._counter
+            self._counter += 1
+        self._attr_cache[id(element)] = attrs
+        for child in element.children:
+            if isinstance(child, XmlElement):
+                self._index(child, element)
+            else:
+                self._parents[id(child)] = element
+                self._order[id(child)] = self._counter
+                self._counter += 1
+
+    def parent_of(self, node: XPathNode) -> XPathNode | None:
+        """Parent of *node*, or None for the document node."""
+        return self._parents.get(id(node))
+
+    def order_key(self, node: XPathNode) -> int:
+        """Monotone document-order key (smaller = earlier)."""
+        return self._order.get(id(node), 1 << 60)
+
+    def attributes_of(self, element: XmlElement) -> list[AttributeNode]:
+        """Canonical attribute nodes of *element*."""
+        cache = self._attr_cache.get(id(element))
+        if cache is None:
+            cache = {
+                name: AttributeNode(element, name, value)
+                for name, value in element.attributes.items()
+            }
+            self._attr_cache[id(element)] = cache
+            for attr in cache.values():
+                self._parents[id(attr)] = element
+        return list(cache.values())
+
+    def sort_document_order(self, nodes: list[XPathNode]) -> list[XPathNode]:
+        """Sort & deduplicate a node list into document order."""
+        seen: set[int] = set()
+        unique: list[XPathNode] = []
+        for node in nodes:
+            if id(node) not in seen:
+                seen.add(id(node))
+                unique.append(node)
+        unique.sort(key=self.order_key)
+        return unique
+
+
+@dataclass
+class XPathContext:
+    """The dynamic context of one evaluation."""
+
+    document: DocumentContext
+    node: XPathNode
+    position: int = 1
+    size: int = 1
+    variables: dict[str, Any] = field(default_factory=dict)
+    namespaces: dict[str, str] = field(default_factory=dict)
+
+    def with_node(self, node: XPathNode, position: int, size: int) -> "XPathContext":
+        return XPathContext(
+            self.document, node, position, size, self.variables, self.namespaces
+        )
+
+
+def string_value(node: XPathNode) -> str:
+    """The XPath string-value of a node."""
+    if isinstance(node, (Text, Comment)):
+        return node.value
+    if isinstance(node, AttributeNode):
+        return node.value
+    if isinstance(node, DocumentNode):
+        return string_value(node.root)
+    parts: list[str] = []
+    _collect_text(node, parts)
+    return "".join(parts)
+
+
+def _collect_text(element: XmlElement, out: list[str]) -> None:
+    for child in element.children:
+        if isinstance(child, Text):
+            out.append(child.value)
+        elif isinstance(child, XmlElement):
+            _collect_text(child, out)
+
+
+def expanded_name(node: XPathNode) -> QName | None:
+    """The expanded-name of a node, or None for unnamed node kinds."""
+    if isinstance(node, XmlElement):
+        return node.tag
+    if isinstance(node, AttributeNode):
+        return node.name
+    return None

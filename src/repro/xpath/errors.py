@@ -1,0 +1,18 @@
+"""XPath error taxonomy."""
+
+
+class XPathError(Exception):
+    """Base class for all XPath failures."""
+
+
+class XPathSyntaxError(XPathError):
+    """The expression failed to lex or parse."""
+
+    def __init__(self, message: str, expression: str, position: int) -> None:
+        super().__init__(f"{message} in {expression!r} at position {position}")
+        self.expression = expression
+        self.position = position
+
+
+class XPathEvaluationError(XPathError):
+    """The expression parsed but could not be evaluated."""

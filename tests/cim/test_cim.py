@@ -1,0 +1,100 @@
+"""CIM model mapping and CIM-XML round-trip tests."""
+
+import pytest
+
+from repro.cim import describe_catalog, parse_cim_xml, render_cim_xml
+from repro.relational import Database
+from repro.xmlutil import E, parse, serialize
+
+
+@pytest.fixture()
+def db():
+    database = Database("warehouse")
+    database.execute(
+        """CREATE TABLE customers (
+             id INT PRIMARY KEY,
+             email VARCHAR(120) NOT NULL UNIQUE,
+             region VARCHAR(20)
+           )"""
+    )
+    database.execute(
+        """CREATE TABLE orders (
+             id INT PRIMARY KEY,
+             customer_id INT NOT NULL REFERENCES customers(id),
+             total DECIMAL(10,2)
+           )"""
+    )
+    return database
+
+
+@pytest.fixture()
+def model(db):
+    return describe_catalog(db.catalog)
+
+
+class TestModelMapping:
+    def test_database_name(self, model):
+        assert model.name == "warehouse"
+
+    def test_tables_listed(self, model):
+        assert {t.name for t in model.tables} == {"customers", "orders"}
+
+    def test_columns_with_types(self, model):
+        email = model.table("customers").column("email")
+        assert email.data_type == "VARCHAR"
+        assert email.length == 120
+        assert email.nullable is False
+
+    def test_ordinal_positions_one_based(self, model):
+        columns = model.table("orders").columns
+        assert [c.ordinal_position for c in columns] == [1, 2, 3]
+
+    def test_primary_key_reported(self, model):
+        keys = model.table("customers").keys
+        assert any(k.kind == "PRIMARY" and k.columns == ("id",) for k in keys)
+
+    def test_unique_constraint_reported(self, model):
+        keys = model.table("customers").keys
+        assert any(k.kind == "UNIQUE" and k.columns == ("email",) for k in keys)
+
+    def test_foreign_key_reported(self, model):
+        fks = model.table("orders").foreign_keys
+        assert len(fks) == 1
+        assert fks[0].referenced_table == "customers"
+        assert fks[0].referenced_columns == ("id",)
+
+    def test_nullable_column(self, model):
+        assert model.table("customers").column("region").nullable is True
+
+    def test_unknown_table_raises(self, model):
+        with pytest.raises(KeyError):
+            model.table("ghost")
+
+
+class TestCimXml:
+    def test_rendering_is_cim_instance(self, model):
+        xml = render_cim_xml(model)
+        assert xml.tag.local == "INSTANCE"
+        assert xml.get("CLASSNAME") == "CIM_CommonDatabase"
+
+    def test_round_trip_through_text(self, model):
+        text = serialize(render_cim_xml(model))
+        parsed = parse_cim_xml(parse(text))
+        assert parsed == model
+
+    def test_schema_changes_reflected(self, db):
+        before = describe_catalog(db.catalog)
+        db.execute("CREATE TABLE extra (x INT)")
+        after = describe_catalog(db.catalog)
+        assert len(after.tables) == len(before.tables) + 1
+
+    def test_parse_rejects_foreign_xml(self):
+        with pytest.raises(ValueError):
+            parse_cim_xml(E("NotCim"))
+
+    def test_length_omitted_for_unsized_types(self, model):
+        xml = render_cim_xml(model)
+        text = serialize(xml)
+        parsed = parse_cim_xml(parse(text))
+        total = parsed.table("orders").column("total")
+        assert total.length == 10  # DECIMAL(10,2) records precision as length

@@ -1,0 +1,115 @@
+"""Client-side behaviour: EPR following, helpers, fault surfacing."""
+
+import pytest
+
+from repro.client.sql import SQLClient, configuration_document
+from repro.core import Sensitivity, TransactionIsolation
+from repro.core.namespaces import WSDAI_NS
+from repro.soap.addressing import EndpointReference
+from repro.workload import RelationalWorkload, build_single_service
+from repro.xmlutil import QName
+
+
+@pytest.fixture()
+def deployment():
+    return build_single_service(RelationalWorkload(customers=5))
+
+
+class TestConfigurationDocumentHelper:
+    def test_builds_known_properties(self):
+        document = configuration_document(
+            description="d",
+            readable=True,
+            writeable=False,
+            sensitivity=Sensitivity.SENSITIVE,
+            transaction_isolation=TransactionIsolation.SERIALIZABLE,
+        )
+        texts = {
+            child.tag.local: child.text for child in document.element_children()
+        }
+        assert texts["DataResourceDescription"] == "d"
+        assert texts["Readable"] == "true"
+        assert texts["Writeable"] == "false"
+        assert texts["Sensitivity"] == "Sensitive"
+        assert texts["TransactionIsolation"] == "Serializable"
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown configurable"):
+            configuration_document(bogus=True)
+
+    def test_accepts_plain_strings(self):
+        document = configuration_document(sensitivity="Sensitive")
+        assert document.element_children()[0].text == "Sensitive"
+
+
+class TestEprFollowing:
+    def test_call_epr_echoes_reference_parameters(self, deployment):
+        factory = deployment.client.sql_execute_factory(
+            deployment.address, deployment.name, "SELECT 1"
+        )
+        # The EPR's reference parameters include the abstract name; the
+        # client echoes them as SOAP headers (checked by a custom probe).
+        captured = {}
+        original_send = deployment.client.transport.send
+
+        def probing_send(address, envelope):
+            captured["refparams"] = envelope.headers.reference_parameters
+            return original_send(address, envelope)
+
+        deployment.client.transport.send = probing_send
+        deployment.client.get_sql_rowset(factory.address, factory.abstract_name)
+        params = captured["refparams"]
+        assert any(
+            p.tag == QName(WSDAI_NS, "DataResourceAbstractName")
+            and p.text == factory.abstract_name
+            for p in params
+        )
+
+    def test_epr_to_unknown_address_raises_lookup(self, deployment):
+        ghost = EndpointReference("dais://nowhere")
+        with pytest.raises(LookupError):
+            deployment.client.get_sql_rowset(ghost, "urn:x:1")
+
+    def test_resolve_round_trips_via_core_list(self, deployment):
+        epr = deployment.client.resolve(deployment.address, deployment.name)
+        rowset = deployment.client.sql_query_rowset(
+            epr.address, deployment.name, "SELECT COUNT(*) FROM customers"
+        )
+        assert rowset.rows == [("5",)]
+
+
+class TestClientConveniences:
+    def test_query_rowset_on_update_returns_empty(self, deployment):
+        rowset = deployment.client.sql_query_rowset(
+            deployment.address,
+            deployment.name,
+            "UPDATE customers SET segment = 'x'",
+        )
+        assert rowset.rows == []
+        assert rowset.columns == []
+
+    def test_parameters_coerced_to_strings(self, deployment):
+        rowset = deployment.client.sql_query_rowset(
+            deployment.address,
+            deployment.name,
+            "SELECT name FROM customers WHERE id = ?",
+            [3],  # int, not str — client renders it
+        )
+        assert rowset.rows == [("customer-00003",)]
+
+    def test_two_clients_share_one_deployment(self, deployment):
+        from repro.transport import LoopbackTransport
+
+        other = SQLClient(LoopbackTransport(deployment.registry))
+        first = deployment.client.sql_query_rowset(
+            deployment.address, deployment.name, "SELECT COUNT(*) FROM orders"
+        )
+        second = other.sql_query_rowset(
+            deployment.address, deployment.name, "SELECT COUNT(*) FROM orders"
+        )
+        assert first.rows == second.rows
+
+    def test_stats_accumulate_per_transport(self, deployment):
+        before = deployment.client.transport.stats.call_count
+        deployment.client.list_resources(deployment.address)
+        assert deployment.client.transport.stats.call_count == before + 1

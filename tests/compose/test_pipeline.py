@@ -1,0 +1,262 @@
+"""Request-composition (activity pipeline) tests — paper §2.2."""
+
+import pytest
+
+from repro.client.files import FilesClient
+from repro.client.xml import XMLClient
+from repro.compose import (
+    Activity,
+    ActivityError,
+    CsvRenderActivity,
+    DeliverToCollectionActivity,
+    DeliverToFileActivity,
+    Pipeline,
+    ProjectColumnsActivity,
+    RowsetToXmlActivity,
+    SQLQueryActivity,
+    XPathQueryActivity,
+    XQueryTransformActivity,
+)
+from repro.core import mint_abstract_name
+from repro.daif import FileCollectionResource, FileRealisationService
+from repro.daix import XMLCollectionResource, XMLRealisationService
+from repro.dair.datasets import Rowset
+from repro.filestore import FileStore
+from repro.relational.types import NULL
+from repro.transport import LoopbackTransport
+from repro.workload import RelationalWorkload, build_single_service
+from repro.xmldb import CollectionManager
+from repro.xmlutil import E
+
+
+@pytest.fixture()
+def fabric():
+    """A grid fabric: one SQL service, one XML service, one file service."""
+    deployment = build_single_service(RelationalWorkload(customers=8))
+    registry = deployment.registry
+
+    manager = CollectionManager()
+    xml_service = XMLRealisationService("xml", "dais://xml")
+    registry.register(xml_service)
+    xml_resource = XMLCollectionResource(
+        mint_abstract_name("sink"), manager.create_path("sink")
+    )
+    xml_service.add_resource(xml_resource)
+
+    store = FileStore()
+    store.make_directory("out")
+    file_service = FileRealisationService("files", "dais://files")
+    registry.register(file_service)
+    file_resource = FileCollectionResource(
+        mint_abstract_name("out"), store, base_path="out"
+    )
+    file_service.add_resource(file_resource)
+
+    return {
+        "sql": deployment,
+        "xml": (xml_service, xml_resource, manager),
+        "files": (file_service, file_resource, store),
+        "registry": registry,
+    }
+
+
+class TestPipelineEngine:
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline([])
+
+    def test_type_mismatch_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="consumes"):
+            Pipeline([RowsetToXmlActivity(), CsvRenderActivity()])
+
+    def test_any_matches_everything(self):
+        class Produce(Activity):
+            PRODUCES = "any"
+
+            def run(self, value):
+                return Rowset(["a"], [""], [("1",)])
+
+        Pipeline([Produce(), CsvRenderActivity()])  # no error
+
+    def test_trace_records_each_activity(self):
+        class AddOne(Activity):
+            def run(self, value):
+                return (value or 0) + 1
+
+        result = Pipeline([AddOne(), AddOne(), AddOne()]).execute(0)
+        assert result.output == 3
+        assert len(result.trace) == 3
+        assert all(step.seconds >= 0 for step in result.trace)
+
+    def test_failure_wrapped_with_activity(self):
+        class Boom(Activity):
+            def run(self, value):
+                raise RuntimeError("inner")
+
+        with pytest.raises(ActivityError, match="Boom failed: inner"):
+            Pipeline([Boom()]).execute()
+
+
+class TestTransformActivities:
+    def test_project_columns(self):
+        rowset = Rowset(["a", "b", "c"], ["", "", ""], [("1", "2", "3")])
+        projected = ProjectColumnsActivity(["c", "a"]).run(rowset)
+        assert projected.columns == ["c", "a"]
+        assert projected.rows == [("3", "1")]
+
+    def test_project_unknown_column(self):
+        rowset = Rowset(["a"], [""], [])
+        with pytest.raises(KeyError):
+            ProjectColumnsActivity(["zzz"]).run(rowset)
+
+    def test_rowset_to_xml(self):
+        rowset = Rowset(["id", "name"], ["", ""], [("1", "x"), ("2", NULL)])
+        document = RowsetToXmlActivity("table", "r").run(rowset)
+        assert document.tag.local == "table"
+        rows = document.findall("r")
+        assert rows[0].findtext("id") == "1"
+        assert rows[1].find("name").get("null") == "true"
+
+    def test_rowset_to_xml_sanitizes_names(self):
+        rowset = Rowset(["weird col!"], [""], [("v",)])
+        document = RowsetToXmlActivity().run(rowset)
+        assert document.find("row").element_children()[0].tag.local == "weird_col_"
+
+    def test_xquery_transform(self):
+        document = E("rows", E("row", E("v", "3")), E("row", E("v", "1")))
+        transform = XQueryTransformActivity(
+            "for $r in /rows/row order by $r/v return <n>{$r/v/text()}</n>",
+            result_tag="sorted",
+        )
+        result = transform.run(document)
+        assert [n.text for n in result.findall("n")] == ["1", "3"]
+
+    def test_csv_render(self):
+        rowset = Rowset(["a", "b"], ["", ""], [("1", NULL), ("x,y", "z")])
+        content = CsvRenderActivity().run(rowset)
+        lines = content.decode().split("\n")
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,\\N"
+        assert lines[2] == '"x,y",z'
+
+
+class TestEndToEndComposition:
+    def test_query_transform_deliver_to_collection(self, fabric):
+        """The paper's §2.2 scenario: DB → transform → third party."""
+        sql = fabric["sql"]
+        xml_service, xml_resource, manager = fabric["xml"]
+        registry = fabric["registry"]
+
+        pipeline = Pipeline(
+            [
+                SQLQueryActivity(
+                    sql.client,
+                    sql.address,
+                    sql.name,
+                    "SELECT region, COUNT(*) AS n FROM customers "
+                    "GROUP BY region ORDER BY region",
+                ),
+                RowsetToXmlActivity("regions", "region"),
+                XQueryTransformActivity(
+                    "for $r in /regions/region where $r/n > 1 "
+                    'return <busy name="{$r/region}">{$r/n/text()}</busy>',
+                    result_tag="report",
+                ),
+                DeliverToCollectionActivity(
+                    XMLClient(LoopbackTransport(registry)),
+                    "dais://xml",
+                    xml_resource.abstract_name,
+                    "region-report",
+                ),
+            ]
+        )
+        result = pipeline.execute()
+        assert result.output["document"] == "region-report"
+        delivered = manager.resolve("sink").get("region-report").root
+        assert delivered.tag.local == "report"
+        assert len(delivered.findall("busy")) >= 1
+
+    def test_query_project_csv_deliver_to_file(self, fabric):
+        sql = fabric["sql"]
+        _, file_resource, store = fabric["files"]
+        registry = fabric["registry"]
+
+        pipeline = Pipeline(
+            [
+                SQLQueryActivity(
+                    sql.client,
+                    sql.address,
+                    sql.name,
+                    "SELECT id, name, region, segment FROM customers ORDER BY id",
+                ),
+                ProjectColumnsActivity(["id", "region"]),
+                CsvRenderActivity(),
+                DeliverToFileActivity(
+                    FilesClient(LoopbackTransport(registry)),
+                    "dais://files",
+                    file_resource.abstract_name,
+                    "customers.csv",
+                ),
+            ]
+        )
+        result = pipeline.execute()
+        assert result.output["path"] == "customers.csv"
+        content = store.read("out/customers.csv").decode()
+        assert content.startswith("id,region")
+        assert len(content.split("\n")) == 9  # header + 8 customers
+
+    def test_xml_to_xml_composition(self, fabric):
+        """XPath source feeding a collection delivery."""
+        xml_service, xml_resource, manager = fabric["xml"]
+        registry = fabric["registry"]
+        client = XMLClient(LoopbackTransport(registry))
+        manager.resolve("sink").add("seed", E("data", E("x", "1"), E("x", "2")))
+
+        class WrapItems(Activity):
+            CONSUMES = "xml-items"
+            PRODUCES = "xml"
+
+            def run(self, items):
+                return E("wrapped", [i.copy() for i in items])
+
+        pipeline = Pipeline(
+            [
+                XPathQueryActivity(
+                    client, "dais://xml", xml_resource.abstract_name, "/data/x"
+                ),
+                WrapItems(),
+                DeliverToCollectionActivity(
+                    client, "dais://xml", xml_resource.abstract_name, "copy"
+                ),
+            ]
+        )
+        result = pipeline.execute()
+        assert result.output["document"] == "copy"
+        assert len(manager.resolve("sink").get("copy").root.element_children()) == 2
+
+    def test_delivery_failure_surfaces(self, fabric):
+        xml_service, xml_resource, manager = fabric["xml"]
+        registry = fabric["registry"]
+        client = XMLClient(LoopbackTransport(registry))
+        manager.resolve("sink").add("taken", E("x"))
+
+        class Produce(Activity):
+            PRODUCES = "xml"
+
+            def run(self, value):
+                return E("doc")
+
+        pipeline = Pipeline(
+            [
+                Produce(),
+                DeliverToCollectionActivity(
+                    client,
+                    "dais://xml",
+                    xml_resource.abstract_name,
+                    "taken",
+                    replace=False,
+                ),
+            ]
+        )
+        with pytest.raises(ActivityError, match="delivery"):
+            pipeline.execute()

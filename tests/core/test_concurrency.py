@@ -1,0 +1,112 @@
+"""ConcurrentAccess limiting and the WSRF Destroy alias."""
+
+import threading
+import time
+
+import pytest
+
+from repro.client import CoreClient
+from repro.core import DataService, ServiceBusyFault, ServiceRegistry
+from repro.core.messages import (
+    DestroyDataResourceRequest,
+    DestroyDataResourceResponse,
+    GetResourceListResponse,
+)
+from repro.soap import Envelope, MessageHeaders
+from repro.transport import LoopbackTransport
+from repro.wsrf import ManualClock
+from repro.wsrf.namespaces import WSRF_RL_NS
+from tests.core.test_service import EchoResource
+
+
+class TestConcurrencyLimit:
+    def test_unbounded_by_default(self):
+        registry = ServiceRegistry()
+        service = DataService("svc", "dais://svc")
+        registry.register(service)
+        client = CoreClient(LoopbackTransport(registry))
+        for _ in range(5):
+            client.list_resources("dais://svc")
+
+    def test_limit_enforced_under_parallel_dispatch(self):
+        registry = ServiceRegistry()
+        service = DataService("svc", "dais://svc", max_concurrent=1)
+        registry.register(service)
+
+        barrier = threading.Barrier(2, timeout=5)
+
+        def slow_handler(payload, headers):
+            try:
+                barrier.wait()  # both threads inside dispatch at once
+            except threading.BrokenBarrierError:
+                pass
+            time.sleep(0.02)
+            return GetResourceListResponse(names=[])
+
+        service.register_operation("urn:slow", slow_handler)
+
+        results = []
+
+        def call():
+            transport = LoopbackTransport(registry)
+            response = transport.send(
+                "dais://svc",
+                Envelope(
+                    headers=MessageHeaders(to="dais://svc", action="urn:slow"),
+                    payload=GetResourceListResponse(names=[]).to_xml(),
+                ),
+            )
+            results.append(response.is_fault())
+
+        threads = [threading.Thread(target=call) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # One succeeded, one was turned away busy (barrier forces overlap —
+        # but the second may be rejected before reaching it, breaking the
+        # barrier, which the handler tolerates).
+        assert sorted(results) == [False, True]
+
+    def test_slot_released_after_fault(self):
+        registry = ServiceRegistry()
+        service = DataService("svc", "dais://svc", max_concurrent=1)
+        registry.register(service)
+        client = CoreClient(LoopbackTransport(registry))
+        with pytest.raises(Exception):
+            client.destroy("dais://svc", "urn:ghost:1")
+        # The failed dispatch must not leak its concurrency slot.
+        assert client.list_resources("dais://svc") == []
+
+
+class TestWsrfDestroyAlias:
+    def test_wsrf_destroy_action_destroys_resource(self):
+        registry = ServiceRegistry()
+        service = DataService(
+            "svc", "dais://svc", wsrf=True, clock=ManualClock(0.0)
+        )
+        registry.register(service)
+        resource = EchoResource()
+        service.add_resource(resource)
+
+        transport = LoopbackTransport(registry)
+        response = transport.send(
+            "dais://svc",
+            Envelope(
+                headers=MessageHeaders(
+                    to="dais://svc", action=f"{WSRF_RL_NS}/Destroy"
+                ),
+                payload=DestroyDataResourceRequest(
+                    abstract_name=resource.abstract_name
+                ).to_xml(),
+            ),
+        )
+        response.raise_if_fault()
+        parsed = DestroyDataResourceResponse.from_xml(response.payload)
+        assert parsed.destroyed == resource.abstract_name
+        assert resource.destroyed
+        assert not service.has_resource(resource.abstract_name)
+
+    def test_alias_absent_without_wsrf(self):
+        service = DataService("svc", "dais://plain", wsrf=False)
+        assert not service.supports_action(f"{WSRF_RL_NS}/Destroy")

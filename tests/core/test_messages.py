@@ -1,0 +1,176 @@
+"""Message payload round-trip tests (core + WSRF framing)."""
+
+import pytest
+
+from repro.core import messages as msg
+from repro.core import wsrf_messages as wmsg
+from repro.core.faults import InvalidResourceNameFault
+from repro.core.namespaces import WSDAI_NS
+from repro.soap.addressing import EndpointReference
+from repro.xmlutil import E, QName, parse, serialize
+
+
+def round_trip(message, cls):
+    """Serialize to text and parse back — the full wire path."""
+    return cls.from_xml(parse(serialize(message.to_xml())))
+
+
+class TestGenericQuery:
+    def test_request_round_trip(self):
+        request = msg.GenericQueryRequest(
+            abstract_name="urn:r:1",
+            language_uri="urn:lang",
+            expression="get everything",
+            parameters=["a", "b"],
+            dataset_format_uri="urn:fmt",
+        )
+        parsed = round_trip(request, msg.GenericQueryRequest)
+        assert parsed == request
+
+    def test_request_action_uri(self):
+        assert msg.GenericQueryRequest.action().endswith("/GenericQueryRequest")
+        assert msg.GenericQueryRequest.action().startswith(WSDAI_NS)
+
+    def test_abstract_name_mandatory(self):
+        bad = E(msg.GenericQueryRequest.TAG)
+        with pytest.raises(InvalidResourceNameFault, match="mandatory"):
+            msg.GenericQueryRequest.from_xml(bad)
+
+    def test_response_round_trip(self):
+        response = msg.GenericQueryResponse(
+            dataset_format_uri="urn:fmt",
+            data=[E("Result", "42"), E("Result", "43")],
+        )
+        parsed = round_trip(response, msg.GenericQueryResponse)
+        assert parsed.dataset_format_uri == "urn:fmt"
+        assert [d.text for d in parsed.data] == ["42", "43"]
+
+
+class TestCoreMessages:
+    def test_destroy_round_trip(self):
+        request = msg.DestroyDataResourceRequest(abstract_name="urn:r:9")
+        assert round_trip(request, msg.DestroyDataResourceRequest) == request
+        response = msg.DestroyDataResourceResponse(destroyed="urn:r:9")
+        assert round_trip(response, msg.DestroyDataResourceResponse) == response
+
+    def test_property_document_round_trip(self):
+        response = msg.GetDataResourcePropertyDocumentResponse(
+            document=E("Doc", E("Inner", "v"))
+        )
+        parsed = round_trip(response, msg.GetDataResourcePropertyDocumentResponse)
+        assert parsed.document.findtext("Inner") == "v"
+
+    def test_resource_list_round_trip(self):
+        response = msg.GetResourceListResponse(names=["urn:a", "urn:b"])
+        assert round_trip(response, msg.GetResourceListResponse) == response
+
+    def test_resolve_round_trip(self):
+        response = msg.ResolveResponse(
+            address=EndpointReference("http://host/svc")
+        )
+        parsed = round_trip(response, msg.ResolveResponse)
+        assert parsed.address.address == "http://host/svc"
+
+
+class _TestFactoryRequest(msg.FactoryRequest):
+    TAG = QName("urn:test", "TestFactoryRequest")
+
+
+class _TestFactoryResponse(msg.FactoryResponse):
+    TAG = QName("urn:test", "TestFactoryResponse")
+
+
+class TestFactoryTemplate:
+    def test_full_round_trip(self):
+        request = _TestFactoryRequest(
+            abstract_name="urn:r:1",
+            port_type_qname=QName("urn:pt", "AccessPT"),
+            configuration_document=E(
+                QName(WSDAI_NS, "ConfigurationDocument"),
+                E(QName(WSDAI_NS, "Readable"), "true"),
+            ),
+            expression="SELECT 1",
+            language_uri="urn:sql",
+            parameters=["p1"],
+        )
+        parsed = round_trip(request, _TestFactoryRequest)
+        assert parsed.port_type_qname == QName("urn:pt", "AccessPT")
+        assert parsed.expression == "SELECT 1"
+        assert parsed.configuration_document is not None
+        assert parsed.parameters == ["p1"]
+
+    def test_optional_fields_absent(self):
+        request = _TestFactoryRequest(abstract_name="urn:r:1", expression="q")
+        parsed = round_trip(request, _TestFactoryRequest)
+        assert parsed.port_type_qname is None
+        assert parsed.configuration_document is None
+
+    def test_factory_response_round_trip(self):
+        response = _TestFactoryResponse(
+            address=EndpointReference(
+                "http://host/derived",
+                reference_parameters=(
+                    E(QName(WSDAI_NS, "DataResourceAbstractName"), "urn:d:1"),
+                ),
+            ),
+            abstract_name="urn:d:1",
+        )
+        parsed = round_trip(response, _TestFactoryResponse)
+        assert parsed.abstract_name == "urn:d:1"
+        assert parsed.address.reference_parameter_text(
+            QName(WSDAI_NS, "DataResourceAbstractName")
+        ) == "urn:d:1"
+
+
+class TestWsrfMessages:
+    def test_get_resource_property_round_trip(self):
+        request = wmsg.GetResourcePropertyRequest(
+            abstract_name="urn:r:1",
+            property_qname=QName(WSDAI_NS, "Readable"),
+        )
+        parsed = round_trip(request, wmsg.GetResourcePropertyRequest)
+        assert parsed == request
+
+    def test_get_multiple_round_trip(self):
+        request = wmsg.GetMultipleResourcePropertiesRequest(
+            abstract_name="urn:r:1",
+            property_qnames=[
+                QName(WSDAI_NS, "Readable"),
+                QName(WSDAI_NS, "Writeable"),
+            ],
+        )
+        parsed = round_trip(request, wmsg.GetMultipleResourcePropertiesRequest)
+        assert parsed == request
+
+    def test_query_round_trip(self):
+        request = wmsg.QueryResourcePropertiesRequest(
+            abstract_name="urn:r:1", query="//x[. > 1]"
+        )
+        parsed = round_trip(request, wmsg.QueryResourcePropertiesRequest)
+        assert parsed.query == "//x[. > 1]"
+        assert "xpath" in parsed.dialect
+
+    def test_set_termination_time_round_trip(self):
+        request = wmsg.SetTerminationTimeRequest(
+            abstract_name="urn:r:1", requested_termination_time=123.5
+        )
+        parsed = round_trip(request, wmsg.SetTerminationTimeRequest)
+        assert parsed.requested_termination_time == 123.5
+
+    def test_set_termination_time_nil(self):
+        request = wmsg.SetTerminationTimeRequest(
+            abstract_name="urn:r:1", requested_termination_time=None
+        )
+        parsed = round_trip(request, wmsg.SetTerminationTimeRequest)
+        assert parsed.requested_termination_time is None
+
+    def test_wsrf_request_still_carries_abstract_name_in_body(self):
+        # Paper §5: the abstract name stays in the body under WSRF.
+        request = wmsg.GetResourcePropertyRequest(
+            abstract_name="urn:r:1",
+            property_qname=QName(WSDAI_NS, "Readable"),
+        )
+        xml = request.to_xml()
+        assert (
+            xml.findtext(QName(WSDAI_NS, "DataResourceAbstractName")) == "urn:r:1"
+        )

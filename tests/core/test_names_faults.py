@@ -1,0 +1,85 @@
+"""Abstract names and the DAIS fault family."""
+
+import pytest
+
+from repro.core import (
+    DaisFault,
+    InvalidDatasetFormatFault,
+    InvalidLanguageFault,
+    InvalidResourceNameFault,
+    NotAuthorizedFault,
+    ServiceBusyFault,
+    mint_abstract_name,
+)
+from repro.core.names import AbstractName, deterministic_abstract_name
+from repro.soap import Envelope, FaultCode, MessageHeaders, SoapFault
+from repro.soap.envelope import fault_envelope
+
+
+class TestAbstractNames:
+    def test_minted_names_are_uris(self):
+        name = mint_abstract_name("db")
+        assert name.startswith("urn:dais:resource:db:")
+
+    def test_minted_names_unique(self):
+        assert mint_abstract_name() != mint_abstract_name()
+
+    def test_deterministic_names_monotonic(self):
+        a = deterministic_abstract_name("x")
+        b = deterministic_abstract_name("x")
+        assert a != b
+
+    def test_is_a_string(self):
+        name = mint_abstract_name()
+        assert isinstance(name, str)
+        assert {name: 1}[name] == 1
+
+    def test_valid_uri_accepted(self):
+        assert AbstractName("http://example.org/resource/1")
+
+    @pytest.mark.parametrize("bad", ["", "not a uri", "no-scheme", ":x"])
+    def test_invalid_rejected_with_typed_fault(self, bad):
+        with pytest.raises(InvalidResourceNameFault):
+            AbstractName(bad)
+
+    def test_whitespace_stripped(self):
+        assert AbstractName("  urn:x:1  ") == "urn:x:1"
+
+
+class TestFaultFamily:
+    @pytest.mark.parametrize(
+        "fault_cls",
+        [
+            InvalidResourceNameFault,
+            InvalidLanguageFault,
+            InvalidDatasetFormatFault,
+            NotAuthorizedFault,
+            ServiceBusyFault,
+        ],
+    )
+    def test_fault_survives_wire_round_trip(self, fault_cls):
+        headers = MessageHeaders(to="urn:svc", action="urn:op")
+        envelope = fault_envelope(headers, fault_cls("it broke"))
+        received = Envelope.from_bytes(envelope.to_bytes())
+        with pytest.raises(fault_cls, match="it broke"):
+            received.raise_if_fault()
+
+    def test_server_vs_client_fault_codes(self):
+        assert InvalidLanguageFault("x").code is FaultCode.CLIENT
+        assert ServiceBusyFault("x").code is FaultCode.SERVER
+
+    def test_is_a_soap_fault(self):
+        assert isinstance(DaisFault("x"), SoapFault)
+
+    def test_foreign_fault_not_specialized(self):
+        headers = MessageHeaders(to="urn:svc", action="urn:op")
+        plain = SoapFault(FaultCode.SERVER, "plain failure")
+        envelope = fault_envelope(headers, plain)
+        received = Envelope.from_bytes(envelope.to_bytes())
+        with pytest.raises(SoapFault) as err:
+            received.raise_if_fault()
+        assert type(err.value) is SoapFault
+
+    def test_detail_carries_typed_element(self):
+        fault = InvalidLanguageFault("nope")
+        assert fault.detail[0].tag.local == "InvalidLanguageFault"

@@ -1,0 +1,141 @@
+"""Property document and configuration document tests."""
+
+import pytest
+
+from repro.core import (
+    ConfigurableProperties,
+    CorePropertyDocument,
+    DataResourceManagement,
+    DatasetMapEntry,
+    InvalidConfigurationDocumentFault,
+    Sensitivity,
+    TransactionInitiation,
+    TransactionIsolation,
+)
+from repro.core.namespaces import WSDAI_NS
+from repro.core.properties import ConfigurationMapEntry
+from repro.xmlutil import E, QName, parse, serialize
+
+
+def _q(local):
+    return QName(WSDAI_NS, local)
+
+
+@pytest.fixture()
+def document():
+    return CorePropertyDocument(
+        abstract_name="urn:r:1",
+        management=DataResourceManagement.EXTERNALLY_MANAGED,
+        parent="urn:r:0",
+        concurrent_access=True,
+        dataset_maps=[DatasetMapEntry(_q("SomeRequest"), "urn:fmt:a")],
+        configuration_maps=[
+            ConfigurationMapEntry(_q("SomeFactoryRequest"), _q("SomePT"))
+        ],
+        languages=["urn:lang:sql"],
+    )
+
+
+class TestPropertyDocument:
+    def test_static_properties_rendered(self, document):
+        xml = document.to_xml()
+        assert xml.findtext(_q("DataResourceAbstractName")) == "urn:r:1"
+        assert xml.findtext(_q("ParentDataResource")) == "urn:r:0"
+        assert xml.findtext(_q("DataResourceManagement")) == "ExternallyManaged"
+        assert xml.findtext(_q("ConcurrentAccess")) == "true"
+
+    def test_dataset_map_rendered(self, document):
+        entry = document.to_xml().find(_q("DatasetMap"))
+        assert entry.findtext(_q("DataFormatURI")) == "urn:fmt:a"
+        assert "SomeRequest" in entry.findtext(_q("MessageQName"))
+
+    def test_configuration_map_rendered(self, document):
+        entry = document.to_xml().find(_q("ConfigurationMap"))
+        assert "SomePT" in entry.findtext(_q("PortTypeQName"))
+
+    def test_languages_rendered(self, document):
+        xml = document.to_xml()
+        assert [e.text for e in xml.findall(_q("GenericQueryLanguage"))] == [
+            "urn:lang:sql"
+        ]
+
+    def test_configurable_defaults_rendered(self, document):
+        xml = document.to_xml()
+        assert xml.findtext(_q("Readable")) == "true"
+        assert xml.findtext(_q("Writeable")) == "true"
+        assert xml.findtext(_q("TransactionInitiation")) == "NotSupported"
+        assert xml.findtext(_q("Sensitivity")) == "Insensitive"
+
+    def test_round_trips_through_text(self, document):
+        text = serialize(document.to_xml())
+        assert parse(text).equals(document.to_xml())
+
+    def test_supports_helpers(self, document):
+        assert document.supports_format("urn:fmt:a")
+        assert not document.supports_format("urn:fmt:zzz")
+        assert document.supports_language("urn:lang:sql")
+        assert document.default_format() == "urn:fmt:a"
+
+    def test_default_format_requires_entries(self):
+        empty = CorePropertyDocument(
+            "urn:r", DataResourceManagement.SERVICE_MANAGED
+        )
+        with pytest.raises(InvalidConfigurationDocumentFault):
+            empty.default_format()
+
+
+class TestConfigurationDocument:
+    def test_overrides_applied_to_copy(self):
+        base = ConfigurableProperties()
+        config = E(
+            _q("ConfigurationDocument"),
+            E(_q("Readable"), "false"),
+            E(_q("Sensitivity"), "Sensitive"),
+            E(_q("DataResourceDescription"), "derived data"),
+            E(_q("TransactionIsolation"), "Serializable"),
+        )
+        updated = base.apply_configuration_document(config)
+        assert updated.readable is False
+        assert updated.sensitivity is Sensitivity.SENSITIVE
+        assert updated.data_resource_description == "derived data"
+        assert updated.transaction_isolation is TransactionIsolation.SERIALIZABLE
+        # the original is untouched
+        assert base.readable is True
+        assert base.sensitivity is Sensitivity.INSENSITIVE
+
+    def test_transaction_initiation(self):
+        config = E(
+            _q("ConfigurationDocument"),
+            E(_q("TransactionInitiation"), "Automatic"),
+        )
+        updated = ConfigurableProperties().apply_configuration_document(config)
+        assert updated.transaction_initiation is TransactionInitiation.AUTOMATIC
+
+    def test_unknown_property_faults(self):
+        config = E(_q("ConfigurationDocument"), E(_q("Bogus"), "1"))
+        with pytest.raises(InvalidConfigurationDocumentFault, match="Bogus"):
+            ConfigurableProperties().apply_configuration_document(config)
+
+    def test_foreign_namespace_faults(self):
+        config = E(
+            _q("ConfigurationDocument"), E(QName("urn:other", "Readable"), "x")
+        )
+        with pytest.raises(InvalidConfigurationDocumentFault):
+            ConfigurableProperties().apply_configuration_document(config)
+
+    def test_bad_enum_value_faults(self):
+        config = E(_q("ConfigurationDocument"), E(_q("Sensitivity"), "Psychic"))
+        with pytest.raises(InvalidConfigurationDocumentFault):
+            ConfigurableProperties().apply_configuration_document(config)
+
+    def test_bad_boolean_faults(self):
+        config = E(_q("ConfigurationDocument"), E(_q("Readable"), "maybe"))
+        with pytest.raises(InvalidConfigurationDocumentFault):
+            ConfigurableProperties().apply_configuration_document(config)
+
+    def test_empty_document_is_identity(self):
+        base = ConfigurableProperties(readable=False)
+        updated = base.apply_configuration_document(
+            E(_q("ConfigurationDocument"))
+        )
+        assert updated.readable is False

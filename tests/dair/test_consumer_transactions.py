@@ -1,0 +1,157 @@
+"""Consumer-controlled transaction contexts (TransactionInitiation=Consumer).
+
+The paper's Figure 4 enumerates three transaction-initiation modes; the
+third is "the message corresponds to a transactional context which is
+under the control of the consumer".  These tests drive that mode over
+the wire.
+"""
+
+import pytest
+
+from repro.core import InvalidExpressionFault, NotAuthorizedFault
+from repro.core.properties import ConfigurableProperties, TransactionInitiation
+from repro.workload import RelationalWorkload, build_single_service
+
+
+@pytest.fixture()
+def deployment():
+    deploy = build_single_service(RelationalWorkload(customers=6))
+    binding = deploy.service.binding(deploy.name)
+    binding.configurable.transaction_initiation = TransactionInitiation.CONSUMER
+    return deploy
+
+
+class TestConsumerTransactions:
+    def test_commit_makes_changes_durable(self, deployment):
+        client, address, name = (
+            deployment.client, deployment.address, deployment.name,
+        )
+        context = client.begin_transaction(address, name)
+        client.sql_execute(
+            address, name,
+            "UPDATE customers SET segment = 'tx' WHERE id <= 2",
+            transaction_context=context,
+        )
+        outcome = client.commit_transaction(address, name, context)
+        assert outcome == "Committed"
+        count = client.sql_query_rowset(
+            address, name, "SELECT COUNT(*) FROM customers WHERE segment = 'tx'"
+        )
+        assert count.rows == [("2",)]
+
+    def test_rollback_discards_changes(self, deployment):
+        client, address, name = (
+            deployment.client, deployment.address, deployment.name,
+        )
+        total = deployment.database.row_count("lineitems")
+        context = client.begin_transaction(address, name)
+        client.sql_execute(
+            address, name, "DELETE FROM lineitems", transaction_context=context
+        )
+        outcome = client.rollback_transaction(address, name, context)
+        assert outcome == "RolledBack"
+        count = client.sql_query_rowset(
+            address, name, "SELECT COUNT(*) FROM lineitems"
+        )
+        assert count.rows == [(str(total),)]
+
+    def test_context_spans_multiple_messages(self, deployment):
+        client, address, name = (
+            deployment.client, deployment.address, deployment.name,
+        )
+        context = client.begin_transaction(address, name)
+        for customer_id in (1, 2, 3):
+            client.sql_execute(
+                address, name,
+                "UPDATE customers SET segment = 'multi' WHERE id = ?",
+                parameters=[str(customer_id)],
+                transaction_context=context,
+            )
+        # Uncommitted yet: an autocommit read conflicts (write-locked).
+        with pytest.raises(InvalidExpressionFault, match="40001|uncommitted"):
+            client.sql_query_rowset(
+                address, name, "SELECT COUNT(*) FROM customers"
+            )
+        client.commit_transaction(address, name, context)
+        count = client.sql_query_rowset(
+            address, name,
+            "SELECT COUNT(*) FROM customers WHERE segment = 'multi'",
+        )
+        assert count.rows == [("3",)]
+
+    def test_reads_inside_context_see_own_writes(self, deployment):
+        client, address, name = (
+            deployment.client, deployment.address, deployment.name,
+        )
+        context = client.begin_transaction(address, name)
+        client.sql_execute(
+            address, name,
+            "UPDATE customers SET segment = 'mine' WHERE id = 1",
+            transaction_context=context,
+        )
+        response = client.sql_execute(
+            address, name,
+            "SELECT segment FROM customers WHERE id = 1",
+            transaction_context=context,
+        )
+        from repro.dair.datasets import parse_rowset
+
+        rows = parse_rowset(response.dataset_format_uri, response.dataset).rows
+        assert rows == [("mine",)]
+        client.rollback_transaction(address, name, context)
+
+    def test_isolation_level_honoured(self, deployment):
+        client, address, name = (
+            deployment.client, deployment.address, deployment.name,
+        )
+        context = client.begin_transaction(
+            address, name, isolation="READ UNCOMMITTED"
+        )
+        client.rollback_transaction(address, name, context)
+
+    def test_unknown_context_faults(self, deployment):
+        client, address, name = (
+            deployment.client, deployment.address, deployment.name,
+        )
+        with pytest.raises(InvalidExpressionFault, match="unknown transaction"):
+            client.sql_execute(
+                address, name, "SELECT 1", transaction_context="urn:ghost"
+            )
+        with pytest.raises(InvalidExpressionFault):
+            client.commit_transaction(address, name, "urn:ghost")
+
+    def test_context_cannot_be_reused_after_commit(self, deployment):
+        client, address, name = (
+            deployment.client, deployment.address, deployment.name,
+        )
+        context = client.begin_transaction(address, name)
+        client.commit_transaction(address, name, context)
+        with pytest.raises(InvalidExpressionFault):
+            client.sql_execute(
+                address, name, "SELECT 1", transaction_context=context
+            )
+
+    def test_mode_must_be_enabled(self):
+        deploy = build_single_service(RelationalWorkload(customers=2))
+        # Default TransactionInitiation is NotSupported.
+        with pytest.raises(NotAuthorizedFault, match="TransactionInitiation"):
+            deploy.client.begin_transaction(deploy.address, deploy.name)
+        with pytest.raises(NotAuthorizedFault):
+            deploy.client.sql_execute(
+                deploy.address, deploy.name, "SELECT 1",
+                transaction_context="urn:x",
+            )
+
+    def test_destroy_resource_abandons_open_contexts(self, deployment):
+        client, address, name = (
+            deployment.client, deployment.address, deployment.name,
+        )
+        total = deployment.database.row_count("lineitems")
+        context = client.begin_transaction(address, name)
+        client.sql_execute(
+            address, name, "DELETE FROM lineitems", transaction_context=context
+        )
+        client.destroy(address, name)
+        # The engine-side transaction rolled back and released its locks.
+        assert deployment.database.transactions.active_count() == 0
+        assert deployment.database.row_count("lineitems") == total

@@ -1,0 +1,128 @@
+"""File store substrate tests."""
+
+import pytest
+
+from repro.filestore import FileStore, FileStoreError
+from repro.wsrf import ManualClock
+
+
+@pytest.fixture()
+def store():
+    clock = ManualClock(100.0)
+    store = FileStore(clock)
+    store._test_clock = clock  # convenience handle for tests
+    return store
+
+
+class TestDirectories:
+    def test_make_and_list(self, store):
+        store.make_directory("a/b/c")
+        assert store.list_directories("") == ["a"]
+        assert store.list_directories("a") == ["b"]
+        assert store.directory_exists("a/b/c")
+
+    def test_missing_directory(self, store):
+        with pytest.raises(FileStoreError):
+            store.list_directories("nope")
+
+    def test_remove_empty_directory(self, store):
+        store.make_directory("x")
+        store.remove_directory("x")
+        assert not store.directory_exists("x")
+
+    def test_remove_nonempty_rejected(self, store):
+        store.make_directory("x")
+        store.write("x/file", b"data")
+        with pytest.raises(FileStoreError, match="not empty"):
+            store.remove_directory("x")
+
+    def test_remove_root_rejected(self, store):
+        with pytest.raises(FileStoreError):
+            store.remove_directory("")
+
+    def test_invalid_segment_rejected(self, store):
+        with pytest.raises(FileStoreError):
+            store.make_directory("a/../b")
+
+
+class TestFiles:
+    def test_write_read(self, store):
+        store.write("hello.txt", b"world")
+        assert store.read("hello.txt") == b"world"
+
+    def test_write_stamps_clock(self, store):
+        store._test_clock.advance(5)
+        entry = store.write("f", b"x")
+        assert entry.modified == 105.0
+
+    def test_overwrite(self, store):
+        store.write("f", b"one")
+        store.write("f", b"two")
+        assert store.read("f") == b"two"
+
+    def test_byte_ranges(self, store):
+        store.write("f", b"0123456789")
+        assert store.read("f", offset=2, length=3) == b"234"
+        assert store.read("f", offset=8) == b"89"
+        assert store.read("f", offset=20) == b""
+
+    def test_negative_range_rejected(self, store):
+        store.write("f", b"x")
+        with pytest.raises(FileStoreError):
+            store.read("f", offset=-1)
+
+    def test_stat(self, store):
+        store.write("f", b"abc")
+        entry = store.stat("f")
+        assert entry.size == 3
+        assert entry.name == "f"
+
+    def test_missing_file(self, store):
+        with pytest.raises(FileStoreError):
+            store.read("ghost")
+        assert not store.exists("ghost")
+
+    def test_delete(self, store):
+        store.write("f", b"x")
+        store.delete("f")
+        assert not store.exists("f")
+        with pytest.raises(FileStoreError):
+            store.delete("f")
+
+    def test_list_files_sorted(self, store):
+        store.make_directory("d")
+        for name in ("zz", "aa", "mm"):
+            store.write(f"d/{name}", b"")
+        assert [e.name for e in store.list_files("d")] == ["aa", "mm", "zz"]
+
+    def test_nested_write_requires_directory(self, store):
+        with pytest.raises(FileStoreError):
+            store.write("missing/f", b"x")
+
+
+class TestGlobAndTotals:
+    @pytest.fixture()
+    def populated(self, store):
+        store.make_directory("logs/2005")
+        store.write("readme.md", b"#")
+        store.write("logs/app.log", b"12345")
+        store.write("logs/2005/app.log", b"678")
+        store.write("logs/2005/err.log", b"9")
+        return store
+
+    def test_glob_flat(self, populated):
+        assert populated.glob("", "*.md") == ["readme.md"]
+
+    def test_glob_nested(self, populated):
+        # fnmatch '*' crosses nothing here since pattern has the slash
+        assert populated.glob("logs", "2005/*.log") == [
+            "2005/app.log",
+            "2005/err.log",
+        ]
+
+    def test_glob_no_match(self, populated):
+        assert populated.glob("", "*.exe") == []
+
+    def test_total_bytes(self, populated):
+        assert populated.total_bytes() == 1 + 5 + 3 + 1
+        assert populated.total_bytes("logs/2005") == 4

@@ -1,0 +1,140 @@
+"""Cross-cutting scenarios combining multiple specification features."""
+
+import pytest
+
+from repro.client.sql import SQLClient
+from repro.core import InvalidResourceNameFault
+from repro.dair import WEBROWSET_FORMAT_URI
+from repro.transport import LoopbackTransport
+from repro.workload import RelationalWorkload, build_figure5_deployment
+from repro.wsrf import ManualClock
+
+WORKLOAD = RelationalWorkload(customers=10)
+
+
+class TestWsrfPipeline:
+    """The Figure 5 pipeline under the WSRF profile: derived resources
+    are soft-state and expire if the consumer stalls."""
+
+    @pytest.fixture()
+    def wsrf_fig5(self):
+        clock = ManualClock(0.0)
+        deployment = build_figure5_deployment(WORKLOAD, wsrf=True, clock=clock)
+        return deployment, clock
+
+    def test_pipeline_with_keepalive_survives(self, wsrf_fig5):
+        deployment, clock = wsrf_fig5
+        client = deployment.client
+
+        factory1 = client.sql_execute_factory(
+            "dais://ds1", deployment.resource.abstract_name,
+            "SELECT id FROM orders ORDER BY id",
+        )
+        client.set_termination_time(
+            "dais://ds2", factory1.abstract_name, clock.now() + 100
+        )
+        clock.advance(50)
+        deployment.registry.sweep_all()
+        # Keep-alive: push the termination time out again.
+        client.set_termination_time(
+            "dais://ds2", factory1.abstract_name, clock.now() + 100
+        )
+        clock.advance(80)
+        deployment.registry.sweep_all()
+        rowset = client.get_sql_rowset(factory1.address, factory1.abstract_name)
+        assert len(rowset.rows) == WORKLOAD.order_count
+
+    def test_stalled_consumer_loses_derived_resource(self, wsrf_fig5):
+        deployment, clock = wsrf_fig5
+        client = deployment.client
+
+        factory1 = client.sql_execute_factory(
+            "dais://ds1", deployment.resource.abstract_name, "SELECT 1"
+        )
+        client.set_termination_time(
+            "dais://ds2", factory1.abstract_name, clock.now() + 30
+        )
+        clock.advance(31)
+        destroyed = deployment.registry.sweep_all()
+        assert factory1.abstract_name in destroyed["dais://ds2"]
+        with pytest.raises(InvalidResourceNameFault):
+            client.get_sql_rowset(factory1.address, factory1.abstract_name)
+
+    def test_externally_managed_base_survives_sweeps(self, wsrf_fig5):
+        deployment, clock = wsrf_fig5
+        clock.advance(10_000)
+        deployment.registry.sweep_all()
+        # The database resource was registered without a lifetime.
+        rowset = deployment.client.sql_query_rowset(
+            "dais://ds1", deployment.resource.abstract_name,
+            "SELECT COUNT(*) FROM customers",
+        )
+        assert rowset.rows == [(str(WORKLOAD.customers),)]
+
+    def test_chained_derivation_lifetimes_are_independent(self, wsrf_fig5):
+        deployment, clock = wsrf_fig5
+        client = deployment.client
+
+        factory1 = client.sql_execute_factory(
+            "dais://ds1", deployment.resource.abstract_name,
+            "SELECT id FROM orders",
+        )
+        factory2 = client.sql_rowset_factory(
+            factory1.address, factory1.abstract_name,
+            dataset_format_uri=WEBROWSET_FORMAT_URI,
+        )
+        # Expire the intermediate response; the rowset snapshot lives on.
+        client.set_termination_time(
+            "dais://ds2", factory1.abstract_name, clock.now() + 10
+        )
+        clock.advance(11)
+        deployment.registry.sweep_all()
+        with pytest.raises(InvalidResourceNameFault):
+            client.get_sql_rowset(factory1.address, factory1.abstract_name)
+        window, total = client.get_tuples(
+            factory2.address, factory2.abstract_name, 0, 5
+        )
+        assert total == WORKLOAD.order_count
+
+
+class TestMultiConsumerFederation:
+    def test_two_services_two_consumers(self):
+        from repro.core import ServiceRegistry, mint_abstract_name
+        from repro.dair import SQLDataResource, SQLRealisationService
+        from repro.workload import populate_shop_database
+
+        registry = ServiceRegistry()
+        resources = []
+        for label, seed in (("a", 1), ("b", 2)):
+            service = SQLRealisationService(label, f"dais://{label}")
+            registry.register(service)
+            resource = SQLDataResource(
+                mint_abstract_name(label),
+                populate_shop_database(RelationalWorkload(customers=5, seed=seed)),
+            )
+            service.add_resource(resource)
+            resources.append((f"dais://{label}", resource.abstract_name))
+
+        consumer1 = SQLClient(LoopbackTransport(registry))
+        consumer2 = SQLClient(LoopbackTransport(registry))
+
+        # Consumer 1 derives on service a, hands the EPR to consumer 2.
+        factory = consumer1.sql_execute_factory(
+            resources[0][0], resources[0][1],
+            "SELECT COUNT(*) FROM orders",
+        )
+        count_a = consumer2.get_sql_rowset(
+            factory.address, factory.abstract_name
+        ).rows[0][0]
+        count_b = consumer2.sql_query_rowset(
+            resources[1][0], resources[1][1], "SELECT COUNT(*) FROM orders"
+        ).rows[0][0]
+        assert int(count_a) == int(count_b) == 20
+
+    def test_resource_names_unique_across_services(self):
+        deployment_a = build_figure5_deployment(WORKLOAD)
+        deployment_b = build_figure5_deployment(WORKLOAD)
+        assert (
+            deployment_a.resource.abstract_name
+            != deployment_b.resource.abstract_name
+        )

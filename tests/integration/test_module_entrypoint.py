@@ -1,0 +1,14 @@
+"""``python -m repro`` self-check must keep working."""
+
+import runpy
+
+
+def test_module_self_check(capsys):
+    try:
+        runpy.run_module("repro", run_name="__main__")
+    except SystemExit as exit_info:
+        assert exit_info.code in (0, None)
+    output = capsys.readouterr().out
+    assert "dais-py" in output
+    assert "self-check" in output
+    assert "ok —" in output

@@ -1,0 +1,299 @@
+"""Integration tests: each paper figure as an executable scenario.
+
+These are the functional counterparts of the ``benchmarks/`` harness —
+they assert the *shape claims* of Figures 1–7 hold, without timing.
+"""
+
+import pytest
+
+from repro.client.sql import configuration_document
+from repro.core import Sensitivity
+from repro.core.namespaces import WSDAI_NS
+from repro.dair import WEBROWSET_FORMAT_URI, parse_rowset
+from repro.dair.namespaces import WSDAIR_NS
+from repro.workload import (
+    RelationalWorkload,
+    build_figure5_deployment,
+    build_single_service,
+)
+from repro.wsrf import ManualClock
+from repro.xmlutil import QName
+
+WORKLOAD = RelationalWorkload(customers=20, orders_per_customer=3, items_per_order=2)
+
+
+class TestFigure1DirectVsIndirect:
+    """Direct access returns the data; indirect returns an EPR."""
+
+    def test_direct_response_carries_all_bytes(self):
+        deployment = build_single_service(WORKLOAD)
+        stats = deployment.client.transport.stats
+        stats.reset()
+        rowset = deployment.client.sql_query_rowset(
+            deployment.address, deployment.name, "SELECT * FROM lineitems"
+        )
+        assert len(rowset.rows) == WORKLOAD.lineitem_count
+        direct_bytes = stats.calls[-1].response_bytes
+
+        stats.reset()
+        factory = deployment.client.sql_execute_factory(
+            deployment.address, deployment.name, "SELECT * FROM lineitems"
+        )
+        indirect_bytes = stats.calls[-1].response_bytes
+        # The factory response is an EPR — a small constant, far below
+        # the direct response carrying the whole rowset.
+        assert indirect_bytes < direct_bytes / 5
+        # ... but the data is reachable through the EPR.
+        rowset = deployment.client.get_sql_rowset(
+            factory.address, factory.abstract_name
+        )
+        assert len(rowset.rows) == WORKLOAD.lineitem_count
+
+    def test_indirect_supports_third_party_delivery(self):
+        """Consumer 1 creates; consumer 2 (separate client) pulls."""
+        from repro.client.sql import SQLClient
+        from repro.transport import LoopbackTransport
+
+        deployment = build_single_service(WORKLOAD)
+        consumer1 = deployment.client
+        factory = consumer1.sql_execute_factory(
+            deployment.address, deployment.name, "SELECT id FROM customers"
+        )
+        consumer2 = SQLClient(LoopbackTransport(deployment.registry))
+        rowset = consumer2.get_sql_rowset(factory.address, factory.abstract_name)
+        assert len(rowset.rows) == WORKLOAD.customers
+        # Consumer 1's wire never carried the rowset rows.
+        assert all(
+            record.response_bytes < 2500
+            for record in consumer1.transport.stats.calls
+        )
+
+
+class TestFigure2DirectMessagePattern:
+    """The SQL realisation extends the core template with the SQLCA."""
+
+    def test_response_carries_communication_area(self):
+        deployment = build_single_service(WORKLOAD)
+        response = deployment.client.sql_execute(
+            deployment.address, deployment.name, "SELECT id FROM customers"
+        )
+        assert response.communication.sqlstate == "00000"
+        assert response.communication.rows_processed == WORKLOAD.customers
+
+    def test_request_has_core_template_shape(self):
+        from repro.dair.messages import SQLExecuteRequest
+
+        request = SQLExecuteRequest(
+            abstract_name="urn:r:1",
+            expression="SELECT 1",
+            dataset_format_uri="urn:fmt",
+        ).to_xml()
+        children = [c.tag for c in request.element_children()]
+        # Figure 2: abstract name, format URI, then the expression.
+        assert children[0] == QName(WSDAI_NS, "DataResourceAbstractName")
+        assert children[1] == QName(WSDAI_NS, "DatasetFormatURI")
+        assert children[2] == QName(WSDAIR_NS, "SQLExpression")
+
+
+class TestFigure3FactoryPattern:
+    def test_factory_response_constant_size(self):
+        deployment = build_single_service(WORKLOAD)
+        stats = deployment.client.transport.stats
+        sizes = []
+        for query in ("SELECT id FROM customers", "SELECT * FROM lineitems"):
+            stats.reset()
+            deployment.client.sql_execute_factory(
+                deployment.address, deployment.name, query
+            )
+            sizes.append(stats.calls[-1].response_bytes)
+        # Response size is independent of the derived data's size.
+        assert abs(sizes[0] - sizes[1]) < 50
+
+    def test_configuration_document_round_trips(self):
+        deployment = build_single_service(WORKLOAD)
+        factory = deployment.client.sql_execute_factory(
+            deployment.address,
+            deployment.name,
+            "SELECT 1",
+            configuration=configuration_document(
+                description="figure 3 derived data",
+                sensitivity=Sensitivity.INSENSITIVE,
+            ),
+        )
+        document = deployment.client.get_sql_response_property_document(
+            factory.address, factory.abstract_name
+        )
+        assert (
+            document.findtext(QName(WSDAI_NS, "DataResourceDescription"))
+            == "figure 3 derived data"
+        )
+
+
+class TestFigure5Pipeline:
+    """The three-consumer relational pipeline, end to end."""
+
+    def test_full_pipeline(self):
+        deployment = build_figure5_deployment(WORKLOAD)
+        client = deployment.client
+
+        # Consumer 1: SQLExecuteFactory on data service 1.
+        factory1 = client.sql_execute_factory(
+            "dais://ds1",
+            deployment.resource.abstract_name,
+            "SELECT id, total FROM orders ORDER BY id",
+        )
+        assert factory1.address.address == "dais://ds2"
+
+        # Consumer 2: SQLRowsetFactory (WebRowSet) on data service 2.
+        factory2 = client.sql_rowset_factory(
+            factory1.address,
+            factory1.abstract_name,
+            dataset_format_uri=WEBROWSET_FORMAT_URI,
+        )
+        assert factory2.address.address == "dais://ds3"
+
+        # Consumer 3: GetTuples on data service 3.
+        collected = []
+        start = 0
+        while True:
+            window, total = client.get_tuples(
+                factory2.address, factory2.abstract_name, start, 10
+            )
+            collected.extend(window.rows)
+            start += 10
+            if start >= total:
+                break
+        assert len(collected) == WORKLOAD.order_count
+        assert [r[0] for r in collected[:3]] == ["1", "2", "3"]
+
+    def test_bulk_bytes_only_on_final_leg(self):
+        deployment = build_figure5_deployment(WORKLOAD)
+        client = deployment.client
+        stats = client.transport.stats
+        stats.reset()
+
+        factory1 = client.sql_execute_factory(
+            "dais://ds1",
+            deployment.resource.abstract_name,
+            "SELECT * FROM lineitems",
+        )
+        factory2 = client.sql_rowset_factory(
+            factory1.address, factory1.abstract_name
+        )
+        client.get_tuples(
+            factory2.address, factory2.abstract_name, 0, WORKLOAD.lineitem_count
+        )
+        per_address = {}
+        for record in stats.calls:
+            per_address[record.address] = (
+                per_address.get(record.address, 0) + record.response_bytes
+            )
+        # ds1 and ds2 return EPRs only; the rowset bytes flow from ds3.
+        assert per_address["dais://ds3"] > 10 * per_address["dais://ds1"]
+        assert per_address["dais://ds3"] > 10 * per_address["dais://ds2"]
+
+    def test_resource_hierarchy_recorded(self):
+        deployment = build_figure5_deployment(WORKLOAD)
+        client = deployment.client
+        factory1 = client.sql_execute_factory(
+            "dais://ds1", deployment.resource.abstract_name, "SELECT 1"
+        )
+        factory2 = client.sql_rowset_factory(
+            factory1.address, factory1.abstract_name
+        )
+        response_doc = client.get_sql_response_property_document(
+            factory1.address, factory1.abstract_name
+        )
+        rowset_doc = client.get_rowset_property_document(
+            factory2.address, factory2.abstract_name
+        )
+        parent = QName(WSDAI_NS, "ParentDataResource")
+        assert response_doc.findtext(parent) == deployment.resource.abstract_name
+        assert rowset_doc.findtext(parent) == factory1.abstract_name
+
+
+class TestFigure7WsrfLayering:
+    """Same messages both profiles; WSRF adds fine-grain + soft state."""
+
+    def test_core_operations_identical_across_profiles(self):
+        plain = build_single_service(WORKLOAD, wsrf=False)
+        clock = ManualClock(0.0)
+        wsrf = build_single_service(WORKLOAD, wsrf=True, clock=clock)
+        query = "SELECT region, COUNT(*) FROM customers GROUP BY region ORDER BY 1"
+        plain_rows = plain.client.sql_query_rowset(
+            plain.address, plain.name, query
+        ).rows
+        wsrf_rows = wsrf.client.sql_query_rowset(
+            wsrf.address, wsrf.name, query
+        ).rows
+        assert plain_rows == wsrf_rows
+
+    def test_wsrf_fine_grained_property_smaller_than_document(self):
+        clock = ManualClock(0.0)
+        deployment = build_single_service(WORKLOAD, wsrf=True, clock=clock)
+        stats = deployment.client.transport.stats
+
+        stats.reset()
+        deployment.client.get_property_document(deployment.address, deployment.name)
+        whole = stats.calls[-1].response_bytes
+
+        stats.reset()
+        props = deployment.client.get_resource_property(
+            deployment.address, deployment.name, QName(WSDAI_NS, "Readable")
+        )
+        fine = stats.calls[-1].response_bytes
+        assert props[0].text == "true"
+        # The SQL property document carries the CIM schema — the gap is wide.
+        assert fine < whole / 10
+
+    def test_soft_state_destroys_derived_resource(self):
+        clock = ManualClock(0.0)
+        deployment = build_single_service(WORKLOAD, wsrf=True, clock=clock)
+        factory = deployment.client.sql_execute_factory(
+            deployment.address, deployment.name, "SELECT 1"
+        )
+        deployment.client.set_termination_time(
+            deployment.address, factory.abstract_name, 60.0
+        )
+        clock.advance(61)
+        destroyed = deployment.registry.sweep_all()
+        assert factory.abstract_name in destroyed[deployment.address]
+
+    def test_non_wsrf_requires_explicit_destroy(self):
+        deployment = build_single_service(WORKLOAD, wsrf=False)
+        factory = deployment.client.sql_execute_factory(
+            deployment.address, deployment.name, "SELECT 1"
+        )
+        assert deployment.registry.sweep_all() == {}
+        deployment.client.destroy(deployment.address, factory.abstract_name)
+        assert factory.abstract_name not in deployment.service.resource_names()
+
+
+class TestThinVsThickWrappers:
+    """Paper §2.1: services may pass through or intercept statements."""
+
+    def test_thick_wrapper_rewrites_statements(self):
+        from repro.client.sql import SQLClient
+        from repro.core import ServiceRegistry, mint_abstract_name
+        from repro.dair import SQLDataResource, SQLRealisationService
+        from repro.transport import LoopbackTransport
+        from repro.workload import populate_shop_database
+
+        def rewriter(statement: str) -> str:
+            # Redirect a legacy table name to the current schema.
+            return statement.replace("clients", "customers")
+
+        registry = ServiceRegistry()
+        service = SQLRealisationService("thick", "dais://thick")
+        registry.register(service)
+        resource = SQLDataResource(
+            mint_abstract_name("db"),
+            populate_shop_database(WORKLOAD),
+            statement_rewriter=rewriter,
+        )
+        service.add_resource(resource)
+        client = SQLClient(LoopbackTransport(registry))
+        rowset = client.sql_query_rowset(
+            "dais://thick", resource.abstract_name, "SELECT COUNT(*) FROM clients"
+        )
+        assert rowset.rows == [(str(WORKLOAD.customers),)]

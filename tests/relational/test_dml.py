@@ -1,0 +1,271 @@
+"""DML and constraint enforcement tests."""
+
+import pytest
+from decimal import Decimal
+
+from repro.relational import (
+    CatalogError,
+    ConstraintViolation,
+    Database,
+    NULL,
+    SqlError,
+    SqlTypeError,
+)
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute(
+        """CREATE TABLE products (
+             sku INT PRIMARY KEY,
+             name VARCHAR(60) NOT NULL,
+             price DECIMAL(10,2) NOT NULL CHECK (price >= 0),
+             stock INT DEFAULT 0,
+             category VARCHAR(20) UNIQUE
+           )"""
+    )
+    return database
+
+
+class TestInsert:
+    def test_insert_full_row(self, db):
+        result = db.execute(
+            "INSERT INTO products VALUES (1, 'widget', 9.99, 5, 'tools')"
+        )
+        assert result.update_count == 1
+        assert db.row_count("products") == 1
+
+    def test_insert_with_column_list(self, db):
+        db.execute("INSERT INTO products (sku, name, price) VALUES (1, 'w', 1.00)")
+        row = db.execute("SELECT stock, category FROM products").rows[0]
+        assert row == (0, NULL)  # default and NULL fill-in
+
+    def test_multi_row_insert(self, db):
+        result = db.execute(
+            "INSERT INTO products (sku, name, price) VALUES "
+            "(1,'a',1.0),(2,'b',2.0),(3,'c',3.0)"
+        )
+        assert result.update_count == 3
+
+    def test_insert_select(self, db):
+        db.execute("INSERT INTO products (sku,name,price) VALUES (1,'a',1.0)")
+        db.execute("CREATE TABLE archive (sku INT, name VARCHAR(60))")
+        result = db.execute("INSERT INTO archive SELECT sku, name FROM products")
+        assert result.update_count == 1
+
+    def test_value_count_mismatch(self, db):
+        with pytest.raises(SqlError, match="values"):
+            db.execute("INSERT INTO products (sku, name) VALUES (1)")
+
+    def test_type_coercion_on_insert(self, db):
+        db.execute("INSERT INTO products (sku,name,price) VALUES ('7','x','3.50')")
+        row = db.execute("SELECT sku, price FROM products").rows[0]
+        assert row == (7, Decimal("3.50"))
+
+    def test_varchar_overflow_rejected(self, db):
+        with pytest.raises(SqlTypeError):
+            db.execute(
+                "INSERT INTO products (sku,name,price,category) "
+                f"VALUES (1,'x',1.0,'{'y' * 25}')"
+            )
+
+    def test_parameterised_insert(self, db):
+        db.execute(
+            "INSERT INTO products (sku,name,price) VALUES (?,?,?)",
+            (1, "param", 2.5),
+        )
+        assert db.execute("SELECT name FROM products").scalar() == "param"
+
+
+class TestConstraints:
+    def test_primary_key_duplicate(self, db):
+        db.execute("INSERT INTO products (sku,name,price) VALUES (1,'a',1.0)")
+        with pytest.raises(ConstraintViolation, match="unique"):
+            db.execute("INSERT INTO products (sku,name,price) VALUES (1,'b',2.0)")
+
+    def test_primary_key_implies_not_null(self, db):
+        with pytest.raises(ConstraintViolation, match="NULL"):
+            db.execute("INSERT INTO products (sku,name,price) VALUES (NULL,'a',1.0)")
+
+    def test_not_null(self, db):
+        with pytest.raises(ConstraintViolation, match="NULL"):
+            db.execute("INSERT INTO products (sku,name,price) VALUES (1,NULL,1.0)")
+
+    def test_check_constraint(self, db):
+        with pytest.raises(ConstraintViolation, match="check"):
+            db.execute("INSERT INTO products (sku,name,price) VALUES (1,'a',-1.0)")
+
+    def test_unique_allows_multiple_nulls(self, db):
+        db.execute("INSERT INTO products (sku,name,price) VALUES (1,'a',1.0)")
+        db.execute("INSERT INTO products (sku,name,price) VALUES (2,'b',1.0)")
+        assert db.row_count("products") == 2  # two NULL categories fine
+
+    def test_unique_rejects_duplicates(self, db):
+        db.execute(
+            "INSERT INTO products (sku,name,price,category) VALUES (1,'a',1.0,'x')"
+        )
+        with pytest.raises(ConstraintViolation):
+            db.execute(
+                "INSERT INTO products (sku,name,price,category) VALUES (2,'b',1.0,'x')"
+            )
+
+    def test_failed_insert_leaves_no_trace(self, db):
+        db.execute("INSERT INTO products (sku,name,price) VALUES (1,'a',1.0)")
+        with pytest.raises(ConstraintViolation):
+            db.execute(
+                "INSERT INTO products (sku,name,price) VALUES (2,'ok',1.0),(1,'dup',1.0)"
+            )
+        # Autocommit: the whole statement rolled back, including row 2.
+        assert db.row_count("products") == 1
+
+    def test_check_with_null_passes(self, db):
+        db.execute("CREATE TABLE t (a INT CHECK (a > 0))")
+        db.execute("INSERT INTO t VALUES (NULL)")  # UNKNOWN passes CHECK
+        assert db.row_count("t") == 1
+
+
+class TestForeignKeys:
+    @pytest.fixture()
+    def fk_db(self, db):
+        db.execute("INSERT INTO products (sku,name,price) VALUES (1,'a',1.0)")
+        db.execute(
+            """CREATE TABLE orders (
+                 id INT PRIMARY KEY,
+                 sku INT NOT NULL REFERENCES products(sku),
+                 qty INT NOT NULL CHECK (qty > 0)
+               )"""
+        )
+        return db
+
+    def test_insert_child_with_parent(self, fk_db):
+        fk_db.execute("INSERT INTO orders VALUES (1, 1, 2)")
+        assert fk_db.row_count("orders") == 1
+
+    def test_insert_orphan_rejected(self, fk_db):
+        with pytest.raises(ConstraintViolation, match="foreign key"):
+            fk_db.execute("INSERT INTO orders VALUES (1, 99, 2)")
+
+    def test_delete_referenced_parent_rejected(self, fk_db):
+        fk_db.execute("INSERT INTO orders VALUES (1, 1, 2)")
+        with pytest.raises(ConstraintViolation, match="referenced"):
+            fk_db.execute("DELETE FROM products WHERE sku = 1")
+
+    def test_delete_unreferenced_parent_ok(self, fk_db):
+        fk_db.execute("DELETE FROM products WHERE sku = 1")
+        assert fk_db.row_count("products") == 0
+
+    def test_update_referenced_key_rejected(self, fk_db):
+        fk_db.execute("INSERT INTO orders VALUES (1, 1, 2)")
+        with pytest.raises(ConstraintViolation):
+            fk_db.execute("UPDATE products SET sku = 5 WHERE sku = 1")
+
+    def test_update_child_to_orphan_rejected(self, fk_db):
+        fk_db.execute("INSERT INTO orders VALUES (1, 1, 2)")
+        with pytest.raises(ConstraintViolation, match="foreign key"):
+            fk_db.execute("UPDATE orders SET sku = 42")
+
+    def test_drop_referenced_table_rejected(self, fk_db):
+        with pytest.raises(CatalogError, match="referenced"):
+            fk_db.execute("DROP TABLE products")
+
+    def test_fk_must_reference_unique_target(self, db):
+        db.execute("CREATE TABLE plain (a INT)")
+        with pytest.raises(CatalogError, match="primary key or unique"):
+            db.execute("CREATE TABLE child (a INT REFERENCES plain(a))")
+
+
+class TestUpdateDelete:
+    @pytest.fixture()
+    def filled(self, db):
+        db.execute(
+            "INSERT INTO products (sku,name,price,stock) VALUES "
+            "(1,'a',1.00,10),(2,'b',2.00,0),(3,'c',3.00,5)"
+        )
+        return db
+
+    def test_update_with_where(self, filled):
+        result = filled.execute("UPDATE products SET stock = stock + 1 WHERE stock > 0")
+        assert result.update_count == 2
+        total = filled.execute("SELECT SUM(stock) FROM products").scalar()
+        assert total == 17
+
+    def test_update_all(self, filled):
+        assert filled.execute("UPDATE products SET stock = 0").update_count == 3
+
+    def test_update_expression_uses_old_values(self, filled):
+        filled.execute("UPDATE products SET stock = stock * 2, price = price + stock")
+        rows = filled.execute(
+            "SELECT stock, price FROM products WHERE sku = 1"
+        ).rows
+        assert rows == [(20, Decimal("11.00"))]
+
+    def test_update_communication_area_no_rows(self, filled):
+        result = filled.execute("UPDATE products SET stock = 9 WHERE sku = 99")
+        assert result.update_count == 0
+        assert result.communication.sqlcode == 100
+
+    def test_delete_with_where(self, filled):
+        assert filled.execute("DELETE FROM products WHERE stock = 0").update_count == 1
+        assert filled.row_count("products") == 2
+
+    def test_delete_all(self, filled):
+        filled.execute("DELETE FROM products")
+        assert filled.row_count("products") == 0
+
+    def test_update_violating_check_rolls_back_statement(self, filled):
+        with pytest.raises(ConstraintViolation):
+            filled.execute("UPDATE products SET price = price - 2.00")
+        # sku 1 (1.00 - 2.00 < 0) violates; nothing may have changed.
+        prices = sorted(
+            r[0] for r in filled.execute("SELECT price FROM products").rows
+        )
+        assert prices == [Decimal("1.00"), Decimal("2.00"), Decimal("3.00")]
+
+
+class TestDdl:
+    def test_drop_table_removes_data_and_schema(self, db):
+        db.execute("INSERT INTO products (sku,name,price) VALUES (1,'a',1.0)")
+        db.execute("DROP TABLE products")
+        with pytest.raises(CatalogError):
+            db.execute("SELECT * FROM products")
+
+    def test_create_if_not_exists_is_idempotent(self, db):
+        db.execute("CREATE TABLE IF NOT EXISTS products (x INT)")
+        # Original schema retained.
+        assert db.catalog.table("products").has_column("sku")
+
+    def test_drop_if_exists_tolerates_missing(self, db):
+        db.execute("DROP TABLE IF EXISTS nothing")
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(CatalogError, match="already exists"):
+            db.execute("CREATE TABLE products (x INT)")
+
+    def test_duplicate_column_rejected(self, db):
+        with pytest.raises(CatalogError, match="duplicate column"):
+            db.execute("CREATE TABLE t (a INT, A VARCHAR(5))")
+
+    def test_composite_primary_key(self, db):
+        db.execute("CREATE TABLE pairs (a INT, b INT, PRIMARY KEY (a, b))")
+        db.execute("INSERT INTO pairs VALUES (1, 1), (1, 2)")
+        with pytest.raises(ConstraintViolation):
+            db.execute("INSERT INTO pairs VALUES (1, 2)")
+
+    def test_create_drop_index(self, db):
+        db.execute("CREATE INDEX ix ON products (name)")
+        assert db.catalog.has_index("ix")
+        db.execute("DROP INDEX ix")
+        assert not db.catalog.has_index("ix")
+
+    def test_unique_index_on_existing_data(self, db):
+        db.execute("INSERT INTO products (sku,name,price) VALUES (1,'same',1.0)")
+        db.execute("INSERT INTO products (sku,name,price) VALUES (2,'same',1.0)")
+        with pytest.raises(ConstraintViolation):
+            db.execute("CREATE UNIQUE INDEX ux ON products (name)")
+        # Failed index creation must not leave a half-registered index.
+        assert not db.catalog.has_index("ux")
+
+    def test_default_expression_validated_at_create(self, db):
+        with pytest.raises(SqlTypeError):
+            db.execute("CREATE TABLE t (a INT DEFAULT 'not-a-number')")

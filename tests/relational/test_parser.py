@@ -1,0 +1,290 @@
+"""SQL lexer and parser tests."""
+
+import pytest
+
+from repro.relational import SqlSyntaxError
+from repro.relational import ast_nodes as ast
+from repro.relational.lexer import TokenKind, tokenize
+from repro.relational.parser import parse_expression, parse_statement
+from repro.relational.types import NULL, SqlType
+
+
+class TestLexer:
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select From")
+        assert tokens[0].value == "SELECT"
+        assert tokens[1].value == "FROM"
+
+    def test_identifiers_keep_case(self):
+        assert tokenize("MyTable")[0].value == "MyTable"
+
+    def test_quoted_identifier(self):
+        token = tokenize('"weird name"')[0]
+        assert token.kind is TokenKind.IDENTIFIER
+        assert token.value == "weird name"
+
+    def test_string_escape(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT -- line comment\n 1 /* block */ + 2")
+        values = [t.value for t in tokens if t.kind is not TokenKind.EOF]
+        assert values == ["SELECT", "1", "+", "2"]
+
+    def test_operators(self):
+        values = [t.value for t in tokenize("<> != <= >= || =")][:-1]
+        assert values == ["<>", "!=", "<=", ">=", "||", "="]
+
+    def test_parameter_marker(self):
+        assert tokenize("?")[0].kind is TokenKind.PARAMETER
+
+    def test_scientific_number(self):
+        assert tokenize("1.5e3")[0].value == "1.5e3"
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @")
+
+
+class TestSelectParsing:
+    def test_simple(self):
+        select = parse_statement("SELECT a, b FROM t")
+        assert isinstance(select, ast.Select)
+        assert len(select.items) == 2
+        assert select.from_item == ast.TableRef("t", None)
+
+    def test_star(self):
+        select = parse_statement("SELECT * FROM t")
+        assert isinstance(select.items[0].expression, ast.Star)
+
+    def test_qualified_star(self):
+        select = parse_statement("SELECT t.* FROM t")
+        assert select.items[0].expression == ast.Star("t")
+
+    def test_aliases(self):
+        select = parse_statement("SELECT a AS x, b y FROM t z")
+        assert select.items[0].alias == "x"
+        assert select.items[1].alias == "y"
+        assert select.from_item.alias == "z"
+
+    def test_joins(self):
+        select = parse_statement(
+            "SELECT * FROM a JOIN b ON a.id = b.id LEFT JOIN c ON b.id = c.id"
+        )
+        outer = select.from_item
+        assert isinstance(outer, ast.Join)
+        assert outer.kind == "LEFT"
+        assert outer.left.kind == "INNER"
+
+    def test_cross_join_comma(self):
+        select = parse_statement("SELECT * FROM a, b")
+        assert select.from_item.kind == "CROSS"
+
+    def test_derived_table(self):
+        select = parse_statement("SELECT * FROM (SELECT a FROM t) AS sub")
+        assert isinstance(select.from_item, ast.SubqueryRef)
+        assert select.from_item.alias == "sub"
+
+    def test_group_having(self):
+        select = parse_statement(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1"
+        )
+        assert len(select.group_by) == 1
+        assert select.having is not None
+
+    def test_order_limit_offset(self):
+        select = parse_statement("SELECT a FROM t ORDER BY a DESC, b LIMIT 5 OFFSET 2")
+        assert select.order_by[0].ascending is False
+        assert select.order_by[1].ascending is True
+        assert select.limit == ast.Literal(5)
+        assert select.offset == ast.Literal(2)
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT a FROM t").distinct
+
+    def test_union_trailing_clauses_bind_to_union(self):
+        select = parse_statement("SELECT a FROM t UNION SELECT a FROM u ORDER BY 1")
+        assert select.union is not None
+        assert select.union.query.order_by == ()
+        assert len(select.order_by) == 1
+
+    def test_select_without_from(self):
+        select = parse_statement("SELECT 1 + 1")
+        assert select.from_item is None
+
+    def test_count_star(self):
+        select = parse_statement("SELECT COUNT(*) FROM t")
+        aggregate = select.items[0].expression
+        assert aggregate == ast.Aggregate("COUNT", None)
+
+    def test_count_distinct(self):
+        select = parse_statement("SELECT COUNT(DISTINCT a) FROM t")
+        assert select.items[0].expression.distinct
+
+
+class TestExpressionParsing:
+    def test_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_comparison_chain(self):
+        expr = parse_expression("a = 1 AND b > 2 OR c < 3")
+        assert expr.op == "OR"
+        assert expr.left.op == "AND"
+
+    def test_not(self):
+        expr = parse_expression("NOT a = 1")
+        assert isinstance(expr, ast.Unary)
+        assert expr.op == "NOT"
+
+    def test_is_null(self):
+        assert parse_expression("a IS NULL") == ast.IsNull(
+            ast.ColumnRef(None, "a")
+        )
+        assert parse_expression("a IS NOT NULL").negated
+
+    def test_like_and_not_like(self):
+        assert not parse_expression("a LIKE 'x%'").negated
+        assert parse_expression("a NOT LIKE 'x%'").negated
+
+    def test_between(self):
+        expr = parse_expression("a BETWEEN 1 AND 10")
+        assert isinstance(expr, ast.Between)
+
+    def test_in_list(self):
+        expr = parse_expression("a IN (1, 2, 3)")
+        assert isinstance(expr, ast.InList)
+        assert len(expr.items) == 3
+
+    def test_in_subquery(self):
+        expr = parse_expression("a IN (SELECT b FROM t)")
+        assert isinstance(expr, ast.InSubquery)
+
+    def test_exists(self):
+        expr = parse_expression("EXISTS (SELECT 1 FROM t)")
+        assert isinstance(expr, ast.Exists)
+
+    def test_scalar_subquery(self):
+        expr = parse_expression("(SELECT MAX(a) FROM t)")
+        assert isinstance(expr, ast.ScalarSubquery)
+
+    def test_case(self):
+        expr = parse_expression("CASE WHEN a > 1 THEN 'x' ELSE 'y' END")
+        assert isinstance(expr, ast.Case)
+        assert expr.default == ast.Literal("y")
+
+    def test_cast(self):
+        expr = parse_expression("CAST(a AS VARCHAR(10))")
+        assert expr.target is SqlType.VARCHAR
+        assert expr.length == 10
+
+    def test_null_literal(self):
+        assert parse_expression("NULL") == ast.Literal(NULL)
+
+    def test_booleans(self):
+        assert parse_expression("TRUE") == ast.Literal(True)
+
+    def test_parameters_numbered_in_order(self):
+        statement = parse_statement("SELECT * FROM t WHERE a = ? AND b = ?")
+        parts = statement.where
+        assert parts.left.right == ast.Parameter(0)
+        assert parts.right.right == ast.Parameter(1)
+
+    def test_function_call(self):
+        expr = parse_expression("UPPER(name)")
+        assert expr == ast.FunctionCall("UPPER", (ast.ColumnRef(None, "name"),))
+
+    def test_concat_operator(self):
+        assert parse_expression("a || b").op == "||"
+
+
+class TestDmlDdlParsing:
+    def test_insert_values(self):
+        insert = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert insert.columns == ("a", "b")
+        assert len(insert.rows) == 2
+
+    def test_insert_select(self):
+        insert = parse_statement("INSERT INTO t SELECT * FROM u")
+        assert insert.query is not None
+
+    def test_update(self):
+        update = parse_statement("UPDATE t SET a = 1, b = b + 1 WHERE id = 3")
+        assert len(update.assignments) == 2
+        assert update.where is not None
+
+    def test_delete(self):
+        delete = parse_statement("DELETE FROM t WHERE a < 0")
+        assert delete.table == "t"
+
+    def test_create_table_full(self):
+        create = parse_statement(
+            """CREATE TABLE orders (
+                 id INT PRIMARY KEY,
+                 customer VARCHAR(40) NOT NULL,
+                 total DECIMAL(10,2) DEFAULT 0 CHECK (total >= 0),
+                 dept_id INT REFERENCES dept(id),
+                 UNIQUE (customer),
+                 FOREIGN KEY (dept_id) REFERENCES dept (id)
+               )"""
+        )
+        assert create.columns[0].primary_key
+        assert create.columns[1].not_null
+        assert create.columns[2].default == ast.Literal(0)
+        assert create.columns[2].check is not None
+        assert create.columns[3].references == ("dept", "id")
+        kinds = [c.kind for c in create.constraints]
+        assert kinds == ["UNIQUE", "FOREIGN_KEY"]
+
+    def test_create_table_if_not_exists(self):
+        assert parse_statement("CREATE TABLE IF NOT EXISTS t (a INT)").if_not_exists
+
+    def test_composite_primary_key(self):
+        create = parse_statement(
+            "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))"
+        )
+        assert create.constraints[0].columns == ("a", "b")
+
+    def test_drop_table(self):
+        assert parse_statement("DROP TABLE IF EXISTS t").if_exists
+
+    def test_create_index(self):
+        index = parse_statement("CREATE UNIQUE INDEX ix ON t (a, b)")
+        assert index.unique
+        assert index.columns == ("a", "b")
+
+    def test_transactions(self):
+        assert isinstance(parse_statement("BEGIN"), ast.BeginTransaction)
+        assert isinstance(parse_statement("START TRANSACTION"), ast.BeginTransaction)
+        assert isinstance(parse_statement("COMMIT"), ast.Commit)
+        assert isinstance(parse_statement("ROLLBACK WORK"), ast.Rollback)
+
+    def test_begin_isolation(self):
+        begin = parse_statement("BEGIN ISOLATION LEVEL REPEATABLE READ")
+        assert begin.isolation == "REPEATABLE READ"
+        begin = parse_statement("BEGIN ISOLATION LEVEL READ UNCOMMITTED")
+        assert begin.isolation == "READ UNCOMMITTED"
+
+    def test_trailing_semicolon(self):
+        assert isinstance(parse_statement("SELECT 1;"), ast.Select)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT",
+            "SELECT FROM t",
+            "INSERT t VALUES (1)",
+            "UPDATE t a = 1",
+            "DELETE t",
+            "CREATE TABLE t ()",
+            "SELECT * FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t GROUP a",
+            "xyzzy",
+            "SELECT a FROM t; SELECT b FROM t",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement(bad)

@@ -1,0 +1,159 @@
+"""Property-based tests of engine invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import Database, NULL
+
+_INTS = st.integers(min_value=-1000, max_value=1000)
+_NAMES = st.text(
+    alphabet=st.characters(categories=("L", "N")), min_size=0, max_size=12
+)
+_ROWS = st.lists(st.tuples(_INTS, _NAMES), min_size=0, max_size=40)
+
+
+def _fresh(rows):
+    db = Database()
+    db.execute("CREATE TABLE t (k INT, label VARCHAR(50))")
+    for k, label in rows:
+        db.execute("INSERT INTO t VALUES (?, ?)", (k, label))
+    return db
+
+
+class TestQueryInvariants:
+    @given(_ROWS)
+    @settings(max_examples=40, deadline=None)
+    def test_count_matches_inserts(self, rows):
+        db = _fresh(rows)
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == len(rows)
+
+    @given(_ROWS, _INTS)
+    @settings(max_examples=40, deadline=None)
+    def test_where_partitions_rows(self, rows, pivot):
+        db = _fresh(rows)
+        matching = db.execute("SELECT COUNT(*) FROM t WHERE k < ?", (pivot,)).scalar()
+        rest = db.execute("SELECT COUNT(*) FROM t WHERE NOT k < ?", (pivot,)).scalar()
+        assert matching + rest == len(rows)
+
+    @given(_ROWS)
+    @settings(max_examples=40, deadline=None)
+    def test_order_by_sorts(self, rows):
+        db = _fresh(rows)
+        result = db.execute("SELECT k FROM t ORDER BY k")
+        values = [r[0] for r in result.rows]
+        assert values == sorted(values)
+
+    @given(_ROWS)
+    @settings(max_examples=40, deadline=None)
+    def test_sum_matches_python(self, rows):
+        db = _fresh(rows)
+        total = db.execute("SELECT SUM(k) FROM t").scalar()
+        expected = sum(k for k, _ in rows) if rows else NULL
+        assert total == expected
+
+    @given(_ROWS)
+    @settings(max_examples=30, deadline=None)
+    def test_group_sums_equal_total(self, rows):
+        db = _fresh(rows)
+        groups = db.execute("SELECT k % 3, SUM(k) FROM t WHERE k <> 0 GROUP BY k % 3")
+        total = db.execute("SELECT SUM(k) FROM t WHERE k <> 0").scalar()
+        group_total = sum(row[1] for row in groups.rows) if groups.rows else NULL
+        assert group_total == total
+
+    @given(_ROWS)
+    @settings(max_examples=30, deadline=None)
+    def test_distinct_is_set_semantics(self, rows):
+        db = _fresh(rows)
+        distinct = db.execute("SELECT DISTINCT k FROM t").rows
+        assert len(distinct) == len({k for k, _ in rows})
+
+    @given(_ROWS, st.integers(min_value=0, max_value=10),
+           st.integers(min_value=0, max_value=10))
+    @settings(max_examples=30, deadline=None)
+    def test_limit_offset_window(self, rows, limit, offset):
+        db = _fresh(rows)
+        window = db.execute(
+            f"SELECT k FROM t ORDER BY k LIMIT {limit} OFFSET {offset}"
+        ).rows
+        full = db.execute("SELECT k FROM t ORDER BY k").rows
+        assert window == full[offset : offset + limit]
+
+    @given(_ROWS)
+    @settings(max_examples=30, deadline=None)
+    def test_union_all_is_concatenation(self, rows):
+        db = _fresh(rows)
+        doubled = db.execute("SELECT k FROM t UNION ALL SELECT k FROM t").rows
+        assert len(doubled) == 2 * len(rows)
+
+
+class TestMutationInvariants:
+    @given(_ROWS, _INTS)
+    @settings(max_examples=30, deadline=None)
+    def test_delete_plus_remaining_is_total(self, rows, pivot):
+        db = _fresh(rows)
+        deleted = db.execute("DELETE FROM t WHERE k > ?", (pivot,)).update_count
+        assert deleted + db.row_count("t") == len(rows)
+
+    @given(_ROWS)
+    @settings(max_examples=30, deadline=None)
+    def test_rollback_is_identity(self, rows):
+        db = _fresh(rows)
+        before = sorted(db.execute("SELECT k, label FROM t").rows)
+        session = db.create_session()
+        session.execute("BEGIN")
+        session.execute("DELETE FROM t")
+        session.execute("INSERT INTO t VALUES (1, 'ghost')")
+        session.execute("ROLLBACK")
+        after = sorted(db.execute("SELECT k, label FROM t").rows)
+        assert before == after
+
+    @given(_ROWS, _INTS)
+    @settings(max_examples=30, deadline=None)
+    def test_update_preserves_cardinality(self, rows, value):
+        db = _fresh(rows)
+        db.execute("UPDATE t SET k = ?", (value,))
+        assert db.row_count("t") == len(rows)
+
+    @given(_ROWS)
+    @settings(max_examples=20, deadline=None)
+    def test_index_creation_preserves_query_results(self, rows):
+        db = _fresh(rows)
+        before = db.execute("SELECT k FROM t WHERE k >= 0 ORDER BY k").rows
+        db.execute("CREATE INDEX ix_k ON t (k)")
+        after = db.execute("SELECT k FROM t WHERE k >= 0 ORDER BY k").rows
+        assert before == after
+
+
+class TestExpressionProperties:
+    @given(_INTS, _INTS)
+    @settings(max_examples=50, deadline=None)
+    def test_arithmetic_matches_python(self, a, b):
+        db = Database()
+        assert db.execute("SELECT ? + ?", (a, b)).scalar() == a + b
+        assert db.execute("SELECT ? * ?", (a, b)).scalar() == a * b
+        if b != 0:
+            # SQL integer division truncates toward zero.
+            q = db.execute("SELECT ? / ?", (a, b)).scalar()
+            assert q == int(a / b)
+
+    @given(_INTS)
+    @settings(max_examples=50, deadline=None)
+    def test_null_propagation(self, a):
+        db = Database()
+        assert db.execute("SELECT ? + NULL", (a,)).scalar() is NULL
+        assert db.execute("SELECT NULL = ?", (a,)).scalar() is NULL
+        assert db.execute("SELECT NULL IS NULL").scalar() is True
+
+    @given(_NAMES)
+    @settings(max_examples=50, deadline=None)
+    def test_string_functions_match_python(self, s):
+        db = Database()
+        assert db.execute("SELECT UPPER(?)", (s,)).scalar() == s.upper()
+        assert db.execute("SELECT LENGTH(?)", (s,)).scalar() == len(s)
+
+    @given(_NAMES, _NAMES)
+    @settings(max_examples=50, deadline=None)
+    def test_concat_operator(self, a, b):
+        db = Database()
+        assert db.execute("SELECT ? || ?", (a, b)).scalar() == a + b

@@ -1,0 +1,327 @@
+"""Query execution tests against a small fixture database."""
+
+import pytest
+
+from repro.relational import Database, NULL, SqlError
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE dept (id INT PRIMARY KEY, name VARCHAR(40) NOT NULL)"
+    )
+    database.execute(
+        """CREATE TABLE emp (
+             id INT PRIMARY KEY,
+             name VARCHAR(40) NOT NULL,
+             salary FLOAT,
+             dept_id INT REFERENCES dept(id)
+           )"""
+    )
+    database.execute("INSERT INTO dept VALUES (1,'eng'),(2,'ops'),(3,'empty')")
+    database.execute(
+        "INSERT INTO emp VALUES "
+        "(1,'ann',100.0,1),(2,'bob',80.0,1),(3,'cy',90.0,2),(4,'dee',NULL,NULL)"
+    )
+    return database
+
+
+class TestBasicSelect:
+    def test_star(self, db):
+        result = db.execute("SELECT * FROM emp")
+        assert result.columns == ["id", "name", "salary", "dept_id"]
+        assert len(result.rows) == 4
+
+    def test_projection_and_alias(self, db):
+        result = db.execute("SELECT name AS who, salary * 2 AS double FROM emp WHERE id = 1")
+        assert result.columns == ["who", "double"]
+        assert result.rows == [("ann", 200.0)]
+
+    def test_where_filters(self, db):
+        result = db.execute("SELECT name FROM emp WHERE salary > 85 ORDER BY name")
+        assert result.rows == [("ann",), ("cy",)]
+
+    def test_null_never_matches_comparison(self, db):
+        result = db.execute("SELECT name FROM emp WHERE salary > 0")
+        assert ("dee",) not in result.rows
+        result = db.execute("SELECT name FROM emp WHERE NOT salary > 0")
+        assert result.rows == []
+
+    def test_is_null(self, db):
+        assert db.execute("SELECT name FROM emp WHERE salary IS NULL").rows == [("dee",)]
+        assert len(db.execute("SELECT name FROM emp WHERE salary IS NOT NULL").rows) == 3
+
+    def test_select_without_from(self, db):
+        assert db.execute("SELECT 1 + 1").rows == [(2,)]
+
+    def test_parameters(self, db):
+        result = db.execute("SELECT name FROM emp WHERE id = ?", (3,))
+        assert result.rows == [("cy",)]
+
+    def test_none_parameter_is_null(self, db):
+        result = db.execute("SELECT ? IS NULL", (None,))
+        assert result.rows == [(True,)]
+
+    def test_qualified_star(self, db):
+        result = db.execute(
+            "SELECT e.* FROM emp e JOIN dept d ON e.dept_id = d.id WHERE d.name='ops'"
+        )
+        assert result.columns == ["id", "name", "salary", "dept_id"]
+        assert result.rows == [(3, "cy", 90.0, 2)]
+
+    def test_unknown_column_raises(self, db):
+        with pytest.raises(Exception, match="unknown column"):
+            db.execute("SELECT nothing FROM emp")
+
+    def test_unknown_table_raises(self, db):
+        with pytest.raises(Exception, match="no such table"):
+            db.execute("SELECT * FROM ghosts")
+
+    def test_ambiguous_column_raises(self, db):
+        with pytest.raises(Exception, match="ambiguous"):
+            db.execute("SELECT id FROM emp e JOIN dept d ON e.dept_id = d.id")
+
+
+class TestJoins:
+    def test_inner_join(self, db):
+        result = db.execute(
+            "SELECT e.name, d.name FROM emp e JOIN dept d ON e.dept_id = d.id "
+            "ORDER BY e.name"
+        )
+        assert result.rows == [("ann", "eng"), ("bob", "eng"), ("cy", "ops")]
+
+    def test_left_join_pads_nulls(self, db):
+        result = db.execute(
+            "SELECT e.name, d.name FROM emp e LEFT JOIN dept d ON e.dept_id = d.id "
+            "WHERE d.id IS NULL"
+        )
+        assert result.rows == [("dee", NULL)]
+
+    def test_cross_join(self, db):
+        result = db.execute("SELECT COUNT(*) FROM emp, dept")
+        assert result.scalar() == 12
+
+    def test_join_with_residual_condition(self, db):
+        result = db.execute(
+            "SELECT e.name FROM emp e JOIN dept d "
+            "ON e.dept_id = d.id AND e.salary > 85 ORDER BY e.name"
+        )
+        assert result.rows == [("ann",), ("cy",)]
+
+    def test_non_equi_join(self, db):
+        result = db.execute(
+            "SELECT COUNT(*) FROM emp a JOIN emp b ON a.salary > b.salary"
+        )
+        assert result.scalar() == 3  # (100>80),(100>90),(90>80)
+
+    def test_three_way_join(self, db):
+        result = db.execute(
+            "SELECT COUNT(*) FROM emp e JOIN dept d ON e.dept_id = d.id "
+            "JOIN emp boss ON boss.dept_id = d.id"
+        )
+        assert result.scalar() == 5  # eng 2x2 + ops 1x1
+
+    def test_derived_table(self, db):
+        result = db.execute(
+            "SELECT sub.name FROM (SELECT name, salary FROM emp WHERE salary > 85) sub "
+            "ORDER BY sub.name"
+        )
+        assert result.rows == [("ann",), ("cy",)]
+
+
+class TestAggregates:
+    def test_count_star(self, db):
+        assert db.execute("SELECT COUNT(*) FROM emp").scalar() == 4
+
+    def test_count_ignores_null(self, db):
+        assert db.execute("SELECT COUNT(salary) FROM emp").scalar() == 3
+
+    def test_sum_avg_min_max(self, db):
+        row = db.execute(
+            "SELECT SUM(salary), AVG(salary), MIN(salary), MAX(salary) FROM emp"
+        ).rows[0]
+        assert row == (270.0, 90.0, 80.0, 100.0)
+
+    def test_aggregates_on_empty_input(self, db):
+        row = db.execute(
+            "SELECT COUNT(*), SUM(salary), MIN(salary) FROM emp WHERE id > 99"
+        ).rows[0]
+        assert row == (0, NULL, NULL)
+
+    def test_group_by(self, db):
+        result = db.execute(
+            "SELECT dept_id, COUNT(*), AVG(salary) FROM emp "
+            "WHERE dept_id IS NOT NULL GROUP BY dept_id ORDER BY dept_id"
+        )
+        assert result.rows == [(1, 2, 90.0), (2, 1, 90.0)]
+
+    def test_group_by_null_group(self, db):
+        result = db.execute("SELECT dept_id, COUNT(*) FROM emp GROUP BY dept_id")
+        counts = {row[0]: row[1] for row in result.rows}
+        assert counts[NULL] == 1
+
+    def test_having(self, db):
+        result = db.execute(
+            "SELECT dept_id FROM emp GROUP BY dept_id HAVING COUNT(*) > 1"
+        )
+        assert result.rows == [(1,)]
+
+    def test_count_distinct(self, db):
+        db.execute("UPDATE emp SET salary = 80.0 WHERE id = 1")
+        assert db.execute("SELECT COUNT(DISTINCT salary) FROM emp").scalar() == 2
+
+    def test_aggregate_arithmetic(self, db):
+        result = db.execute("SELECT MAX(salary) - MIN(salary) FROM emp")
+        assert result.scalar() == 20.0
+
+    def test_group_by_expression(self, db):
+        result = db.execute(
+            "SELECT salary >= 90, COUNT(*) FROM emp WHERE salary IS NOT NULL "
+            "GROUP BY salary >= 90 ORDER BY 2"
+        )
+        assert result.rows == [(False, 1), (True, 2)]
+
+
+class TestOrderingAndLimits:
+    def test_order_desc(self, db):
+        result = db.execute("SELECT name FROM emp ORDER BY salary DESC")
+        assert [r[0] for r in result.rows][:3] == ["ann", "cy", "bob"]
+
+    def test_nulls_sort_last_ascending(self, db):
+        result = db.execute("SELECT name FROM emp ORDER BY salary")
+        assert result.rows[-1] == ("dee",)
+
+    def test_nulls_sort_last_descending_too(self, db):
+        # This engine pins NULLS LAST for both directions.
+        result = db.execute("SELECT name FROM emp ORDER BY salary DESC")
+        assert result.rows[-1] == ("dee",)
+
+    def test_order_by_ordinal(self, db):
+        result = db.execute("SELECT name, salary FROM emp ORDER BY 2 DESC LIMIT 1")
+        assert result.rows == [("ann", 100.0)]
+
+    def test_order_by_two_keys(self, db):
+        db.execute("UPDATE emp SET salary = 80.0 WHERE id = 3")
+        result = db.execute(
+            "SELECT name FROM emp WHERE salary IS NOT NULL ORDER BY salary, name"
+        )
+        assert result.rows == [("bob",), ("cy",), ("ann",)]
+
+    def test_limit_offset(self, db):
+        result = db.execute("SELECT id FROM emp ORDER BY id LIMIT 2 OFFSET 1")
+        assert result.rows == [(2,), (3,)]
+
+    def test_bad_ordinal(self, db):
+        with pytest.raises(SqlError):
+            db.execute("SELECT id FROM emp ORDER BY 9")
+
+    def test_negative_limit_rejected(self, db):
+        with pytest.raises(SqlError):
+            db.execute("SELECT id FROM emp LIMIT -1")
+
+
+class TestDistinctAndUnion:
+    def test_distinct(self, db):
+        result = db.execute("SELECT DISTINCT dept_id FROM emp WHERE dept_id = 1")
+        assert result.rows == [(1,)]
+
+    def test_union_removes_duplicates(self, db):
+        result = db.execute(
+            "SELECT dept_id FROM emp WHERE dept_id IS NOT NULL "
+            "UNION SELECT id FROM dept ORDER BY 1"
+        )
+        assert result.rows == [(1,), (2,), (3,)]
+
+    def test_union_all_keeps_duplicates(self, db):
+        result = db.execute(
+            "SELECT id FROM dept UNION ALL SELECT id FROM dept"
+        )
+        assert len(result.rows) == 6
+
+    def test_union_column_count_mismatch(self, db):
+        with pytest.raises(SqlError):
+            db.execute("SELECT id FROM dept UNION SELECT id, name FROM dept")
+
+    def test_union_order_limit_apply_to_whole(self, db):
+        result = db.execute(
+            "SELECT id FROM dept UNION ALL SELECT id FROM dept ORDER BY 1 LIMIT 4"
+        )
+        assert result.rows == [(1,), (1,), (2,), (2,)]
+
+
+class TestSubqueries:
+    def test_in_subquery(self, db):
+        result = db.execute(
+            "SELECT name FROM emp WHERE dept_id IN "
+            "(SELECT id FROM dept WHERE name = 'eng') ORDER BY name"
+        )
+        assert result.rows == [("ann",), ("bob",)]
+
+    def test_not_in_with_nulls(self, db):
+        # NOT IN over a list containing NULL is never TRUE for non-matching rows.
+        result = db.execute("SELECT name FROM emp WHERE dept_id NOT IN (1, NULL)")
+        assert result.rows == []
+
+    def test_correlated_exists(self, db):
+        result = db.execute(
+            "SELECT d.name FROM dept d WHERE EXISTS "
+            "(SELECT 1 FROM emp e WHERE e.dept_id = d.id) ORDER BY d.name"
+        )
+        assert result.rows == [("eng",), ("ops",)]
+
+    def test_not_exists(self, db):
+        result = db.execute(
+            "SELECT d.name FROM dept d WHERE NOT EXISTS "
+            "(SELECT 1 FROM emp e WHERE e.dept_id = d.id)"
+        )
+        assert result.rows == [("empty",)]
+
+    def test_scalar_subquery(self, db):
+        result = db.execute(
+            "SELECT name FROM emp WHERE salary = (SELECT MAX(salary) FROM emp)"
+        )
+        assert result.rows == [("ann",)]
+
+    def test_scalar_subquery_empty_is_null(self, db):
+        result = db.execute("SELECT (SELECT id FROM dept WHERE id = 99) IS NULL")
+        assert result.rows == [(True,)]
+
+    def test_scalar_subquery_multiple_rows_rejected(self, db):
+        with pytest.raises(SqlError, match="more than one row"):
+            db.execute("SELECT (SELECT id FROM dept)")
+
+    def test_correlated_scalar_subquery(self, db):
+        result = db.execute(
+            "SELECT e.name, (SELECT d.name FROM dept d WHERE d.id = e.dept_id) "
+            "FROM emp e WHERE e.id = 1"
+        )
+        assert result.rows == [("ann", "eng")]
+
+
+class TestIndexUsage:
+    def test_pk_lookup_matches_scan(self, db):
+        by_index = db.execute("SELECT name FROM emp WHERE id = 2")
+        assert by_index.rows == [("bob",)]
+
+    def test_secondary_index_equality(self, db):
+        db.execute("CREATE INDEX ix_salary ON emp (salary)")
+        result = db.execute("SELECT name FROM emp WHERE salary = 90.0")
+        assert result.rows == [("cy",)]
+
+    def test_secondary_index_range(self, db):
+        db.execute("CREATE INDEX ix_salary ON emp (salary)")
+        result = db.execute(
+            "SELECT name FROM emp WHERE salary >= 80 AND salary < 95 ORDER BY name"
+        )
+        assert result.rows == [("bob",), ("cy",)]
+
+    def test_index_does_not_change_semantics_with_parameter(self, db):
+        db.execute("CREATE INDEX ix_salary ON emp (salary)")
+        result = db.execute("SELECT name FROM emp WHERE salary = ?", (80.0,))
+        assert result.rows == [("bob",)]
+
+    def test_unique_index_rejects_duplicates(self, db):
+        db.execute("CREATE UNIQUE INDEX ux_name ON emp (name)")
+        with pytest.raises(Exception, match="unique"):
+            db.execute("INSERT INTO emp VALUES (9,'ann',1.0,1)")

@@ -1,0 +1,157 @@
+"""Unit tests for the SQL type system and NULL semantics."""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.relational import NULL, SqlType, SqlTypeError
+from repro.relational.types import (
+    Null,
+    coerce,
+    compare_values,
+    is_null,
+    sql_literal,
+)
+
+
+class TestNull:
+    def test_singleton(self):
+        assert Null() is NULL
+
+    def test_falsy(self):
+        assert not NULL
+
+    def test_is_null(self):
+        assert is_null(NULL)
+        assert not is_null(0)
+        assert not is_null("")
+
+    def test_repr(self):
+        assert repr(NULL) == "NULL"
+
+    def test_python_none_rejected(self):
+        with pytest.raises(SqlTypeError, match="None"):
+            coerce(None, SqlType.INTEGER)
+
+
+class TestCoercion:
+    def test_integer_from_string(self):
+        assert coerce(" 42 ", SqlType.INTEGER) == 42
+
+    def test_integer_range_enforced(self):
+        with pytest.raises(SqlTypeError):
+            coerce(2**31, SqlType.INTEGER)
+        assert coerce(2**31, SqlType.BIGINT) == 2**31
+        with pytest.raises(SqlTypeError):
+            coerce(40000, SqlType.SMALLINT)
+
+    def test_integer_rejects_fraction(self):
+        with pytest.raises(SqlTypeError):
+            coerce(1.5, SqlType.INTEGER)
+        assert coerce(2.0, SqlType.INTEGER) == 2
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(SqlTypeError):
+            coerce(True, SqlType.INTEGER)
+
+    def test_float(self):
+        assert coerce("2.5", SqlType.FLOAT) == 2.5
+        assert coerce(Decimal("1.25"), SqlType.DOUBLE) == 1.25
+
+    def test_decimal(self):
+        assert coerce("1.10", SqlType.DECIMAL) == Decimal("1.10")
+        assert coerce(0.1, SqlType.DECIMAL) == Decimal("0.1")
+
+    def test_varchar_length(self):
+        assert coerce("abc", SqlType.VARCHAR, 3) == "abc"
+        with pytest.raises(SqlTypeError):
+            coerce("abcd", SqlType.VARCHAR, 3)
+
+    def test_varchar_from_number(self):
+        assert coerce(42, SqlType.TEXT) == "42"
+
+    def test_boolean(self):
+        assert coerce("true", SqlType.BOOLEAN) is True
+        assert coerce("F", SqlType.BOOLEAN) is False
+        assert coerce(1, SqlType.BOOLEAN) is True
+        with pytest.raises(SqlTypeError):
+            coerce("maybe", SqlType.BOOLEAN)
+
+    def test_date(self):
+        assert coerce("2005-08-29", SqlType.DATE) == datetime.date(2005, 8, 29)
+        with pytest.raises(SqlTypeError):
+            coerce("29/08/2005", SqlType.DATE)
+
+    def test_timestamp(self):
+        value = coerce("2005-08-29T10:30:00", SqlType.TIMESTAMP)
+        assert value == datetime.datetime(2005, 8, 29, 10, 30)
+
+    def test_timestamp_from_date(self):
+        value = coerce(datetime.date(2005, 1, 2), SqlType.TIMESTAMP)
+        assert value == datetime.datetime(2005, 1, 2)
+
+    def test_null_passes_through(self):
+        assert coerce(NULL, SqlType.INTEGER) is NULL
+
+
+class TestCompare:
+    def test_numeric_cross_type(self):
+        assert compare_values(1, 1.0) == 0
+        assert compare_values(Decimal("2.5"), 2) == 1
+        assert compare_values(1, 2) == -1
+
+    def test_strings(self):
+        assert compare_values("a", "b") == -1
+        assert compare_values("b", "b") == 0
+
+    def test_null_propagates(self):
+        assert compare_values(NULL, 1) is None
+        assert compare_values("x", NULL) is None
+
+    def test_incomparable_families(self):
+        with pytest.raises(SqlTypeError):
+            compare_values(1, "one")
+        with pytest.raises(SqlTypeError):
+            compare_values(True, 1)
+
+    def test_dates(self):
+        a = datetime.date(2005, 1, 1)
+        b = datetime.datetime(2005, 1, 1, 12)
+        assert compare_values(a, b) == -1
+
+
+class TestLiteral:
+    def test_null(self):
+        assert sql_literal(NULL) == "NULL"
+
+    def test_string_quoting(self):
+        assert sql_literal("it's") == "'it''s'"
+
+    def test_bool(self):
+        assert sql_literal(True) == "TRUE"
+
+    def test_date(self):
+        assert sql_literal(datetime.date(2005, 3, 1)) == "'2005-03-01'"
+
+
+class TestCoercionProperties:
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_integer_round_trip_via_text(self, value):
+        assert coerce(coerce(value, SqlType.TEXT), SqlType.INTEGER) == value
+
+    @given(st.text(max_size=30))
+    def test_text_is_identity(self, value):
+        assert coerce(value, SqlType.TEXT) == value
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1),
+           st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_compare_antisymmetric(self, a, b):
+        assert compare_values(a, b) == -compare_values(b, a)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_float_coercion_idempotent(self, value):
+        once = coerce(value, SqlType.FLOAT)
+        assert coerce(once, SqlType.FLOAT) == once

@@ -1,0 +1,102 @@
+"""Unit tests for WS-Addressing EPRs and message headers."""
+
+import pytest
+
+from repro.soap import (
+    ANONYMOUS_ADDRESS,
+    EndpointReference,
+    MessageHeaders,
+    new_message_id,
+)
+from repro.soap.addressing import deterministic_message_id
+from repro.soap.namespaces import WSA_NS
+from repro.xmlutil import E, QName, parse, serialize
+
+ABSTRACT_NAME = QName("urn:dais", "DataResourceAbstractName")
+
+
+class TestEndpointReference:
+    def test_round_trip(self):
+        epr = EndpointReference(
+            "http://host/data",
+            reference_parameters=(E(ABSTRACT_NAME, "urn:resource:1"),),
+        )
+        parsed = EndpointReference.from_xml(parse(serialize(epr.to_xml())))
+        assert parsed.address == "http://host/data"
+        assert parsed.reference_parameter_text(ABSTRACT_NAME) == "urn:resource:1"
+
+    def test_custom_wrapper_tag(self):
+        epr = EndpointReference("http://host/x")
+        node = epr.to_xml(QName("urn:me", "DataResourceAddress"))
+        assert node.tag == QName("urn:me", "DataResourceAddress")
+        assert EndpointReference.from_xml(node).address == "http://host/x"
+
+    def test_missing_address_rejected(self):
+        with pytest.raises(ValueError):
+            EndpointReference.from_xml(E(QName(WSA_NS, "EndpointReference")))
+
+    def test_reference_parameter_text_missing(self):
+        epr = EndpointReference("http://host/x")
+        assert epr.reference_parameter_text(ABSTRACT_NAME) is None
+
+    def test_metadata_round_trip(self):
+        epr = EndpointReference("u", metadata=(E("Meta", "m"),))
+        parsed = EndpointReference.from_xml(epr.to_xml())
+        assert parsed.metadata[0].text == "m"
+
+    def test_frozen(self):
+        epr = EndpointReference("u")
+        with pytest.raises(AttributeError):
+            epr.address = "other"
+
+
+class TestMessageHeaders:
+    def test_round_trip(self):
+        headers = MessageHeaders(
+            to="http://host/svc",
+            action="urn:dais/SQLExecute",
+            relates_to="urn:prev",
+            reply_to=EndpointReference("http://consumer/"),
+            reference_parameters=(E(ABSTRACT_NAME, "urn:r"),),
+        )
+        parsed = MessageHeaders.from_header_blocks(headers.to_header_blocks())
+        assert parsed.to == headers.to
+        assert parsed.action == headers.action
+        assert parsed.message_id == headers.message_id
+        assert parsed.relates_to == "urn:prev"
+        assert parsed.reply_to.address == "http://consumer/"
+        assert parsed.reference_parameters[0].text == "urn:r"
+
+    def test_missing_to_rejected(self):
+        blocks = [E(QName(WSA_NS, "Action"), "urn:a")]
+        with pytest.raises(ValueError):
+            MessageHeaders.from_header_blocks(blocks)
+
+    def test_missing_action_rejected(self):
+        blocks = [E(QName(WSA_NS, "To"), "urn:t")]
+        with pytest.raises(ValueError):
+            MessageHeaders.from_header_blocks(blocks)
+
+    def test_reply_correlates(self):
+        request = MessageHeaders(to="http://svc", action="urn:req")
+        response = request.reply("urn:resp")
+        assert response.relates_to == request.message_id
+        assert response.to == ANONYMOUS_ADDRESS
+        assert response.action == "urn:resp"
+
+    def test_reply_honours_reply_to(self):
+        request = MessageHeaders(
+            to="http://svc",
+            action="urn:req",
+            reply_to=EndpointReference("http://me/inbox"),
+        )
+        assert request.reply("urn:resp").to == "http://me/inbox"
+
+    def test_message_ids_unique(self):
+        assert new_message_id() != new_message_id()
+
+    def test_deterministic_ids_monotonic(self):
+        first = deterministic_message_id()
+        second = deterministic_message_id()
+        assert first != second
+        assert first.startswith("urn:dais-py:msg:")

@@ -1,0 +1,47 @@
+"""Unit tests for the SOAP fault model."""
+
+import pytest
+
+from repro.soap import FaultCode, SoapFault
+from repro.xmlutil import E, QName, parse, serialize
+
+
+class TestSoapFault:
+    def test_round_trip_minimal(self):
+        fault = SoapFault(FaultCode.CLIENT, "bad request")
+        parsed = SoapFault.from_xml(parse(serialize(fault.to_xml())))
+        assert parsed.code is FaultCode.CLIENT
+        assert parsed.message == "bad request"
+        assert parsed.detail == []
+
+    def test_round_trip_with_detail(self):
+        detail = E(QName("urn:dais", "InvalidResourceNameFault"), "who")
+        fault = SoapFault(FaultCode.SERVER, "boom", [detail])
+        parsed = SoapFault.from_xml(parse(serialize(fault.to_xml())))
+        assert len(parsed.detail) == 1
+        assert parsed.detail[0].tag == QName("urn:dais", "InvalidResourceNameFault")
+        assert parsed.detail[0].text == "who"
+
+    def test_is_exception(self):
+        with pytest.raises(SoapFault) as err:
+            raise SoapFault(FaultCode.SERVER, "oops")
+        assert "oops" in str(err.value)
+
+    def test_is_fault_predicate(self):
+        assert SoapFault.is_fault(SoapFault(FaultCode.SERVER, "x").to_xml())
+        assert not SoapFault.is_fault(E("NotAFault"))
+
+    def test_from_xml_rejects_non_fault(self):
+        with pytest.raises(ValueError):
+            SoapFault.from_xml(E("SomethingElse"))
+
+    def test_unknown_code_degrades_to_server(self):
+        fault = SoapFault(FaultCode.SERVER, "x").to_xml()
+        fault.find("faultcode").text = "soapenv:Mystery"
+        assert SoapFault.from_xml(fault).code is FaultCode.SERVER
+
+    def test_detail_elements_are_copied(self):
+        detail = E("d", "v")
+        fault = SoapFault(FaultCode.SERVER, "x", [detail])
+        detail.text = "mutated"
+        assert fault.to_xml().find("detail").element_children()[0].text == "v"

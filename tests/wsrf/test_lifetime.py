@@ -1,0 +1,144 @@
+"""Unit tests for soft-state lifetime management."""
+
+import pytest
+
+from repro.wsrf import (
+    LifetimeManager,
+    ManualClock,
+    ResourceUnknownFault,
+    SystemClock,
+    UnableToSetTerminationTimeFault,
+)
+
+
+@pytest.fixture()
+def clock():
+    return ManualClock(start=1000.0)
+
+
+@pytest.fixture()
+def manager(clock):
+    return LifetimeManager(clock)
+
+
+class TestClock:
+    def test_manual_clock_advances(self, clock):
+        assert clock.now() == 1000.0
+        clock.advance(5)
+        assert clock.now() == 1005.0
+
+    def test_manual_clock_rejects_backwards(self, clock):
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+        with pytest.raises(ValueError):
+            clock.set(999.0)
+
+    def test_system_clock_moves(self):
+        clock = SystemClock()
+        assert clock.now() > 0
+
+
+class TestRegistration:
+    def test_register_without_lifetime(self, manager):
+        record = manager.register("r1", lambda rid: None)
+        assert record.termination_time is None
+        assert not record.scheduled
+
+    def test_register_with_lifetime(self, manager):
+        record = manager.register("r1", lambda rid: None, lifetime_seconds=60)
+        assert record.termination_time == 1060.0
+
+    def test_duplicate_registration_rejected(self, manager):
+        manager.register("r1", lambda rid: None)
+        with pytest.raises(ValueError):
+            manager.register("r1", lambda rid: None)
+
+    def test_registered_predicate(self, manager):
+        assert not manager.registered("r1")
+        manager.register("r1", lambda rid: None)
+        assert manager.registered("r1")
+
+    def test_current_reports_clock(self, manager, clock):
+        manager.register("r1", lambda rid: None, lifetime_seconds=10)
+        clock.advance(3)
+        record = manager.current("r1")
+        assert record.current_time == 1003.0
+        assert record.termination_time == 1010.0
+
+    def test_unknown_resource_faults(self, manager):
+        with pytest.raises(ResourceUnknownFault):
+            manager.current("ghost")
+
+
+class TestDestroy:
+    def test_explicit_destroy_invokes_destructor(self, manager):
+        destroyed = []
+        manager.register("r1", destroyed.append)
+        manager.destroy("r1")
+        assert destroyed == ["r1"]
+        assert not manager.registered("r1")
+
+    def test_double_destroy_faults(self, manager):
+        manager.register("r1", lambda rid: None)
+        manager.destroy("r1")
+        with pytest.raises(ResourceUnknownFault):
+            manager.destroy("r1")
+
+
+class TestScheduledTermination:
+    def test_sweep_destroys_expired(self, manager, clock):
+        destroyed = []
+        manager.register("short", destroyed.append, lifetime_seconds=10)
+        manager.register("long", destroyed.append, lifetime_seconds=100)
+        manager.register("forever", destroyed.append)
+        clock.advance(50)
+        assert manager.sweep() == ["short"]
+        assert destroyed == ["short"]
+        assert manager.registered("long")
+        assert manager.registered("forever")
+
+    def test_sweep_order_is_expiry_order(self, manager, clock):
+        manager.register("b", lambda rid: None, lifetime_seconds=20)
+        manager.register("a", lambda rid: None, lifetime_seconds=10)
+        clock.advance(30)
+        assert manager.sweep() == ["a", "b"]
+
+    def test_sweep_idempotent(self, manager, clock):
+        manager.register("r", lambda rid: None, lifetime_seconds=5)
+        clock.advance(10)
+        manager.sweep()
+        assert manager.sweep() == []
+
+    def test_set_termination_time(self, manager, clock):
+        manager.register("r", lambda rid: None)
+        record = manager.set_termination_time("r", 1030.0)
+        assert record.termination_time == 1030.0
+        clock.advance(31)
+        assert manager.sweep() == ["r"]
+
+    def test_set_termination_time_to_indefinite(self, manager, clock):
+        manager.register("r", lambda rid: None, lifetime_seconds=5)
+        manager.set_termination_time("r", None)
+        clock.advance(100)
+        assert manager.sweep() == []
+
+    def test_past_termination_time_destroys_and_faults(self, manager, clock):
+        destroyed = []
+        manager.register("r", destroyed.append)
+        clock.advance(10)
+        with pytest.raises(UnableToSetTerminationTimeFault):
+            manager.set_termination_time("r", 1005.0)
+        assert destroyed == ["r"]
+
+    def test_extend_keepalive(self, manager, clock):
+        manager.register("r", lambda rid: None, lifetime_seconds=10)
+        clock.advance(8)
+        manager.extend("r", 10)
+        clock.advance(8)  # t=1016, original expiry was 1010
+        assert manager.sweep() == []
+        clock.advance(3)  # t=1019 > 1018
+        assert manager.sweep() == ["r"]
+
+    def test_default_clock_is_system(self):
+        manager = LifetimeManager()
+        assert isinstance(manager.clock, SystemClock)

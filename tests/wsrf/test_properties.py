@@ -1,0 +1,101 @@
+"""Unit tests for the WS-ResourceProperties operations."""
+
+import pytest
+
+from repro.wsrf import InvalidQueryExpressionFault, PropertyAccess
+from repro.wsrf.properties import XPATH_DIALECT
+from repro.xmlutil import E, QName
+
+NS = "urn:dais-test"
+
+
+class _Provider:
+    """A provider whose document is rebuilt per call (live properties)."""
+
+    def __init__(self):
+        self.readable = True
+
+    def property_document(self):
+        return E(
+            QName(NS, "PropertyDocument"),
+            E(QName(NS, "Readable"), str(self.readable).lower()),
+            E(QName(NS, "Writeable"), "false"),
+            E(QName(NS, "DatasetMap"), "fmt-a"),
+            E(QName(NS, "DatasetMap"), "fmt-b"),
+        )
+
+
+@pytest.fixture()
+def access():
+    return PropertyAccess(_Provider(), namespaces={"d": NS})
+
+
+class TestDocument:
+    def test_whole_document(self, access):
+        doc = access.document()
+        assert doc.tag == QName(NS, "PropertyDocument")
+        assert len(doc.element_children()) == 4
+
+
+class TestGet:
+    def test_single_property(self, access):
+        props = access.get(QName(NS, "Readable"))
+        assert len(props) == 1
+        assert props[0].text == "true"
+
+    def test_repeated_property(self, access):
+        maps = access.get(QName(NS, "DatasetMap"))
+        assert [m.text for m in maps] == ["fmt-a", "fmt-b"]
+
+    def test_missing_property_is_empty(self, access):
+        assert access.get(QName(NS, "Nope")) == []
+
+    def test_reflects_live_state(self):
+        provider = _Provider()
+        access = PropertyAccess(provider)
+        provider.readable = False
+        assert access.get(QName(NS, "Readable"))[0].text == "false"
+
+    def test_get_multiple(self, access):
+        props = access.get_multiple(
+            [QName(NS, "Readable"), QName(NS, "DatasetMap")]
+        )
+        assert [p.tag.local for p in props] == [
+            "Readable",
+            "DatasetMap",
+            "DatasetMap",
+        ]
+
+    def test_results_are_copies(self, access):
+        first = access.get(QName(NS, "Readable"))[0]
+        first.text = "mutated"
+        assert access.get(QName(NS, "Readable"))[0].text == "true"
+
+
+class TestQuery:
+    def test_xpath_query(self, access):
+        result = access.query("/d:PropertyDocument/d:DatasetMap")
+        assert [r.text for r in result] == ["fmt-a", "fmt-b"]
+
+    def test_query_with_predicate(self, access):
+        result = access.query("//d:DatasetMap[. = 'fmt-b']")
+        assert len(result) == 1
+
+    def test_non_nodeset_query_rejected(self, access):
+        with pytest.raises(InvalidQueryExpressionFault):
+            access.query("count(//d:DatasetMap)")
+
+    def test_non_element_nodes_rejected(self, access):
+        with pytest.raises(InvalidQueryExpressionFault):
+            access.query("//d:Readable/text()")
+
+    def test_syntax_error_rejected(self, access):
+        with pytest.raises(InvalidQueryExpressionFault):
+            access.query("///")
+
+    def test_wrong_dialect_rejected(self, access):
+        with pytest.raises(InvalidQueryExpressionFault):
+            access.query("/d:PropertyDocument", dialect="urn:other")
+
+    def test_default_dialect_is_xpath10(self):
+        assert "xpath" in XPATH_DIALECT

@@ -1,0 +1,116 @@
+"""Collection tree and document store tests."""
+
+import pytest
+
+from repro.xmldb import (
+    CollectionManager,
+    CollectionNotFoundError,
+    DocumentExistsError,
+    DocumentNotFoundError,
+    XmlDbError,
+)
+from repro.xmlutil import E
+
+
+@pytest.fixture()
+def manager():
+    return CollectionManager()
+
+
+class TestCollections:
+    def test_root_path_is_empty(self, manager):
+        assert manager.root.path == ""
+
+    def test_create_and_resolve_path(self, manager):
+        leaf = manager.create_path("a/b/c")
+        assert leaf.path == "a/b/c"
+        assert manager.resolve("a/b/c") is leaf
+
+    def test_create_path_is_incremental(self, manager):
+        manager.create_path("a/b")
+        leaf = manager.create_path("a/b/c")
+        assert manager.resolve("a").child_names() == ["b"]
+        assert leaf.path == "a/b/c"
+
+    def test_resolve_missing_raises(self, manager):
+        with pytest.raises(CollectionNotFoundError):
+            manager.resolve("nope")
+
+    def test_duplicate_subcollection_rejected(self, manager):
+        manager.root.create_child("x")
+        with pytest.raises(XmlDbError, match="already exists"):
+            manager.root.create_child("x")
+
+    def test_invalid_names_rejected(self, manager):
+        with pytest.raises(XmlDbError):
+            manager.root.create_child("has/slash")
+        with pytest.raises(XmlDbError):
+            manager.root.create_child("")
+
+    def test_remove_child(self, manager):
+        manager.create_path("a/b")
+        removed = manager.resolve("a").remove_child("b")
+        assert removed.parent is None
+        with pytest.raises(CollectionNotFoundError):
+            manager.resolve("a/b")
+
+    def test_walk_depth_first(self, manager):
+        manager.create_path("a/x")
+        manager.create_path("b")
+        paths = [c.path for c in manager.root.walk()]
+        assert paths == ["", "a", "a/x", "b"]
+
+    def test_leading_and_trailing_slashes_tolerated(self, manager):
+        manager.create_path("a/b")
+        assert manager.resolve("/a/b/").path == "a/b"
+
+
+class TestDocuments:
+    def test_add_and_get(self, manager):
+        manager.root.add("doc", E("data", "payload"))
+        assert manager.root.get("doc").root.text == "payload"
+
+    def test_add_text_parses(self, manager):
+        document = manager.root.add_text("doc", "<a><b>1</b></a>")
+        assert document.root.findtext("b") == "1"
+
+    def test_duplicate_document_rejected(self, manager):
+        manager.root.add("doc", E("a"))
+        with pytest.raises(DocumentExistsError):
+            manager.root.add("doc", E("b"))
+
+    def test_replace_flag_overwrites(self, manager):
+        manager.root.add("doc", E("a"))
+        manager.root.add("doc", E("b"), replace=True)
+        assert manager.root.get("doc").root.tag.local == "b"
+
+    def test_remove_document(self, manager):
+        manager.root.add("doc", E("a"))
+        manager.root.remove("doc")
+        with pytest.raises(DocumentNotFoundError):
+            manager.root.get("doc")
+
+    def test_remove_missing_raises(self, manager):
+        with pytest.raises(DocumentNotFoundError):
+            manager.root.remove("ghost")
+
+    def test_document_names_sorted(self, manager):
+        for name in ("zeta", "alpha", "mid"):
+            manager.root.add(name, E("x"))
+        assert manager.root.document_names() == ["alpha", "mid", "zeta"]
+
+    def test_documents_in_subcollections_counted(self, manager):
+        manager.create_path("a/b").add("d1", E("x"))
+        manager.root.add("d2", E("y"))
+        assert manager.total_documents() == 2
+        assert manager.root.document_count() == 1
+
+    def test_document_copy_is_deep(self, manager):
+        document = manager.root.add("doc", E("a", "v"))
+        clone = document.copy()
+        clone.root.text = "changed"
+        assert manager.root.get("doc").root.text == "v"
+
+    def test_document_to_text(self, manager):
+        document = manager.root.add("doc", E("a", "v"))
+        assert document.to_text() == "<a>v</a>"

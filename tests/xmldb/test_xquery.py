@@ -1,0 +1,150 @@
+"""XQuery FLWOR-lite tests."""
+
+import pytest
+
+from repro.xmldb import XQueryEngine, XQueryError
+from repro.xmlutil import parse, serialize
+
+DOC = """\
+<catalog>
+  <book id="1"><title>Grid</title><price>30</price></book>
+  <book id="2"><title>Data</title><price>55</price></book>
+  <book id="3"><title>Web</title><price>20</price></book>
+</catalog>
+"""
+
+
+@pytest.fixture()
+def root():
+    return parse(DOC)
+
+
+@pytest.fixture()
+def engine():
+    return XQueryEngine()
+
+
+class TestBareExpressions:
+    def test_xpath_passthrough(self, engine, root):
+        result = engine.execute("/catalog/book/title", root)
+        assert [n.text for n in result] == ["Grid", "Data", "Web"]
+
+    def test_scalar_expression(self, engine, root):
+        assert engine.execute("count(/catalog/book)", root) == [3.0]
+
+
+class TestFlwor:
+    def test_for_return_path(self, engine, root):
+        result = engine.execute(
+            "for $b in /catalog/book return $b/title", root
+        )
+        assert [n.text for n in result] == ["Grid", "Data", "Web"]
+
+    def test_where_filters(self, engine, root):
+        result = engine.execute(
+            "for $b in /catalog/book where $b/price > 25 return $b/title", root
+        )
+        assert [n.text for n in result] == ["Grid", "Data"]
+
+    def test_let_binding(self, engine, root):
+        result = engine.execute(
+            "for $b in /catalog/book let $p := $b/price "
+            "where $p < 35 return $p/text()",
+            root,
+        )
+        assert [t.value for t in result] == ["30", "20"]
+
+    def test_order_by_ascending(self, engine, root):
+        result = engine.execute(
+            "for $b in /catalog/book order by $b/price return $b/@id", root
+        )
+        assert [a.value for a in result] == ["3", "1", "2"]
+
+    def test_order_by_descending(self, engine, root):
+        result = engine.execute(
+            "for $b in /catalog/book order by $b/price descending "
+            "return $b/@id",
+            root,
+        )
+        assert [a.value for a in result] == ["2", "1", "3"]
+
+    def test_constructor_with_attribute_interpolation(self, engine, root):
+        result = engine.execute(
+            'for $b in /catalog/book where $b/@id = "2" '
+            'return <hit title="{$b/title}">{$b/price/text()}</hit>',
+            root,
+        )
+        assert len(result) == 1
+        assert serialize(result[0]) == '<hit title="Data">55</hit>'
+
+    def test_constructor_nested(self, engine, root):
+        result = engine.execute(
+            "for $b in /catalog/book where $b/price > 50 "
+            "return <r><t>{$b/title/text()}</t><p>{$b/price/text()}</p></r>",
+            root,
+        )
+        assert serialize(result[0]) == "<r><t>Data</t><p>55</p></r>"
+
+    def test_self_closing_constructor(self, engine, root):
+        result = engine.execute("for $b in /catalog/book return <mark/>", root)
+        assert len(result) == 3
+        assert all(not r.children for r in result)
+
+    def test_constructor_copies_node_sets(self, engine, root):
+        result = engine.execute(
+            "for $b in /catalog/book where $b/@id = '1' "
+            "return <wrap>{$b/title}</wrap>",
+            root,
+        )
+        assert serialize(result[0]) == "<wrap><title>Grid</title></wrap>"
+
+    def test_two_for_clauses_cross_product(self, engine, root):
+        result = engine.execute(
+            "for $a in /catalog/book for $b in /catalog/book "
+            "where $a/price < $b/price return <pair/>",
+            root,
+        )
+        assert len(result) == 3  # (20<30),(20<55),(30<55)
+
+    def test_variables_passed_in(self, engine, root):
+        result = engine.execute(
+            "for $b in /catalog/book where $b/price > $floor return $b/@id",
+            root,
+            variables={"floor": 25.0},
+        )
+        assert [a.value for a in result] == ["1", "2"]
+
+    def test_keyword_inside_quotes_not_clause(self, engine, root):
+        result = engine.execute(
+            "for $b in /catalog/book where $b/title = 'return' return $b",
+            root,
+        )
+        assert result == []
+
+
+class TestErrors:
+    def test_missing_return(self, engine, root):
+        with pytest.raises(XQueryError):
+            engine.execute("for $b in /catalog/book", root)
+
+    def test_bad_binding(self, engine, root):
+        with pytest.raises(XQueryError):
+            engine.execute("for b in /catalog/book return $b", root)
+
+    def test_let_requires_assign(self, engine, root):
+        with pytest.raises(XQueryError):
+            engine.execute("let $x = 3 return $x", root)
+
+    def test_bad_xpath_reported(self, engine, root):
+        with pytest.raises(XQueryError, match="expression"):
+            engine.execute("for $b in /// return $b", root)
+
+    def test_unterminated_constructor(self, engine, root):
+        with pytest.raises(XQueryError):
+            engine.execute("for $b in /catalog/book return <open>", root)
+
+    def test_unbalanced_braces(self, engine, root):
+        with pytest.raises(XQueryError):
+            engine.execute(
+                "for $b in /catalog/book return <a>{count($b</a>", root
+            )

@@ -1,0 +1,192 @@
+"""XUpdate processor tests."""
+
+import pytest
+
+from repro.xmldb import XUpdateError, XUpdateProcessor
+from repro.xmlutil import QName, parse, serialize
+
+
+@pytest.fixture()
+def doc():
+    return parse(
+        "<book id='1'><title>Original</title><price>30</price>"
+        "<tag>a</tag><tag>b</tag></book>"
+    )
+
+
+@pytest.fixture()
+def proc():
+    return XUpdateProcessor()
+
+
+def mods(body: str) -> str:
+    return (
+        '<xu:modifications xmlns:xu="http://www.xmldb.org/xupdate">'
+        + body
+        + "</xu:modifications>"
+    )
+
+
+class TestUpdate:
+    def test_update_element_text(self, proc, doc):
+        count = proc.apply_text(
+            mods('<xu:update select="/book/title">Revised</xu:update>'), doc
+        )
+        assert count == 1
+        assert doc.findtext("title") == "Revised"
+
+    def test_update_attribute(self, proc, doc):
+        proc.apply_text(mods('<xu:update select="/book/@id">9</xu:update>'), doc)
+        assert doc.get("id") == "9"
+
+    def test_update_multiple_targets(self, proc, doc):
+        count = proc.apply_text(
+            mods('<xu:update select="/book/tag">x</xu:update>'), doc
+        )
+        assert count == 2
+        assert [t.text for t in doc.findall("tag")] == ["x", "x"]
+
+    def test_update_no_match_returns_zero(self, proc, doc):
+        assert proc.apply_text(
+            mods('<xu:update select="/book/none">x</xu:update>'), doc
+        ) == 0
+
+
+class TestInsertAppend:
+    def test_append_element_constructor(self, proc, doc):
+        proc.apply_text(
+            mods(
+                '<xu:append select="/book">'
+                '<xu:element name="stock">5</xu:element></xu:append>'
+            ),
+            doc,
+        )
+        assert doc.findtext("stock") == "5"
+
+    def test_append_literal_content(self, proc, doc):
+        proc.apply_text(
+            mods('<xu:append select="/book"><isbn>123</isbn></xu:append>'), doc
+        )
+        assert doc.findtext("isbn") == "123"
+
+    def test_append_attribute(self, proc, doc):
+        proc.apply_text(
+            mods(
+                '<xu:append select="/book">'
+                '<xu:attribute name="lang">en</xu:attribute></xu:append>'
+            ),
+            doc,
+        )
+        assert doc.get("lang") == "en"
+
+    def test_insert_before(self, proc, doc):
+        proc.apply_text(
+            mods(
+                '<xu:insert-before select="/book/price">'
+                "<subtitle>sub</subtitle></xu:insert-before>"
+            ),
+            doc,
+        )
+        children = [c.tag.local for c in doc.element_children()]
+        assert children.index("subtitle") == children.index("price") - 1
+
+    def test_insert_after(self, proc, doc):
+        proc.apply_text(
+            mods(
+                '<xu:insert-after select="/book/title">'
+                "<subtitle>sub</subtitle></xu:insert-after>"
+            ),
+            doc,
+        )
+        children = [c.tag.local for c in doc.element_children()]
+        assert children.index("subtitle") == children.index("title") + 1
+
+    def test_insert_before_identical_siblings_targets_right_one(self, proc):
+        target = parse("<r><x/><x/></r>")
+        proc.apply_text(
+            mods('<xu:insert-before select="/r/x[2]"><mark/></xu:insert-before>'),
+            target,
+        )
+        assert [c.tag.local for c in target.element_children()] == ["x", "mark", "x"]
+
+    def test_nested_element_constructor(self, proc, doc):
+        proc.apply_text(
+            mods(
+                '<xu:append select="/book"><xu:element name="meta">'
+                '<xu:element name="inner">v</xu:element>'
+                '<xu:attribute name="k">a</xu:attribute>'
+                "</xu:element></xu:append>"
+            ),
+            doc,
+        )
+        meta = doc.find("meta")
+        assert meta.get("k") == "a"
+        assert meta.findtext("inner") == "v"
+
+    def test_insert_at_root_rejected(self, proc, doc):
+        with pytest.raises(XUpdateError, match="root"):
+            proc.apply_text(
+                mods('<xu:insert-before select="/book"><x/></xu:insert-before>'),
+                doc,
+            )
+
+
+class TestRemoveRename:
+    def test_remove_element(self, proc, doc):
+        count = proc.apply_text(mods('<xu:remove select="/book/tag"/>'), doc)
+        assert count == 2
+        assert doc.findall("tag") == []
+
+    def test_remove_attribute(self, proc, doc):
+        proc.apply_text(mods('<xu:remove select="/book/@id"/>'), doc)
+        assert doc.get("id") is None
+
+    def test_rename_element(self, proc, doc):
+        proc.apply_text(
+            mods('<xu:rename select="/book/title">heading</xu:rename>'), doc
+        )
+        assert doc.find("heading") is not None
+        assert doc.find("title") is None
+
+    def test_rename_attribute(self, proc, doc):
+        proc.apply_text(mods('<xu:rename select="/book/@id">num</xu:rename>'), doc)
+        assert doc.get("num") == "1"
+        assert doc.get("id") is None
+
+
+class TestValidation:
+    def test_wrong_root_rejected(self, proc, doc):
+        with pytest.raises(XUpdateError, match="modifications"):
+            proc.apply_text("<wrong/>", doc)
+
+    def test_unknown_operation_rejected(self, proc, doc):
+        with pytest.raises(XUpdateError, match="unsupported"):
+            proc.apply_text(mods('<xu:frobnicate select="/a"/>'), doc)
+
+    def test_foreign_operation_element_rejected(self, proc, doc):
+        with pytest.raises(XUpdateError, match="unexpected"):
+            proc.apply_text(mods("<other/>"), doc)
+
+    def test_missing_select_rejected(self, proc, doc):
+        with pytest.raises(XUpdateError, match="select"):
+            proc.apply_text(mods("<xu:remove/>"), doc)
+
+    def test_bad_xpath_rejected(self, proc, doc):
+        with pytest.raises(XUpdateError, match="select"):
+            proc.apply_text(mods('<xu:remove select="///"/>'), doc)
+
+    def test_element_constructor_requires_name(self, proc, doc):
+        with pytest.raises(XUpdateError, match="name"):
+            proc.apply_text(
+                mods('<xu:append select="/book"><xu:element/></xu:append>'), doc
+            )
+
+    def test_multiple_operations_accumulate_count(self, proc, doc):
+        count = proc.apply_text(
+            mods(
+                '<xu:update select="/book/title">X</xu:update>'
+                '<xu:remove select="/book/tag"/>'
+            ),
+            doc,
+        )
+        assert count == 3

@@ -1,0 +1,160 @@
+"""Tokenizer and parser tests, including the §3.7 disambiguation rules."""
+
+import pytest
+
+from repro.xpath import XPathSyntaxError
+from repro.xpath.ast import (
+    ArithmeticExpr,
+    ComparisonExpr,
+    FunctionCall,
+    LocationPath,
+    NumberLiteral,
+    PathExpr,
+    StringLiteral,
+    UnionExpr,
+    VariableRef,
+)
+from repro.xpath.lexer import TokenType, tokenize
+from repro.xpath.parser import parse
+
+
+class TestLexer:
+    def test_star_is_wildcard_at_start(self):
+        tokens = tokenize("*")
+        assert tokens[0].type is TokenType.WILDCARD
+
+    def test_star_is_operator_after_operand(self):
+        tokens = tokenize("2 * 3")
+        assert tokens[1].type is TokenType.OPERATOR
+
+    def test_and_after_operand_is_operator(self):
+        types = [t.type for t in tokenize("a and b")]
+        assert types[1] is TokenType.OPERATOR
+
+    def test_and_at_start_is_name(self):
+        tokens = tokenize("and")
+        assert tokens[0].type is TokenType.NAME
+
+    def test_node_type_vs_function(self):
+        tokens = tokenize("text()")
+        assert tokens[0].type is TokenType.NODE_TYPE
+        tokens = tokenize("count(x)")
+        assert tokens[0].type is TokenType.FUNCTION_NAME
+
+    def test_axis_token(self):
+        tokens = tokenize("ancestor::x")
+        assert tokens[0].type is TokenType.AXIS
+        assert tokens[0].value == "ancestor"
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("sideways::x")
+
+    def test_variable(self):
+        tokens = tokenize("$foo")
+        assert tokens[0].type is TokenType.VARIABLE
+        assert tokens[0].value == "foo"
+
+    def test_literals_both_quotes(self):
+        assert tokenize("'a'")[0].value == "a"
+        assert tokenize('"b"')[0].value == "b"
+
+    def test_unterminated_literal(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        assert tokenize("3.14")[0].value == "3.14"
+        assert tokenize(".5")[0].value == ".5"
+        assert tokenize("10")[0].value == "10"
+
+    def test_dot_vs_number(self):
+        assert tokenize(".")[0].type is TokenType.DOT
+        assert tokenize("..")[0].type is TokenType.DOTDOT
+
+    def test_two_char_operators(self):
+        values = [t.value for t in tokenize("a <= b != c >= d") if t.value]
+        assert "<=" in values and "!=" in values and ">=" in values
+
+    def test_unexpected_character(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("a # b")
+
+
+class TestParser:
+    def test_simple_path(self):
+        tree = parse("/a/b")
+        assert isinstance(tree, LocationPath)
+        assert tree.absolute
+        assert [s.test.local for s in tree.steps] == ["a", "b"]
+
+    def test_relative_path(self):
+        tree = parse("a/b")
+        assert not tree.absolute
+
+    def test_double_slash_inserts_descendant_step(self):
+        tree = parse("//b")
+        assert tree.steps[0].axis == "descendant-or-self"
+        assert tree.steps[1].test.local == "b"
+
+    def test_root_only(self):
+        tree = parse("/")
+        assert tree.absolute and tree.steps == ()
+
+    def test_predicates_attach_to_step(self):
+        tree = parse("a[1][@k]")
+        assert len(tree.steps[0].predicates) == 2
+
+    def test_attribute_abbreviation(self):
+        tree = parse("@name")
+        assert tree.steps[0].axis == "attribute"
+
+    def test_parent_abbreviation(self):
+        tree = parse("../x")
+        assert tree.steps[0].axis == "parent"
+
+    def test_union(self):
+        tree = parse("a | b | c")
+        assert isinstance(tree, UnionExpr)
+        assert len(tree.parts) == 3
+
+    def test_operator_precedence(self):
+        tree = parse("1 + 2 * 3")
+        assert isinstance(tree, ArithmeticExpr)
+        assert tree.op == "+"
+        assert isinstance(tree.right, ArithmeticExpr)
+
+    def test_comparison_precedence(self):
+        tree = parse("1 < 2 = true()")
+        assert isinstance(tree, ComparisonExpr)
+        assert tree.op == "="
+
+    def test_function_call(self):
+        tree = parse("concat('a', 'b')")
+        assert isinstance(tree, FunctionCall)
+        assert tree.args == (StringLiteral("a"), StringLiteral("b"))
+
+    def test_filter_then_path(self):
+        tree = parse("$nodes[1]/child")
+        assert isinstance(tree, PathExpr)
+        assert isinstance(tree.start.primary, VariableRef)
+
+    def test_number_literal(self):
+        assert parse("42") == NumberLiteral(42.0)
+
+    def test_prefixed_name_test(self):
+        tree = parse("m:item")
+        assert tree.steps[0].test.prefix == "m"
+        assert tree.steps[0].test.local == "item"
+
+    def test_prefixed_wildcard(self):
+        tree = parse("m:*")
+        assert tree.steps[0].test.kind == "wildcard"
+        assert tree.steps[0].test.prefix == "m"
+
+    @pytest.mark.parametrize(
+        "bad", ["", "a[", "a]", "/a/", "count(", "1 +", "a b", "..x", "@@a"]
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(XPathSyntaxError):
+            parse(bad)
