@@ -1,0 +1,15 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench coverage-obs
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Stdlib-trace coverage gate: every module under src/repro/obs/ must
+# stay at >= 90% executable-line coverage from the tests/obs/ suite.
+coverage-obs:
+	$(PYTHON) tools/obs_coverage.py

@@ -8,8 +8,9 @@ Regenerated series: result-size sweep → response bytes seen by
 consumer 1 under each pattern, plus the crossover factor.
 """
 
-from repro.bench import Table
+from repro.bench import Table, span_table, summarize_spans
 from repro.client.sql import SQLClient
+from repro.obs import use_exporter
 from repro.transport import LoopbackTransport
 from repro.workload import RelationalWorkload, build_single_service
 
@@ -74,7 +75,8 @@ def test_fig1_third_party_delivery_bytes(benchmark):
         )
         return consumer2.get_sql_rowset(factory.address, factory.abstract_name)
 
-    rowset = benchmark.pedantic(run_pipeline, rounds=1, iterations=1)
+    with use_exporter() as exporter:
+        rowset = benchmark.pedantic(run_pipeline, rounds=1, iterations=1)
 
     table = Table(
         "Figure 1 — third-party delivery",
@@ -84,6 +86,28 @@ def test_fig1_third_party_delivery_bytes(benchmark):
     table.add("consumer 1", consumer1.transport.stats.bytes_received)
     table.add("consumer 2", consumer2.transport.stats.bytes_received)
     table.show()
+
+    # Span-derived totals: the same claim measured from the trace tree
+    # rather than transport bookkeeping — indirect access really did keep
+    # the bulk rows out of consumer 1's factory round trip.
+    rollups = summarize_spans(exporter.spans())
+    span_table(
+        "Figure 1 — traced spans (third-party delivery)",
+        exporter.spans(),
+        note="rpc.send bytes and sql.select rows from the span tree",
+    ).show()
+    rpc = rollups["rpc.send"]
+    assert rpc.total("response_bytes") == (
+        consumer1.transport.stats.bytes_received
+        + consumer2.transport.stats.bytes_received
+    )
+    assert rpc.total("request_bytes") == (
+        consumer1.transport.stats.bytes_sent
+        + consumer2.transport.stats.bytes_sent
+    )
+    # The engine materialised the result once (factory side); the rowset
+    # delivery moved those rows to consumer 2 without re-running SQL.
+    assert rollups["sql.select"].total("rows_out") == len(rowset.rows)
 
     assert len(rowset.rows) > 0
     assert (

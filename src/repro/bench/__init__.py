@@ -2,9 +2,20 @@
 
 from repro.bench.harness import (
     Series,
+    SpanRollup,
     Table,
     format_bytes,
     measure_wall,
+    span_table,
+    summarize_spans,
 )
 
-__all__ = ["Series", "Table", "format_bytes", "measure_wall"]
+__all__ = [
+    "Series",
+    "SpanRollup",
+    "Table",
+    "format_bytes",
+    "measure_wall",
+    "span_table",
+    "summarize_spans",
+]

@@ -75,6 +75,58 @@ class Table:
 
 
 @dataclass
+class SpanRollup:
+    """Per-span-name totals across one traced run."""
+
+    name: str
+    count: int = 0
+    total_seconds: float = 0.0
+    #: Sums of every numeric counter attribute seen on these spans
+    #: (``rows_scanned``, ``request_bytes``, …).
+    totals: dict[str, float] = field(default_factory=dict)
+
+    def total(self, key: str) -> float:
+        return self.totals.get(key, 0)
+
+
+def summarize_spans(spans) -> dict[str, SpanRollup]:
+    """Roll a list of :class:`repro.obs.Span` up by span name.
+
+    Numeric attributes are summed, which is exactly the shape the figure
+    claims need: total bytes moved per transport leg, total rows scanned
+    per operator tree — measured from the trace rather than inferred.
+    """
+    rollups: dict[str, SpanRollup] = {}
+    for span in spans:
+        rollup = rollups.get(span.name)
+        if rollup is None:
+            rollup = rollups[span.name] = SpanRollup(span.name)
+        rollup.count += 1
+        rollup.total_seconds += span.duration_seconds
+        for key, value in span.attributes.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            rollup.totals[key] = rollup.totals.get(key, 0) + value
+    return rollups
+
+
+def span_table(title: str, spans, note: str = "") -> Table:
+    """A printable per-span-name summary (count, time, counter totals)."""
+    table = Table(title, ["span", "count", "total ms", "counters"], note=note)
+    rollups = summarize_spans(spans)
+    for name in sorted(rollups):
+        rollup = rollups[name]
+        counters = " ".join(
+            f"{key}={int(value) if value == int(value) else round(value, 3)}"
+            for key, value in sorted(rollup.totals.items())
+        )
+        table.add(
+            name, rollup.count, f"{rollup.total_seconds * 1e3:8.2f}", counters
+        )
+    return table
+
+
+@dataclass
 class Series:
     """One (x, y) series with a label, printable as aligned pairs."""
 

@@ -10,6 +10,7 @@ profile adds fine-grained property access and soft-state lifetime
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 from repro.core import messages as msg
@@ -22,6 +23,8 @@ from repro.core.faults import (
 from repro.core.names import AbstractName
 from repro.core.properties import ConfigurableProperties
 from repro.core.resource import DataResource
+from repro.obs import MetricsRegistry, get_tracer
+from repro.obs.properties import metrics_element
 from repro.soap.addressing import EndpointReference, MessageHeaders
 from repro.soap.envelope import Envelope, fault_envelope
 from repro.soap.fault import FaultCode, SoapFault
@@ -56,8 +59,15 @@ class ResourceBinding:
         return self.resource.abstract_name
 
     def property_document(self) -> XmlElement:
-        """Render the current property document (WSRF provider protocol)."""
-        return self.resource.property_document(self.configurable).to_xml()
+        """Render the current property document (WSRF provider protocol).
+
+        The service's live metrics ride along as a ``ServiceMetrics``
+        extension element, so consumers can read them through the
+        standard property operations (paper §5).
+        """
+        document = self.resource.property_document(self.configurable).to_xml()
+        document.append(metrics_element(self._service.metrics))
+        return document
 
     def require_readable(self) -> None:
         if not self.configurable.readable:
@@ -102,8 +112,18 @@ class DataService:
         self.max_concurrent = max_concurrent
         self._inflight = 0
         self._inflight_lock = threading.Lock()
-        #: Wire metrics: dispatch count per action URI.
-        self.dispatch_counts: dict[str, int] = {}
+        #: Per-service metrics (dispatch counts, latency, faults); exposed
+        #: to consumers through the property document (ServiceMetrics).
+        self.metrics = MetricsRegistry()
+        self._dispatch_counter = self.metrics.counter(
+            "dais.dispatch.count", "dispatches per wsa:Action"
+        )
+        self._fault_counter = self.metrics.counter(
+            "dais.dispatch.faults", "fault responses per wsa:Action"
+        )
+        self._dispatch_seconds = self.metrics.histogram(
+            "dais.dispatch.seconds", "dispatch wall-clock seconds"
+        )
 
         self._install_core_operations()
         if resource_list_enabled:
@@ -198,11 +218,43 @@ class DataService:
 
     # -- dispatch ----------------------------------------------------------
 
+    @property
+    def dispatch_counts(self) -> dict[str, int]:
+        """Dispatch count per action URI (a snapshot of the live counter)."""
+        return {
+            labels.get("action", ""): int(value)
+            for labels, value in self._dispatch_counter.items()
+        }
+
     def dispatch(self, request: Envelope) -> Envelope:
         """Process one request envelope; always returns a response
-        envelope (success or fault)."""
+        envelope (success or fault).
+
+        Every dispatch is one ``dais.dispatch`` span (action, resource
+        abstract name, fault status) with a ``dais.handler`` child for
+        the handler body, and feeds the per-action metrics.
+        """
         action = request.headers.action
-        self.dispatch_counts[action] = self.dispatch_counts.get(action, 0) + 1
+        tracer = get_tracer()
+        started = time.perf_counter()
+        with tracer.span("dais.dispatch", service=self.name, action=action) as span:
+            if span.recording:
+                resource = request.payload.findtext(RESOURCE_REFERENCE_PARAMETER)
+                if resource:
+                    span.set_attribute("resource", resource.strip())
+            response = self._dispatch_guarded(request, action, tracer)
+            self._dispatch_counter.inc(action=action)
+            self._dispatch_seconds.observe(
+                time.perf_counter() - started, action=action
+            )
+            if response.is_fault():
+                span.mark_fault()
+                self._fault_counter.inc(action=action)
+            return response
+
+    def _dispatch_guarded(
+        self, request: Envelope, action: str, tracer
+    ) -> Envelope:
         admitted = False
         try:
             if self.fail_busy:
@@ -218,7 +270,8 @@ class DataService:
                 raise SoapFault(
                     FaultCode.CLIENT, f"unsupported wsa:Action {action!r}"
                 )
-            response_message = handler(request.payload, request.headers)
+            with tracer.span("dais.handler", action=action):
+                response_message = handler(request.payload, request.headers)
             return Envelope(
                 headers=request.headers.reply(f"{action}Response"),
                 payload=response_message.to_xml(),

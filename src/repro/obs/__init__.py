@@ -1,0 +1,59 @@
+"""Observability: span tracing and metrics for every message pattern.
+
+``repro.obs`` gives the reproduction the two signals the paper's figures
+are really about — *what messages flowed* (spans: one per transport
+send, service dispatch, handler, SQL operator tree, XPath evaluation)
+and *how much* (metrics: per-action dispatch counts, latency, faults,
+request/response bytes).  Tracing is off by default and costs a shared
+no-op handle when disabled; metrics are always on and thread-safe.
+
+Service metrics surface through the WS-DAI property document itself
+(:mod:`repro.obs.properties`), so a consumer reads them with
+``GetResourceProperty`` — observability via the spec's own mechanism.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    HistogramStats,
+    MetricsRegistry,
+)
+from repro.obs.properties import (
+    OBS_NS,
+    SERVICE_METRICS,
+    counters_from_element,
+    histograms_from_element,
+    metrics_element,
+)
+from repro.obs.tracing import (
+    InMemoryExporter,
+    Span,
+    Tracer,
+    add_to_current_span,
+    configure,
+    current_span,
+    disable,
+    get_tracer,
+    use_exporter,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "HistogramStats",
+    "MetricsRegistry",
+    "OBS_NS",
+    "SERVICE_METRICS",
+    "counters_from_element",
+    "histograms_from_element",
+    "metrics_element",
+    "InMemoryExporter",
+    "Span",
+    "Tracer",
+    "add_to_current_span",
+    "configure",
+    "current_span",
+    "disable",
+    "get_tracer",
+    "use_exporter",
+]

@@ -1,0 +1,186 @@
+"""A small thread-safe metrics registry (counters + histograms).
+
+Every :class:`~repro.core.service.DataService` owns a registry for its
+server-side series (dispatch counts, latency, faults); each transport
+owns one for its client-side series (request counts, bytes on the wire).
+Instruments are labelled — ``counter.inc(action=...)`` — and all state
+for one registry is guarded by a single lock, so counts stay exact under
+the threaded HTTP binding (see ``tests/transport/test_http_concurrency``).
+
+The registry renders into the WS-DAI property document through
+:mod:`repro.obs.properties`, which is how consumers read a service's
+live metrics with the spec's own ``GetResourceProperty`` mechanism.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "HistogramStats",
+    "MetricsRegistry",
+]
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing, labelled counter."""
+
+    def __init__(self, name: str, description: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.description = description
+        self._lock = lock
+        self._values: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels) -> float:
+        """The count for one exact label set (0 when never incremented)."""
+        with self._lock:
+            return self._values.get(_label_key(labels), 0)
+
+    def total(self) -> float:
+        """The sum over every label set."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def items(self) -> list[tuple[dict[str, str], float]]:
+        """(labels, value) pairs, sorted by label key for stable output."""
+        with self._lock:
+            snapshot = sorted(self._values.items())
+        return [(dict(key), value) for key, value in snapshot]
+
+
+@dataclass(frozen=True)
+class HistogramStats:
+    """A snapshot of one histogram series."""
+
+    count: int
+    total: float
+    minimum: float
+    maximum: float
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class Histogram:
+    """A labelled distribution summary (count / sum / min / max)."""
+
+    def __init__(self, name: str, description: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.description = description
+        self._lock = lock
+        self._series: dict[LabelKey, list[float]] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                # [count, total, min, max]
+                self._series[key] = [1, value, value, value]
+            else:
+                series[0] += 1
+                series[1] += value
+                series[2] = min(series[2], value)
+                series[3] = max(series[3], value)
+
+    def stats(self, **labels) -> HistogramStats:
+        """Stats for one exact label set (zeros when never observed)."""
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            if series is None:
+                return HistogramStats(0, 0.0, 0.0, 0.0)
+            count, total, minimum, maximum = series
+        return HistogramStats(int(count), total, minimum, maximum)
+
+    def items(self) -> list[tuple[dict[str, str], HistogramStats]]:
+        with self._lock:
+            snapshot = sorted(
+                (key, list(series)) for key, series in self._series.items()
+            )
+        return [
+            (dict(key), HistogramStats(int(s[0]), s[1], s[2], s[3]))
+            for key, s in snapshot
+        ]
+
+
+class MetricsRegistry:
+    """Named counters and histograms sharing one lock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instrument_lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        """Get or create the counter called *name*."""
+        with self._instrument_lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = Counter(name, description, self._lock)
+                self._counters[name] = instrument
+            return instrument
+
+    def histogram(self, name: str, description: str = "") -> Histogram:
+        """Get or create the histogram called *name*."""
+        with self._instrument_lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = Histogram(name, description, self._lock)
+                self._histograms[name] = instrument
+            return instrument
+
+    def counters(self) -> list[Counter]:
+        with self._instrument_lock:
+            return [self._counters[name] for name in sorted(self._counters)]
+
+    def histograms(self) -> list[Histogram]:
+        with self._instrument_lock:
+            return [self._histograms[name] for name in sorted(self._histograms)]
+
+    def snapshot(self) -> dict:
+        """A plain-dict dump of every series (for reports and tests)."""
+        out: dict = {"counters": {}, "histograms": {}}
+        for counter in self.counters():
+            out["counters"][counter.name] = [
+                {"labels": labels, "value": value}
+                for labels, value in counter.items()
+            ]
+        for histogram in self.histograms():
+            out["histograms"][histogram.name] = [
+                {
+                    "labels": labels,
+                    "count": stats.count,
+                    "total": stats.total,
+                    "min": stats.minimum,
+                    "max": stats.maximum,
+                }
+                for labels, stats in histogram.items()
+            ]
+        return out
+
+    def reset(self) -> None:
+        """Drop every series (instruments survive; their data does not)."""
+        with self._instrument_lock:
+            counters = list(self._counters.values())
+            histograms = list(self._histograms.values())
+        with self._lock:
+            for counter in counters:
+                counter._values.clear()
+            for histogram in histograms:
+                histogram._series.clear()

@@ -1,0 +1,126 @@
+"""Metrics as a WS-DAI property: the spec's own introspection channel.
+
+The paper (§5) presents resource properties as *the* mechanism for
+consumers to learn about a service↔resource relationship.  Rather than
+bolt on a side-band metrics endpoint, each service renders its live
+:class:`~repro.obs.metrics.MetricsRegistry` into a ``ServiceMetrics``
+element appended to every property document, so metrics are read with
+the standard messages — ``GetDataResourcePropertyDocument`` under the
+plain profile, fine-grained ``GetResourceProperty`` /
+``QueryResourceProperties`` under WSRF::
+
+    <obs:ServiceMetrics>
+      <obs:Counter name="dais.dispatch.count" action="...">4</obs:Counter>
+      <obs:Histogram name="dais.dispatch.seconds" action="...">
+        <obs:Count>4</obs:Count><obs:Sum>0.0021</obs:Sum>
+        <obs:Min>0.0004</obs:Min><obs:Max>0.0008</obs:Max>
+      </obs:Histogram>
+    </obs:ServiceMetrics>
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import HistogramStats, MetricsRegistry
+from repro.xmlutil import E, QName, XmlElement
+from repro.xmlutil.names import DEFAULT_REGISTRY
+
+__all__ = [
+    "OBS_NS",
+    "SERVICE_METRICS",
+    "metrics_element",
+    "counters_from_element",
+    "histograms_from_element",
+]
+
+#: Namespace of the observability extension properties.
+OBS_NS = "http://www.ggf.org/namespaces/2005/05/WS-DAI/observability"
+
+DEFAULT_REGISTRY.register("obs", OBS_NS)
+
+#: QName of the live-metrics property element (use with GetResourceProperty).
+SERVICE_METRICS = QName(OBS_NS, "ServiceMetrics")
+
+_COUNTER = QName(OBS_NS, "Counter")
+_HISTOGRAM = QName(OBS_NS, "Histogram")
+_COUNT = QName(OBS_NS, "Count")
+_SUM = QName(OBS_NS, "Sum")
+_MIN = QName(OBS_NS, "Min")
+_MAX = QName(OBS_NS, "Max")
+
+
+def _number(value: float) -> str:
+    """Stable numeric text: integers bare, floats with 9 significant digits."""
+    if float(value) == int(value):
+        return str(int(value))
+    return format(float(value), ".9g")
+
+
+def metrics_element(
+    registry: MetricsRegistry, tag: QName = SERVICE_METRICS
+) -> XmlElement:
+    """Render *registry* as a property element; labels become attributes."""
+    root = E(tag)
+    for counter in registry.counters():
+        for labels, value in counter.items():
+            node = E(_COUNTER, _number(value))
+            node.set(QName("", "name"), counter.name)
+            for key, text in labels.items():
+                node.set(QName("", key), text)
+            root.append(node)
+    for histogram in registry.histograms():
+        for labels, stats in histogram.items():
+            node = E(
+                _HISTOGRAM,
+                E(_COUNT, _number(stats.count)),
+                E(_SUM, _number(stats.total)),
+                E(_MIN, _number(stats.minimum)),
+                E(_MAX, _number(stats.maximum)),
+            )
+            node.set(QName("", "name"), histogram.name)
+            for key, text in labels.items():
+                node.set(QName("", key), text)
+            root.append(node)
+    return root
+
+
+def _labels_of(node: XmlElement) -> dict[str, str]:
+    return {
+        attr.local: value
+        for attr, value in node.attributes.items()
+        if attr.local != "name" and not attr.namespace
+    }
+
+
+def counters_from_element(
+    element: XmlElement,
+) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Parse counter series back out of a ``ServiceMetrics`` element.
+
+    Keyed by (counter name, sorted label items); the inverse of
+    :func:`metrics_element` for consumers and tests.
+    """
+    out: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for node in element.findall(_COUNTER):
+        name = node.get(QName("", "name")) or ""
+        key = (name, tuple(sorted(_labels_of(node).items())))
+        text = node.text
+        # _number renders integral values bare; give them back as ints.
+        out[key] = float(text) if "." in text or "e" in text else int(text)
+    return out
+
+
+def histograms_from_element(
+    element: XmlElement,
+) -> dict[tuple[str, tuple[tuple[str, str], ...]], HistogramStats]:
+    """Parse histogram series back out of a ``ServiceMetrics`` element."""
+    out: dict[tuple[str, tuple[tuple[str, str], ...]], HistogramStats] = {}
+    for node in element.findall(_HISTOGRAM):
+        name = node.get(QName("", "name")) or ""
+        key = (name, tuple(sorted(_labels_of(node).items())))
+        out[key] = HistogramStats(
+            count=int(node.findtext(_COUNT, "0") or 0),
+            total=float(node.findtext(_SUM, "0") or 0),
+            minimum=float(node.findtext(_MIN, "0") or 0),
+            maximum=float(node.findtext(_MAX, "0") or 0),
+        )
+    return out

@@ -1,0 +1,297 @@
+"""Lightweight span tracing for the message patterns the paper measures.
+
+The paper's figures are all claims about *message structure* — how many
+round trips an access pattern costs, who moves the bytes, where the time
+goes.  A :class:`Span` captures one timed unit of that structure (a
+transport send, a service dispatch, a handler, a SQL operator tree, an
+XPath evaluation); spans nest through a :mod:`contextvars` context so a
+single consumer call yields a tree::
+
+    rpc.send (loopback, bytes in/out)
+      └─ dais.dispatch (action, resource, duration)
+           └─ dais.handler
+                └─ sql.select (rows_scanned, rows_out)
+
+Tracing is **off by default** and the disabled path is a single shared
+no-op context manager, so instrumented hot paths stay benchmark-neutral
+(< 5% on the Figure 2 direct-message round trip).  Enable it by
+installing an :class:`InMemoryExporter`, typically through the
+:func:`use_exporter` context manager.
+
+Span and trace identifiers are minted from a process-wide counter rather
+than random UUIDs so traces stay deterministic and replayable — the same
+property :func:`repro.soap.addressing.deterministic_message_id` gives
+message ids.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "InMemoryExporter",
+    "get_tracer",
+    "configure",
+    "disable",
+    "use_exporter",
+    "current_span",
+    "add_to_current_span",
+]
+
+_span_ids = itertools.count(1)
+
+_current_span: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+@dataclass
+class Span:
+    """One finished-or-running timed operation in a trace tree."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+    attributes: dict = field(default_factory=dict)
+    start_time: float = 0.0
+    end_time: float | None = None
+    status: str = "ok"
+
+    #: Real spans record; the no-op span reports False so instrumentation
+    #: can skip attribute computation entirely when tracing is off.
+    recording: bool = True
+
+    @property
+    def duration_seconds(self) -> float:
+        """Wall-clock duration (0.0 while the span is still open)."""
+        if self.end_time is None:
+            return 0.0
+        return self.end_time - self.start_time
+
+    def set_attribute(self, key: str, value) -> None:
+        self.attributes[key] = value
+
+    def set_attributes(self, **attributes) -> None:
+        self.attributes.update(attributes)
+
+    def add(self, key: str, amount: float = 1) -> None:
+        """Increment a numeric counter attribute on this span."""
+        self.attributes[key] = self.attributes.get(key, 0) + amount
+
+    def mark_fault(self, message: str = "") -> None:
+        self.status = "fault"
+        if message:
+            self.attributes.setdefault("fault.message", message)
+
+
+class _NoopSpan(Span):
+    """The shared do-nothing span handed out while tracing is disabled."""
+
+    def __init__(self) -> None:
+        super().__init__(name="noop", trace_id="", span_id="", recording=False)
+
+    def set_attribute(self, key: str, value) -> None:
+        pass
+
+    def set_attributes(self, **attributes) -> None:
+        pass
+
+    def add(self, key: str, amount: float = 1) -> None:
+        pass
+
+    def mark_fault(self, message: str = "") -> None:
+        pass
+
+
+class _NoopHandle:
+    """Context manager returned by a disabled tracer; shared singleton."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> Span:
+        return NOOP_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+_NOOP_HANDLE = _NoopHandle()
+
+
+class _SpanHandle:
+    """Context manager that opens *span*, parents descendants to it, and
+    exports it on exit (marking the fault status on exceptions)."""
+
+    __slots__ = ("_exporter", "_span", "_token")
+
+    def __init__(self, exporter: "InMemoryExporter", span: Span) -> None:
+        self._exporter = exporter
+        self._span = span
+        self._token: contextvars.Token | None = None
+
+    def __enter__(self) -> Span:
+        self._span.start_time = time.perf_counter()
+        self._token = _current_span.set(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        span.end_time = time.perf_counter()
+        if self._token is not None:
+            _current_span.reset(self._token)
+        if exc is not None:
+            span.mark_fault(str(exc))
+        self._exporter.export(span)
+        return False
+
+
+class InMemoryExporter:
+    """Collects finished spans; thread-safe, optionally bounded."""
+
+    def __init__(self, capacity: int | None = None) -> None:
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._capacity = capacity
+        self.dropped = 0
+
+    def export(self, span: Span) -> None:
+        with self._lock:
+            if self._capacity is not None and len(self._spans) >= self._capacity:
+                self.dropped += 1
+                return
+            self._spans.append(span)
+
+    def spans(self, name: str | None = None) -> list[Span]:
+        with self._lock:
+            snapshot = list(self._spans)
+        if name is None:
+            return snapshot
+        return [span for span in snapshot if span.name == name]
+
+    def by_name(self) -> dict[str, list[Span]]:
+        grouped: dict[str, list[Span]] = {}
+        for span in self.spans():
+            grouped.setdefault(span.name, []).append(span)
+        return grouped
+
+    def children_of(self, span: Span) -> list[Span]:
+        return [s for s in self.spans() if s.parent_id == span.span_id]
+
+    def trace(self, trace_id: str) -> list[Span]:
+        return [s for s in self.spans() if s.trace_id == trace_id]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self.dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+class Tracer:
+    """Mints spans against one exporter; disabled when it has none."""
+
+    def __init__(self, exporter: InMemoryExporter | None = None) -> None:
+        self.exporter = exporter
+
+    @property
+    def enabled(self) -> bool:
+        return self.exporter is not None
+
+    def span(self, name: str, **attributes):
+        """Open a child span of the current context span.
+
+        Returns a context manager yielding the :class:`Span`; while the
+        tracer is disabled this is a shared no-op handle with no
+        allocation on the hot path.
+        """
+        exporter = self.exporter
+        if exporter is None:
+            return _NOOP_HANDLE
+        parent = _current_span.get()
+        span_id = f"{next(_span_ids):08x}"
+        if parent is not None and parent.recording:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        else:
+            trace_id = f"trace-{span_id}"
+            parent_id = None
+        return _SpanHandle(
+            exporter,
+            Span(
+                name=name,
+                trace_id=trace_id,
+                span_id=span_id,
+                parent_id=parent_id,
+                attributes=dict(attributes),
+            ),
+        )
+
+
+#: The process-wide tracer every instrumented module goes through.
+_tracer = Tracer()
+
+
+def get_tracer() -> Tracer:
+    return _tracer
+
+
+def configure(exporter: InMemoryExporter | None = None) -> InMemoryExporter:
+    """Install (or create) an exporter on the global tracer; returns it."""
+    if exporter is None:
+        exporter = InMemoryExporter()
+    _tracer.exporter = exporter
+    return exporter
+
+
+def disable() -> None:
+    """Turn global tracing off (the default state)."""
+    _tracer.exporter = None
+
+
+class use_exporter:
+    """Temporarily install *exporter* on the global tracer::
+
+        with use_exporter(InMemoryExporter()) as exporter:
+            client.sql_execute(...)
+        spans = exporter.spans("dais.dispatch")
+    """
+
+    def __init__(self, exporter: InMemoryExporter | None = None) -> None:
+        self.exporter = exporter if exporter is not None else InMemoryExporter()
+        self._previous: InMemoryExporter | None = None
+
+    def __enter__(self) -> InMemoryExporter:
+        self._previous = _tracer.exporter
+        _tracer.exporter = self.exporter
+        return self.exporter
+
+    def __exit__(self, *exc_info) -> None:
+        _tracer.exporter = self._previous
+
+
+def current_span() -> Span:
+    """The innermost open span in this context (no-op span when none)."""
+    span = _current_span.get()
+    return span if span is not None else NOOP_SPAN
+
+
+def add_to_current_span(key: str, amount: float = 1) -> None:
+    """Increment a counter attribute on the current span, if any.
+
+    This is the one-liner engines use for per-operator counts; when
+    tracing is disabled it costs a context-variable read and a branch.
+    """
+    span = _current_span.get()
+    if span is not None:
+        span.add(key, amount)

@@ -14,6 +14,7 @@ from decimal import Decimal
 from functools import cmp_to_key
 from typing import Any
 
+from repro.obs import add_to_current_span, get_tracer
 from repro.relational import ast_nodes as ast
 from repro.relational.catalog import Catalog
 from repro.relational.errors import (
@@ -129,7 +130,22 @@ class Executor:
     def execute_select(
         self, select: ast.Select, outer_env: RowEnvironment | None = None
     ) -> tuple[list[str], list[tuple]]:
-        """Run a SELECT; returns (output column names, rows)."""
+        """Run a SELECT; returns (output column names, rows).
+
+        Each evaluation is one ``sql.select`` span whose counter
+        attributes (``rows_scanned``, ``join_rows``, …) the operator
+        methods below accumulate; subqueries and unions nest as child
+        spans, so a trace shows the operator tree's row flow.
+        """
+        with get_tracer().span("sql.select") as span:
+            columns, rows = self._execute_select(select, outer_env)
+            if span.recording:
+                span.set_attribute("rows_out", len(rows))
+            return columns, rows
+
+    def _execute_select(
+        self, select: ast.Select, outer_env: RowEnvironment | None
+    ) -> tuple[list[str], list[tuple]]:
         columns, rows, order_keys = self._select_core(select, outer_env)
 
         if select.union is not None:
@@ -221,14 +237,18 @@ class Executor:
             row_ids = sorted(path.index.lookup(path.key))
             rows = [storage.get(rid) for rid in row_ids]
             rows = [row for row in rows if row is not None]
+            add_to_current_span("index_lookups")
         elif isinstance(path, RangeLookup):
             row_ids = path.index.range(
                 path.low, path.high, path.low_inclusive, path.high_inclusive
             )
             rows = [storage.get(rid) for rid in sorted(set(row_ids))]
             rows = [row for row in rows if row is not None]
+            add_to_current_span("index_lookups")
         else:
             rows = [row for _, row in storage.rows()]
+            add_to_current_span("table_scans")
+        add_to_current_span("rows_scanned", len(rows))
         return Relation(bindings, rows)
 
     def _view(self, ref: ast.TableRef) -> Relation:
@@ -259,14 +279,20 @@ class Executor:
             rows = [
                 lrow + rrow for lrow in left.rows for rrow in right.rows
             ]
-            return Relation(bindings, rows)
-
-        equi = recognise_equi_join(
-            join.condition, left.qualifiers(), right.qualifiers()
-        )
-        if equi is not None:
-            return self._hash_join(join.kind, left, right, equi, outer_env)
-        return self._nested_loop_join(join, left, right, outer_env)
+            relation = Relation(bindings, rows)
+            add_to_current_span("cross_joins")
+        else:
+            equi = recognise_equi_join(
+                join.condition, left.qualifiers(), right.qualifiers()
+            )
+            if equi is not None:
+                relation = self._hash_join(join.kind, left, right, equi, outer_env)
+                add_to_current_span("hash_joins")
+            else:
+                relation = self._nested_loop_join(join, left, right, outer_env)
+                add_to_current_span("nested_loop_joins")
+        add_to_current_span("join_rows", len(relation.rows))
+        return relation
 
     def _hash_join(
         self,
@@ -350,6 +376,7 @@ class Executor:
             env = RowEnvironment(relation.bindings, row, outer_env)
             if all(self._evaluator.truthy(p, env) for p in predicates):
                 rows.append(row)
+        add_to_current_span("rows_filtered_out", len(relation.rows) - len(rows))
         return Relation(relation.bindings, rows)
 
     # -- projection ---------------------------------------------------------
@@ -614,6 +641,12 @@ class Executor:
     # =========================================================================
 
     def execute_insert(self, insert: ast.Insert) -> int:
+        with get_tracer().span("sql.insert", table=insert.table) as span:
+            count = self._execute_insert(insert)
+            span.set_attribute("rows", count)
+            return count
+
+    def _execute_insert(self, insert: ast.Insert) -> int:
         schema = self._catalog.table(insert.table)
         self._on_table_write(schema.name.lower())
         storage = self._storage(insert.table)
@@ -742,6 +775,12 @@ class Executor:
                         )
 
     def execute_update(self, update: ast.Update) -> int:
+        with get_tracer().span("sql.update", table=update.table) as span:
+            count = self._execute_update(update)
+            span.set_attribute("rows", count)
+            return count
+
+    def _execute_update(self, update: ast.Update) -> int:
         schema = self._catalog.table(update.table)
         self._on_table_write(schema.name.lower())
         storage = self._storage(update.table)
@@ -790,6 +829,12 @@ class Executor:
         )
 
     def execute_delete(self, delete: ast.Delete) -> int:
+        with get_tracer().span("sql.delete", table=delete.table) as span:
+            count = self._execute_delete(delete)
+            span.set_attribute("rows", count)
+            return count
+
+    def _execute_delete(self, delete: ast.Delete) -> int:
         schema = self._catalog.table(delete.table)
         self._on_table_write(schema.name.lower())
         storage = self._storage(delete.table)

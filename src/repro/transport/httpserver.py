@@ -5,17 +5,34 @@ the request path selects the service (its address is
 ``http://host:port/<name>``).  ``HttpTransport`` is the matching client
 side.  Used by the examples and a handful of integration tests; the
 loopback transport remains the default elsewhere.
+
+Per SOAP 1.1 over HTTP, every response carrying a ``soapenv:Fault`` is
+sent with status 500; transport-level problems (unparseable envelope,
+unknown service path) are wrapped into proper SOAP fault envelopes
+rather than ad-hoc error bodies, so consumers always get something
+:meth:`~repro.soap.envelope.Envelope.raise_if_fault` understands.
 """
 
 from __future__ import annotations
 
 import threading
+import urllib.error
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.core.registry import ServiceRegistry
-from repro.soap.envelope import Envelope
+from repro.obs import MetricsRegistry, get_tracer
+from repro.soap.addressing import MessageHeaders
+from repro.soap.envelope import Envelope, fault_envelope
+from repro.soap.fault import FaultCode, SoapFault
+from repro.soap.namespaces import SOAP_ENV_NS
 from repro.transport.wire import CallRecord, NetworkModel, WireStats
+
+
+def _transport_fault_headers(path: str) -> MessageHeaders:
+    """Synthetic request headers for faults raised before the envelope
+    could be parsed (there is nothing to correlate the reply to)."""
+    return MessageHeaders(to=path, action=f"{SOAP_ENV_NS}/fault")
 
 
 class DaisHttpServer:
@@ -23,6 +40,17 @@ class DaisHttpServer:
 
     def __init__(self, registry: ServiceRegistry, port: int = 0) -> None:
         self._registry = registry
+        #: Server-side wire metrics across every service on this port.
+        self.metrics = MetricsRegistry()
+        self._requests = self.metrics.counter(
+            "http.server.requests", "POSTs served per status code"
+        )
+        self._request_bytes = self.metrics.counter(
+            "http.server.request.bytes", "request body bytes received"
+        )
+        self._response_bytes = self.metrics.counter(
+            "http.server.response.bytes", "response body bytes sent"
+        )
 
         outer = self
 
@@ -30,16 +58,22 @@ class DaisHttpServer:
             def do_POST(self) -> None:  # noqa: N802 - stdlib API
                 length = int(self.headers.get("Content-Length", "0"))
                 body = self.rfile.read(length)
-                try:
-                    request = Envelope.from_bytes(body)
-                    address = outer.address_for_path(self.path)
-                    service = outer._registry.service_at(address)
-                    response = service.dispatch(request)
+                with get_tracer().span(
+                    "http.server.request", path=self.path
+                ) as span:
+                    response, status = outer._handle(self.path, body)
                     payload = response.to_bytes()
-                    self.send_response(200)
-                except Exception as exc:  # defensive: malformed requests
-                    payload = f"<error>{exc}</error>".encode()
-                    self.send_response(500)
+                    span.set_attributes(
+                        status=status,
+                        request_bytes=len(body),
+                        response_bytes=len(payload),
+                    )
+                    if status != 200:
+                        span.mark_fault()
+                outer._requests.inc(status=str(status))
+                outer._request_bytes.inc(len(body))
+                outer._response_bytes.inc(len(payload))
+                self.send_response(status)
                 self.send_header("Content-Type", "text/xml; charset=utf-8")
                 self.send_header("Content-Length", str(len(payload)))
                 self.end_headers()
@@ -50,6 +84,33 @@ class DaisHttpServer:
 
         self._server = ThreadingHTTPServer(("127.0.0.1", port), _Handler)
         self._thread: threading.Thread | None = None
+
+    def _handle(self, path: str, body: bytes) -> tuple[Envelope, int]:
+        """Turn one POST body into (response envelope, HTTP status).
+
+        Always produces a SOAP envelope: malformed requests and unknown
+        paths become client fault envelopes, and any fault response —
+        including ones a service's dispatch produced — goes out as 500
+        per the SOAP 1.1 HTTP binding.
+        """
+        try:
+            request = Envelope.from_bytes(body)
+        except Exception as exc:
+            fault = SoapFault(
+                FaultCode.CLIENT, f"malformed request envelope: {exc}"
+            )
+            return fault_envelope(_transport_fault_headers(path), fault), 500
+        try:
+            service = self._registry.service_at(self.address_for_path(path))
+        except LookupError as exc:
+            return (
+                fault_envelope(
+                    request.headers, SoapFault(FaultCode.CLIENT, str(exc))
+                ),
+                500,
+            )
+        response = service.dispatch(request)
+        return response, (500 if response.is_fault() else 200)
 
     @property
     def port(self) -> int:
@@ -96,30 +157,67 @@ class HttpTransport:
         self._network = network if network is not None else NetworkModel()
         self._timeout = timeout
         self.stats = WireStats()
+        #: Client-side metrics: request counts and wire bytes per action.
+        self.metrics = MetricsRegistry()
+        self._requests = self.metrics.counter(
+            "rpc.client.requests", "requests sent per wsa:Action"
+        )
+        self._request_bytes = self.metrics.counter(
+            "rpc.client.request.bytes", "request bytes per wsa:Action"
+        )
+        self._response_bytes = self.metrics.counter(
+            "rpc.client.response.bytes", "response bytes per wsa:Action"
+        )
+        self._faults = self.metrics.counter(
+            "rpc.client.faults", "fault responses per wsa:Action"
+        )
 
     def send(self, address: str, request: Envelope) -> Envelope:
-        request_bytes = request.to_bytes()
-        http_request = urllib.request.Request(
-            address,
-            data=request_bytes,
-            headers={
-                "Content-Type": "text/xml; charset=utf-8",
-                "SOAPAction": request.headers.action,
-            },
-            method="POST",
-        )
-        with urllib.request.urlopen(http_request, timeout=self._timeout) as reply:
-            response_bytes = reply.read()
-        modeled = self._network.transfer_time(
-            len(request_bytes)
-        ) + self._network.transfer_time(len(response_bytes))
-        self.stats.record(
-            CallRecord(
-                address=address,
-                action=request.headers.action,
+        action = request.headers.action
+        with get_tracer().span(
+            "rpc.send", transport="http", address=address, action=action
+        ) as span:
+            request_bytes = request.to_bytes()
+            http_request = urllib.request.Request(
+                address,
+                data=request_bytes,
+                headers={
+                    "Content-Type": "text/xml; charset=utf-8",
+                    "SOAPAction": action,
+                },
+                method="POST",
+            )
+            try:
+                with urllib.request.urlopen(
+                    http_request, timeout=self._timeout
+                ) as reply:
+                    response_bytes = reply.read()
+            except urllib.error.HTTPError as err:
+                # SOAP 1.1: fault envelopes arrive with status 500 — the
+                # body is still a SOAP message, so read it and carry on.
+                response_bytes = err.read()
+            modeled = self._network.transfer_time(
+                len(request_bytes)
+            ) + self._network.transfer_time(len(response_bytes))
+            response = Envelope.from_bytes(response_bytes)
+            self._requests.inc(action=action)
+            self._request_bytes.inc(len(request_bytes), action=action)
+            self._response_bytes.inc(len(response_bytes), action=action)
+            if response.is_fault():
+                self._faults.inc(action=action)
+                span.mark_fault()
+            span.set_attributes(
                 request_bytes=len(request_bytes),
                 response_bytes=len(response_bytes),
                 modeled_seconds=modeled,
             )
-        )
-        return Envelope.from_bytes(response_bytes)
+            self.stats.record(
+                CallRecord(
+                    address=address,
+                    action=action,
+                    request_bytes=len(request_bytes),
+                    response_bytes=len(response_bytes),
+                    modeled_seconds=modeled,
+                )
+            )
+            return response

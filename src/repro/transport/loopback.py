@@ -8,6 +8,7 @@ deterministic and fast enough for property tests and benchmarks.
 from __future__ import annotations
 
 from repro.core.registry import ServiceRegistry
+from repro.obs import MetricsRegistry, get_tracer
 from repro.soap.envelope import Envelope
 from repro.transport.wire import CallRecord, NetworkModel, WireStats
 
@@ -23,6 +24,20 @@ class LoopbackTransport:
         self._registry = registry
         self._network = network if network is not None else NetworkModel()
         self.stats = WireStats()
+        #: Client-side metrics: request counts and wire bytes per action.
+        self.metrics = MetricsRegistry()
+        self._requests = self.metrics.counter(
+            "rpc.client.requests", "requests sent per wsa:Action"
+        )
+        self._request_bytes = self.metrics.counter(
+            "rpc.client.request.bytes", "request bytes per wsa:Action"
+        )
+        self._response_bytes = self.metrics.counter(
+            "rpc.client.response.bytes", "response bytes per wsa:Action"
+        )
+        self._faults = self.metrics.counter(
+            "rpc.client.faults", "fault responses per wsa:Action"
+        )
 
     @property
     def registry(self) -> ServiceRegistry:
@@ -32,20 +47,41 @@ class LoopbackTransport:
         """Send *request* to the service at *address*; returns the
         response envelope (which may carry a fault — callers decide
         whether to raise via :meth:`Envelope.raise_if_fault`)."""
-        request_bytes = request.to_bytes()
-        service = self._registry.service_at(address)
-        response = service.dispatch(Envelope.from_bytes(request_bytes))
-        response_bytes = response.to_bytes()
-        modeled = self._network.transfer_time(
-            len(request_bytes)
-        ) + self._network.transfer_time(len(response_bytes))
-        self.stats.record(
-            CallRecord(
-                address=address,
-                action=request.headers.action,
+        action = request.headers.action
+        with get_tracer().span(
+            "rpc.send", transport="loopback", address=address, action=action
+        ) as span:
+            request_bytes = request.to_bytes()
+            service = self._registry.service_at(address)
+            response = service.dispatch(Envelope.from_bytes(request_bytes))
+            response_bytes = response.to_bytes()
+            modeled = self._network.transfer_time(
+                len(request_bytes)
+            ) + self._network.transfer_time(len(response_bytes))
+            self._record(
+                action, len(request_bytes), len(response_bytes), response
+            )
+            span.set_attributes(
                 request_bytes=len(request_bytes),
                 response_bytes=len(response_bytes),
                 modeled_seconds=modeled,
             )
-        )
-        return Envelope.from_bytes(response_bytes)
+            self.stats.record(
+                CallRecord(
+                    address=address,
+                    action=action,
+                    request_bytes=len(request_bytes),
+                    response_bytes=len(response_bytes),
+                    modeled_seconds=modeled,
+                )
+            )
+            return Envelope.from_bytes(response_bytes)
+
+    def _record(
+        self, action: str, sent: int, received: int, response: Envelope
+    ) -> None:
+        self._requests.inc(action=action)
+        self._request_bytes.inc(sent, action=action)
+        self._response_bytes.inc(received, action=action)
+        if response.is_fault():
+            self._faults.inc(action=action)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import math
 from functools import lru_cache
 
+from repro.obs import get_tracer
 from repro.xmlutil import QName, XmlElement
 from repro.xmlutil.tree import Comment, Text
 from repro.xpath import ast
@@ -54,17 +55,24 @@ class XPathEngine:
         """Evaluate *expression* against the document rooted at *root*.
 
         Returns one of the four XPath value types; node-sets come back as
-        lists in document order.
+        lists in document order.  Each evaluation is one
+        ``xpath.evaluate`` span carrying the expression and result shape.
         """
-        tree = compile_xpath(expression)
-        document = DocumentContext(root)
-        ctx = XPathContext(
-            document=document,
-            node=context_node if context_node is not None else document.document,
-            variables=dict(variables or {}),
-            namespaces=self._namespaces,
-        )
-        return self._eval(tree, ctx)
+        with get_tracer().span("xpath.evaluate", expression=expression) as span:
+            tree = compile_xpath(expression)
+            document = DocumentContext(root)
+            ctx = XPathContext(
+                document=document,
+                node=context_node if context_node is not None else document.document,
+                variables=dict(variables or {}),
+                namespaces=self._namespaces,
+            )
+            result = self._eval(tree, ctx)
+            if span.recording:
+                span.set_attribute("result_type", type(result).__name__)
+                if isinstance(result, list):
+                    span.set_attribute("result_nodes", len(result))
+            return result
 
     def select(self, expression: str, root: XmlElement, **kwargs) -> list[XPathNode]:
         """Evaluate and require a node-set result."""

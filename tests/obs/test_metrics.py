@@ -1,0 +1,110 @@
+"""Unit tests for the metrics registry."""
+
+import threading
+
+from repro.obs import MetricsRegistry, metrics_element
+from repro.obs.properties import (
+    counters_from_element,
+    histograms_from_element,
+)
+from repro.xmlutil import parse, serialize
+
+
+class TestCounter:
+    def test_inc_and_value_per_label_set(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests", "test counter")
+        counter.inc(action="a")
+        counter.inc(action="a")
+        counter.inc(5, action="b")
+        counter.inc()
+        assert counter.value(action="a") == 2
+        assert counter.value(action="b") == 5
+        assert counter.value() == 1
+        assert counter.value(action="missing") == 0
+        assert counter.total() == 8
+
+    def test_items_sorted_and_label_order_irrelevant(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(b="2", a="1")
+        counter.inc(a="1", b="2")
+        assert counter.items() == [({"a": "1", "b": "2"}, 2)]
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+
+class TestHistogram:
+    def test_observe_tracks_count_sum_min_max(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency")
+        for value in (0.5, 0.1, 0.9):
+            histogram.observe(value, op="q")
+        stats = histogram.stats(op="q")
+        assert stats.count == 3
+        assert stats.total == 1.5
+        assert stats.minimum == 0.1
+        assert stats.maximum == 0.9
+        assert stats.mean == 0.5
+
+    def test_empty_series_is_zeroed(self):
+        registry = MetricsRegistry()
+        stats = registry.histogram("h").stats(op="never")
+        assert (stats.count, stats.total, stats.mean) == (0, 0.0, 0.0)
+
+
+class TestRegistry:
+    def test_snapshot_and_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3, kind="x")
+        registry.histogram("h").observe(1.5)
+        snap = registry.snapshot()
+        assert snap["counters"]["c"] == [{"labels": {"kind": "x"}, "value": 3}]
+        assert snap["histograms"]["h"][0]["count"] == 1
+        registry.reset()
+        assert registry.counter("c").total() == 0
+        assert registry.histogram("h").stats().count == 0
+
+    def test_concurrent_increments_are_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        histogram = registry.histogram("sizes")
+
+        def worker():
+            for index in range(1000):
+                counter.inc(worker="shared")
+                histogram.observe(index % 7, worker="shared")
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value(worker="shared") == 8000
+        assert histogram.stats(worker="shared").count == 8000
+
+
+class TestMetricsPropertyElement:
+    def test_round_trips_through_xml(self):
+        registry = MetricsRegistry()
+        registry.counter("dais.dispatch.count").inc(4, action="urn:a")
+        registry.counter("dais.dispatch.count").inc(1, action="urn:b")
+        registry.histogram("dais.dispatch.seconds").observe(0.25, action="urn:a")
+
+        element = metrics_element(registry)
+        reparsed = parse(serialize(element))
+
+        counters = counters_from_element(reparsed)
+        assert counters[("dais.dispatch.count", (("action", "urn:a"),))] == 4
+        assert counters[("dais.dispatch.count", (("action", "urn:b"),))] == 1
+        histograms = histograms_from_element(reparsed)
+        stats = histograms[("dais.dispatch.seconds", (("action", "urn:a"),))]
+        assert stats.count == 1
+        assert stats.total == 0.25
+
+    def test_empty_registry_renders_empty_element(self):
+        element = metrics_element(MetricsRegistry())
+        assert element.element_children() == []
+        assert counters_from_element(element) == {}

@@ -1,0 +1,174 @@
+"""Unit tests for the span tracer."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    InMemoryExporter,
+    Tracer,
+    add_to_current_span,
+    configure,
+    current_span,
+    disable,
+    get_tracer,
+    use_exporter,
+)
+from repro.obs.tracing import NOOP_SPAN
+
+
+class TestSpanBasics:
+    def test_span_records_name_attributes_duration(self):
+        exporter = InMemoryExporter()
+        tracer = Tracer(exporter)
+        with tracer.span("work", kind="unit") as span:
+            span.set_attribute("rows", 3)
+            span.add("bytes", 10)
+            span.add("bytes", 5)
+        (finished,) = exporter.spans()
+        assert finished.name == "work"
+        assert finished.attributes["kind"] == "unit"
+        assert finished.attributes["rows"] == 3
+        assert finished.attributes["bytes"] == 15
+        assert finished.duration_seconds > 0
+        assert finished.status == "ok"
+
+    def test_nesting_links_parent_and_trace(self):
+        exporter = InMemoryExporter()
+        tracer = Tracer(exporter)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+        inner_span = exporter.spans("inner")[0]
+        outer_span = exporter.spans("outer")[0]
+        assert inner_span.parent_id == outer_span.span_id
+        assert inner_span.trace_id == outer_span.trace_id
+        assert outer_span.parent_id is None
+
+    def test_sibling_spans_share_trace(self):
+        exporter = InMemoryExporter()
+        tracer = Tracer(exporter)
+        with tracer.span("root") as root:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b = exporter.spans("a")[0], exporter.spans("b")[0]
+        assert a.trace_id == b.trace_id == root.trace_id
+        assert exporter.children_of(root) == [a, b]
+        assert exporter.trace(root.trace_id) == [a, b, root]
+
+    def test_exception_marks_fault_and_still_exports(self):
+        exporter = InMemoryExporter()
+        tracer = Tracer(exporter)
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("broken")
+        (span,) = exporter.spans()
+        assert span.status == "fault"
+        assert "broken" in span.attributes["fault.message"]
+
+    def test_add_to_current_span_outside_any_span_is_noop(self):
+        add_to_current_span("rows", 5)  # must not raise
+        assert current_span() is NOOP_SPAN
+
+
+class TestDisabledPath:
+    def test_disabled_tracer_hands_out_shared_noop(self):
+        tracer = Tracer()
+        handle_a = tracer.span("x")
+        handle_b = tracer.span("y", attr=1)
+        assert handle_a is handle_b  # shared handle: no per-call allocation
+        with handle_a as span:
+            assert span.recording is False
+            span.set_attribute("ignored", 1)
+            span.add("ignored", 2)
+        assert span.attributes == {}
+
+    def test_global_tracer_disabled_by_default(self):
+        assert get_tracer().enabled is False
+
+
+class TestGlobalConfiguration:
+    def test_use_exporter_installs_and_restores(self):
+        assert get_tracer().enabled is False
+        with use_exporter() as exporter:
+            assert get_tracer().exporter is exporter
+            with get_tracer().span("inside"):
+                pass
+        assert get_tracer().enabled is False
+        assert len(exporter.spans("inside")) == 1
+
+    def test_use_exporter_nests(self):
+        with use_exporter() as outer:
+            with use_exporter() as inner:
+                with get_tracer().span("deep"):
+                    pass
+            assert get_tracer().exporter is outer
+        assert len(inner.spans()) == 1
+        assert len(outer.spans()) == 0
+
+    def test_configure_and_disable(self):
+        exporter = configure()
+        try:
+            with get_tracer().span("configured"):
+                pass
+            assert len(exporter) == 1
+        finally:
+            disable()
+        assert get_tracer().enabled is False
+
+
+class TestExporter:
+    def test_capacity_bound_drops_and_counts(self):
+        exporter = InMemoryExporter(capacity=2)
+        tracer = Tracer(exporter)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert len(exporter) == 2
+        assert exporter.dropped == 3
+        exporter.clear()
+        assert len(exporter) == 0
+        assert exporter.dropped == 0
+
+    def test_by_name_groups(self):
+        exporter = InMemoryExporter()
+        tracer = Tracer(exporter)
+        for _ in range(3):
+            with tracer.span("repeat"):
+                pass
+        assert len(exporter.by_name()["repeat"]) == 3
+
+    def test_thread_safety_no_lost_spans(self):
+        exporter = InMemoryExporter()
+        tracer = Tracer(exporter)
+
+        def worker():
+            for _ in range(100):
+                with tracer.span("threaded"):
+                    pass
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(exporter) == 800
+
+    def test_threads_get_independent_contexts(self):
+        exporter = InMemoryExporter()
+        tracer = Tracer(exporter)
+        seen: list[str | None] = []
+
+        def worker():
+            with tracer.span("root-in-thread") as span:
+                seen.append(span.parent_id)
+
+        with tracer.span("main-root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # A fresh thread has no inherited context: its span is a root.
+        assert seen == [None]

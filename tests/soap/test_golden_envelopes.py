@@ -1,0 +1,153 @@
+"""Golden wire-format regression tests.
+
+Each core WS-DAI action has a canonical request/response envelope (plus
+one fault envelope) snapshotted byte-for-byte under ``golden/``.  Any
+change to serialization, namespace prefixing, header layout or message
+shape shows up here as a diff against the snapshot — the wire format is
+part of the spec surface, so it must not drift silently.
+
+Regenerate deliberately with::
+
+    PYTHONPATH=src python tests/soap/test_golden_envelopes.py --regen
+"""
+
+import pathlib
+
+import pytest
+
+from repro.core import messages as msg
+from repro.core.namespaces import WSDAI_NS
+from repro.soap.addressing import EndpointReference, MessageHeaders
+from repro.soap.envelope import SOAP_ENV_NS, Envelope
+from repro.soap.fault import FaultCode, SoapFault
+from repro.xmlutil import E, QName
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+ADDRESS = "dais://example/sql"
+NAME = "urn:dais:resource:golden:0001"
+
+
+def _headers(action: str) -> MessageHeaders:
+    """Fully pinned headers: no minted ids, no clock, no randomness."""
+    return MessageHeaders(
+        to=ADDRESS, action=action, message_id="urn:dais-py:msg:golden"
+    )
+
+
+def _request(message: msg.DaisMessage) -> Envelope:
+    return Envelope(headers=_headers(message.action()), payload=message.to_xml())
+
+
+def _response(message: msg.DaisMessage) -> Envelope:
+    return Envelope(
+        headers=_headers(f"{message.action()}Response"), payload=message.to_xml()
+    )
+
+
+def _build_envelopes() -> dict[str, Envelope]:
+    epr = EndpointReference(
+        address=ADDRESS,
+        reference_parameters=(
+            E(QName(WSDAI_NS, "DataResourceAbstractName"), NAME),
+        ),
+    )
+    fault = SoapFault(
+        FaultCode.CLIENT,
+        "golden fault",
+        detail=[E(QName(WSDAI_NS, "InvalidResourceNameFault"), NAME)],
+    )
+    return {
+        "generic_query_request": _request(
+            msg.GenericQueryRequest(
+                abstract_name=NAME,
+                language_uri="http://www.sql.org/sql-92",
+                expression="SELECT 1",
+                parameters=["p1"],
+                dataset_format_uri="uri:format:rowset",
+            )
+        ),
+        "generic_query_response": _response(
+            msg.GenericQueryResponse(
+                dataset_format_uri="uri:format:rowset",
+                data=[E(QName(WSDAI_NS, "Row"), "1")],
+            )
+        ),
+        "destroy_request": _request(
+            msg.DestroyDataResourceRequest(abstract_name=NAME)
+        ),
+        "destroy_response": _response(
+            msg.DestroyDataResourceResponse(destroyed=NAME)
+        ),
+        "get_property_document_request": _request(
+            msg.GetDataResourcePropertyDocumentRequest(abstract_name=NAME)
+        ),
+        "get_property_document_response": _response(
+            msg.GetDataResourcePropertyDocumentResponse(
+                document=E(
+                    QName(WSDAI_NS, "PropertyDocument"),
+                    E(QName(WSDAI_NS, "DataResourceAbstractName"), NAME),
+                )
+            )
+        ),
+        "get_resource_list_request": _request(msg.GetResourceListRequest()),
+        "get_resource_list_response": _response(
+            msg.GetResourceListResponse(names=[NAME, NAME + "-b"])
+        ),
+        "resolve_request": _request(msg.ResolveRequest(abstract_name=NAME)),
+        "resolve_response": _response(msg.ResolveResponse(address=epr)),
+        # fault_envelope() mints a fresh reply message id, so pin the
+        # reply headers by hand to keep the snapshot deterministic.
+        "fault": Envelope(
+            headers=MessageHeaders(
+                to="http://www.w3.org/2005/08/addressing/anonymous",
+                action=f"{SOAP_ENV_NS}/fault",
+                message_id="urn:dais-py:msg:golden-fault",
+                relates_to="urn:dais-py:msg:golden",
+            ),
+            payload=fault.to_xml(),
+        ),
+    }
+
+
+@pytest.mark.parametrize("key", sorted(_build_envelopes()))
+def test_envelope_bytes_match_golden(key):
+    envelope = _build_envelopes()[key]
+    golden_path = GOLDEN_DIR / f"{key}.xml"
+    assert golden_path.exists(), (
+        f"missing snapshot {golden_path}; run this module with --regen"
+    )
+    actual = envelope.to_bytes()
+    expected = golden_path.read_bytes()
+    assert actual == expected, (
+        f"wire bytes for {key!r} drifted from the golden snapshot "
+        f"({len(actual)} vs {len(expected)} bytes); if intentional, "
+        "regenerate with --regen and review the diff"
+    )
+
+
+@pytest.mark.parametrize("key", sorted(_build_envelopes()))
+def test_golden_bytes_reparse_to_equal_envelope(key):
+    envelope = _build_envelopes()[key]
+    reparsed = Envelope.from_bytes((GOLDEN_DIR / f"{key}.xml").read_bytes())
+    assert reparsed.headers.action == envelope.headers.action
+    assert reparsed.headers.message_id == envelope.headers.message_id
+    assert reparsed.payload.equals(envelope.payload)
+    # A second serialize is byte-stable too (no prefix churn on re-emit).
+    assert reparsed.to_bytes() == envelope.to_bytes()
+
+
+def _regen() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for key, envelope in _build_envelopes().items():
+        (GOLDEN_DIR / f"{key}.xml").write_bytes(envelope.to_bytes())
+        print(f"wrote golden/{key}.xml")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)

@@ -1,11 +1,15 @@
 """Real SOAP-over-HTTP binding tests (localhost)."""
 
+import urllib.error
+import urllib.request
+
 import pytest
 
 from repro.client.sql import SQLClient
 from repro.core import InvalidResourceNameFault, ServiceRegistry, mint_abstract_name
 from repro.dair import SQLDataResource, SQLRealisationService
 from repro.relational import Database
+from repro.soap.envelope import Envelope
 from repro.transport import DaisHttpServer, HttpTransport
 
 
@@ -69,3 +73,88 @@ class TestHttpBinding:
             address, name, "SELECT v FROM kv ORDER BY k"
         )
         assert via_http.rows == [("one",), ("two",)]
+
+
+def _raw_post(url: str, body: bytes) -> tuple[int, bytes]:
+    """POST raw bytes, returning (status, body) even for error statuses."""
+    request = urllib.request.Request(
+        url,
+        data=body,
+        headers={"Content-Type": "text/xml; charset=utf-8"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as reply:
+            return reply.status, reply.read()
+    except urllib.error.HTTPError as err:
+        return err.code, err.read()
+
+
+class TestHttpErrorPath:
+    """Regression: transport-level errors must be SOAP fault envelopes
+    with status 500 (SOAP 1.1 HTTP binding), never ad-hoc bodies."""
+
+    def test_malformed_body_returns_soap_fault_envelope(self, http_setup):
+        address, _ = http_setup
+        status, body = _raw_post(address, b"this is not xml <<<")
+        assert status == 500
+        envelope = Envelope.from_bytes(body)  # parseable SOAP, not <error>
+        assert envelope.is_fault()
+        with pytest.raises(Exception, match="malformed request envelope"):
+            envelope.raise_if_fault()
+
+    def test_unknown_service_path_returns_soap_fault(self, http_setup):
+        from repro.soap.fault import SoapFault
+
+        address, name = http_setup
+        client = SQLClient(HttpTransport())
+        ghost = address.rsplit("/", 1)[0] + "/no-such-service"
+        with pytest.raises(SoapFault, match="no service at"):
+            client.sql_execute(ghost, name, "SELECT 1")
+
+    def test_dispatch_fault_travels_with_status_500(self, http_setup):
+        address, _ = http_setup
+        # A well-formed envelope whose action faults (unknown resource):
+        from repro.core.messages import GenericQueryRequest
+        from repro.soap.addressing import MessageHeaders
+
+        request = GenericQueryRequest(
+            abstract_name="urn:ghost:404", language_uri="urn:none", expression="x"
+        )
+        envelope = Envelope(
+            headers=MessageHeaders(to=address, action=GenericQueryRequest.action()),
+            payload=request.to_xml(),
+        )
+        status, body = _raw_post(address, envelope.to_bytes())
+        assert status == 500
+        assert Envelope.from_bytes(body).is_fault()
+
+    def test_success_still_returns_200(self, http_setup):
+        address, name = http_setup
+        from repro.core.messages import GetResourceListRequest
+        from repro.soap.addressing import MessageHeaders
+
+        envelope = Envelope(
+            headers=MessageHeaders(
+                to=address, action=GetResourceListRequest.action()
+            ),
+            payload=GetResourceListRequest().to_xml(),
+        )
+        status, body = _raw_post(address, envelope.to_bytes())
+        assert status == 200
+        assert not Envelope.from_bytes(body).is_fault()
+
+    def test_server_metrics_count_statuses_and_bytes(self):
+        registry = ServiceRegistry()
+        server = DaisHttpServer(registry, port=0)
+        address = server.url_for("/svc")
+        service = SQLRealisationService("err-sql", address)
+        registry.register(service)
+        with server:
+            status, body = _raw_post(address, b"junk")
+            assert status == 500
+            requests = server.metrics.counter("http.server.requests")
+            assert requests.value(status="500") == 1
+            assert server.metrics.counter(
+                "http.server.response.bytes"
+            ).total() == len(body)

@@ -1,0 +1,142 @@
+"""Concurrency stress: exact counters under the threaded HTTP binding.
+
+One ``DaisHttpServer`` is hammered from N client threads; every counter
+the observability layer keeps — client-side ``WireStats`` and transport
+metrics, server-side HTTP metrics, per-service dispatch metrics — must
+come out exact.  This guards the metrics registry's thread-safety (the
+seed's bare ``dict`` dispatch counter could lose updates under the
+``ThreadingHTTPServer``).
+"""
+
+import threading
+
+import pytest
+
+from repro.client.sql import SQLClient
+from repro.core import ServiceRegistry, mint_abstract_name
+from repro.dair import SQLDataResource, SQLRealisationService
+from repro.relational import Database
+from repro.transport import DaisHttpServer, HttpTransport
+
+THREADS = 8
+REQUESTS_PER_THREAD = 12
+TOTAL = THREADS * REQUESTS_PER_THREAD
+
+
+@pytest.fixture()
+def stress_setup():
+    registry = ServiceRegistry()
+    server = DaisHttpServer(registry, port=0)
+    address = server.url_for("/stress")
+    service = SQLRealisationService("stress-sql", address)
+    registry.register(service)
+
+    database = Database("stressdb")
+    database.execute("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(10))")
+    database.execute("INSERT INTO t VALUES (1,'a'),(2,'b'),(3,'c')")
+    resource = SQLDataResource(mint_abstract_name("t"), database)
+    service.add_resource(resource)
+
+    with server:
+        yield server, service, address, resource.abstract_name
+
+
+def test_counters_exact_under_concurrency(stress_setup):
+    server, service, address, name = stress_setup
+    transport = HttpTransport()
+    client = SQLClient(transport)
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(THREADS)
+
+    def hammer():
+        try:
+            barrier.wait(timeout=10)
+            for _ in range(REQUESTS_PER_THREAD):
+                rowset = client.sql_query_rowset(
+                    address, name, "SELECT v FROM t ORDER BY id"
+                )
+                assert rowset.rows == [("a",), ("b",), ("c",)]
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer) for _ in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not errors, errors
+
+    # Client side: WireStats records and transport metrics are exact.
+    assert transport.stats.call_count == TOTAL
+    requests = transport.metrics.counter("rpc.client.requests")
+    assert requests.total() == TOTAL
+    assert (
+        transport.metrics.counter("rpc.client.request.bytes").total()
+        == transport.stats.bytes_sent
+    )
+    assert (
+        transport.metrics.counter("rpc.client.response.bytes").total()
+        == transport.stats.bytes_received
+    )
+    assert transport.metrics.counter("rpc.client.faults").total() == 0
+
+    # Server side: every POST accounted, no lost updates.
+    http_requests = server.metrics.counter("http.server.requests")
+    assert http_requests.value(status="200") == TOTAL
+    assert (
+        server.metrics.counter("http.server.request.bytes").total()
+        == transport.stats.bytes_sent
+    )
+    assert (
+        server.metrics.counter("http.server.response.bytes").total()
+        == transport.stats.bytes_received
+    )
+
+    # Service side: the dispatch counter (read through the same property
+    # the spec exposes) is exact, as is the latency histogram count.
+    assert sum(service.dispatch_counts.values()) == TOTAL
+    seconds = service.metrics.histogram("dais.dispatch.seconds")
+    assert sum(stats.count for _, stats in seconds.items()) == TOTAL
+    assert service.metrics.counter("dais.dispatch.faults").total() == 0
+
+
+def test_mixed_success_and_fault_counts(stress_setup):
+    server, service, address, name = stress_setup
+    transport = HttpTransport()
+    client = SQLClient(transport)
+    errors: list[BaseException] = []
+
+    def good():
+        try:
+            for _ in range(REQUESTS_PER_THREAD):
+                client.sql_query_rowset(address, name, "SELECT v FROM t")
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    def bad():
+        from repro.core import InvalidResourceNameFault
+
+        try:
+            for _ in range(REQUESTS_PER_THREAD):
+                with pytest.raises(InvalidResourceNameFault):
+                    client.sql_execute(address, "urn:ghost:1", "SELECT 1")
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=good) for _ in range(4)] + [
+        threading.Thread(target=bad) for _ in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not errors, errors
+
+    half = 4 * REQUESTS_PER_THREAD
+    assert transport.stats.call_count == 2 * half
+    assert transport.metrics.counter("rpc.client.faults").total() == half
+    assert service.metrics.counter("dais.dispatch.faults").total() == half
+    assert sum(service.dispatch_counts.values()) == 2 * half
+    http_requests = server.metrics.counter("http.server.requests")
+    assert http_requests.value(status="200") == half
+    assert http_requests.value(status="500") == half

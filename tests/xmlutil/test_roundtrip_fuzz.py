@@ -1,0 +1,139 @@
+"""Deterministic round-trip fuzzing for the xmlutil parser/serializer.
+
+Random trees — nested namespaces, attribute soup, escape-worthy text,
+mixed content, comments — must survive ``parse(serialize(tree))`` with
+structural equality, and serialization must be a fixed point (a second
+serialize of the reparsed tree yields identical text).  Seeds are fixed
+so failures reproduce exactly.
+"""
+
+import random
+import string
+
+import pytest
+
+from repro.xmlutil import (
+    Comment,
+    QName,
+    XmlElement,
+    parse,
+    parse_bytes,
+    serialize,
+    serialize_bytes,
+)
+
+NAMESPACES = [
+    "",  # no namespace (xmlutil canonical form is the empty string)
+    "http://example.org/a",
+    "http://example.org/b",
+    "urn:fuzz:deep/nested",
+]
+
+# Names the XML spec allows that also exercise prefix assignment.
+LOCAL_NAMES = ["doc", "item", "Row", "a-b", "x_y", "value.1", "N0de"]
+
+# Text drawn from characters that stress escaping: markup delimiters,
+# quotes, whitespace runs, and some non-ASCII.
+TEXT_ALPHABET = string.ascii_letters + string.digits + " <>&\"'\t\n;=/é£…"
+
+
+def _random_text(rng: random.Random) -> str:
+    length = rng.randint(1, 24)
+    return "".join(rng.choice(TEXT_ALPHABET) for _ in range(length))
+
+
+def _random_comment(rng: random.Random) -> Comment:
+    # "--" is illegal inside comments; strip it rather than filter-loop.
+    value = _random_text(rng).replace("--", "- ")
+    if value.endswith("-"):
+        value += " "
+    return Comment(value)
+
+
+def _random_qname(rng: random.Random) -> QName:
+    return QName(rng.choice(NAMESPACES), rng.choice(LOCAL_NAMES))
+
+
+def _random_element(rng: random.Random, depth: int) -> XmlElement:
+    element = XmlElement(_random_qname(rng))
+    for _ in range(rng.randint(0, 3)):
+        # Attribute values take the escape-heavy alphabet too.
+        element.set(_random_qname(rng), _random_text(rng))
+    for _ in range(rng.randint(0, 4 if depth > 0 else 2)):
+        roll = rng.random()
+        if roll < 0.45 and depth > 0:
+            element.append(_random_element(rng, depth - 1))
+        elif roll < 0.85:
+            # append() normalizes text (merges adjacent runs), so the
+            # in-memory tree is already in the parser's normal form.
+            element.append(_random_text(rng))
+        else:
+            element.append(_random_comment(rng))
+    return element
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_random_tree_round_trips(seed):
+    rng = random.Random(seed)
+    tree = _random_element(rng, depth=4)
+
+    text = serialize(tree)
+    reparsed = parse(text)
+    assert reparsed.equals(tree), f"seed {seed}: reparse lost structure"
+
+    # Serialization is a fixed point after one round trip.
+    assert serialize(reparsed) == text
+
+
+@pytest.mark.parametrize("seed", range(25, 35))
+def test_random_tree_round_trips_via_bytes(seed):
+    rng = random.Random(seed)
+    tree = _random_element(rng, depth=3)
+
+    data = serialize_bytes(tree)
+    assert data.startswith(b"<?xml")
+    reparsed = parse_bytes(data)
+    assert reparsed.equals(tree), f"seed {seed}: byte round trip lost structure"
+    assert serialize_bytes(reparsed) == data
+
+
+@pytest.mark.parametrize("seed", range(35, 45))
+def test_attribute_values_survive_escaping(seed):
+    rng = random.Random(seed)
+    tree = XmlElement(QName("", "doc"))
+    expected = {}
+    for index in range(8):
+        name = QName("", f"attr{index}")
+        value = _random_text(rng)
+        tree.set(name, value)
+        expected[name] = value
+    reparsed = parse(serialize(tree))
+    for name, value in expected.items():
+        assert reparsed.get(name) == value
+
+
+@pytest.mark.parametrize("seed", range(45, 55))
+def test_text_content_survives_escaping(seed):
+    rng = random.Random(seed)
+    value = _random_text(rng)
+    tree = XmlElement(QName("urn:fuzz:text", "doc"))
+    tree.append(value)
+    reparsed = parse(serialize(tree))
+    assert reparsed.full_text() == value
+
+
+def test_known_nasty_corpus_round_trips():
+    """A few hand-picked cases fuzzing has historically missed."""
+    nasties = [
+        "]]>",  # CDATA-end outside CDATA must still escape the '>'
+        "a&amp;b raw-looking entity text",
+        "quote soup: \" ' \" '",
+        "angle < brackets > and &amp; mid-text",
+        "trailing whitespace   ",
+        "\n\tleading whitespace",
+    ]
+    for value in nasties:
+        tree = XmlElement(QName("", "t"))
+        tree.append(value)
+        reparsed = parse(serialize(tree))
+        assert reparsed.full_text() == value, value

@@ -1,0 +1,89 @@
+"""Coverage gate for the observability package, stdlib-only.
+
+Runs the ``tests/obs/`` suite under ``trace.Trace`` and fails (exit 1)
+if any module in ``src/repro/obs/`` has less than FLOOR executable-line
+coverage.  Executable lines are derived from the compiled code objects
+(the same line table the tracer reports against), so docstrings and
+blank lines don't dilute the ratio.
+
+Usage::
+
+    PYTHONPATH=src python tools/obs_coverage.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import trace
+
+FLOOR = 0.90
+REPO = pathlib.Path(__file__).resolve().parent.parent
+OBS_DIR = REPO / "src" / "repro" / "obs"
+
+
+def executable_lines(path: pathlib.Path) -> set[int]:
+    """Line numbers the interpreter can actually hit in *path*."""
+    code = compile(path.read_text(), str(path), "exec")
+    lines: set[int] = set()
+    stack = [code]
+    while stack:
+        current = stack.pop()
+        # line 0 marks setup bytecode (RESUME) the tracer never reports
+        lines.update(
+            line
+            for _, _, line in current.co_lines()
+            if line is not None and line > 0
+        )
+        stack.extend(
+            const
+            for const in current.co_consts
+            if isinstance(const, type(code))
+        )
+    return lines
+
+
+def run() -> int:
+    import pytest
+
+    tracer = trace.Trace(count=1, trace=0)
+    exit_code = tracer.runfunc(
+        pytest.main, ["-q", "--no-header", str(REPO / "tests" / "obs")]
+    )
+    if exit_code != 0:
+        print(f"obs test suite failed (exit {exit_code}); coverage not assessed")
+        return int(exit_code)
+
+    counts = tracer.results().counts  # {(filename, lineno): hits}
+    hit_by_file: dict[str, set[int]] = {}
+    for (filename, lineno), hits in counts.items():
+        if hits > 0:
+            hit_by_file.setdefault(filename, set()).add(lineno)
+
+    failures = []
+    print(f"\n{'module':<42} {'lines':>7} {'hit':>6} {'cover':>7}")
+    for path in sorted(OBS_DIR.glob("*.py")):
+        lines = executable_lines(path)
+        if not lines:
+            continue
+        hit = hit_by_file.get(str(path), set()) & lines
+        ratio = len(hit) / len(lines)
+        marker = "" if ratio >= FLOOR else "  << below floor"
+        rel = path.relative_to(REPO)
+        print(f"{str(rel):<42} {len(lines):>7} {len(hit):>6} {ratio:>6.1%}{marker}")
+        if ratio < FLOOR:
+            missed = sorted(lines - hit)
+            failures.append((rel, ratio, missed))
+
+    if failures:
+        print(f"\ncoverage floor is {FLOOR:.0%}; missed lines:")
+        for rel, ratio, missed in failures:
+            print(f"  {rel} ({ratio:.1%}): {missed}")
+        return 1
+    print(f"\nall repro.obs modules at or above the {FLOOR:.0%} floor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO / "src"))
+    sys.exit(run())
