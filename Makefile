@@ -1,13 +1,18 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench coverage-obs
+.PHONY: test bench coverage-obs trace-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Figure 3 factory chain over real HTTP with tracing on; prints the
+# resulting span tree and lifecycle journal.
+trace-demo:
+	$(PYTHON) -m repro trace --demo
 
 # Stdlib-trace coverage gate: every module under src/repro/obs/ must
 # stay at >= 90% executable-line coverage from the tests/obs/ suite.

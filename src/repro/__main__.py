@@ -1,16 +1,24 @@
-"""``python -m repro`` — print the library inventory and a self-check.
+"""``python -m repro`` — self-check, plus the ``trace`` subcommand.
 
-A quick way to confirm an installation works: stands up an in-process
-deployment, runs one query through the full SOAP round trip and reports
-the wire numbers.
+Default invocation stands up an in-process deployment, runs one query
+through the full SOAP round trip and reports the wire numbers — a quick
+way to confirm an installation works.
+
+``python -m repro trace <spans.jsonl>`` renders a trace exported by
+:class:`repro.obs.FileExporter` as an indented span tree (per-span
+latency, bytes and row counts).  ``python -m repro trace --demo`` runs a
+Figure 3-style factory chain over the real HTTP binding with tracing on
+and prints the resulting tree — the quickest way to *see* one request
+become one connected trace across processes, transports and engines.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 
-def main() -> int:
+def self_check() -> int:
     import repro
     from repro.workload import RelationalWorkload, build_single_service
 
@@ -35,6 +43,87 @@ def main() -> int:
     print("\nsee examples/ for runnable scenarios and benchmarks/ for the "
           "paper-figure harness")
     return 0
+
+
+def _demo_trace() -> int:
+    """Factory chain over real HTTP with tracing on; print the tree."""
+    from repro.client.sql import SQLClient
+    from repro.core import ServiceRegistry, mint_abstract_name
+    from repro.dair import SQLDataResource, SQLRealisationService
+    from repro.obs import get_tracer, render_trace_tree, use_exporter
+    from repro.obs.journal import use_journal
+    from repro.transport import DaisHttpServer, HttpTransport
+    from repro.workload import RelationalWorkload, populate_shop_database
+
+    registry = ServiceRegistry()
+    server = DaisHttpServer(registry, port=0)
+    address = server.url_for("/sql")
+    service = SQLRealisationService("demo-sql", address)
+    registry.register(service)
+    database = populate_shop_database(RelationalWorkload(customers=8))
+    resource = SQLDataResource(mint_abstract_name("shop"), database)
+    service.add_resource(resource)
+
+    client = SQLClient(HttpTransport())
+    with use_exporter() as exporter, use_journal() as journal, server:
+        with get_tracer().span("consumer.request", scenario="fig3-demo"):
+            factory = client.sql_execute_factory(
+                address,
+                resource.abstract_name,
+                "SELECT id, total FROM orders WHERE total > 100",
+            )
+            rowset = client.get_sql_rowset(
+                factory.address, factory.abstract_name
+            )
+        spans = exporter.spans()
+
+    print("trace demo — Figure 3 factory chain over HTTP "
+          f"({len(rowset.rows)} rows pulled via the derived EPR):\n")
+    print(render_trace_tree(spans))
+    print("\nlifecycle journal:")
+    for event in journal.events():
+        print(f"  #{event.sequence} {event.event:<12} {event.resource}")
+    return 0
+
+
+def trace_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="render an exported span file as a trace tree",
+    )
+    parser.add_argument(
+        "path", nargs="?", help="JSONL span file written by FileExporter"
+    )
+    parser.add_argument(
+        "--trace-id", help="render only this trace id", default=None
+    )
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="run a traced factory chain over HTTP and render it",
+    )
+    options = parser.parse_args(argv)
+    if options.demo:
+        return _demo_trace()
+    if not options.path:
+        parser.error("a span file is required unless --demo is given")
+    from repro.obs import load_spans, render_trace_tree
+
+    spans = load_spans(options.path)
+    if not spans:
+        print(f"no spans in {options.path}")
+        return 1
+    print(render_trace_tree(spans, trace_id=options.trace_id))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # Only the explicit subcommand routes away from the self-check, so
+    # running under foreign argv (pytest, runpy) stays harmless.
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
+    return self_check()
 
 
 if __name__ == "__main__":

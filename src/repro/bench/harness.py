@@ -126,6 +126,59 @@ def span_table(title: str, spans, note: str = "") -> Table:
     return table
 
 
+def trace_forest(spans) -> dict[str, list]:
+    """Group spans by trace id (insertion order preserved per trace)."""
+    forest: dict[str, list] = {}
+    for span in spans:
+        forest.setdefault(span.trace_id, []).append(span)
+    return forest
+
+
+def assert_single_connected_trace(spans, root_name: str | None = None):
+    """Assert *spans* form ONE trace whose parent links all resolve.
+
+    Every span must share a single trace id; exactly one span may be the
+    root (no parent), and every other span's ``parent_id`` must name a
+    span in the same set — i.e. the trace is a connected tree, not a
+    forest of fragments.  Returns the root span.
+
+    :param root_name: when given, additionally assert the root span has
+        this name (e.g. the consumer-side span, proving the consumer is
+        the ancestor of every service/executor span).
+    """
+    spans = list(spans)
+    if not spans:
+        raise AssertionError("no spans recorded")
+    forest = trace_forest(spans)
+    if len(forest) != 1:
+        fragments = {
+            trace_id: sorted({span.name for span in members})
+            for trace_id, members in forest.items()
+        }
+        raise AssertionError(
+            f"expected one connected trace, got {len(forest)}: {fragments}"
+        )
+    ids = {span.span_id for span in spans}
+    roots = [span for span in spans if span.parent_id is None]
+    orphans = [
+        span
+        for span in spans
+        if span.parent_id is not None and span.parent_id not in ids
+    ]
+    if len(roots) != 1 or orphans:
+        raise AssertionError(
+            f"trace is not a connected tree: roots="
+            f"{[span.name for span in roots]} orphans="
+            f"{[span.name for span in orphans]}"
+        )
+    root = roots[0]
+    if root_name is not None and root.name != root_name:
+        raise AssertionError(
+            f"expected root span {root_name!r}, got {root.name!r}"
+        )
+    return root
+
+
 @dataclass
 class Series:
     """One (x, y) series with a label, printable as aligned pairs."""

@@ -33,6 +33,7 @@ from repro.core.faults import (
     InvalidResourceNameFault,
     NotAuthorizedFault,
     ServiceBusyFault,
+    ServiceNotFoundFault,
 )
 from repro.core.properties import (
     ConfigurableProperties,
@@ -62,6 +63,7 @@ __all__ = [
     "InvalidPortTypeQNameFault",
     "NotAuthorizedFault",
     "ServiceBusyFault",
+    "ServiceNotFoundFault",
     "DataResourceManagement",
     "TransactionInitiation",
     "TransactionIsolation",

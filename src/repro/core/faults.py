@@ -85,6 +85,18 @@ class ServiceBusyFault(DaisFault):
     CODE = FaultCode.SERVER
 
 
+class ServiceNotFoundFault(DaisFault, LookupError):
+    """No data service is deployed at the addressed endpoint.
+
+    Both transports raise this for an unknown address/path, so consumer
+    code handles a mis-wired EPR identically over loopback and HTTP.
+    Also a :class:`LookupError` (like :class:`KeyError`), since callers
+    of the registry historically caught that for a failed resolve.
+    """
+
+    DETAIL_LOCAL = "ServiceNotFoundFault"
+
+
 _FAULTS_BY_DETAIL = {
     fault.DETAIL_LOCAL: fault
     for fault in (
@@ -98,6 +110,7 @@ _FAULTS_BY_DETAIL = {
         InvalidPortTypeQNameFault,
         NotAuthorizedFault,
         ServiceBusyFault,
+        ServiceNotFoundFault,
     )
 }
 

@@ -8,6 +8,7 @@ service + abstract name pair they designate.
 from __future__ import annotations
 
 from repro.core.service import RESOURCE_REFERENCE_PARAMETER, DataService
+from repro.obs.journal import record_event
 from repro.soap.addressing import EndpointReference
 
 
@@ -39,6 +40,8 @@ class ServiceRegistry:
         """Resolve an EPR to (service, abstract name from ref params)."""
         service = self.service_at(epr.address)
         name = epr.reference_parameter_text(RESOURCE_REFERENCE_PARAMETER)
+        if name:
+            record_event("resolved", name, service=service.name)
         return service, name
 
     def sweep_all(self) -> dict[str, list[str]]:
@@ -49,4 +52,11 @@ class ServiceRegistry:
             expired = service.sweep_expired()
             if expired:
                 destroyed[address] = expired
+        if destroyed:
+            record_event(
+                "sweep",
+                "*",
+                services=len(destroyed),
+                destroyed=sum(len(names) for names in destroyed.values()),
+            )
         return destroyed

@@ -17,6 +17,8 @@ from repro.core.properties import (
     CorePropertyDocument,
     DataResourceManagement,
 )
+from repro.obs.journal import record_event
+from repro.obs.tracing import current_span
 from repro.xmlutil import XmlElement
 
 
@@ -32,6 +34,20 @@ class DataResource(ABC):
         self.abstract_name = abstract_name
         self.management = management
         self.parent = parent
+        #: The (trace_id, span_id) under which this resource was created,
+        #: when a trace was live — factory-derived resources use it to
+        #: link later accesses back to the creating trace.
+        span = current_span()
+        self.creating_trace: tuple[str, str] | None = (
+            (span.trace_id, span.span_id) if span.recording else None
+        )
+        record_event(
+            "created",
+            abstract_name,
+            type=type(self).__name__,
+            management=management.value,
+            parent=parent or None,
+        )
 
     # -- property document -------------------------------------------------
 
@@ -67,10 +83,14 @@ class DataResource(ABC):
         """Release resource state when the service↔resource relationship
         is destroyed.
 
-        Externally managed resources typically do nothing (the data
-        remains in place, paper §4.3); service managed resources drop
-        their data.
+        Externally managed resources typically do nothing with their
+        data (it remains in place, paper §4.3); service managed
+        resources drop theirs.  Overrides must call ``super()`` so the
+        destruction lands in the lifecycle journal.
         """
+        record_event(
+            "destroyed", self.abstract_name, management=self.management.value
+        )
 
     # -- introspection ---------------------------------------------------------
 

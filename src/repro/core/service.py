@@ -24,10 +24,12 @@ from repro.core.names import AbstractName
 from repro.core.properties import ConfigurableProperties
 from repro.core.resource import DataResource
 from repro.obs import MetricsRegistry, get_tracer
+from repro.obs.journal import get_journal, journal_element, record_event
 from repro.obs.properties import metrics_element
 from repro.soap.addressing import EndpointReference, MessageHeaders
 from repro.soap.envelope import Envelope, fault_envelope
 from repro.soap.fault import FaultCode, SoapFault
+from repro.soap.tracecontext import extract_context
 from repro.wsrf.clock import Clock
 from repro.wsrf.faults import WsrfFault
 from repro.wsrf.lifetime import LifetimeManager
@@ -63,10 +65,28 @@ class ResourceBinding:
 
         The service's live metrics ride along as a ``ServiceMetrics``
         extension element, so consumers can read them through the
-        standard property operations (paper §5).
+        standard property operations (paper §5).  When a span exporter
+        or the journal has dropped records at capacity, the drop counts
+        ride along too — eviction is observable, never silent.  The
+        resource's lifecycle history is the ``LifecycleJournal``
+        property element.
         """
         document = self.resource.property_document(self.configurable).to_xml()
-        document.append(metrics_element(self._service.metrics))
+        journal = get_journal()
+        extra = []
+        exporter = get_tracer().exporter
+        if exporter is not None:
+            extra.append(
+                ("obs.spans.dropped", {}, getattr(exporter, "dropped", 0))
+            )
+        if journal.dropped:
+            extra.append(("obs.journal.dropped", {}, journal.dropped))
+        document.append(
+            metrics_element(self._service.metrics, extra_counters=extra)
+        )
+        document.append(
+            journal_element(journal.events(resource=self.abstract_name))
+        )
         return document
 
     def require_readable(self) -> None:
@@ -232,16 +252,38 @@ class DataService:
 
         Every dispatch is one ``dais.dispatch`` span (action, resource
         abstract name, fault status) with a ``dais.handler`` child for
-        the handler body, and feeds the per-action metrics.
+        the handler body, and feeds the per-action metrics.  When the
+        request carries an ``obs:TraceContext`` header and no in-process
+        span is already open (a remote caller), the dispatch span adopts
+        the caller's trace so consumer and service form one tree; when
+        the target resource was created by a *different* trace (a
+        factory product), that trace is recorded as a span link.
         """
         action = request.headers.action
         tracer = get_tracer()
         started = time.perf_counter()
         with tracer.span("dais.dispatch", service=self.name, action=action) as span:
             if span.recording:
+                if span.parent_id is None:
+                    context = extract_context(
+                        request.headers.reference_parameters
+                    )
+                    if context is not None:
+                        span.adopt(context.trace_id, context.parent_id)
                 resource = request.payload.findtext(RESOURCE_REFERENCE_PARAMETER)
                 if resource:
-                    span.set_attribute("resource", resource.strip())
+                    name = resource.strip()
+                    span.set_attribute("resource", name)
+                    binding = self._bindings.get(name)
+                    creating = (
+                        getattr(binding.resource, "creating_trace", None)
+                        if binding is not None
+                        else None
+                    )
+                    if creating and creating[0] != span.trace_id:
+                        span.add_link(
+                            creating[0], creating[1], relation="created-by"
+                        )
             response = self._dispatch_guarded(request, action, tracer)
             self._dispatch_counter.inc(action=action)
             self._dispatch_seconds.observe(
@@ -369,7 +411,9 @@ class DataService:
         self, payload: XmlElement, headers: MessageHeaders
     ) -> msg.ResolveResponse:
         request = msg.ResolveRequest.from_xml(payload)
-        return msg.ResolveResponse(address=self.epr_for(request.abstract_name))
+        address = self.epr_for(request.abstract_name)
+        record_event("resolved", request.abstract_name, service=self.name)
+        return msg.ResolveResponse(address=address)
 
     # -- WSRF handlers -------------------------------------------------------
 

@@ -143,6 +143,7 @@ class FileSetResource(DataResource):
         return len(self.members())
 
     def on_destroy(self) -> None:
+        super().on_destroy()
         self._members = []
         self._destroyed = True
 

@@ -201,6 +201,7 @@ class SQLDataResource(DataResource):
         return len(self._contexts)
 
     def on_destroy(self) -> None:
+        super().on_destroy()
         # Abandon any open consumer transactions (rollback + release locks).
         for session in self._contexts.values():
             session.close()
@@ -336,6 +337,7 @@ class SQLResponseResource(DataResource):
         return self._sensitivity
 
     def on_destroy(self) -> None:
+        super().on_destroy()
         # Service managed: data goes away with the relationship (§4.3).
         self._snapshot = None
         self._destroyed = True
@@ -397,6 +399,7 @@ class SQLRowsetResource(DataResource):
         return self.rowset().row_count
 
     def on_destroy(self) -> None:
+        super().on_destroy()
         self._rowset = Rowset([], [], [])
         self._destroyed = True
 

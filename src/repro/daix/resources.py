@@ -232,6 +232,7 @@ class XMLSequenceResource(DataResource):
         return len(self.items())
 
     def on_destroy(self) -> None:
+        super().on_destroy()
         self._items = []
         self._destroyed = True
 

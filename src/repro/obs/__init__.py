@@ -12,6 +12,27 @@ Service metrics surface through the WS-DAI property document itself
 ``GetResourceProperty`` — observability via the spec's own mechanism.
 """
 
+from repro.obs.exporters import (
+    FileExporter,
+    load_spans,
+    span_from_dict,
+    span_to_dict,
+)
+from repro.obs.exposition import (
+    parse_prometheus_text,
+    prometheus_text,
+    render_trace_tree,
+)
+from repro.obs.journal import (
+    LIFECYCLE_JOURNAL,
+    LifecycleEvent,
+    LifecycleJournal,
+    events_from_element,
+    get_journal,
+    journal_element,
+    record_event,
+    use_journal,
+)
 from repro.obs.metrics import (
     Counter,
     Histogram,
@@ -28,6 +49,7 @@ from repro.obs.properties import (
 from repro.obs.tracing import (
     InMemoryExporter,
     Span,
+    SpanLink,
     Tracer,
     add_to_current_span,
     configure,
@@ -47,8 +69,24 @@ __all__ = [
     "counters_from_element",
     "histograms_from_element",
     "metrics_element",
+    "FileExporter",
+    "load_spans",
+    "span_from_dict",
+    "span_to_dict",
+    "parse_prometheus_text",
+    "prometheus_text",
+    "render_trace_tree",
+    "LIFECYCLE_JOURNAL",
+    "LifecycleEvent",
+    "LifecycleJournal",
+    "events_from_element",
+    "get_journal",
+    "journal_element",
+    "record_event",
+    "use_journal",
     "InMemoryExporter",
     "Span",
+    "SpanLink",
     "Tracer",
     "add_to_current_span",
     "configure",

@@ -1,0 +1,126 @@
+"""Span exporters beyond the in-memory collector.
+
+The :class:`FileExporter` appends one JSON object per finished span to a
+file (JSONL), so a long-running deployment can trace without holding
+every span in memory and a separate process — ``python -m repro trace
+<file>`` — can render the tree later.  :func:`span_to_dict` /
+:func:`span_from_dict` define the interchange shape shared by the file
+format and the HTTP ``GET /trace/<trace_id>`` endpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+
+from repro.obs.tracing import Span, SpanLink
+
+__all__ = [
+    "FileExporter",
+    "span_to_dict",
+    "span_from_dict",
+    "load_spans",
+]
+
+
+def span_to_dict(span: Span) -> dict:
+    """The JSON-ready shape of one finished span."""
+    out = {
+        "name": span.name,
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "start_time": span.start_time,
+        "end_time": span.end_time,
+        "status": span.status,
+        "attributes": dict(span.attributes),
+    }
+    if span.links:
+        out["links"] = [
+            {
+                "trace_id": link.trace_id,
+                "span_id": link.span_id,
+                "relation": link.relation,
+            }
+            for link in span.links
+        ]
+    return out
+
+
+def span_from_dict(data: dict) -> Span:
+    """Rebuild a :class:`Span` from :func:`span_to_dict` output."""
+    return Span(
+        name=data["name"],
+        trace_id=data["trace_id"],
+        span_id=data["span_id"],
+        parent_id=data.get("parent_id"),
+        attributes=dict(data.get("attributes", {})),
+        start_time=data.get("start_time", 0.0),
+        end_time=data.get("end_time"),
+        status=data.get("status", "ok"),
+        links=[
+            SpanLink(
+                link["trace_id"], link["span_id"], link.get("relation", "related")
+            )
+            for link in data.get("links", ())
+        ],
+    )
+
+
+class FileExporter:
+    """Appends finished spans to *path* as JSONL; thread-safe.
+
+    Attribute values that are not JSON-serializable are stringified
+    rather than dropped, so an exporter never loses a span to a payload
+    detail; spans that still fail to serialize are counted in
+    :attr:`dropped` instead of faulting the traced operation.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = pathlib.Path(path)
+        self._lock = threading.Lock()
+        self._file = None
+        self.exported = 0
+        self.dropped = 0
+
+    def export(self, span: Span) -> None:
+        try:
+            line = json.dumps(
+                span_to_dict(span), default=str, separators=(",", ":")
+            )
+        except Exception:
+            with self._lock:
+                self.dropped += 1
+            return
+        with self._lock:
+            if self._file is None:
+                self._file = self.path.open("a", encoding="utf-8")
+            self._file.write(line + "\n")
+            # Line-buffered durability: a reader (or a crash) sees every
+            # finished span, not whatever happened to fit the buffer.
+            self._file.flush()
+            self.exported += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "FileExporter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def load_spans(path) -> list[Span]:
+    """Read every span back out of a :class:`FileExporter` JSONL file."""
+    spans: list[Span] = []
+    with pathlib.Path(path).open(encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(span_from_dict(json.loads(line)))
+    return spans

@@ -1,0 +1,229 @@
+"""Read-only exposition formats: Prometheus text and span trees.
+
+:func:`prometheus_text` renders one or more
+:class:`~repro.obs.metrics.MetricsRegistry` instances in the Prometheus
+text exposition format (version 0.0.4) — the format ``GET /metrics`` on
+:class:`~repro.transport.DaisHttpServer` serves.  Counters gain the
+conventional ``_total`` suffix; histograms surface as a ``summary``
+(``_count``/``_sum``) plus ``_min``/``_max`` gauges.
+
+:func:`parse_prometheus_text` is the strict inverse used by tests and
+consumers to check the endpoint agrees with the in-process registry.
+
+:func:`render_trace_tree` turns a flat span list into the indented tree
+``python -m repro trace`` prints.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Span
+
+__all__ = [
+    "prometheus_text",
+    "parse_prometheus_text",
+    "render_trace_tree",
+]
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+_METRIC_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _metric_name(name: str) -> str:
+    """``dais.dispatch.count`` -> ``dais_dispatch_count``."""
+    sanitized = _NAME_SANITIZER.sub("_", name)
+    if not re.match(r"[a-zA-Z_:]", sanitized[:1] or "_"):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _sample_line(name: str, labels: dict[str, str], value: float) -> str:
+    if labels:
+        rendered = ",".join(
+            f'{_metric_name(key)}="{_escape_label(str(text))}"'
+            for key, text in sorted(labels.items())
+        )
+        return f"{name}{{{rendered}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+def prometheus_text(
+    registries: list[tuple[dict[str, str], MetricsRegistry]],
+    extra_gauges: list[tuple[str, str, dict[str, str], float]] | None = None,
+) -> str:
+    """Render registries as Prometheus text exposition.
+
+    :param registries: ``(base_labels, registry)`` pairs; the base labels
+        (e.g. ``{"service": "sql-service"}``) are merged into every
+        sample from that registry, which keeps one ``# TYPE`` block per
+        metric name even when several services define the same series.
+    :param extra_gauges: ``(name, help, labels, value)`` one-off gauges
+        (e.g. the span exporter's dropped count).
+    """
+    # metric name -> (type, help, [(labels, value), ...])
+    families: dict[str, tuple[str, str, list]] = {}
+
+    def family(name: str, kind: str, help_text: str) -> list:
+        entry = families.get(name)
+        if entry is None:
+            entry = families[name] = (kind, help_text, [])
+        return entry[2]
+
+    for base_labels, registry in registries:
+        for counter in registry.counters():
+            name = _metric_name(counter.name) + "_total"
+            samples = family(name, "counter", counter.description)
+            for labels, value in counter.items():
+                samples.append(({**base_labels, **labels}, value))
+        for histogram in registry.histograms():
+            base = _metric_name(histogram.name)
+            summary = family(base, "summary", histogram.description)
+            minimum = family(base + "_min", "gauge", histogram.description)
+            maximum = family(base + "_max", "gauge", histogram.description)
+            for labels, stats in histogram.items():
+                merged = {**base_labels, **labels}
+                summary.append((merged, stats, "summary"))
+                minimum.append((merged, stats.minimum))
+                maximum.append((merged, stats.maximum))
+
+    for name, help_text, labels, value in extra_gauges or ():
+        family(_metric_name(name), "gauge", help_text).append((labels, value))
+
+    lines: list[str] = []
+    for name in sorted(families):
+        kind, help_text, samples = families[name]
+        if help_text:
+            lines.append(f"# HELP {name} {_escape_label(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in samples:
+            if len(sample) == 3:  # summary: expand to _count/_sum
+                labels, stats, _ = sample
+                lines.append(_sample_line(name + "_count", labels, stats.count))
+                lines.append(_sample_line(name + "_sum", labels, stats.total))
+            else:
+                labels, value = sample
+                lines.append(_sample_line(name, labels, value))
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(
+    text: str,
+) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Parse Prometheus text exposition into ``{(name, labels): value}``.
+
+    Strict: any non-comment, non-blank line that does not match the
+    sample grammar raises ``ValueError`` — this is what "the endpoint
+    output parses as valid text format" means in the tests.
+    """
+    out: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _METRIC_LINE.match(line)
+        if match is None:
+            raise ValueError(f"invalid Prometheus sample line: {raw!r}")
+        labels_text = match.group("labels") or ""
+        labels: list[tuple[str, str]] = []
+        consumed = 0
+        for pair in _LABEL_PAIR.finditer(labels_text):
+            labels.append(
+                (
+                    pair.group(1),
+                    pair.group(2)
+                    .replace('\\"', '"')
+                    .replace("\\n", "\n")
+                    .replace("\\\\", "\\"),
+                )
+            )
+            consumed = pair.end()
+        remainder = labels_text[consumed:].strip(", ")
+        if remainder:
+            raise ValueError(f"invalid label syntax in: {raw!r}")
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            raise ValueError(f"invalid sample value in: {raw!r}") from None
+        out[(match.group("name"), tuple(sorted(labels)))] = value
+    return out
+
+
+#: Span attributes worth showing inline in a rendered tree, in order.
+_TREE_ATTRIBUTES = (
+    "transport",
+    "service",
+    "action",
+    "resource",
+    "request_bytes",
+    "response_bytes",
+    "rows_out",
+    "rows_scanned",
+    "result_nodes",
+    "status",
+)
+
+
+def _describe(span: Span) -> str:
+    parts = [span.name]
+    if span.end_time is not None:
+        parts.append(f"{span.duration_seconds * 1e3:.2f}ms")
+    for key in _TREE_ATTRIBUTES:
+        if key in span.attributes:
+            parts.append(f"{key}={span.attributes[key]}")
+    if span.status != "ok":
+        parts.append(f"[{span.status}]")
+    for link in span.links:
+        parts.append(f"link:{link.relation}->{link.trace_id}/{link.span_id}")
+    return " ".join(parts)
+
+
+def render_trace_tree(spans: list[Span], trace_id: str | None = None) -> str:
+    """Render spans as indented trees, one per root, in start order.
+
+    Spans whose parent is missing from the list (e.g. a remote parent
+    that exported elsewhere) render as roots marked ``~``.
+    """
+    chosen = [s for s in spans if trace_id is None or s.trace_id == trace_id]
+    chosen.sort(key=lambda s: (s.trace_id, s.start_time, s.span_id))
+    by_id = {span.span_id: span for span in chosen}
+    children: dict[str | None, list[Span]] = {}
+    roots: list[Span] = []
+    for span in chosen:
+        if span.parent_id is not None and span.parent_id in by_id:
+            children.setdefault(span.parent_id, []).append(span)
+        else:
+            roots.append(span)
+
+    lines: list[str] = []
+
+    def walk(span: Span, depth: int, orphan: bool) -> None:
+        indent = "  " * depth
+        marker = "~ " if orphan else ""
+        lines.append(f"{indent}{marker}{_describe(span)}")
+        for child in children.get(span.span_id, ()):
+            walk(child, depth + 1, False)
+
+    for root in roots:
+        if lines:
+            lines.append("")
+        walk(root, 0, root.parent_id is not None)
+    return "\n".join(lines)

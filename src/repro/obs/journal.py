@@ -1,0 +1,203 @@
+"""The WSRF lifecycle journal: structured resource lifetime events.
+
+The paper's §4.3/§5 story is a resource *lifecycle* — factories create
+derived resources, consumers resolve and extend them, soft state sweeps
+the expired ones away.  Metrics count these transitions but lose their
+order and identity; spans see them only while a trace is enabled.  The
+journal is the always-on, bounded record of the transitions themselves::
+
+    seq=1 created   urn:dais:sqlresponse:12  (type=SQLResponseResource)
+    seq=2 termination-set urn:dais:sqlresponse:12  (requested=30.0)
+    seq=3 expired   urn:dais:sqlresponse:12
+    seq=4 destroyed urn:dais:sqlresponse:12
+
+Events are emitted from :mod:`repro.core.resource`,
+:mod:`repro.core.registry` and :mod:`repro.wsrf.lifetime`, carry the
+current span's trace/span ids when tracing is on (so a journal line can
+be joined back to the trace that caused it), and are queryable
+in-process or through the ``obs:LifecycleJournal`` resource property
+(:func:`journal_element`).
+
+Like the tracer, the journal is a process-wide singleton with a
+swappable instance (:func:`use_journal`) for test isolation.  It is
+bounded: at capacity the oldest event is evicted and counted in
+:attr:`LifecycleJournal.dropped` — never silently.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.obs.tracing import current_span
+from repro.xmlutil import E, QName, XmlElement
+
+__all__ = [
+    "LifecycleEvent",
+    "LifecycleJournal",
+    "get_journal",
+    "record_event",
+    "use_journal",
+    "journal_element",
+    "events_from_element",
+    "LIFECYCLE_JOURNAL",
+]
+
+#: Namespace shared with the other observability properties.
+from repro.obs.properties import OBS_NS
+
+#: QName of the journal property element (use with GetResourceProperty).
+LIFECYCLE_JOURNAL = QName(OBS_NS, "LifecycleJournal")
+
+_EVENT = QName(OBS_NS, "Event")
+_DETAIL = QName(OBS_NS, "Detail")
+
+_sequence = itertools.count(1)
+
+
+@dataclass
+class LifecycleEvent:
+    """One resource lifecycle transition."""
+
+    sequence: int
+    event: str
+    resource: str
+    trace_id: str = ""
+    span_id: str = ""
+    detail: dict = field(default_factory=dict)
+
+
+class LifecycleJournal:
+    """A bounded, thread-safe, append-only record of lifecycle events."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._events: deque[LifecycleEvent] = deque()
+        self._capacity = capacity
+        self.dropped = 0
+
+    def record(self, event: str, resource: str, **detail) -> LifecycleEvent:
+        """Append one event, stamping the current trace context if any."""
+        span = current_span()
+        entry = LifecycleEvent(
+            sequence=next(_sequence),
+            event=event,
+            resource=str(resource),
+            trace_id=span.trace_id if span.recording else "",
+            span_id=span.span_id if span.recording else "",
+            detail={k: v for k, v in detail.items() if v is not None},
+        )
+        with self._lock:
+            if len(self._events) >= self._capacity:
+                self._events.popleft()
+                self.dropped += 1
+            self._events.append(entry)
+        return entry
+
+    def events(
+        self,
+        resource: str | None = None,
+        event: str | None = None,
+        trace_id: str | None = None,
+    ) -> list[LifecycleEvent]:
+        """A filtered snapshot, in emission order."""
+        with self._lock:
+            snapshot = list(self._events)
+        return [
+            entry
+            for entry in snapshot
+            if (resource is None or entry.resource == resource)
+            and (event is None or entry.event == event)
+            and (trace_id is None or entry.trace_id == trace_id)
+        ]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self.dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+#: The process-wide journal every emitting module goes through.
+_journal = LifecycleJournal()
+
+
+def get_journal() -> LifecycleJournal:
+    return _journal
+
+
+def record_event(event: str, resource: str, **detail) -> LifecycleEvent:
+    """Emit one event to the process-wide journal (the one-liner hooks
+    in resource/registry/lifetime code use)."""
+    return _journal.record(event, resource, **detail)
+
+
+class use_journal:
+    """Temporarily swap in a fresh (or given) journal::
+
+        with use_journal() as journal:
+            service.add_resource(resource)
+        assert journal.events(event="created")
+    """
+
+    def __init__(self, journal: LifecycleJournal | None = None) -> None:
+        self.journal = journal if journal is not None else LifecycleJournal()
+        self._previous: LifecycleJournal | None = None
+
+    def __enter__(self) -> LifecycleJournal:
+        global _journal
+        self._previous = _journal
+        _journal = self.journal
+        return self.journal
+
+    def __exit__(self, *exc_info) -> None:
+        global _journal
+        _journal = self._previous
+
+
+def journal_element(
+    events: list[LifecycleEvent], tag: QName = LIFECYCLE_JOURNAL
+) -> XmlElement:
+    """Render *events* as the ``obs:LifecycleJournal`` property element."""
+    root = E(tag)
+    for entry in events:
+        node = E(_EVENT)
+        node.set(QName("", "sequence"), str(entry.sequence))
+        node.set(QName("", "type"), entry.event)
+        node.set(QName("", "resource"), entry.resource)
+        if entry.trace_id:
+            node.set(QName("", "trace"), entry.trace_id)
+        if entry.span_id:
+            node.set(QName("", "span"), entry.span_id)
+        for key in sorted(entry.detail):
+            detail = E(_DETAIL, str(entry.detail[key]))
+            detail.set(QName("", "name"), key)
+            node.append(detail)
+        root.append(node)
+    return root
+
+
+def events_from_element(element: XmlElement) -> list[LifecycleEvent]:
+    """Parse events back out of a ``LifecycleJournal`` element (the
+    consumer-side inverse of :func:`journal_element`)."""
+    out: list[LifecycleEvent] = []
+    for node in element.findall(_EVENT):
+        out.append(
+            LifecycleEvent(
+                sequence=int(node.get(QName("", "sequence")) or 0),
+                event=node.get(QName("", "type")) or "",
+                resource=node.get(QName("", "resource")) or "",
+                trace_id=node.get(QName("", "trace")) or "",
+                span_id=node.get(QName("", "span")) or "",
+                detail={
+                    detail.get(QName("", "name")) or "": detail.text
+                    for detail in node.findall(_DETAIL)
+                },
+            )
+        )
+    return out

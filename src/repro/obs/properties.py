@@ -56,10 +56,24 @@ def _number(value: float) -> str:
 
 
 def metrics_element(
-    registry: MetricsRegistry, tag: QName = SERVICE_METRICS
+    registry: MetricsRegistry,
+    tag: QName = SERVICE_METRICS,
+    extra_counters: list[tuple[str, dict[str, str], float]] | None = None,
 ) -> XmlElement:
-    """Render *registry* as a property element; labels become attributes."""
+    """Render *registry* as a property element; labels become attributes.
+
+    *extra_counters* — ``(name, labels, value)`` triples — lets callers
+    surface observability-of-observability series that live outside the
+    registry, e.g. the span exporter's ``obs.spans.dropped`` count, so
+    nothing is discarded silently.
+    """
     root = E(tag)
+    for name, labels, value in extra_counters or ():
+        node = E(_COUNTER, _number(value))
+        node.set(QName("", "name"), name)
+        for key, text in labels.items():
+            node.set(QName("", key), text)
+        root.append(node)
     for counter in registry.counters():
         for labels, value in counter.items():
             node = E(_COUNTER, _number(value))

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 
 __all__ = [
     "Span",
+    "SpanLink",
     "Tracer",
     "InMemoryExporter",
     "get_tracer",
@@ -51,6 +52,21 @@ _current_span: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
 )
 
 
+@dataclass(frozen=True)
+class SpanLink:
+    """A causal pointer to a span in *another* trace.
+
+    Links carry relationships that parent/child nesting cannot: a derived
+    resource created by one consumer's trace and later accessed by a
+    different consumer records the creating span as a ``created-by`` link
+    on the accessing trace's dispatch span.
+    """
+
+    trace_id: str
+    span_id: str
+    relation: str = "related"
+
+
 @dataclass
 class Span:
     """One finished-or-running timed operation in a trace tree."""
@@ -63,6 +79,8 @@ class Span:
     start_time: float = 0.0
     end_time: float | None = None
     status: str = "ok"
+    #: Cross-trace causal pointers (see :class:`SpanLink`).
+    links: list = field(default_factory=list)
 
     #: Real spans record; the no-op span reports False so instrumentation
     #: can skip attribute computation entirely when tracing is off.
@@ -90,6 +108,27 @@ class Span:
         if message:
             self.attributes.setdefault("fault.message", message)
 
+    def add_link(
+        self, trace_id: str, span_id: str, relation: str = "related"
+    ) -> None:
+        """Record a causal link to a span in another trace."""
+        self.links.append(SpanLink(trace_id, span_id, relation))
+
+    def adopt(self, trace_id: str, parent_id: str) -> bool:
+        """Adopt a remote caller's trace context.
+
+        Only a *root* span (no in-process parent) adopts — when the
+        caller is in-process the contextvar chain already carries the
+        trace, and the wire header is redundant.  Returns True when the
+        span switched traces.
+        """
+        if not self.recording or self.parent_id is not None:
+            return False
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.attributes.setdefault("remote_parent", True)
+        return True
+
 
 class _NoopSpan(Span):
     """The shared do-nothing span handed out while tracing is disabled."""
@@ -107,6 +146,11 @@ class _NoopSpan(Span):
         pass
 
     def mark_fault(self, message: str = "") -> None:
+        pass
+
+    def add_link(
+        self, trace_id: str, span_id: str, relation: str = "related"
+    ) -> None:
         pass
 
 
@@ -199,9 +243,14 @@ class InMemoryExporter:
 
 
 class Tracer:
-    """Mints spans against one exporter; disabled when it has none."""
+    """Mints spans against one exporter; disabled when it has none.
 
-    def __init__(self, exporter: InMemoryExporter | None = None) -> None:
+    An exporter is anything with an ``export(span)`` method — the
+    in-memory collector here or the JSONL
+    :class:`repro.obs.exporters.FileExporter`.
+    """
+
+    def __init__(self, exporter=None) -> None:
         self.exporter = exporter
 
     @property

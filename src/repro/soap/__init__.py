@@ -19,6 +19,15 @@ from repro.soap.addressing import (
     new_message_id,
     ANONYMOUS_ADDRESS,
 )
+from repro.soap.tracecontext import (
+    TRACE_CONTEXT,
+    TraceContext,
+    adopt_current_span,
+    extract_context,
+    inject,
+    propagation_enabled,
+    set_propagation,
+)
 
 __all__ = [
     "SOAP_ENV_NS",
@@ -30,4 +39,11 @@ __all__ = [
     "MessageHeaders",
     "new_message_id",
     "ANONYMOUS_ADDRESS",
+    "TRACE_CONTEXT",
+    "TraceContext",
+    "adopt_current_span",
+    "extract_context",
+    "inject",
+    "propagation_enabled",
+    "set_propagation",
 ]

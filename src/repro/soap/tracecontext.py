@@ -1,0 +1,182 @@
+"""The ``obs:TraceContext`` SOAP header block: trace propagation.
+
+The W3C ``traceparent`` HTTP header carries (version, trace-id,
+parent-id, flags) so a callee can join the caller's trace.  DAIS
+messages already carry their metadata as SOAP header blocks next to the
+WS-Addressing properties, so the same quartet travels as one header
+element instead of an HTTP header — transport-agnostic, which matters
+here because the loopback and HTTP bindings must stay wire-equivalent::
+
+    <obs:TraceContext version="00">
+      <obs:TraceId>trace-0000002a</obs:TraceId>
+      <obs:ParentId>0000002a</obs:ParentId>
+    </obs:TraceContext>
+
+Injection is the transport's job (both call :func:`inject` on the
+request envelope while the ``rpc.send`` span is open); extraction is the
+service side's (:func:`extract_context` +
+:func:`adopt_current_span` in ``DataService.dispatch`` and
+``DaisHttpServer``).
+
+Parsing is *tolerant by design*: a malformed, truncated, oversized or
+simply absent header yields ``None`` and the request proceeds on a
+fresh root trace — observability must never fault a data request.
+Injection is also globally switchable (:func:`set_propagation`) so the
+benchmarks can price the header itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.properties import OBS_NS
+from repro.obs.tracing import current_span
+from repro.soap.addressing import MessageHeaders
+from repro.soap.envelope import Envelope
+from repro.xmlutil import E, QName, XmlElement
+
+__all__ = [
+    "TRACE_CONTEXT",
+    "TraceContext",
+    "to_header_block",
+    "from_header_block",
+    "extract_context",
+    "inject",
+    "adopt_current_span",
+    "set_propagation",
+    "propagation_enabled",
+]
+
+#: QName of the trace-propagation header block.
+TRACE_CONTEXT = QName(OBS_NS, "TraceContext")
+
+_TRACE_ID = QName(OBS_NS, "TraceId")
+_PARENT_ID = QName(OBS_NS, "ParentId")
+_VERSION_ATTR = QName("", "version")
+
+#: The wire-format version this implementation speaks.
+VERSION = "00"
+
+#: Hardening bounds: anything longer is treated as malformed and ignored.
+MAX_TRACE_ID_LENGTH = 128
+MAX_PARENT_ID_LENGTH = 64
+
+_propagate = True
+
+
+def set_propagation(enabled: bool) -> bool:
+    """Globally enable/disable header injection; returns the old state.
+
+    Extraction is unaffected — a service always honours an incoming
+    context.  Exists so benchmarks can measure the injection cost
+    (``benchmarks/test_fig2_direct_message.py``).
+    """
+    global _propagate
+    previous = _propagate
+    _propagate = bool(enabled)
+    return previous
+
+
+def propagation_enabled() -> bool:
+    return _propagate
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The (trace_id, parent span id) pair a caller hands its callee."""
+
+    trace_id: str
+    parent_id: str
+
+
+def to_header_block(context: TraceContext) -> XmlElement:
+    """Render *context* as the ``obs:TraceContext`` header element."""
+    block = E(
+        TRACE_CONTEXT,
+        E(_TRACE_ID, context.trace_id),
+        E(_PARENT_ID, context.parent_id),
+    )
+    block.set(_VERSION_ATTR, VERSION)
+    return block
+
+
+def from_header_block(block: XmlElement) -> TraceContext | None:
+    """Parse one header element; ``None`` for anything non-conforming.
+
+    Unknown versions are ignored (a future version may change the child
+    layout); so are missing/empty/oversized ids.  Never raises.
+    """
+    try:
+        if block.tag != TRACE_CONTEXT:
+            return None
+        version = block.get(_VERSION_ATTR)
+        if version is not None and version != VERSION:
+            return None
+        trace_id = (block.findtext(_TRACE_ID) or "").strip()
+        parent_id = (block.findtext(_PARENT_ID) or "").strip()
+        if not trace_id or not parent_id:
+            return None
+        if (
+            len(trace_id) > MAX_TRACE_ID_LENGTH
+            or len(parent_id) > MAX_PARENT_ID_LENGTH
+        ):
+            return None
+        if any(ch.isspace() for ch in trace_id + parent_id):
+            return None
+        return TraceContext(trace_id=trace_id, parent_id=parent_id)
+    except Exception:
+        return None
+
+
+def extract_context(blocks) -> TraceContext | None:
+    """The first well-formed ``obs:TraceContext`` among *blocks* (the
+    non-WSA header blocks a parsed envelope carries), else ``None``."""
+    for block in blocks:
+        try:
+            tag = block.tag
+        except Exception:
+            continue
+        if tag == TRACE_CONTEXT:
+            context = from_header_block(block)
+            if context is not None:
+                return context
+    return None
+
+
+def inject(request: Envelope) -> Envelope:
+    """Return *request* with the current span's context as a header.
+
+    A no-op (returning the same envelope object) when propagation is
+    off or no span is recording — the wire format is byte-identical to
+    an uninstrumented build unless a trace is actually live.
+    """
+    if not _propagate:
+        return request
+    span = current_span()
+    if not span.recording:
+        return request
+    block = to_header_block(TraceContext(span.trace_id, span.span_id))
+    headers = request.headers
+    return Envelope(
+        headers=MessageHeaders(
+            to=headers.to,
+            action=headers.action,
+            message_id=headers.message_id,
+            relates_to=headers.relates_to,
+            reply_to=headers.reply_to,
+            reference_parameters=headers.reference_parameters + (block,),
+        ),
+        payload=request.payload,
+    )
+
+
+def adopt_current_span(context: TraceContext | None) -> bool:
+    """Make the innermost open span join *context*'s trace.
+
+    Only a recording root span adopts (see :meth:`Span.adopt`); passing
+    ``None`` is a no-op so callers can chain
+    ``adopt_current_span(extract_context(...))`` unconditionally.
+    """
+    if context is None:
+        return False
+    return current_span().adopt(context.trace_id, context.parent_id)

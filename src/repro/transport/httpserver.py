@@ -11,21 +11,36 @@ sent with status 500; transport-level problems (unparseable envelope,
 unknown service path) are wrapped into proper SOAP fault envelopes
 rather than ad-hoc error bodies, so consumers always get something
 :meth:`~repro.soap.envelope.Envelope.raise_if_fault` understands.
+
+Besides the SOAP POST endpoint, the server exposes three read-only GET
+endpoints for operators:
+
+* ``GET /metrics`` — Prometheus text exposition of the server's and
+  every registered service's metrics registry;
+* ``GET /healthz`` — liveness plus service inventory, as JSON;
+* ``GET /trace/<trace_id>`` — the named trace's spans as JSON, when an
+  in-memory exporter is installed on the global tracer.
 """
 
 from __future__ import annotations
 
+import json
 import threading
 import urllib.error
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.core.faults import ServiceNotFoundFault
 from repro.core.registry import ServiceRegistry
 from repro.obs import MetricsRegistry, get_tracer
+from repro.obs.exporters import span_to_dict
+from repro.obs.exposition import prometheus_text
+from repro.obs.journal import get_journal
 from repro.soap.addressing import MessageHeaders
 from repro.soap.envelope import Envelope, fault_envelope
 from repro.soap.fault import FaultCode, SoapFault
 from repro.soap.namespaces import SOAP_ENV_NS
+from repro.soap.tracecontext import adopt_current_span, extract_context, inject
 from repro.transport.wire import CallRecord, NetworkModel, WireStats
 
 
@@ -79,6 +94,14 @@ class DaisHttpServer:
                 self.end_headers()
                 self.wfile.write(payload)
 
+            def do_GET(self) -> None:  # noqa: N802 - stdlib API
+                status, content_type, payload = outer._handle_get(self.path)
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
             def log_message(self, *args) -> None:  # silence stderr
                 pass
 
@@ -100,17 +123,105 @@ class DaisHttpServer:
                 FaultCode.CLIENT, f"malformed request envelope: {exc}"
             )
             return fault_envelope(_transport_fault_headers(path), fault), 500
+        # Join the remote caller's trace before any further span opens:
+        # the handler thread is fresh, so the open http.server.request
+        # span is a root and adopts the obs:TraceContext header.
+        adopt_current_span(
+            extract_context(request.headers.reference_parameters)
+        )
         try:
             service = self._registry.service_at(self.address_for_path(path))
         except LookupError as exc:
             return (
-                fault_envelope(
-                    request.headers, SoapFault(FaultCode.CLIENT, str(exc))
-                ),
+                fault_envelope(request.headers, ServiceNotFoundFault(str(exc))),
                 500,
             )
         response = service.dispatch(request)
         return response, (500 if response.is_fault() else 200)
+
+    # -- read-only exposition endpoints ---------------------------------------
+
+    def _handle_get(self, path: str) -> tuple[int, str, bytes]:
+        """Serve one GET: /metrics, /healthz or /trace/<trace_id>."""
+        path = path.split("?", 1)[0]
+        if path == "/metrics":
+            return 200, "text/plain; version=0.0.4; charset=utf-8", (
+                self.metrics_exposition().encode("utf-8")
+            )
+        if path == "/healthz":
+            body = json.dumps(
+                {
+                    "status": "ok",
+                    "services": [
+                        self._registry.service_at(address).name
+                        for address in self._registry.addresses()
+                    ],
+                    "tracing": get_tracer().enabled,
+                },
+                sort_keys=True,
+            )
+            return 200, "application/json; charset=utf-8", body.encode("utf-8")
+        if path.startswith("/trace/"):
+            trace_id = path[len("/trace/") :]
+            exporter = get_tracer().exporter
+            spans = None
+            if exporter is not None and hasattr(exporter, "trace"):
+                spans = exporter.trace(trace_id)
+            if not spans:
+                body = json.dumps({"error": f"unknown trace {trace_id!r}"})
+                return 404, "application/json; charset=utf-8", body.encode(
+                    "utf-8"
+                )
+            body = json.dumps(
+                {
+                    "trace_id": trace_id,
+                    "spans": [span_to_dict(span) for span in spans],
+                },
+                default=str,
+            )
+            return 200, "application/json; charset=utf-8", body.encode("utf-8")
+        body = json.dumps({"error": f"no such endpoint {path!r}"})
+        return 404, "application/json; charset=utf-8", body.encode("utf-8")
+
+    def metrics_exposition(self) -> str:
+        """The Prometheus text body ``GET /metrics`` serves: this
+        server's registry plus every registered service's, labelled."""
+        registries = [({"component": "http.server"}, self.metrics)]
+        for address in self._registry.addresses():
+            service = self._registry.service_at(address)
+            registries.append(
+                ({"component": "service", "service": service.name}, service.metrics)
+            )
+        extra = []
+        exporter = get_tracer().exporter
+        if exporter is not None:
+            extra.append(
+                (
+                    "obs.spans.dropped",
+                    "spans discarded by the exporter at capacity",
+                    {},
+                    getattr(exporter, "dropped", 0),
+                )
+            )
+        journal = get_journal()
+        extra.append(
+            (
+                "obs.journal.events",
+                "lifecycle journal events currently retained",
+                {},
+                len(journal),
+            )
+        )
+        if journal.dropped:
+            extra.append(
+                (
+                    "obs.journal.dropped",
+                    "lifecycle journal events evicted at capacity",
+                    {},
+                    journal.dropped,
+                )
+            )
+        return prometheus_text(registries, extra_gauges=extra)
 
     @property
     def port(self) -> int:
@@ -177,7 +288,7 @@ class HttpTransport:
         with get_tracer().span(
             "rpc.send", transport="http", address=address, action=action
         ) as span:
-            request_bytes = request.to_bytes()
+            request_bytes = inject(request).to_bytes()
             http_request = urllib.request.Request(
                 address,
                 data=request_bytes,

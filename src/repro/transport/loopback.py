@@ -7,9 +7,11 @@ deterministic and fast enough for property tests and benchmarks.
 
 from __future__ import annotations
 
+from repro.core.faults import ServiceNotFoundFault
 from repro.core.registry import ServiceRegistry
 from repro.obs import MetricsRegistry, get_tracer
-from repro.soap.envelope import Envelope
+from repro.soap.envelope import Envelope, fault_envelope
+from repro.soap.tracecontext import inject
 from repro.transport.wire import CallRecord, NetworkModel, WireStats
 
 
@@ -51,9 +53,18 @@ class LoopbackTransport:
         with get_tracer().span(
             "rpc.send", transport="loopback", address=address, action=action
         ) as span:
-            request_bytes = request.to_bytes()
-            service = self._registry.service_at(address)
-            response = service.dispatch(Envelope.from_bytes(request_bytes))
+            request_bytes = inject(request).to_bytes()
+            try:
+                service = self._registry.service_at(address)
+            except LookupError as exc:
+                # Same fault shape the HTTP binding produces for an
+                # unknown path, so consumers see one behaviour.
+                response = fault_envelope(
+                    request.headers, ServiceNotFoundFault(str(exc))
+                )
+                span.mark_fault()
+            else:
+                response = service.dispatch(Envelope.from_bytes(request_bytes))
             response_bytes = response.to_bytes()
             modeled = self._network.transfer_time(
                 len(request_bytes)

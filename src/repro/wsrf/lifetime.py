@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.obs.journal import record_event
 from repro.wsrf.clock import Clock, SystemClock
 from repro.wsrf.faults import ResourceUnknownFault, UnableToSetTerminationTimeFault
 
@@ -63,6 +64,9 @@ class LifetimeManager:
         )
         self._termination[resource_id] = when
         self._destructors[resource_id] = destructor
+        record_event(
+            "lifetime-registered", resource_id, termination_time=when
+        )
         return self.current(resource_id)
 
     def registered(self, resource_id: str) -> bool:
@@ -87,18 +91,31 @@ class LifetimeManager:
             # spec's permission to schedule immediate termination — but a
             # manager may also refuse; we destroy, which is the useful
             # behaviour for DAIS derived resources.
+            record_event(
+                "termination-set",
+                resource_id,
+                requested=requested,
+                outcome="destroyed-immediately",
+            )
             self.destroy(resource_id)
             raise UnableToSetTerminationTimeFault(
                 f"termination time {requested} is in the past; "
                 f"resource {resource_id!r} destroyed"
             )
         self._termination[resource_id] = requested
+        record_event("termination-set", resource_id, requested=requested)
         return self.current(resource_id)
 
     def extend(self, resource_id: str, seconds: float) -> TerminationRecord:
         """Keep-alive: push the termination time *seconds* from now."""
         self._require(resource_id)
         self._termination[resource_id] = self._clock.now() + seconds
+        record_event(
+            "extended",
+            resource_id,
+            seconds=seconds,
+            termination_time=self._termination[resource_id],
+        )
         return self.current(resource_id)
 
     def destroy(self, resource_id: str) -> None:
@@ -120,7 +137,8 @@ class LifetimeManager:
             if when is not None and when <= now
         )
         destroyed: list[str] = []
-        for _, resource_id in expired:
+        for when, resource_id in expired:
+            record_event("expired", resource_id, termination_time=when)
             self.destroy(resource_id)
             destroyed.append(resource_id)
         return destroyed

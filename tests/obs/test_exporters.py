@@ -1,0 +1,141 @@
+"""Unit tests for the JSONL file exporter and the span JSON shape."""
+
+import json
+
+from repro.obs import (
+    FileExporter,
+    Tracer,
+    load_spans,
+    span_from_dict,
+    span_to_dict,
+)
+from repro.obs.tracing import Span
+
+
+def _finished_span(**overrides) -> Span:
+    values = dict(
+        name="work",
+        trace_id="trace-1",
+        span_id="0001",
+        parent_id=None,
+        attributes={"rows": 3},
+        start_time=1.0,
+        end_time=2.5,
+        status="ok",
+    )
+    values.update(overrides)
+    return Span(**values)
+
+
+class TestSpanDictShape:
+    def test_round_trip_plain_span(self):
+        span = _finished_span()
+        back = span_from_dict(span_to_dict(span))
+        assert back.name == span.name
+        assert back.trace_id == span.trace_id
+        assert back.span_id == span.span_id
+        assert back.parent_id is None
+        assert back.attributes == {"rows": 3}
+        assert back.start_time == 1.0
+        assert back.end_time == 2.5
+        assert back.status == "ok"
+        assert back.links == []
+
+    def test_round_trip_preserves_links(self):
+        span = _finished_span()
+        span.add_link("trace-9", "0099", relation="created-by")
+        data = span_to_dict(span)
+        assert data["links"] == [
+            {"trace_id": "trace-9", "span_id": "0099", "relation": "created-by"}
+        ]
+        back = span_from_dict(data)
+        (link,) = back.links
+        assert (link.trace_id, link.span_id, link.relation) == (
+            "trace-9",
+            "0099",
+            "created-by",
+        )
+
+    def test_from_dict_defaults_optional_fields(self):
+        back = span_from_dict(
+            {"name": "n", "trace_id": "t", "span_id": "s"}
+        )
+        assert back.parent_id is None
+        assert back.attributes == {}
+        assert back.status == "ok"
+        assert back.links == []
+        # A link without an explicit relation parses with the default.
+        linked = span_from_dict(
+            {
+                "name": "n",
+                "trace_id": "t",
+                "span_id": "s",
+                "links": [{"trace_id": "t2", "span_id": "s2"}],
+            }
+        )
+        assert linked.links[0].relation == "related"
+
+
+class TestFileExporter:
+    def test_appends_jsonl_and_loads_back(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with FileExporter(path) as exporter:
+            exporter.export(_finished_span(span_id="0001"))
+            exporter.export(_finished_span(span_id="0002", parent_id="0001"))
+        assert exporter.exported == 2
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        json.loads(lines[0])  # each line is standalone JSON
+        spans = load_spans(path)
+        assert [span.span_id for span in spans] == ["0001", "0002"]
+        assert spans[1].parent_id == "0001"
+
+    def test_load_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with FileExporter(path) as exporter:
+            exporter.export(_finished_span())
+        path.write_text(path.read_text() + "\n\n")
+        assert len(load_spans(path)) == 1
+
+    def test_non_json_attribute_values_are_stringified(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        span = _finished_span(attributes={"qname": object()})
+        with FileExporter(path) as exporter:
+            exporter.export(span)
+        (back,) = load_spans(path)
+        assert back.attributes["qname"].startswith("<object object")
+        assert exporter.dropped == 0
+
+    def test_unserializable_span_counts_dropped_not_raises(self, tmp_path):
+        class Hostile:
+            def __str__(self):
+                raise RuntimeError("no string for you")
+
+        path = tmp_path / "spans.jsonl"
+        with FileExporter(path) as exporter:
+            exporter.export(_finished_span(attributes={"bad": Hostile()}))
+            exporter.export(_finished_span())
+        assert exporter.dropped == 1
+        assert exporter.exported == 1
+        assert len(load_spans(path)) == 1
+
+    def test_works_as_tracer_exporter(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        tracer = Tracer(FileExporter(path))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        spans = {span.name: span for span in load_spans(path)}
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["inner"].trace_id == spans["outer"].trace_id
+
+    def test_close_is_idempotent_and_reopens_on_next_export(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        exporter = FileExporter(path)
+        exporter.close()  # nothing open yet: no-op
+        exporter.export(_finished_span(span_id="0001"))
+        exporter.close()
+        exporter.close()
+        exporter.export(_finished_span(span_id="0002"))
+        exporter.close()
+        assert [span.span_id for span in load_spans(path)] == ["0001", "0002"]

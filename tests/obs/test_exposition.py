@@ -1,0 +1,146 @@
+"""Unit tests for Prometheus text exposition and trace-tree rendering."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    parse_prometheus_text,
+    prometheus_text,
+    render_trace_tree,
+)
+from repro.obs.tracing import Span
+
+
+class TestPrometheusText:
+    def test_counters_get_total_suffix_and_merged_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("dais.dispatch.count", "dispatches").inc(
+            3, action="Query"
+        )
+        text = prometheus_text([({"service": "sql"}, registry)])
+        assert "# TYPE dais_dispatch_count_total counter" in text
+        assert "# HELP dais_dispatch_count_total dispatches" in text
+        parsed = parse_prometheus_text(text)
+        assert parsed[
+            (
+                "dais_dispatch_count_total",
+                (("action", "Query"), ("service", "sql")),
+            )
+        ] == 3
+
+    def test_histograms_render_as_summary_plus_min_max(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("rpc.seconds", "latency")
+        histogram.observe(0.25)
+        histogram.observe(0.75)
+        text = prometheus_text([({}, registry)])
+        assert "# TYPE rpc_seconds summary" in text
+        assert "# TYPE rpc_seconds_min gauge" in text
+        parsed = parse_prometheus_text(text)
+        assert parsed[("rpc_seconds_count", ())] == 2
+        assert parsed[("rpc_seconds_sum", ())] == 1.0
+        assert parsed[("rpc_seconds_min", ())] == 0.25
+        assert parsed[("rpc_seconds_max", ())] == 0.75
+
+    def test_same_series_from_two_registries_shares_one_type_block(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("rpc.client.requests", "sent").inc(1)
+        second.counter("rpc.client.requests", "sent").inc(2)
+        text = prometheus_text(
+            [({"service": "a"}, first), ({"service": "b"}, second)]
+        )
+        assert text.count("# TYPE rpc_client_requests_total counter") == 1
+        parsed = parse_prometheus_text(text)
+        assert parsed[("rpc_client_requests_total", (("service", "a"),))] == 1
+        assert parsed[("rpc_client_requests_total", (("service", "b"),))] == 2
+
+    def test_label_values_escape_quotes_backslashes_newlines(self):
+        registry = MetricsRegistry()
+        registry.counter("odd.values", "odd").inc(
+            1, expr='say "hi"\\\n twice'
+        )
+        text = prometheus_text([({}, registry)])
+        parsed = parse_prometheus_text(text)
+        ((name, labels),) = [k for k in parsed if k[0] == "odd_values_total"]
+        assert dict(labels)["expr"] == 'say "hi"\\\n twice'
+
+    def test_extra_gauges_appear_with_help(self):
+        text = prometheus_text(
+            [], extra_gauges=[("obs.spans.dropped", "drops", {}, 7)]
+        )
+        assert "# TYPE obs_spans_dropped gauge" in text
+        assert parse_prometheus_text(text)[("obs_spans_dropped", ())] == 7
+
+    def test_empty_registries_render_parseable_text(self):
+        text = prometheus_text([({}, MetricsRegistry())])
+        assert parse_prometheus_text(text) == {}
+
+
+class TestPrometheusParserStrictness:
+    def test_rejects_garbage_sample_line(self):
+        with pytest.raises(ValueError, match="invalid Prometheus sample"):
+            parse_prometheus_text("this is not a metric\n")
+
+    def test_rejects_unparseable_labels(self):
+        with pytest.raises(ValueError, match="invalid label syntax"):
+            parse_prometheus_text('m{action=unquoted} 1\n')
+
+    def test_rejects_non_numeric_value(self):
+        with pytest.raises(ValueError, match="invalid sample value"):
+            parse_prometheus_text("m one\n")
+
+    def test_accepts_comments_and_blank_lines(self):
+        assert parse_prometheus_text("# HELP m help\n\n# TYPE m counter\n") == {}
+
+
+def _span(name, span_id, parent_id=None, trace_id="trace-1", **attributes):
+    return Span(
+        name=name,
+        trace_id=trace_id,
+        span_id=span_id,
+        parent_id=parent_id,
+        attributes=attributes,
+        start_time=float(int(span_id, 16)),
+        end_time=float(int(span_id, 16)) + 0.5,
+    )
+
+
+class TestRenderTraceTree:
+    def test_children_indent_under_parent_with_attributes(self):
+        spans = [
+            _span("consumer.request", "01"),
+            _span("rpc.send", "02", parent_id="01", transport="http",
+                  request_bytes=100),
+            _span("dais.dispatch", "03", parent_id="02", service="sql"),
+        ]
+        text = render_trace_tree(spans)
+        lines = text.splitlines()
+        assert lines[0].startswith("consumer.request ")
+        assert lines[1].startswith("  rpc.send ")
+        assert "transport=http" in lines[1]
+        assert "request_bytes=100" in lines[1]
+        assert lines[2].startswith("    dais.dispatch ")
+
+    def test_orphans_render_as_marked_roots(self):
+        spans = [_span("lonely", "02", parent_id="99")]
+        assert render_trace_tree(spans).startswith("~ lonely")
+
+    def test_trace_id_filter_selects_one_tree(self):
+        spans = [
+            _span("a", "01", trace_id="trace-a"),
+            _span("b", "02", trace_id="trace-b"),
+        ]
+        assert "b" not in render_trace_tree(spans, trace_id="trace-a")
+        assert render_trace_tree(spans).count("\n\n") == 1  # two trees
+
+    def test_fault_status_and_links_shown(self):
+        span = _span("dais.dispatch", "01")
+        span.status = "fault"
+        span.add_link("trace-9", "0042", relation="created-by")
+        text = render_trace_tree([span])
+        assert "[fault]" in text
+        assert "link:created-by->trace-9/0042" in text
+
+    def test_unfinished_span_renders_without_duration(self):
+        span = Span(name="open", trace_id="t", span_id="01")
+        assert render_trace_tree([span]) == "open"

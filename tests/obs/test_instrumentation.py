@@ -196,6 +196,80 @@ class TestMetricsThroughProperties:
         assert all(node.tag == QName(OBS_NS, "Counter") for node in results)
 
 
+class TestLifecycleJournalThroughProperties:
+    def test_derived_resource_lifecycle_readable_via_property_document(self):
+        from repro.obs import LIFECYCLE_JOURNAL, events_from_element, use_journal
+
+        deployment = build_single_service(WORKLOAD)
+        client = deployment.client
+        with use_journal():
+            factory = client.sql_execute_factory(
+                deployment.address, deployment.name, "SELECT * FROM customers"
+            )
+            document = client.get_sql_response_property_document(
+                factory.address, factory.abstract_name
+            )
+        element = document.find(LIFECYCLE_JOURNAL)
+        assert element is not None
+        events = events_from_element(element)
+        assert [e.event for e in events] == ["created"]
+        assert events[0].resource == factory.abstract_name
+        assert events[0].detail["type"] == "SQLResponseResource"
+
+    def test_wsrf_lifetime_transitions_reach_the_journal(self):
+        from repro.obs import use_journal
+
+        deployment = build_single_service(WORKLOAD, wsrf=True)
+        client = deployment.client
+        with use_journal() as journal:
+            factory = client.sql_execute_factory(
+                deployment.address, deployment.name, "SELECT 1"
+            )
+            client.set_termination_time(
+                deployment.address, factory.abstract_name, None
+            )
+            client.destroy(deployment.address, factory.abstract_name)
+        events = [
+            e.event for e in journal.events(resource=factory.abstract_name)
+        ]
+        assert events[0] == "created"
+        assert "lifetime-registered" in events
+        assert "termination-set" in events
+        assert events[-1] == "destroyed"
+
+    def test_journal_events_carry_the_creating_trace(self):
+        from repro.obs import use_journal
+
+        deployment = build_single_service(WORKLOAD)
+        client = deployment.client
+        with use_exporter() as exporter, use_journal() as journal:
+            factory = client.sql_execute_factory(
+                deployment.address, deployment.name, "SELECT 1"
+            )
+        (created,) = journal.events(
+            resource=factory.abstract_name, event="created"
+        )
+        handler_ids = {span.span_id for span in exporter.spans("dais.handler")}
+        assert created.span_id in handler_ids
+        assert created.trace_id == exporter.spans("dais.handler")[0].trace_id
+
+    def test_dropped_span_count_surfaces_in_service_metrics(self):
+        from repro.obs import InMemoryExporter, counters_from_element
+
+        deployment = build_single_service(WORKLOAD)
+        client = deployment.client
+        with use_exporter(InMemoryExporter(capacity=1)):
+            for _ in range(3):
+                client.sql_execute(
+                    deployment.address, deployment.name, "SELECT 1"
+                )
+            document = client.get_property_document(
+                deployment.address, deployment.name
+            )
+        counters = counters_from_element(document.find(SERVICE_METRICS))
+        assert counters[("obs.spans.dropped", ())] > 0
+
+
 class TestHttpSpans:
     def test_http_binding_produces_server_and_client_spans(self):
         registry = ServiceRegistry()

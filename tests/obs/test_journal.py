@@ -1,0 +1,115 @@
+"""Unit tests for the WSRF lifecycle journal."""
+
+from repro.obs import (
+    LIFECYCLE_JOURNAL,
+    LifecycleJournal,
+    events_from_element,
+    get_journal,
+    journal_element,
+    record_event,
+    use_exporter,
+    use_journal,
+)
+from repro.obs.tracing import get_tracer
+
+
+class TestJournalRecording:
+    def test_record_appends_in_order_with_monotonic_sequence(self):
+        journal = LifecycleJournal()
+        first = journal.record("created", "urn:r:1", type="SQLDataResource")
+        second = journal.record("destroyed", "urn:r:1")
+        assert [e.event for e in journal.events()] == ["created", "destroyed"]
+        assert second.sequence > first.sequence
+        assert first.detail == {"type": "SQLDataResource"}
+
+    def test_filters_by_resource_event_and_trace(self):
+        journal = LifecycleJournal()
+        journal.record("created", "urn:r:1")
+        journal.record("created", "urn:r:2")
+        journal.record("destroyed", "urn:r:1")
+        assert len(journal.events(resource="urn:r:1")) == 2
+        assert len(journal.events(event="created")) == 2
+        assert [
+            e.event for e in journal.events(resource="urn:r:1", event="destroyed")
+        ] == ["destroyed"]
+        # Nothing here was traced, so a trace filter finds nothing.
+        assert journal.events(trace_id="trace-404") == []
+
+    def test_capacity_evicts_oldest_and_counts_dropped(self):
+        journal = LifecycleJournal(capacity=3)
+        for index in range(5):
+            journal.record("created", f"urn:r:{index}")
+        assert len(journal) == 3
+        assert journal.dropped == 2
+        assert [e.resource for e in journal.events()] == [
+            "urn:r:2",
+            "urn:r:3",
+            "urn:r:4",
+        ]
+        journal.clear()
+        assert len(journal) == 0
+        assert journal.dropped == 0
+
+    def test_events_stamped_with_current_trace_when_recording(self):
+        journal = LifecycleJournal()
+        with use_exporter():
+            with get_tracer().span("factory.create") as span:
+                entry = journal.record("created", "urn:r:1")
+                assert entry.trace_id == span.trace_id
+                assert entry.span_id == span.span_id
+        assert journal.events(trace_id=span.trace_id) == [entry]
+
+    def test_untraced_events_have_empty_ids(self):
+        journal = LifecycleJournal()
+        entry = journal.record("created", "urn:r:1")
+        assert entry.trace_id == ""
+        assert entry.span_id == ""
+
+
+class TestGlobalJournal:
+    def test_use_journal_swaps_and_restores(self):
+        before = get_journal()
+        with use_journal() as journal:
+            assert get_journal() is journal
+            record_event("created", "urn:swap:1")
+            assert len(journal.events(resource="urn:swap:1")) == 1
+        assert get_journal() is before
+        assert before.events(resource="urn:swap:1") == []
+
+    def test_use_journal_nests(self):
+        with use_journal() as outer:
+            with use_journal() as inner:
+                record_event("created", "urn:nest:1")
+            assert get_journal() is outer
+        assert len(inner.events()) == 1
+        assert outer.events() == []
+
+    def test_record_event_drops_none_details(self):
+        with use_journal() as journal:
+            record_event("termination-set", "urn:r:1", requested=None, extra=1)
+        (entry,) = journal.events()
+        assert entry.detail == {"extra": 1}
+
+
+class TestJournalElement:
+    def test_round_trips_through_property_element(self):
+        journal = LifecycleJournal()
+        journal.record("created", "urn:r:1", type="SQLResponseResource")
+        with use_exporter():
+            with get_tracer().span("request"):
+                journal.record("extended", "urn:r:1", seconds=30.0)
+        element = journal_element(journal.events())
+        assert element.tag == LIFECYCLE_JOURNAL
+        back = events_from_element(element)
+        assert [e.event for e in back] == ["created", "extended"]
+        assert back[0].resource == "urn:r:1"
+        assert back[0].sequence == journal.events()[0].sequence
+        assert back[0].detail == {"type": "SQLResponseResource"}
+        assert back[1].trace_id == journal.events()[1].trace_id
+        assert back[1].span_id == journal.events()[1].span_id
+        assert back[1].detail == {"seconds": "30.0"}
+
+    def test_empty_journal_renders_empty_element(self):
+        element = journal_element([])
+        assert element.tag == LIFECYCLE_JOURNAL
+        assert events_from_element(element) == []

@@ -74,6 +74,45 @@ class TestSpanBasics:
         assert current_span() is NOOP_SPAN
 
 
+class TestLinksAndAdoption:
+    def test_add_link_records_cross_trace_pointer(self):
+        exporter = InMemoryExporter()
+        tracer = Tracer(exporter)
+        with tracer.span("accessor") as span:
+            span.add_link("trace-other", "0042", relation="created-by")
+        (finished,) = exporter.spans()
+        (link,) = finished.links
+        assert (link.trace_id, link.span_id, link.relation) == (
+            "trace-other", "0042", "created-by"
+        )
+
+    def test_root_span_adopts_remote_context(self):
+        exporter = InMemoryExporter()
+        tracer = Tracer(exporter)
+        with tracer.span("server.request") as span:
+            assert span.adopt("trace-remote", "feed") is True
+            assert span.trace_id == "trace-remote"
+            assert span.parent_id == "feed"
+            assert span.attributes["remote_parent"] is True
+            # Children opened after adoption inherit the remote trace.
+            with tracer.span("dispatch") as child:
+                assert child.trace_id == "trace-remote"
+                assert child.parent_id == span.span_id
+
+    def test_non_root_span_refuses_adoption(self):
+        exporter = InMemoryExporter()
+        tracer = Tracer(exporter)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.adopt("trace-remote", "feed") is False
+                assert inner.trace_id == outer.trace_id
+
+    def test_noop_span_ignores_adoption_and_links(self):
+        assert NOOP_SPAN.adopt("trace-remote", "feed") is False
+        NOOP_SPAN.add_link("trace-remote", "feed")
+        assert NOOP_SPAN.links == []
+
+
 class TestDisabledPath:
     def test_disabled_tracer_hands_out_shared_noop(self):
         tracer = Tracer()

@@ -1,0 +1,137 @@
+"""The ``obs:TraceContext`` header block: serialisation and propagation."""
+
+from repro.obs import use_exporter
+from repro.obs.tracing import get_tracer
+from repro.soap.addressing import MessageHeaders
+from repro.soap.envelope import Envelope
+from repro.soap.tracecontext import (
+    MAX_PARENT_ID_LENGTH,
+    MAX_TRACE_ID_LENGTH,
+    TRACE_CONTEXT,
+    TraceContext,
+    adopt_current_span,
+    extract_context,
+    from_header_block,
+    inject,
+    propagation_enabled,
+    set_propagation,
+    to_header_block,
+)
+from repro.xmlutil import E, QName, parse_bytes, serialize_bytes
+
+
+def _request(**header_overrides) -> Envelope:
+    headers = MessageHeaders(
+        to="dais://svc", action="urn:act", **header_overrides
+    )
+    return Envelope(headers=headers, payload=E(QName("urn:x", "Ping")))
+
+
+class TestHeaderBlock:
+    def test_round_trips_through_xml_bytes(self):
+        context = TraceContext("trace-00000001", "00000001")
+        block = to_header_block(context)
+        reparsed = parse_bytes(serialize_bytes(block))
+        assert from_header_block(reparsed) == context
+
+    def test_wrong_tag_yields_none(self):
+        assert from_header_block(E(QName("urn:x", "NotATraceContext"))) is None
+
+    def test_unknown_version_yields_none(self):
+        block = to_header_block(TraceContext("trace-1", "1"))
+        block.set(QName("", "version"), "ff")
+        assert from_header_block(block) is None
+
+    def test_missing_children_yield_none(self):
+        assert from_header_block(E(TRACE_CONTEXT)) is None
+
+    def test_oversized_ids_yield_none(self):
+        big = to_header_block(
+            TraceContext("t" * (MAX_TRACE_ID_LENGTH + 1), "p")
+        )
+        assert from_header_block(big) is None
+        big = to_header_block(
+            TraceContext("t", "p" * (MAX_PARENT_ID_LENGTH + 1))
+        )
+        assert from_header_block(big) is None
+
+    def test_embedded_whitespace_yields_none(self):
+        block = to_header_block(TraceContext("trace one", "p"))
+        assert from_header_block(block) is None
+
+    def test_extract_scans_past_foreign_blocks(self):
+        context = TraceContext("trace-1", "1")
+        blocks = (
+            E(QName("urn:x", "SomethingElse")),
+            E(TRACE_CONTEXT),  # malformed: no children
+            to_header_block(context),
+        )
+        assert extract_context(blocks) == context
+
+    def test_extract_returns_none_when_absent(self):
+        assert extract_context(()) is None
+        assert extract_context((E(QName("urn:x", "Other")),)) is None
+
+
+class TestInjection:
+    def test_noop_when_tracing_disabled(self):
+        request = _request()
+        assert inject(request) is request
+
+    def test_injects_current_span_context_when_recording(self):
+        request = _request()
+        with use_exporter():
+            with get_tracer().span("consumer.request") as span:
+                injected = inject(request)
+        assert injected is not request
+        context = extract_context(injected.headers.reference_parameters)
+        assert context == TraceContext(span.trace_id, span.span_id)
+        # WSA properties are untouched; the payload is shared.
+        assert injected.headers.to == request.headers.to
+        assert injected.headers.action == request.headers.action
+        assert injected.payload is request.payload
+
+    def test_injected_header_survives_the_wire(self):
+        request = _request()
+        with use_exporter():
+            with get_tracer().span("consumer.request") as span:
+                wire = inject(request).to_bytes()
+        parsed = Envelope.from_bytes(wire)
+        context = extract_context(parsed.headers.reference_parameters)
+        assert context == TraceContext(span.trace_id, span.span_id)
+
+    def test_existing_reference_parameters_kept(self):
+        param = E(QName("urn:x", "AbstractName"), "urn:r:1")
+        request = _request(reference_parameters=(param,))
+        with use_exporter():
+            with get_tracer().span("consumer.request"):
+                injected = inject(request)
+        tags = [p.tag for p in injected.headers.reference_parameters]
+        assert tags == [param.tag, TRACE_CONTEXT]
+
+    def test_propagation_toggle_disables_injection_only(self):
+        request = _request()
+        assert propagation_enabled() is True
+        previous = set_propagation(False)
+        try:
+            assert previous is True
+            with use_exporter():
+                with get_tracer().span("consumer.request"):
+                    assert inject(request) is request
+        finally:
+            set_propagation(previous)
+        assert propagation_enabled() is True
+
+
+class TestAdoption:
+    def test_adopts_only_recording_root_span(self):
+        context = TraceContext("trace-remote", "feed")
+        assert adopt_current_span(None) is False
+        assert adopt_current_span(context) is False  # no span open at all
+        with use_exporter():
+            with get_tracer().span("server.request") as root:
+                assert adopt_current_span(context) is True
+                assert root.trace_id == "trace-remote"
+                with get_tracer().span("nested"):
+                    # The nested span is not a root: no re-adoption.
+                    assert adopt_current_span(context) is False

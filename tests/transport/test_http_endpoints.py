@@ -1,0 +1,161 @@
+"""The read-only GET endpoints on :class:`DaisHttpServer`.
+
+``GET /metrics`` must parse as valid Prometheus text exposition and
+agree sample-for-sample with the in-process registries; ``/healthz``
+reports liveness and the service inventory; ``/trace/<id>`` replays an
+exported trace as JSON.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.client.sql import SQLClient
+from repro.core import ServiceRegistry, mint_abstract_name
+from repro.dair import SQLDataResource, SQLRealisationService
+from repro.obs import get_tracer, parse_prometheus_text, use_exporter
+from repro.obs.exporters import span_from_dict
+from repro.relational import Database
+from repro.transport import DaisHttpServer, HttpTransport
+
+
+def _get(url: str) -> tuple[int, str, bytes]:
+    try:
+        with urllib.request.urlopen(url, timeout=10) as reply:
+            return reply.status, reply.headers.get("Content-Type", ""), reply.read()
+    except urllib.error.HTTPError as err:
+        return err.code, err.headers.get("Content-Type", ""), err.read()
+
+
+@pytest.fixture()
+def deployment():
+    registry = ServiceRegistry()
+    server = DaisHttpServer(registry, port=0)
+    address = server.url_for("/sql")
+    service = SQLRealisationService("ep-sql", address)
+    registry.register(service)
+    database = Database("epdb")
+    database.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+    database.execute("INSERT INTO t VALUES (1),(2)")
+    resource = SQLDataResource(mint_abstract_name("t"), database)
+    service.add_resource(resource)
+    with server:
+        yield server, service, address, resource
+
+
+class TestMetricsEndpoint:
+    def test_parses_and_matches_in_process_registries(self, deployment):
+        server, service, address, resource = deployment
+        client = SQLClient(HttpTransport())
+        client.sql_query_rowset(address, resource.abstract_name,
+                                "SELECT id FROM t")
+        status, content_type, body = _get(server.base_url + "/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        samples = parse_prometheus_text(body.decode("utf-8"))
+        assert samples  # non-empty and every line parsed
+
+        # Server-side HTTP counters agree with the registry.
+        requests = server.metrics.counter("http.server.requests")
+        key = (
+            "http_server_requests_total",
+            (("component", "http.server"), ("status", "200")),
+        )
+        assert samples[key] == requests.value(status="200")
+
+        # Per-service dispatch counters agree too (labelled by service).
+        dispatch = service.metrics.counter("dais.dispatch.count")
+        dispatch_samples = {
+            labels: value
+            for (name, labels), value in samples.items()
+            if name == "dais_dispatch_count_total"
+        }
+        assert sum(dispatch_samples.values()) == dispatch.total()
+        assert all(
+            ("service", "ep-sql") in labels for labels in dispatch_samples
+        )
+
+    def test_histograms_expose_count_and_sum(self, deployment):
+        server, service, address, resource = deployment
+        client = SQLClient(HttpTransport())
+        client.sql_query_rowset(address, resource.abstract_name,
+                                "SELECT id FROM t")
+        samples = parse_prometheus_text(
+            _get(server.base_url + "/metrics")[2].decode("utf-8")
+        )
+        counts = [
+            value
+            for (name, _), value in samples.items()
+            if name == "dais_dispatch_seconds_count"
+        ]
+        assert counts and sum(counts) >= 1
+
+    def test_exporter_and_journal_gauges_present_when_tracing(self, deployment):
+        server, _, address, resource = deployment
+        with use_exporter():
+            client = SQLClient(HttpTransport())
+            client.sql_query_rowset(address, resource.abstract_name,
+                                    "SELECT id FROM t")
+            samples = parse_prometheus_text(
+                _get(server.base_url + "/metrics")[2].decode("utf-8")
+            )
+        assert ("obs_spans_dropped", ()) in samples
+        assert ("obs_journal_events", ()) in samples
+
+
+class TestHealthEndpoint:
+    def test_reports_status_and_service_inventory(self, deployment):
+        server, service, _, _ = deployment
+        status, content_type, body = _get(server.base_url + "/healthz")
+        assert status == 200
+        assert content_type.startswith("application/json")
+        health = json.loads(body)
+        assert health["status"] == "ok"
+        assert health["services"] == [service.name]
+        assert health["tracing"] is False
+
+
+class TestTraceEndpoint:
+    def test_replays_exported_trace_as_json(self, deployment):
+        server, _, address, resource = deployment
+        with use_exporter():
+            client = SQLClient(HttpTransport())
+            with get_tracer().span("consumer.request") as root:
+                client.sql_query_rowset(
+                    address, resource.abstract_name, "SELECT id FROM t"
+                )
+            status, content_type, body = _get(
+                server.base_url + f"/trace/{root.trace_id}"
+            )
+        assert status == 200
+        assert content_type.startswith("application/json")
+        payload = json.loads(body)
+        assert payload["trace_id"] == root.trace_id
+        spans = [span_from_dict(item) for item in payload["spans"]]
+        names = {span.name for span in spans}
+        assert {"rpc.send", "http.server.request", "dais.dispatch"} <= names
+        assert all(span.trace_id == root.trace_id for span in spans)
+
+    def test_unknown_trace_is_404(self, deployment):
+        server, _, _, _ = deployment
+        with use_exporter():
+            status, _, body = _get(server.base_url + "/trace/trace-bogus")
+        assert status == 404
+        assert "unknown trace" in json.loads(body)["error"]
+
+    def test_tracing_disabled_is_404(self, deployment):
+        server, _, _, _ = deployment
+        assert get_tracer().enabled is False
+        status, _, _ = _get(server.base_url + "/trace/trace-1")
+        assert status == 404
+
+
+class TestUnknownGetPath:
+    def test_other_paths_are_404_json(self, deployment):
+        server, _, _, _ = deployment
+        status, content_type, body = _get(server.base_url + "/bogus")
+        assert status == 404
+        assert content_type.startswith("application/json")
+        assert "no such endpoint" in json.loads(body)["error"]

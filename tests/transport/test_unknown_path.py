@@ -1,0 +1,69 @@
+"""Both transports answer an unknown address with the same typed fault.
+
+Historically the loopback transport let the registry's ``LookupError``
+escape while the HTTP binding returned a generic client fault — so
+consumer code following a stale EPR behaved differently depending on the
+wire.  Both now produce a ``ServiceNotFoundFault`` envelope.
+"""
+
+import pytest
+
+from repro.client.sql import SQLClient
+from repro.core import ServiceNotFoundFault, ServiceRegistry, mint_abstract_name
+from repro.dair import SQLDataResource, SQLRealisationService
+from repro.relational import Database
+from repro.transport import DaisHttpServer, HttpTransport, LoopbackTransport
+
+
+@pytest.fixture(scope="module", params=["loopback", "http"])
+def setup(request):
+    """(client, good_address, ghost_address, name) over either transport."""
+    registry = ServiceRegistry()
+    database = Database("ghostdb")
+    database.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+    database.execute("INSERT INTO t VALUES (1)")
+    resource = SQLDataResource(mint_abstract_name("t"), database)
+
+    if request.param == "loopback":
+        service = SQLRealisationService("lb-sql", "dais://lb-sql")
+        registry.register(service)
+        service.add_resource(resource)
+        client = SQLClient(LoopbackTransport(registry))
+        yield client, service.address, "dais://no-such-service", resource
+    else:
+        server = DaisHttpServer(registry, port=0)
+        address = server.url_for("/sql")
+        service = SQLRealisationService("http-sql", address)
+        registry.register(service)
+        service.add_resource(resource)
+        with server:
+            client = SQLClient(HttpTransport())
+            yield client, address, server.url_for("/no-such-service"), resource
+
+
+class TestUnknownAddressUnified:
+    def test_raises_service_not_found(self, setup):
+        client, _, ghost, resource = setup
+        with pytest.raises(ServiceNotFoundFault, match="no service at"):
+            client.sql_execute(ghost, resource.abstract_name, "SELECT 1")
+
+    def test_fault_is_also_a_lookup_error(self, setup):
+        client, _, ghost, resource = setup
+        with pytest.raises(LookupError):
+            client.sql_execute(ghost, resource.abstract_name, "SELECT 1")
+
+    def test_fault_detail_identifies_the_type_across_the_wire(self, setup):
+        client, _, ghost, resource = setup
+        try:
+            client.sql_execute(ghost, resource.abstract_name, "SELECT 1")
+        except ServiceNotFoundFault as fault:
+            assert type(fault) is ServiceNotFoundFault
+        else:
+            pytest.fail("expected ServiceNotFoundFault")
+
+    def test_known_address_still_works(self, setup):
+        client, address, _, resource = setup
+        rowset = client.sql_query_rowset(
+            address, resource.abstract_name, "SELECT id FROM t"
+        )
+        assert rowset.rows == [("1",)]

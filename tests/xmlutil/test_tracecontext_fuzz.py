@@ -1,0 +1,174 @@
+"""Deterministic fuzzing of ``obs:TraceContext`` parsing hardening.
+
+The propagation header is parsed from attacker-controllable bytes on
+every request, so the contract is strict: malformed, absent, truncated,
+oversized or hostile headers are *ignored* — the request proceeds on a
+fresh root trace — and extraction never raises.  Seeds are fixed so
+failures reproduce exactly (same style as ``test_roundtrip_fuzz``).
+"""
+
+import random
+import string
+
+import pytest
+
+from repro.core import ServiceRegistry, mint_abstract_name
+from repro.dair import SQLDataResource, SQLRealisationService
+from repro.obs import use_exporter
+from repro.relational import Database
+from repro.soap.addressing import MessageHeaders
+from repro.soap.envelope import Envelope
+from repro.soap.tracecontext import (
+    TRACE_CONTEXT,
+    extract_context,
+    from_header_block,
+)
+from repro.xmlutil import E, QName, XmlElement, parse_bytes, serialize_bytes
+
+OBS_NS = TRACE_CONTEXT.namespace
+
+ID_ALPHABET = string.ascii_letters + string.digits + "-_ <>&\"'\t\n\\/:;é"
+
+CHILD_NAMES = ["TraceId", "ParentId", "SpanId", "Version", "Flags", "junk"]
+NAMESPACES = [OBS_NS, "", "urn:not:obs", "http://example.org/x"]
+
+
+def _random_text(rng: random.Random, max_length: int = 300) -> str:
+    return "".join(
+        rng.choice(ID_ALPHABET) for _ in range(rng.randint(0, max_length))
+    )
+
+
+def _random_block(rng: random.Random) -> XmlElement:
+    """A header element somewhere between valid and hostile."""
+    tag = QName(rng.choice(NAMESPACES), rng.choice(["TraceContext", "Trace"]))
+    block = E(tag)
+    if rng.random() < 0.8:
+        block.set(
+            QName("", "version"), rng.choice(["00", "ff", "", "0", "000"])
+        )
+    for _ in range(rng.randint(0, 4)):
+        child = E(
+            QName(rng.choice(NAMESPACES), rng.choice(CHILD_NAMES)),
+            _random_text(rng),
+        )
+        if rng.random() < 0.2:
+            child.append(E(QName("", "nested"), _random_text(rng, 10)))
+        block.append(child)
+    return block
+
+
+class TestParserNeverRaises:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_random_blocks_parse_to_context_or_none(self, seed):
+        rng = random.Random(seed)
+        for _ in range(25):
+            block = _random_block(rng)
+            context = from_header_block(block)  # must not raise
+            if context is not None:
+                # Anything accepted satisfies the documented bounds.
+                assert 0 < len(context.trace_id) <= 128
+                assert 0 < len(context.parent_id) <= 64
+                assert not any(
+                    ch.isspace()
+                    for ch in context.trace_id + context.parent_id
+                )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_blocks_survive_the_wire_and_extract(self, seed):
+        rng = random.Random(1000 + seed)
+        blocks = [_random_block(rng) for _ in range(5)]
+        reparsed = [
+            parse_bytes(serialize_bytes(block)) for block in blocks
+        ]
+        extract_context(reparsed)  # must not raise
+
+    def test_hostile_block_objects_are_skipped(self):
+        class Hostile:
+            @property
+            def tag(self):
+                raise RuntimeError("no tag")
+
+        assert extract_context([Hostile(), object()]) is None
+
+
+class TestDispatchOnFuzzedHeaders:
+    """Full-stack: a request carrying a fuzzed context header must be
+    answered normally, on a fresh root trace when the header is bad."""
+
+    @pytest.fixture()
+    def service(self):
+        registry = ServiceRegistry()
+        service = SQLRealisationService("fuzz-sql", "dais://fuzz")
+        registry.register(service)
+        database = Database("fuzzdb")
+        database.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        database.execute("INSERT INTO t VALUES (1)")
+        service.add_resource(SQLDataResource(mint_abstract_name("t"), database))
+        return service
+
+    def _request(self, service, extra_blocks) -> Envelope:
+        from repro.core.messages import GetResourceListRequest
+
+        headers = MessageHeaders(
+            to=service.address,
+            action=GetResourceListRequest.action(),
+            reference_parameters=tuple(extra_blocks),
+        )
+        return Envelope(headers=headers, payload=GetResourceListRequest().to_xml())
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_fuzzed_header_never_faults_dispatch(self, service, seed):
+        rng = random.Random(2000 + seed)
+        request = self._request(
+            service, [_random_block(rng) for _ in range(rng.randint(1, 3))]
+        )
+        wire = Envelope.from_bytes(request.to_bytes())
+        with use_exporter() as exporter:
+            response = service.dispatch(wire)
+        assert not response.is_fault()
+        # The dispatch span exists regardless of what the header said.
+        assert exporter.spans("dais.dispatch")
+
+    def test_malformed_header_means_fresh_root_trace(self, service):
+        bad = E(TRACE_CONTEXT)  # well-known tag, no children: malformed
+        request = self._request(service, [bad])
+        with use_exporter() as exporter:
+            response = service.dispatch(
+                Envelope.from_bytes(request.to_bytes())
+            )
+        assert not response.is_fault()
+        (dispatch,) = exporter.spans("dais.dispatch")
+        assert dispatch.parent_id is None  # fresh root, nothing adopted
+        assert "remote_parent" not in dispatch.attributes
+
+    def test_oversized_header_means_fresh_root_trace(self, service):
+        huge = E(
+            TRACE_CONTEXT,
+            E(QName(OBS_NS, "TraceId"), "t" * 4096),
+            E(QName(OBS_NS, "ParentId"), "p"),
+        )
+        huge.set(QName("", "version"), "00")
+        request = self._request(service, [huge])
+        with use_exporter() as exporter:
+            response = service.dispatch(
+                Envelope.from_bytes(request.to_bytes())
+            )
+        assert not response.is_fault()
+        (dispatch,) = exporter.spans("dais.dispatch")
+        assert dispatch.parent_id is None
+
+    def test_valid_header_is_adopted_at_dispatch(self, service):
+        from repro.soap.tracecontext import TraceContext, to_header_block
+
+        block = to_header_block(TraceContext("trace-abc", "0042"))
+        request = self._request(service, [block])
+        with use_exporter() as exporter:
+            response = service.dispatch(
+                Envelope.from_bytes(request.to_bytes())
+            )
+        assert not response.is_fault()
+        (dispatch,) = exporter.spans("dais.dispatch")
+        assert dispatch.trace_id == "trace-abc"
+        assert dispatch.parent_id == "0042"
+        assert dispatch.attributes["remote_parent"] is True
