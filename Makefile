@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench coverage-obs trace-demo
+.PHONY: test bench coverage-obs trace-demo test-resilience chaos-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -18,3 +18,15 @@ trace-demo:
 # stay at >= 90% executable-line coverage from the tests/obs/ suite.
 coverage-obs:
 	$(PYTHON) tools/obs_coverage.py
+
+# Fault-injection + resilience suites: once with the committed fixed
+# seeds, then the chaos scenarios again under a fresh random seed.
+test-resilience:
+	$(PYTHON) -m pytest tests/faultinject tests/resilience -q
+	CHAOS_SEED=$$($(PYTHON) -c 'import random; print(random.randrange(10**6))') \
+		$(PYTHON) -m pytest tests/resilience/test_chaos_scenarios.py -q
+
+# Seeded chaos runs against resilient clients in virtual time; prints
+# the outcome tally and one retried call as a connected trace.
+chaos-demo:
+	$(PYTHON) -m repro chaos --seed 7 --iterations 40

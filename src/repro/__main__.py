@@ -1,4 +1,4 @@
-"""``python -m repro`` — self-check, plus the ``trace`` subcommand.
+"""``python -m repro`` — self-check, plus ``trace`` and ``chaos``.
 
 Default invocation stands up an in-process deployment, runs one query
 through the full SOAP round trip and reports the wire numbers — a quick
@@ -10,6 +10,11 @@ latency, bytes and row counts).  ``python -m repro trace --demo`` runs a
 Figure 3-style factory chain over the real HTTP binding with tracing on
 and prints the resulting tree — the quickest way to *see* one request
 become one connected trace across processes, transports and engines.
+
+``python -m repro chaos`` runs seeded fault plans against resilient
+clients in virtual time and tallies the outcomes — every run must end in
+either a correct answer or a typed DAIS fault — then renders one retried
+call as a trace with its ``rpc.retry`` attempts visible.
 """
 
 from __future__ import annotations
@@ -26,7 +31,8 @@ def self_check() -> int:
           f"reference implementation")
     print(
         "packages: xmlutil soap wsrf xpath relational xmldb cim core "
-        "dair daix daif filestore compose transport client workload bench"
+        "dair daix daif filestore compose transport client workload bench "
+        "faultinject resilience"
     )
 
     deployment = build_single_service(RelationalWorkload(customers=10))
@@ -86,6 +92,98 @@ def _demo_trace() -> int:
     return 0
 
 
+def chaos_main(argv: list[str]) -> int:
+    """Seeded chaos runs over the direct-access scenario, in virtual time."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="run seeded fault plans against resilient clients",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="base plan seed")
+    parser.add_argument(
+        "--iterations", type=int, default=40, help="number of seeded runs"
+    )
+    parser.add_argument(
+        "--rate", type=float, default=0.3, help="per-call fault probability"
+    )
+    options = parser.parse_args(argv)
+
+    from repro.client.sql import SQLClient
+    from repro.faultinject import FaultPlan, FaultyTransport
+    from repro.obs import render_trace_tree, use_exporter
+    from repro.resilience import Resilience, RetryPolicy, VirtualClock
+    from repro.soap.fault import SoapFault
+    from repro.transport import LoopbackTransport
+    from repro.workload import RelationalWorkload, build_single_service
+
+    deployment = build_single_service(RelationalWorkload(customers=4))
+    expected = deployment.client.sql_query_rowset(
+        deployment.address, deployment.name, "SELECT COUNT(*) FROM customers"
+    ).rows
+
+    outcomes: dict[str, int] = {}
+    total_retries = 0
+    total_injected = 0
+    virtual_seconds = 0.0
+    sample_tree: str | None = None
+    for i in range(options.iterations):
+        seed = options.seed + i
+        clock = VirtualClock()
+        plan = FaultPlan.chaos(seed=seed, rate=options.rate)
+        resilience = Resilience(
+            policy=RetryPolicy(max_attempts=4, budget_seconds=30.0),
+            clock=clock,
+            seed=seed,
+        )
+        transport = FaultyTransport(
+            LoopbackTransport(deployment.registry),
+            plan,
+            clock=clock,
+            resilience=resilience,
+        )
+        client = SQLClient(transport)
+        with use_exporter() as exporter:
+            from repro.obs import get_tracer
+
+            with get_tracer().span("consumer.request", seed=seed):
+                try:
+                    rows = client.sql_query_rowset(
+                        deployment.address,
+                        deployment.name,
+                        "SELECT COUNT(*) FROM customers",
+                    ).rows
+                    assert rows == expected, f"wrong answer under seed {seed}"
+                    outcome = "ok"
+                except SoapFault as fault:
+                    outcome = type(fault).__name__
+            retried = exporter.spans("rpc.retry")
+            if retried and sample_tree is None and outcome == "ok":
+                sample_tree = render_trace_tree(exporter.spans())
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+        total_retries += int(
+            resilience.metrics.counter("resilience.retries").total()
+        )
+        total_injected += int(
+            transport.metrics.counter("faultinject.injected").total()
+        )
+        virtual_seconds += clock.now()
+
+    print(
+        f"chaos — {options.iterations} seeded runs "
+        f"(base seed {options.seed}, fault rate {options.rate:.0%}):\n"
+    )
+    for outcome in sorted(outcomes):
+        print(f"  {outcome:<28} {outcomes[outcome]:>4}")
+    print(
+        f"\n  faults injected: {total_injected}, retries taken: "
+        f"{total_retries}, virtual backoff time: {virtual_seconds:.2f}s "
+        f"(wall time: none — virtual clock)"
+    )
+    if sample_tree:
+        print("\none retried call, as a single connected trace:\n")
+        print(sample_tree)
+    return 0
+
+
 def trace_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro trace",
@@ -123,6 +221,8 @@ def main(argv: list[str] | None = None) -> int:
     # running under foreign argv (pytest, runpy) stays harmless.
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        return chaos_main(argv[1:])
     return self_check()
 
 

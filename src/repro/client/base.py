@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Type, TypeVar
 
 from repro.core.messages import DaisMessage
+from repro.resilience import coerce_resilience
 from repro.soap.addressing import EndpointReference, MessageHeaders
 from repro.soap.envelope import Envelope
 
@@ -12,14 +13,30 @@ ResponseT = TypeVar("ResponseT", bound=DaisMessage)
 
 
 class DaisClient:
-    """Sends DAIS messages over a transport and decodes typed responses."""
+    """Sends DAIS messages over a transport and decodes typed responses.
 
-    def __init__(self, transport) -> None:
+    Every proxy (WS-DAI core, WS-DAIR, WS-DAIX, files) descends from
+    this class, so all of them accept a *resilience* layer — either a
+    :class:`repro.resilience.Resilience` instance or a bare
+    :class:`~repro.resilience.RetryPolicy` — which is installed on the
+    transport: retries, backoff and circuit breaking then apply to every
+    call made through it.
+    """
+
+    def __init__(self, transport, resilience=None) -> None:
         self._transport = transport
+        layer = coerce_resilience(resilience)
+        if layer is not None:
+            transport.resilience = layer
 
     @property
     def transport(self):
         return self._transport
+
+    @property
+    def resilience(self):
+        """The resilience layer active on this client's transport."""
+        return getattr(self._transport, "resilience", None)
 
     def call(
         self,

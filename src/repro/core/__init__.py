@@ -34,6 +34,7 @@ from repro.core.faults import (
     NotAuthorizedFault,
     ServiceBusyFault,
     ServiceNotFoundFault,
+    TransportFault,
 )
 from repro.core.properties import (
     ConfigurableProperties,
@@ -64,6 +65,7 @@ __all__ = [
     "NotAuthorizedFault",
     "ServiceBusyFault",
     "ServiceNotFoundFault",
+    "TransportFault",
     "DataResourceManagement",
     "TransactionInitiation",
     "TransactionIsolation",

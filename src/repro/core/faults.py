@@ -85,6 +85,26 @@ class ServiceBusyFault(DaisFault):
     CODE = FaultCode.SERVER
 
 
+class TransportFault(DaisFault):
+    """The request never completed at the transport level.
+
+    Raised client-side for connection refusals, socket timeouts, dropped
+    connections and non-SOAP HTTP error responses — cases where no usable
+    response envelope came back, so the consumer cannot know whether the
+    service acted on the request.  Carries the HTTP status when one was
+    observed (``status=None`` for pure socket-level failures).
+
+    Retry policies treat this as retryable; see :mod:`repro.resilience`.
+    """
+
+    DETAIL_LOCAL = "TransportFault"
+    CODE = FaultCode.SERVER
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
 class ServiceNotFoundFault(DaisFault, LookupError):
     """No data service is deployed at the addressed endpoint.
 
@@ -111,6 +131,7 @@ _FAULTS_BY_DETAIL = {
         NotAuthorizedFault,
         ServiceBusyFault,
         ServiceNotFoundFault,
+        TransportFault,
     )
 }
 

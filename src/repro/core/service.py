@@ -87,6 +87,9 @@ class ResourceBinding:
         document.append(
             journal_element(journal.events(resource=self.abstract_name))
         )
+        resilience = self._service.resilience
+        if resilience is not None:
+            document.append(resilience.status_element())
         return document
 
     def require_readable(self) -> None:
@@ -127,6 +130,10 @@ class DataService:
         self.lifetime = LifetimeManager(clock) if wsrf else None
         #: Failure injection: when set, every dispatch faults ServiceBusy.
         self.fail_busy = False
+        #: When this service also acts as a consumer, attach its outbound
+        #: :class:`repro.resilience.Resilience` layer here: its breaker
+        #: states then publish as the ``obs:ResilienceStatus`` property.
+        self.resilience = None
         #: The ConcurrentAccess limit: None = unbounded.  Exceeding it
         #: (possible under the threaded HTTP binding) faults ServiceBusy.
         self.max_concurrent = max_concurrent

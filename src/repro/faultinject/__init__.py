@@ -1,0 +1,40 @@
+"""Deterministic fault injection for transports and the HTTP server.
+
+The harness half of the robustness story (:mod:`repro.resilience` is the
+client half): a seeded :class:`FaultPlan` schedules connection refusals,
+mid-response drops, fixed or spread latency, HTTP 503/500, SOAP
+``ServiceBusyFault`` and expired-resource ``ResourceUnknownFault``
+injections; :class:`FaultyTransport` applies them around any transport,
+and ``DaisHttpServer(fault_plan=...)`` applies them on the real HTTP
+handler path.  Same seed → same failures, so every chaos run replays.
+"""
+
+from repro.faultinject.actions import (
+    Busy,
+    ConnectionRefused,
+    DropResponse,
+    ExpireResource,
+    FaultAction,
+    HttpStatus,
+    Latency,
+    LatencySpread,
+    latency_percentiles,
+)
+from repro.faultinject.plan import CHAOS_MENU, FaultPlan, Rule
+from repro.faultinject.transport import FaultyTransport
+
+__all__ = [
+    "Busy",
+    "ConnectionRefused",
+    "DropResponse",
+    "ExpireResource",
+    "FaultAction",
+    "HttpStatus",
+    "Latency",
+    "LatencySpread",
+    "latency_percentiles",
+    "CHAOS_MENU",
+    "FaultPlan",
+    "Rule",
+    "FaultyTransport",
+]

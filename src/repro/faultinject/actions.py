@@ -1,0 +1,88 @@
+"""The fault vocabulary a plan can inject into a call.
+
+Each action models one failure mode of the wide-area fabric between a
+DAIS consumer and a data service.  Actions are inert descriptions; the
+:class:`~repro.faultinject.transport.FaultyTransport` (client side) and
+``DaisHttpServer`` (server handler path) interpret them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = [
+    "FaultAction",
+    "ConnectionRefused",
+    "DropResponse",
+    "Latency",
+    "LatencySpread",
+    "HttpStatus",
+    "Busy",
+    "ExpireResource",
+    "latency_percentiles",
+]
+
+
+class FaultAction:
+    """Base class; exists so plans can type-check their menu."""
+
+    def sample(self, rng: random.Random) -> "FaultAction":
+        """Resolve any randomness into a concrete action (default: self)."""
+        return self
+
+
+@dataclass(frozen=True)
+class ConnectionRefused(FaultAction):
+    """The request never reaches the service (socket-level refusal)."""
+
+
+@dataclass(frozen=True)
+class DropResponse(FaultAction):
+    """The service processes the request but the response is lost —
+    the nasty case: side effects happened, the consumer cannot know."""
+
+
+@dataclass(frozen=True)
+class Latency(FaultAction):
+    """Delay the call by ``seconds`` before forwarding it normally."""
+
+    seconds: float
+
+
+@dataclass(frozen=True)
+class LatencySpread(FaultAction):
+    """Latency drawn uniformly from ``[low, high]`` at injection time —
+    build via :func:`latency_percentiles` for a p50/p99-style spread."""
+
+    low: float
+    high: float
+
+    def sample(self, rng: random.Random) -> Latency:
+        return Latency(rng.uniform(self.low, self.high))
+
+
+def latency_percentiles(p50: float, p99: float) -> LatencySpread:
+    """A latency spread whose median ≈ *p50* and tail reaches *p99*."""
+    if p99 < p50:
+        raise ValueError("p99 must not be below p50")
+    return LatencySpread(low=max(0.0, 2 * p50 - p99), high=p99)
+
+
+@dataclass(frozen=True)
+class HttpStatus(FaultAction):
+    """An HTTP-level error (503/500/…) with a non-SOAP body."""
+
+    status: int = 503
+
+
+@dataclass(frozen=True)
+class Busy(FaultAction):
+    """A well-formed SOAP ``ServiceBusyFault`` response."""
+
+
+@dataclass(frozen=True)
+class ExpireResource(FaultAction):
+    """A WSRF ``ResourceUnknownFault`` — the soft-state resource expired
+    between calls.  Pair with :meth:`FaultPlan.after` to fire only from
+    the N-th call onward."""

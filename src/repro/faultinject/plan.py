@@ -1,0 +1,172 @@
+"""Deterministic fault plans: *which call fails, and how*.
+
+A :class:`FaultPlan` is an ordered rule list consulted once per call.
+Rules match on the global call index (1-based) and optionally on the
+target address / ``wsa:Action``; the first match wins.  Randomised rules
+draw from the plan's own seeded RNG, so a plan replays identically for a
+given seed and call sequence — chaos tests quote only their seed.
+
+    plan = FaultPlan(seed=7)
+    plan.at(3, ConnectionRefused())               # exactly call #3
+    plan.after(10, ExpireResource(), times=1)     # once, from call 10 on
+    plan.with_probability(0.2, Busy())            # seeded coin per call
+
+    plan = FaultPlan.chaos(seed=42, rate=0.3)     # the standard chaos mix
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.faultinject.actions import (
+    Busy,
+    ConnectionRefused,
+    DropResponse,
+    ExpireResource,
+    FaultAction,
+    HttpStatus,
+    Latency,
+    latency_percentiles,
+)
+
+__all__ = ["FaultPlan", "Rule", "CHAOS_MENU"]
+
+#: The default chaos mix: every failure mode the harness can inject.
+CHAOS_MENU: tuple[FaultAction, ...] = (
+    ConnectionRefused(),
+    DropResponse(),
+    Latency(0.05),
+    latency_percentiles(0.02, 0.5),
+    HttpStatus(503),
+    HttpStatus(500),
+    Busy(),
+    ExpireResource(),
+)
+
+
+@dataclass
+class Rule:
+    """One matcher → action entry in a plan."""
+
+    action: FaultAction
+    #: Fire only on this exact 1-based call index (None = any).
+    at_index: int | None = None
+    #: Fire only from this call index onward (None = any).
+    from_index: int | None = None
+    #: Restrict to one target address / wsa:Action (None = any).
+    address: str | None = None
+    action_uri: str | None = None
+    #: Seeded firing probability (None = always when matched).
+    probability: float | None = None
+    #: Remaining firings (None = unlimited).
+    remaining: int | None = field(default=None)
+
+    def matches(self, index: int, address: str, action_uri: str) -> bool:
+        if self.remaining is not None and self.remaining <= 0:
+            return False
+        if self.at_index is not None and index != self.at_index:
+            return False
+        if self.from_index is not None and index < self.from_index:
+            return False
+        if self.address is not None and address != self.address:
+            return False
+        if self.action_uri is not None and action_uri != self.action_uri:
+            return False
+        return True
+
+
+class FaultPlan:
+    """An ordered, seeded schedule of fault injections."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._rules: list[Rule] = []
+        self._calls = 0
+        #: ``(call index, address, action URI, injected action | None)``
+        #: per decided call — the audit trail chaos tests assert against.
+        self.log: list[tuple[int, str, str, FaultAction | None]] = []
+
+    # -- building ------------------------------------------------------------
+
+    def add(self, rule: Rule) -> "FaultPlan":
+        self._rules.append(rule)
+        return self
+
+    def at(self, index: int, action: FaultAction, **match) -> "FaultPlan":
+        """Inject *action* on exactly the *index*-th call (1-based)."""
+        return self.add(Rule(action, at_index=index, **match))
+
+    def after(
+        self, index: int, action: FaultAction, times: int | None = 1, **match
+    ) -> "FaultPlan":
+        """Inject from the *index*-th call onward, at most *times* times."""
+        return self.add(Rule(action, from_index=index, remaining=times, **match))
+
+    def always(self, action: FaultAction, **match) -> "FaultPlan":
+        """Inject on every matching call."""
+        return self.add(Rule(action, **match))
+
+    def with_probability(
+        self, probability: float, action: FaultAction, **match
+    ) -> "FaultPlan":
+        """Inject with a seeded per-call coin flip."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+        return self.add(Rule(action, probability=probability, **match))
+
+    @classmethod
+    def chaos(
+        cls,
+        seed: int,
+        rate: float = 0.25,
+        menu: tuple[FaultAction, ...] = CHAOS_MENU,
+    ) -> "FaultPlan":
+        """The standard chaos schedule: with probability *rate* per call,
+        inject one action drawn (seeded) from *menu*."""
+        plan = cls(seed=seed)
+        plan.add(_ChaosRule(rate, menu))
+        return plan
+
+    # -- deciding ------------------------------------------------------------
+
+    @property
+    def calls_seen(self) -> int:
+        return self._calls
+
+    def decide(self, address: str, action_uri: str) -> FaultAction | None:
+        """The injection decision for the next call (advances the plan)."""
+        self._calls += 1
+        chosen: FaultAction | None = None
+        for rule in self._rules:
+            if not rule.matches(self._calls, address, action_uri):
+                continue
+            if (
+                rule.probability is not None
+                and self._rng.random() >= rule.probability
+            ):
+                continue
+            if rule.remaining is not None:
+                rule.remaining -= 1
+            chosen = rule.action.sample(self._rng)
+            break
+        self.log.append((self._calls, address, action_uri, chosen))
+        return chosen
+
+
+class _ChaosRule(Rule):
+    """A probability rule whose action is drawn from a menu per firing."""
+
+    def __init__(self, rate: float, menu: tuple[FaultAction, ...]) -> None:
+        if not menu:
+            raise ValueError("chaos menu must not be empty")
+        super().__init__(action=_MenuDraw(menu), probability=rate)
+
+
+@dataclass(frozen=True)
+class _MenuDraw(FaultAction):
+    menu: tuple[FaultAction, ...]
+
+    def sample(self, rng: random.Random) -> FaultAction:
+        return rng.choice(self.menu).sample(rng)

@@ -1,0 +1,100 @@
+"""``FaultyTransport`` — wrap any transport in a fault plan.
+
+Sits between a client and its real transport, consulting the plan once
+per ``send``.  Transport-level failures surface as the typed
+:class:`~repro.core.faults.TransportFault` (exactly what the real HTTP
+client raises for refusals/timeouts); protocol-level injections come
+back as well-formed SOAP fault envelopes, indistinguishable on the wire
+from a service that really answered that way.
+
+Like the transports it wraps, the faulty transport honours an installed
+``resilience`` layer — and runs the retry loop *outside* the injection
+point, so retries genuinely re-traverse the faulty fabric.
+"""
+
+from __future__ import annotations
+
+from repro.core.faults import ServiceBusyFault, TransportFault
+from repro.faultinject.actions import (
+    Busy,
+    ConnectionRefused,
+    DropResponse,
+    ExpireResource,
+    FaultAction,
+    HttpStatus,
+    Latency,
+)
+from repro.faultinject.plan import FaultPlan
+from repro.obs import MetricsRegistry, add_to_current_span
+from repro.resilience import RealClock, coerce_resilience
+from repro.soap.envelope import Envelope, fault_envelope
+from repro.wsrf.faults import ResourceUnknownFault
+
+__all__ = ["FaultyTransport"]
+
+
+class FaultyTransport:
+    """A transport decorator that injects faults per a :class:`FaultPlan`."""
+
+    def __init__(self, inner, plan: FaultPlan, clock=None, resilience=None) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.clock = clock if clock is not None else RealClock()
+        #: Optional retry/breaker layer applied *around* the injections.
+        self.resilience = coerce_resilience(resilience)
+        #: Injection counts per action class, for assertions and demos.
+        self.metrics = MetricsRegistry()
+        self._injected = self.metrics.counter(
+            "faultinject.injected", "injected faults per kind"
+        )
+
+    @property
+    def stats(self):
+        """Wire stats of the wrapped transport (recorded attempts only)."""
+        return self.inner.stats
+
+    def send(self, address: str, request: Envelope) -> Envelope:
+        if self.resilience is None:
+            return self._send_once(address, request)
+        return self.resilience.call(address, request, self._send_once)
+
+    def _send_once(self, address: str, request: Envelope) -> Envelope:
+        action = self.plan.decide(address, request.headers.action)
+        if action is None:
+            return self.inner.send(address, request)
+        self._injected.inc(kind=type(action).__name__)
+        add_to_current_span("faults.injected")
+        return self._apply(action, address, request)
+
+    def _apply(
+        self, action: FaultAction, address: str, request: Envelope
+    ) -> Envelope:
+        if isinstance(action, Latency):
+            self.clock.sleep(action.seconds)
+            return self.inner.send(address, request)
+        if isinstance(action, ConnectionRefused):
+            raise TransportFault(f"connection refused by {address} [injected]")
+        if isinstance(action, DropResponse):
+            # The service really processes the request; the reply is lost.
+            self.inner.send(address, request)
+            raise TransportFault(
+                f"connection to {address} dropped mid-response [injected]"
+            )
+        if isinstance(action, HttpStatus):
+            raise TransportFault(
+                f"HTTP {action.status} from {address} [injected]",
+                status=action.status,
+            )
+        if isinstance(action, Busy):
+            return fault_envelope(
+                request.headers,
+                ServiceBusyFault(f"service at {address} is busy [injected]"),
+            )
+        if isinstance(action, ExpireResource):
+            return fault_envelope(
+                request.headers,
+                ResourceUnknownFault(
+                    "resource lifetime expired [injected]"
+                ),
+            )
+        raise TypeError(f"unknown fault action {type(action).__name__}")

@@ -1,0 +1,57 @@
+"""Resilient consumers: retry with backoff, budgets and circuit breaking.
+
+The paper's access model assumes an unreliable wide-area fabric — WS-DAI
+defines ``ServiceBusyFault`` and ``DataResourceUnavailableFault``
+precisely so consumers can react sensibly, and WSRF soft-state lifetime
+exists because peers fail silently.  This package supplies the client
+half of that contract:
+
+* :class:`RetryPolicy` — attempt limits, exponential backoff with full
+  jitter, a total time budget, message-id semantics on resend;
+* :class:`CircuitBreaker` — per-service closed → open → half-open
+  protection that fails fast with ``ServiceBusyFault``;
+* :class:`Resilience` — the engine both transports route ``send``
+  through; every WS-DAI/DAIR/DAIX client proxy accepts one.
+
+Fault classification is strict: transport errors and the WS-DAI
+transient faults retry; application faults (``InvalidExpressionFault``,
+``InvalidResourceNameFault``, …) never do; an expired WSRF resource
+(``ResourceUnknownFault``) retries only through an explicit re-resolve
+hook.  All waiting goes through an injectable clock
+(:class:`VirtualClock` for tests), and retries surface as ``rpc.retry``
+spans plus ``resilience.*`` counters through :mod:`repro.obs`.
+"""
+
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+)
+from repro.resilience.clock import RealClock, VirtualClock
+from repro.resilience.core import RETRYABLE_FAULTS, Resilience, coerce_resilience
+from repro.resilience.policy import NO_RETRY, RetryPolicy
+from repro.resilience.status import (
+    RESILIENCE_STATUS,
+    breaker_states_from_element,
+    resilience_element,
+)
+
+__all__ = [
+    "BreakerConfig",
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "RealClock",
+    "VirtualClock",
+    "Resilience",
+    "coerce_resilience",
+    "RETRYABLE_FAULTS",
+    "RetryPolicy",
+    "NO_RETRY",
+    "RESILIENCE_STATUS",
+    "resilience_element",
+    "breaker_states_from_element",
+]

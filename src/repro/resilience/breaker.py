@@ -1,0 +1,152 @@
+"""A per-service circuit breaker: closed → open → half-open.
+
+While *closed*, calls flow and consecutive retryable failures are
+counted; at the threshold the breaker *opens* and every call fails fast
+(the resilience layer answers with ``ServiceBusyFault`` without touching
+the wire).  After ``reset_timeout`` on the injected clock the breaker
+goes *half-open* and admits exactly ``half_open_probes`` probe calls: if
+they all succeed it closes, any failure re-opens it.
+
+State transitions are reported through an optional callback so the
+resilience layer can count them (``resilience.breaker_state``) and tag
+the active span.  All state is guarded by one lock — the HTTP transport
+is used from many threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.wsrf.clock import Clock
+
+__all__ = ["BreakerConfig", "CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: The transitions the state machine permits (property tests enforce this).
+VALID_TRANSITIONS = {
+    (CLOSED, OPEN),
+    (OPEN, HALF_OPEN),
+    (HALF_OPEN, OPEN),
+    (HALF_OPEN, CLOSED),
+}
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tuning knobs for one :class:`CircuitBreaker`."""
+
+    failure_threshold: int = 5
+    reset_timeout: float = 30.0
+    half_open_probes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if self.half_open_probes < 1:
+            raise ValueError("half_open_probes must be at least 1")
+
+
+class CircuitBreaker:
+    """The breaker guarding one service address."""
+
+    def __init__(
+        self,
+        config: BreakerConfig | None = None,
+        clock: Clock | None = None,
+        on_transition: Callable[[str, str], None] | None = None,
+    ) -> None:
+        from repro.resilience.clock import RealClock
+
+        self.config = config if config is not None else BreakerConfig()
+        self._clock = clock if clock is not None else RealClock()
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, moving open → half-open lazily on read."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._consecutive_failures
+
+    def allow(self) -> bool:
+        """May a call proceed right now?
+
+        In half-open state each ``True`` consumes one probe slot; the
+        caller must answer with :meth:`record_success` or
+        :meth:`record_failure`.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                return False
+            # Half-open: admit exactly the configured probe quota.
+            if self._probes_in_flight < self.config.half_open_probes:
+                self._probes_in_flight += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probe_successes += 1
+                if self._probe_successes >= self.config.half_open_probes:
+                    self._transition(CLOSED)
+                    self._consecutive_failures = 0
+            else:
+                self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                # A failed probe re-opens immediately.
+                self._transition(OPEN)
+                self._opened_at = self._clock.now()
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.config.failure_threshold
+            ):
+                self._transition(OPEN)
+                self._opened_at = self._clock.now()
+
+    # -- internals (call with the lock held) --------------------------------
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == OPEN
+            and self._clock.now() - self._opened_at >= self.config.reset_timeout
+        ):
+            self._transition(HALF_OPEN)
+
+    def _transition(self, new_state: str) -> None:
+        old_state = self._state
+        if old_state == new_state:
+            return
+        assert (old_state, new_state) in VALID_TRANSITIONS, (
+            f"illegal breaker transition {old_state} -> {new_state}"
+        )
+        self._state = new_state
+        if new_state == HALF_OPEN:
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+        if self._on_transition is not None:
+            self._on_transition(old_state, new_state)

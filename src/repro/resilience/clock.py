@@ -1,0 +1,41 @@
+"""Clocks that can also *sleep* — real or virtual.
+
+Backoff between retry attempts must be injectable: production code waits
+on the real clock, tests run hundreds of seeded chaos iterations in
+virtual time with zero wall-clock sleeping.  Both clocks extend the WSRF
+lifetime clocks (:mod:`repro.wsrf.clock`) with a ``sleep`` method, so a
+single instance can drive soft-state expiry *and* retry pacing in one
+deterministic timeline.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.wsrf.clock import ManualClock, SystemClock
+
+
+class RealClock(SystemClock):
+    """Wall-clock time and real :func:`time.sleep` — the default."""
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class VirtualClock(ManualClock):
+    """A manual clock whose ``sleep`` merely advances time.
+
+    Every sleep is recorded, so tests can assert exactly which backoff
+    delays a retry loop chose without ever waiting for them.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        super().__init__(start)
+        #: Every delay passed to :meth:`sleep`, in order.
+        self.sleeps: list[float] = []
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        if seconds > 0:
+            self.advance(seconds)

@@ -1,0 +1,253 @@
+"""The resilient-call engine shared by every transport.
+
+:class:`Resilience` owns a :class:`~repro.resilience.policy.RetryPolicy`,
+one :class:`~repro.resilience.breaker.CircuitBreaker` per service
+address, an injectable clock and a seeded jitter RNG.  Transports route
+``send`` through :meth:`Resilience.call`, which
+
+* fails fast with a ``ServiceBusyFault`` envelope while the breaker for
+  the address is open,
+* retries *transport* errors (:class:`~repro.core.faults.TransportFault`)
+  and the WS-DAI retryable faults (``ServiceBusyFault``,
+  ``DataResourceUnavailableFault``) with exponential backoff + jitter,
+* treats a WSRF ``ResourceUnknownFault`` (an expired soft-state
+  resource) as retryable only when an ``on_unknown_resource`` re-resolve
+  hook is configured and agrees,
+* never retries application faults (``InvalidExpressionFault``,
+  ``InvalidResourceNameFault``, …) — those mean the service is healthy
+  and the request is wrong,
+* stops when the attempt count or the total time budget runs out.
+
+Each retry attempt runs inside an ``rpc.retry`` span, so a retried call
+renders as one trace with the attempts visible; retry and breaker
+activity also feeds the ``resilience.*`` counters in :attr:`metrics`.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Callable
+
+from repro.core.faults import (
+    DataResourceUnavailableFault,
+    ServiceBusyFault,
+    TransportFault,
+)
+from repro.obs import MetricsRegistry, get_tracer
+from repro.resilience.breaker import BreakerConfig, CircuitBreaker
+from repro.resilience.clock import RealClock
+from repro.resilience.policy import RetryPolicy
+from repro.soap.envelope import Envelope, fault_envelope
+from repro.soap.fault import SoapFault
+from repro.wsrf.faults import ResourceUnknownFault
+
+__all__ = ["Resilience"]
+
+#: Faults that signal a transient condition worth retrying.
+RETRYABLE_FAULTS = (
+    TransportFault,
+    ServiceBusyFault,
+    DataResourceUnavailableFault,
+)
+
+SendOnce = Callable[[str, Envelope], Envelope]
+
+
+class Resilience:
+    """Retry + circuit-breaker engine for one consumer-side transport.
+
+    :param policy: the retry policy (default :class:`RetryPolicy`).
+    :param breaker: per-service breaker tuning; ``None`` uses the
+        :class:`BreakerConfig` defaults.
+    :param clock: anything with ``now()`` and ``sleep(seconds)``;
+        inject :class:`~repro.resilience.clock.VirtualClock` in tests.
+    :param seed: seeds the jitter RNG so backoff timelines replay.
+    :param on_unknown_resource: re-resolve hook ``(address, request) ->
+        bool``; called when a call faults ``ResourceUnknownFault``
+        (expired soft-state resource).  Returning True — typically after
+        re-creating or re-resolving the resource — makes the fault
+        retryable; without a hook it is terminal.
+    """
+
+    def __init__(
+        self,
+        policy: RetryPolicy | None = None,
+        breaker: BreakerConfig | None = None,
+        clock=None,
+        seed: int = 0,
+        on_unknown_resource: Callable[[str, Envelope], bool] | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.breaker_config = breaker if breaker is not None else BreakerConfig()
+        self.clock = clock if clock is not None else RealClock()
+        self.on_unknown_resource = on_unknown_resource
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+        #: Retry/breaker counters, exposable like any other registry.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._retries = self.metrics.counter(
+            "resilience.retries", "retry attempts per wsa:Action"
+        )
+        self._giveups = self.metrics.counter(
+            "resilience.giveups", "calls that exhausted their retry policy"
+        )
+        self._fast_fails = self.metrics.counter(
+            "resilience.fastfail", "calls rejected by an open breaker"
+        )
+        self._breaker_state = self.metrics.counter(
+            "resilience.breaker_state", "breaker transitions per service/state"
+        )
+
+    # -- breakers ------------------------------------------------------------
+
+    def breaker_for(self, address: str) -> CircuitBreaker:
+        """The (lazily created) breaker guarding *address*."""
+        with self._lock:
+            breaker = self._breakers.get(address)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    self.breaker_config,
+                    clock=self.clock,
+                    on_transition=lambda old, new, address=address: (
+                        self._note_transition(address, old, new)
+                    ),
+                )
+                self._breakers[address] = breaker
+            return breaker
+
+    def breakers(self) -> dict[str, CircuitBreaker]:
+        with self._lock:
+            return dict(self._breakers)
+
+    def _note_transition(self, address: str, old: str, new: str) -> None:
+        self._breaker_state.inc(service=address, state=new)
+        with get_tracer().span(
+            "resilience.breaker",
+            service=address,
+            from_state=old,
+            to_state=new,
+        ):
+            pass
+
+    # -- the resilient call --------------------------------------------------
+
+    def call(self, address: str, request: Envelope, send_once: SendOnce) -> Envelope:
+        """Run one logical request with retries and breaker protection.
+
+        *send_once* performs a single attempt (raising
+        :class:`TransportFault` when nothing usable came back); the
+        return value is the final response envelope.  Terminal transport
+        errors re-raise after the policy is exhausted.
+        """
+        policy = self.policy
+        breaker = self.breaker_for(address)
+        action = request.headers.action
+        tracer = get_tracer()
+        started = self.clock.now()
+        attempt = 0
+        while True:
+            attempt += 1
+            if not breaker.allow():
+                self._fast_fails.inc(action=action)
+                return fault_envelope(
+                    request.headers,
+                    ServiceBusyFault(
+                        f"circuit breaker open for {address} "
+                        f"(after {breaker.consecutive_failures} consecutive "
+                        f"failures)"
+                    ),
+                )
+            if attempt == 1:
+                response, fault = self._attempt(address, request, send_once)
+            else:
+                with tracer.span(
+                    "rpc.retry", address=address, action=action, attempt=attempt
+                ) as span:
+                    response, fault = self._attempt(address, request, send_once)
+                    if fault is not None:
+                        span.mark_fault(str(fault))
+            if fault is None:
+                breaker.record_success()
+                return response
+            retryable = self._retryable(fault, address, request)
+            if retryable:
+                breaker.record_failure()
+            else:
+                # The service answered coherently; the request is wrong.
+                breaker.record_success()
+            if not retryable or attempt >= policy.max_attempts:
+                if retryable:
+                    self._giveups.inc(action=action)
+                return self._terminal(response, fault)
+            delay = policy.delay(attempt, self._rng)
+            if policy.budget_seconds is not None:
+                elapsed = self.clock.now() - started
+                if elapsed + delay > policy.budget_seconds:
+                    self._giveups.inc(action=action)
+                    return self._terminal(response, fault)
+            self.clock.sleep(delay)
+            self._retries.inc(action=action)
+            if policy.fresh_message_id:
+                from repro.soap.addressing import new_message_id
+
+                request.headers.message_id = new_message_id()
+
+    def _attempt(
+        self, address: str, request: Envelope, send_once: SendOnce
+    ) -> tuple[Envelope | None, SoapFault | None]:
+        """One attempt: (response, fault) — exactly one side is useful."""
+        try:
+            response = send_once(address, request)
+        except TransportFault as exc:
+            return None, exc
+        if not response.is_fault():
+            return response, None
+        try:
+            response.raise_if_fault()
+        except SoapFault as fault:
+            return response, fault
+        return response, None  # pragma: no cover - is_fault guarantees raise
+
+    def _retryable(
+        self, fault: SoapFault, address: str, request: Envelope
+    ) -> bool:
+        if isinstance(fault, RETRYABLE_FAULTS):
+            return True
+        if isinstance(fault, ResourceUnknownFault):
+            hook = self.on_unknown_resource
+            return hook is not None and bool(hook(address, request))
+        return False
+
+    def _terminal(
+        self, response: Envelope | None, fault: SoapFault | None
+    ) -> Envelope:
+        """Surface the final failure the way the transport contract wants:
+        fault envelopes are returned, transport errors re-raised."""
+        if response is not None:
+            return response
+        assert fault is not None
+        raise fault
+
+    # -- state exposition ----------------------------------------------------
+
+    def status_element(self):
+        """Render breaker/policy state as an ``obs:ResilienceStatus``
+        element (see :mod:`repro.resilience.status`)."""
+        from repro.resilience.status import resilience_element
+
+        return resilience_element(self)
+
+
+def coerce_resilience(value) -> Resilience | None:
+    """Accept a :class:`Resilience`, a bare :class:`RetryPolicy`, or None
+    — transports and clients take either for convenience."""
+    if value is None or isinstance(value, Resilience):
+        return value
+    if isinstance(value, RetryPolicy):
+        return Resilience(policy=value)
+    raise TypeError(
+        f"expected Resilience or RetryPolicy, got {type(value).__name__}"
+    )

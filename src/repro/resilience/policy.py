@@ -1,0 +1,72 @@
+"""Retry policy: attempt limits, exponential backoff with jitter, budgets.
+
+The policy is pure configuration plus the backoff math; the retry *loop*
+lives in :class:`repro.resilience.core.Resilience`.  Defaults follow the
+usual wide-area guidance: a handful of attempts, exponential caps with
+full jitter (each delay is drawn uniformly from ``[0, cap]``, which
+de-correlates a thundering herd of consumers), and a total time budget
+the whole call — attempts plus sleeps — may never exceed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "NO_RETRY"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Knobs for one resilient call.
+
+    :param max_attempts: total tries including the first (1 = no retry).
+    :param base_delay: backoff cap before the first retry, seconds.
+    :param multiplier: cap growth factor per further retry.
+    :param max_delay: upper bound on any single backoff cap.
+    :param jitter: ``"full"`` draws each delay uniformly from
+        ``[0, cap]``; ``"none"`` sleeps the cap exactly (deterministic,
+        used by tests that snapshot timelines).
+    :param budget_seconds: total wall budget across all attempts and
+        sleeps; ``None`` = unbounded.  A retry whose backoff would
+        overrun the budget is not taken.
+    :param fresh_message_id: when True every resend mints a new
+        ``wsa:MessageID``; the default resends the same id, marking the
+        retry as the *same* logical request (safe de-duplication target).
+    :param request_timeout: per-attempt socket timeout override for
+        transports that support one (HTTP); ``None`` keeps the
+        transport's own default.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: str = "full"
+    budget_seconds: float | None = 30.0
+    fresh_message_id: bool = False
+    request_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.jitter not in ("full", "none"):
+            raise ValueError(f"unknown jitter mode {self.jitter!r}")
+
+    def backoff_cap(self, retry_number: int) -> float:
+        """The backoff ceiling before retry *retry_number* (1-based)."""
+        if retry_number < 1:
+            raise ValueError("retry_number is 1-based")
+        cap = self.base_delay * self.multiplier ** (retry_number - 1)
+        return min(self.max_delay, cap)
+
+    def delay(self, retry_number: int, rng: random.Random) -> float:
+        """The actual delay to sleep before retry *retry_number*."""
+        cap = self.backoff_cap(retry_number)
+        if self.jitter == "full":
+            return rng.uniform(0.0, cap)
+        return cap
+
+
+#: A policy that never retries — resilience plumbing with single-shot calls.
+NO_RETRY = RetryPolicy(max_attempts=1)

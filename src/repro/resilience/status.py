@@ -1,0 +1,62 @@
+"""Breaker state as a WS-DAI property element: ``obs:ResilienceStatus``.
+
+Consistent with how :mod:`repro.obs.properties` publishes live metrics,
+the resilience layer renders into the property-document vocabulary so a
+deployment can surface its outbound-call health through the spec's own
+``GetResourceProperty`` mechanism (attach the layer to a service via
+``DataService.resilience``)::
+
+    <obs:ResilienceStatus maxAttempts="4" budgetSeconds="30">
+      <obs:Breaker service="dais://sql-service" state="open"
+                   consecutiveFailures="5"/>
+    </obs:ResilienceStatus>
+"""
+
+from __future__ import annotations
+
+from repro.obs.properties import OBS_NS
+from repro.xmlutil import E, QName, XmlElement
+
+__all__ = [
+    "RESILIENCE_STATUS",
+    "resilience_element",
+    "breaker_states_from_element",
+]
+
+#: QName of the resilience property element (use with GetResourceProperty).
+RESILIENCE_STATUS = QName(OBS_NS, "ResilienceStatus")
+
+_BREAKER = QName(OBS_NS, "Breaker")
+
+
+def resilience_element(resilience) -> XmlElement:
+    """Render a :class:`~repro.resilience.core.Resilience` layer's policy
+    and per-service breaker states as one property element."""
+    root = E(RESILIENCE_STATUS)
+    root.set(QName("", "maxAttempts"), str(resilience.policy.max_attempts))
+    if resilience.policy.budget_seconds is not None:
+        root.set(
+            QName("", "budgetSeconds"),
+            format(resilience.policy.budget_seconds, "g"),
+        )
+    for address in sorted(resilience.breakers()):
+        breaker = resilience.breakers()[address]
+        node = E(_BREAKER)
+        node.set(QName("", "service"), address)
+        node.set(QName("", "state"), breaker.state)
+        node.set(
+            QName("", "consecutiveFailures"),
+            str(breaker.consecutive_failures),
+        )
+        root.append(node)
+    return root
+
+
+def breaker_states_from_element(element: XmlElement) -> dict[str, str]:
+    """Parse ``{service address: breaker state}`` back out of the
+    property element — the consumer-side inverse of
+    :func:`resilience_element`."""
+    return {
+        node.get(QName("", "service")) or "": node.get(QName("", "state")) or ""
+        for node in element.findall(_BREAKER)
+    }

@@ -24,13 +24,16 @@ endpoints for operators:
 
 from __future__ import annotations
 
+import http.client
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.core.faults import ServiceNotFoundFault
+from repro.core.faults import ServiceBusyFault, ServiceNotFoundFault, TransportFault
+from repro.resilience import coerce_resilience
 from repro.core.registry import ServiceRegistry
 from repro.obs import MetricsRegistry, get_tracer
 from repro.obs.exporters import span_to_dict
@@ -50,11 +53,29 @@ def _transport_fault_headers(path: str) -> MessageHeaders:
     return MessageHeaders(to=path, action=f"{SOAP_ENV_NS}/fault")
 
 
-class DaisHttpServer:
-    """Serves a :class:`ServiceRegistry` over HTTP on 127.0.0.1."""
+def _looks_like_soap(body: bytes) -> bool:
+    """Cheap sniff: could *body* plausibly be an XML envelope?"""
+    return bool(body) and body.lstrip()[:1] == b"<"
 
-    def __init__(self, registry: ServiceRegistry, port: int = 0) -> None:
+
+class DaisHttpServer:
+    """Serves a :class:`ServiceRegistry` over HTTP on 127.0.0.1.
+
+    *fault_plan* (a :class:`repro.faultinject.FaultPlan`) arms the
+    handler path itself: matching POSTs are delayed, answered with a
+    bare 503/500, a SOAP ``ServiceBusyFault``, or dropped outright
+    before the registry ever sees them — real sockets, injected chaos.
+    """
+
+    def __init__(
+        self,
+        registry: ServiceRegistry,
+        port: int = 0,
+        fault_plan=None,
+    ) -> None:
         self._registry = registry
+        #: Server-side fault injection plan (settable at any time).
+        self.fault_plan = fault_plan
         #: Server-side wire metrics across every service on this port.
         self.metrics = MetricsRegistry()
         self._requests = self.metrics.counter(
@@ -73,6 +94,8 @@ class DaisHttpServer:
             def do_POST(self) -> None:  # noqa: N802 - stdlib API
                 length = int(self.headers.get("Content-Length", "0"))
                 body = self.rfile.read(length)
+                if not outer._inject(self):
+                    return
                 with get_tracer().span(
                     "http.server.request", path=self.path
                 ) as span:
@@ -105,7 +128,19 @@ class DaisHttpServer:
             def log_message(self, *args) -> None:  # silence stderr
                 pass
 
-        self._server = ThreadingHTTPServer(("127.0.0.1", port), _Handler)
+        class _Server(ThreadingHTTPServer):
+            def handle_error(self, request, client_address):
+                # A consumer that timed out and hung up mid-response is
+                # business as usual under fault injection — don't splat
+                # a traceback; everything else keeps the stdlib report.
+                import sys
+
+                exc = sys.exception()
+                if isinstance(exc, (ConnectionError, BrokenPipeError)):
+                    return
+                super().handle_error(request, client_address)
+
+        self._server = _Server(("127.0.0.1", port), _Handler)
         self._thread: threading.Thread | None = None
 
     def _handle(self, path: str, body: bytes) -> tuple[Envelope, int]:
@@ -138,6 +173,63 @@ class DaisHttpServer:
             )
         response = service.dispatch(request)
         return response, (500 if response.is_fault() else 200)
+
+    def _inject(self, handler) -> bool:
+        """Apply the armed fault plan to one POST.
+
+        Returns True when normal handling should proceed; False when the
+        injection already answered (or deliberately dropped) the request.
+        """
+        plan = self.fault_plan
+        if plan is None:
+            return True
+        from repro.faultinject.actions import (
+            Busy,
+            ConnectionRefused,
+            DropResponse,
+            ExpireResource,
+            HttpStatus,
+            Latency,
+        )
+
+        action = plan.decide(handler.path, "http.server.request")
+        if action is None:
+            return True
+        if isinstance(action, Latency):
+            time.sleep(action.seconds)
+            return True
+        if isinstance(action, (ConnectionRefused, DropResponse)):
+            # Vanish: close the socket without an HTTP response — the
+            # client observes a reset/empty reply.
+            handler.close_connection = True
+            return False
+        if isinstance(action, HttpStatus):
+            payload = b"injected fault: service unavailable"
+            handler.send_response(action.status)
+            handler.send_header("Content-Type", "text/plain; charset=utf-8")
+            handler.send_header("Content-Length", str(len(payload)))
+            handler.end_headers()
+            handler.wfile.write(payload)
+            return False
+        if isinstance(action, (Busy, ExpireResource)):
+            if isinstance(action, Busy):
+                fault = ServiceBusyFault("service is busy [injected]")
+            else:
+                from repro.wsrf.faults import ResourceUnknownFault
+
+                fault = ResourceUnknownFault(
+                    "resource lifetime expired [injected]"
+                )
+            payload = fault_envelope(
+                _transport_fault_headers(handler.path), fault
+            ).to_bytes()
+            handler.send_response(500)
+            handler.send_header("Content-Type", "text/xml; charset=utf-8")
+            handler.send_header("Content-Length", str(len(payload)))
+            handler.end_headers()
+            handler.wfile.write(payload)
+            return False
+        raise TypeError(f"unknown fault action {type(action).__name__}")
 
     # -- read-only exposition endpoints ---------------------------------------
 
@@ -262,11 +354,28 @@ class DaisHttpServer:
 
 
 class HttpTransport:
-    """Client side: POST envelopes to service URLs."""
+    """Client side: POST envelopes to service URLs.
 
-    def __init__(self, network: NetworkModel | None = None, timeout: float = 10.0) -> None:
+    Every attempt runs under a socket timeout (default 10 s —
+    configurable per transport, overridable per retry policy), and all
+    transport-level failures — refused connections, timeouts, dropped
+    sockets, non-SOAP error bodies — surface as the typed
+    :class:`~repro.core.faults.TransportFault` rather than raw
+    ``urllib``/``socket`` exceptions.  Install a
+    :class:`~repro.resilience.Resilience` layer (or pass a bare
+    ``RetryPolicy``) to retry them with backoff and breaker protection.
+    """
+
+    def __init__(
+        self,
+        network: NetworkModel | None = None,
+        timeout: float = 10.0,
+        resilience=None,
+    ) -> None:
         self._network = network if network is not None else NetworkModel()
         self._timeout = timeout
+        #: Optional retry/breaker layer; every ``send`` routes through it.
+        self.resilience = coerce_resilience(resilience)
         self.stats = WireStats()
         #: Client-side metrics: request counts and wire bytes per action.
         self.metrics = MetricsRegistry()
@@ -284,6 +393,18 @@ class HttpTransport:
         )
 
     def send(self, address: str, request: Envelope) -> Envelope:
+        if self.resilience is None:
+            return self._send_once(address, request)
+        return self.resilience.call(address, request, self._send_once)
+
+    def _effective_timeout(self) -> float:
+        if self.resilience is not None:
+            override = self.resilience.policy.request_timeout
+            if override is not None:
+                return override
+        return self._timeout
+
+    def _send_once(self, address: str, request: Envelope) -> Envelope:
         action = request.headers.action
         with get_tracer().span(
             "rpc.send", transport="http", address=address, action=action
@@ -300,17 +421,47 @@ class HttpTransport:
             )
             try:
                 with urllib.request.urlopen(
-                    http_request, timeout=self._timeout
+                    http_request, timeout=self._effective_timeout()
                 ) as reply:
                     response_bytes = reply.read()
             except urllib.error.HTTPError as err:
-                # SOAP 1.1: fault envelopes arrive with status 500 — the
-                # body is still a SOAP message, so read it and carry on.
+                # SOAP 1.1: fault envelopes arrive with status 500 — when
+                # the body is a SOAP message, read it and carry on; an
+                # unparseable body (a proxy error page, an injected 503)
+                # is a transport-level failure.
                 response_bytes = err.read()
+                if not _looks_like_soap(response_bytes):
+                    raise TransportFault(
+                        f"HTTP {err.code} from {address} with non-SOAP body",
+                        status=err.code,
+                    ) from err
+            except TimeoutError as err:  # socket.timeout is an alias
+                raise TransportFault(
+                    f"request to {address} timed out after "
+                    f"{self._effective_timeout()}s"
+                ) from err
+            except urllib.error.URLError as err:
+                if isinstance(err.reason, TimeoutError):
+                    raise TransportFault(
+                        f"request to {address} timed out after "
+                        f"{self._effective_timeout()}s"
+                    ) from err
+                raise TransportFault(
+                    f"connection to {address} failed: {err.reason}"
+                ) from err
+            except (ConnectionError, http.client.HTTPException) as err:
+                raise TransportFault(
+                    f"connection to {address} broke mid-exchange: {err}"
+                ) from err
             modeled = self._network.transfer_time(
                 len(request_bytes)
             ) + self._network.transfer_time(len(response_bytes))
-            response = Envelope.from_bytes(response_bytes)
+            try:
+                response = Envelope.from_bytes(response_bytes)
+            except Exception as err:
+                raise TransportFault(
+                    f"unparseable response from {address}: {err}"
+                ) from err
             self._requests.inc(action=action)
             self._request_bytes.inc(len(request_bytes), action=action)
             self._response_bytes.inc(len(response_bytes), action=action)

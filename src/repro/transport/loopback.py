@@ -10,6 +10,7 @@ from __future__ import annotations
 from repro.core.faults import ServiceNotFoundFault
 from repro.core.registry import ServiceRegistry
 from repro.obs import MetricsRegistry, get_tracer
+from repro.resilience import coerce_resilience
 from repro.soap.envelope import Envelope, fault_envelope
 from repro.soap.tracecontext import inject
 from repro.transport.wire import CallRecord, NetworkModel, WireStats
@@ -22,9 +23,13 @@ class LoopbackTransport:
         self,
         registry: ServiceRegistry,
         network: NetworkModel | None = None,
+        resilience=None,
     ) -> None:
         self._registry = registry
         self._network = network if network is not None else NetworkModel()
+        #: Optional retry/breaker layer (a ``Resilience`` or bare
+        #: ``RetryPolicy``); every ``send`` routes through it when set.
+        self.resilience = coerce_resilience(resilience)
         self.stats = WireStats()
         #: Client-side metrics: request counts and wire bytes per action.
         self.metrics = MetricsRegistry()
@@ -48,7 +53,15 @@ class LoopbackTransport:
     def send(self, address: str, request: Envelope) -> Envelope:
         """Send *request* to the service at *address*; returns the
         response envelope (which may carry a fault — callers decide
-        whether to raise via :meth:`Envelope.raise_if_fault`)."""
+        whether to raise via :meth:`Envelope.raise_if_fault`).
+
+        With a :attr:`resilience` layer installed, the call is retried
+        and breaker-guarded per its policy."""
+        if self.resilience is None:
+            return self._send_once(address, request)
+        return self.resilience.call(address, request, self._send_once)
+
+    def _send_once(self, address: str, request: Envelope) -> Envelope:
         action = request.headers.action
         with get_tracer().span(
             "rpc.send", transport="loopback", address=address, action=action

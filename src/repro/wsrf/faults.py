@@ -1,7 +1,15 @@
-"""WSRF fault types, expressed as SOAP faults with typed detail."""
+"""WSRF fault types, expressed as SOAP faults with typed detail.
+
+Like the DAIS family (:mod:`repro.core.faults`), a resolver registered
+with the envelope layer restores the typed class from the wire detail,
+so ``except ResourceUnknownFault:`` works on the consumer side — which
+is what lets retry policies recognise an expired soft-state resource as
+a retryable condition (see :mod:`repro.resilience`).
+"""
 
 from __future__ import annotations
 
+from repro.soap.envelope import register_fault_resolver
 from repro.soap.fault import FaultCode, SoapFault
 from repro.wsrf.namespaces import WSRF_BF_NS
 from repro.xmlutil import E, QName
@@ -36,3 +44,31 @@ class UnableToSetTerminationTimeFault(WsrfFault):
     """SetTerminationTime could not be honoured."""
 
     DETAIL_LOCAL = "UnableToSetTerminationTimeFault"
+
+
+_FAULTS_BY_DETAIL = {
+    fault.DETAIL_LOCAL: fault
+    for fault in (
+        WsrfFault,
+        ResourceUnknownFault,
+        InvalidQueryExpressionFault,
+        UnableToSetTerminationTimeFault,
+    )
+}
+
+
+def _resolve_wsrf_fault(fault: SoapFault) -> SoapFault | None:
+    """Map a generic fault back to its typed WSRF class via the detail."""
+    for detail in fault.detail:
+        if detail.tag.namespace != WSRF_BF_NS:
+            continue
+        cls = _FAULTS_BY_DETAIL.get(detail.tag.local)
+        if cls is not None:
+            message = detail.findtext(
+                QName(WSRF_BF_NS, "Description"), fault.message
+            )
+            return cls(message or fault.message, code=fault.code)
+    return None
+
+
+register_fault_resolver(_resolve_wsrf_fault)

@@ -1,0 +1,157 @@
+"""Circuit breaker state machine: transitions, probe quotas, invariants."""
+
+import random
+
+import pytest
+
+from repro.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+    VirtualClock,
+)
+
+
+def make_breaker(threshold=3, reset=10.0, probes=1, transitions=None):
+    clock = VirtualClock()
+    breaker = CircuitBreaker(
+        BreakerConfig(
+            failure_threshold=threshold,
+            reset_timeout=reset,
+            half_open_probes=probes,
+        ),
+        clock=clock,
+        on_transition=(
+            (lambda old, new: transitions.append((old, new)))
+            if transitions is not None
+            else None
+        ),
+    )
+    return breaker, clock
+
+
+class TestStateMachine:
+    def test_closed_until_threshold(self):
+        breaker, _ = make_breaker(threshold=3)
+        for _ in range(2):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = make_breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_open_goes_half_open_after_reset_timeout(self):
+        breaker, clock = make_breaker(threshold=1, reset=10.0)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(9.999)
+        assert breaker.state == OPEN
+        clock.advance(0.001)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_admits_exactly_the_probe_quota(self):
+        for quota in (1, 2, 5):
+            breaker, clock = make_breaker(threshold=1, reset=1.0, probes=quota)
+            breaker.record_failure()
+            clock.advance(1.0)
+            admitted = sum(1 for _ in range(quota + 10) if breaker.allow())
+            assert admitted == quota
+
+    def test_probe_success_closes(self):
+        breaker, clock = make_breaker(threshold=1, reset=1.0, probes=2)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow() and breaker.allow()
+        breaker.record_success()
+        assert breaker.state == HALF_OPEN  # one probe still outstanding
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens(self):
+        breaker, clock = make_breaker(threshold=1, reset=1.0)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        # ... and the reset timer starts over.
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(ValueError):
+            BreakerConfig(half_open_probes=0)
+
+
+class TestTransitionInvariants:
+    """Seeded random op sequences can only produce legal transitions."""
+
+    LEGAL = {
+        (CLOSED, OPEN),
+        (OPEN, HALF_OPEN),
+        (HALF_OPEN, OPEN),
+        (HALF_OPEN, CLOSED),
+    }
+
+    def test_random_walks_stay_legal(self):
+        rng = random.Random(777)
+        for case in range(50):
+            transitions = []
+            breaker, clock = make_breaker(
+                threshold=rng.randint(1, 4),
+                reset=rng.uniform(0.5, 5.0),
+                probes=rng.randint(1, 3),
+                transitions=transitions,
+            )
+            for _ in range(200):
+                op = rng.randrange(4)
+                if op == 0:
+                    breaker.allow()
+                elif op == 1:
+                    breaker.record_success()
+                elif op == 2:
+                    breaker.record_failure()
+                else:
+                    clock.advance(rng.uniform(0.0, 2.0))
+            assert all(t in self.LEGAL for t in transitions), (case, transitions)
+            # In particular: never closed -> half-open directly.
+            assert (CLOSED, HALF_OPEN) not in transitions
+
+    def test_half_open_only_ever_follows_open(self):
+        rng = random.Random(888)
+        for _ in range(30):
+            transitions = []
+            breaker, clock = make_breaker(
+                threshold=2, reset=1.0, probes=2, transitions=transitions
+            )
+            for _ in range(300):
+                op = rng.randrange(4)
+                if op == 0:
+                    breaker.allow()
+                elif op == 1:
+                    breaker.record_success()
+                elif op == 2:
+                    breaker.record_failure()
+                else:
+                    clock.advance(rng.uniform(0.0, 1.5))
+            for i, (old, new) in enumerate(transitions):
+                if new == HALF_OPEN:
+                    assert old == OPEN
+                    if i:
+                        assert transitions[i - 1][1] == OPEN
