@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench coverage-obs trace-demo test-resilience chaos-demo
+.PHONY: test bench coverage-obs trace-demo test-resilience test-concurrency chaos-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -25,6 +25,15 @@ test-resilience:
 	$(PYTHON) -m pytest tests/faultinject tests/resilience -q
 	CHAOS_SEED=$$($(PYTHON) -c 'import random; print(random.randrange(10**6))') \
 		$(PYTHON) -m pytest tests/resilience/test_chaos_scenarios.py -q
+
+# Race regressions and pool behaviour under the threaded HTTP binding.
+# PYTHONFAULTHANDLER dumps all thread stacks if a deadlock ever hangs
+# a run, instead of timing out silently.
+test-concurrency:
+	PYTHONFAULTHANDLER=1 $(PYTHON) -m pytest \
+		tests/integration/test_race_regressions.py \
+		tests/transport/test_connection_pool.py \
+		tests/transport/test_http_concurrency.py -q
 
 # Seeded chaos runs against resilient clients in virtual time; prints
 # the outcome tally and one retried call as a connected trace.

@@ -8,6 +8,8 @@ document self-contained (no object paths needed for a schema snapshot).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.cim.model import (
     CimColumn,
     CimDatabase,
@@ -24,6 +26,7 @@ CIM_XML_NS = "http://schemas.dmtf.org/wbem/wscim/1/cim-schema/2"
 DEFAULT_REGISTRY.register("cim", CIM_XML_NS)
 
 
+@lru_cache(maxsize=None)
 def _tag(local: str) -> QName:
     return QName(CIM_XML_NS, local)
 

@@ -3,9 +3,18 @@
 Maps service addresses to :class:`~repro.core.service.DataService`
 instances and resolves data resource addresses (EPRs) back to the
 service + abstract name pair they designate.
+
+The registry is shared mutable state under the threaded HTTP binding —
+every handler thread resolves through it while factories register
+services and sweeps retire resources — so all map access goes through
+one lock.  ``sweep_all`` iterates a snapshot, never the live dict, and
+:meth:`start_sweeper` runs it on a background thread so soft state
+expires without anyone calling ``sweep_all`` by hand.
 """
 
 from __future__ import annotations
+
+import threading
 
 from repro.core.service import RESOURCE_REFERENCE_PARAMETER, DataService
 from repro.obs.journal import record_event
@@ -16,25 +25,40 @@ class ServiceRegistry:
     """All services reachable in one deployment (one 'grid fabric')."""
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._services: dict[str, DataService] = {}
+        self._sweeper: threading.Thread | None = None
+        self._sweeper_stop: threading.Event | None = None
 
     def register(self, service: DataService) -> DataService:
-        if service.address in self._services:
-            raise ValueError(f"address {service.address!r} already registered")
-        self._services[service.address] = service
+        with self._lock:
+            if service.address in self._services:
+                raise ValueError(
+                    f"address {service.address!r} already registered"
+                )
+            self._services[service.address] = service
         return service
 
     def unregister(self, address: str) -> None:
-        self._services.pop(address, None)
+        with self._lock:
+            self._services.pop(address, None)
 
     def addresses(self) -> list[str]:
-        return sorted(self._services)
+        with self._lock:
+            return sorted(self._services)
+
+    def services(self) -> list[DataService]:
+        """A point-in-time snapshot of every registered service, in
+        address order — safe to iterate while registrations churn."""
+        with self._lock:
+            return [self._services[address] for address in sorted(self._services)]
 
     def service_at(self, address: str) -> DataService:
-        try:
-            return self._services[address]
-        except KeyError:
-            raise LookupError(f"no service at {address!r}") from None
+        with self._lock:
+            try:
+                return self._services[address]
+            except KeyError:
+                raise LookupError(f"no service at {address!r}") from None
 
     def resolve_epr(self, epr: EndpointReference) -> tuple[DataService, str | None]:
         """Resolve an EPR to (service, abstract name from ref params)."""
@@ -48,10 +72,10 @@ class ServiceRegistry:
         """Run soft-state sweeps on every WSRF service; returns what each
         destroyed (address → abstract names)."""
         destroyed: dict[str, list[str]] = {}
-        for address, service in self._services.items():
+        for service in self.services():
             expired = service.sweep_expired()
             if expired:
-                destroyed[address] = expired
+                destroyed[service.address] = expired
         if destroyed:
             record_event(
                 "sweep",
@@ -60,3 +84,54 @@ class ServiceRegistry:
                 destroyed=sum(len(names) for names in destroyed.values()),
             )
         return destroyed
+
+    # -- background sweeper ----------------------------------------------------
+
+    def start_sweeper(self, interval: float = 1.0) -> threading.Thread:
+        """Run :meth:`sweep_all` every *interval* seconds on a daemon
+        thread, so soft state expires without manual sweeps.
+
+        Returns the sweeper thread; call :meth:`stop_sweeper` (or let the
+        process exit — the thread is a daemon) to stop it.  A service
+        raising mid-sweep is journalled and does not kill the sweeper.
+        """
+        if interval <= 0:
+            raise ValueError("sweep interval must be positive")
+        with self._lock:
+            if self._sweeper is not None and self._sweeper.is_alive():
+                raise RuntimeError("sweeper already running")
+            stop = threading.Event()
+            thread = threading.Thread(
+                target=self._sweep_loop,
+                args=(interval, stop),
+                name="dais-soft-state-sweeper",
+                daemon=True,
+            )
+            self._sweeper = thread
+            self._sweeper_stop = stop
+        thread.start()
+        return thread
+
+    def stop_sweeper(self, timeout: float = 5.0) -> None:
+        """Stop the background sweeper, if one is running."""
+        with self._lock:
+            thread = self._sweeper
+            stop = self._sweeper_stop
+            self._sweeper = None
+            self._sweeper_stop = None
+        if stop is not None:
+            stop.set()
+        if thread is not None:
+            thread.join(timeout)
+
+    @property
+    def sweeping(self) -> bool:
+        with self._lock:
+            return self._sweeper is not None and self._sweeper.is_alive()
+
+    def _sweep_loop(self, interval: float, stop: threading.Event) -> None:
+        while not stop.wait(interval):
+            try:
+                self.sweep_all()
+            except Exception as exc:  # pragma: no cover - defensive
+                record_event("sweep-error", "*", error=str(exc))

@@ -10,6 +10,7 @@ profile adds fine-grained property access and soft-state lifetime
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable
 
@@ -118,11 +119,13 @@ class DataService:
         property_namespaces: dict[str, str] | None = None,
         max_concurrent: int | None = None,
     ) -> None:
-        import threading
-
         self.name = name
         self.address = address
         self.wsrf = wsrf
+        #: Guards the service↔resource table.  An RLock because a
+        #: lifetime destructor (running under this lock via
+        #: ``destroy_resource``) pops from the same table.
+        self._resources_lock = threading.RLock()
         self._bindings: dict[str, ResourceBinding] = {}
         self._handlers: dict[str, Handler] = {}
         self._property_namespaces = dict(property_namespaces or {})
@@ -172,45 +175,69 @@ class DataService:
         state); without WSRF the resource lives until explicit destroy.
         """
         name = resource.abstract_name
-        if name in self._bindings:
-            raise ValueError(f"resource {name} already bound to {self.name}")
         binding = ResourceBinding(
             resource, (configurable or ConfigurableProperties()).copy(), self
         )
-        self._bindings[name] = binding
-        if self.lifetime is not None:
-            self.lifetime.register(
-                name, self._destroy_by_lifetime, lifetime_seconds
-            )
+        with self._resources_lock:
+            if name in self._bindings:
+                raise ValueError(
+                    f"resource {name} already bound to {self.name}"
+                )
+            self._bindings[name] = binding
+            if self.lifetime is not None:
+                try:
+                    self.lifetime.register(
+                        name, self._destroy_by_lifetime, lifetime_seconds
+                    )
+                except BaseException:
+                    del self._bindings[name]
+                    raise
         return binding
 
     def resource_names(self) -> list[str]:
-        return sorted(self._bindings)
+        with self._resources_lock:
+            return sorted(self._bindings)
 
     def has_resource(self, abstract_name: str) -> bool:
-        return abstract_name in self._bindings
+        with self._resources_lock:
+            return abstract_name in self._bindings
 
     def binding(self, abstract_name: str) -> ResourceBinding:
-        try:
-            return self._bindings[abstract_name]
-        except KeyError:
-            raise InvalidResourceNameFault(
-                f"service {self.name!r} does not know resource "
-                f"{abstract_name!r}"
-            ) from None
+        with self._resources_lock:
+            try:
+                return self._bindings[abstract_name]
+            except KeyError:
+                raise InvalidResourceNameFault(
+                    f"service {self.name!r} does not know resource "
+                    f"{abstract_name!r}"
+                ) from None
 
     def destroy_resource(self, abstract_name: str) -> None:
-        """Sever the service↔resource relationship (paper §4.3)."""
-        binding = self.binding(abstract_name)
-        if self.lifetime is not None and self.lifetime.registered(abstract_name):
-            # Route through the lifetime manager so records stay coherent.
-            self.lifetime.destroy(abstract_name)
+        """Sever the service↔resource relationship (paper §4.3).
+
+        Safe against racing destroyers: the check-then-act on the
+        binding table happens under the resource lock, and the lifetime
+        route is idempotent — when an explicit destroy, a sweep and a
+        WSRF ``Destroy`` race, exactly one runs ``on_destroy``.
+        """
+        with self._resources_lock:
+            binding = self.binding(abstract_name)  # faults when unknown
+            via_lifetime = (
+                self.lifetime is not None
+                and self.lifetime.registered(abstract_name)
+            )
+            if not via_lifetime:
+                del self._bindings[abstract_name]
+        if via_lifetime:
+            # Route through the lifetime manager so records stay
+            # coherent; losing the claim to a concurrent sweep is fine.
+            self.lifetime.destroy(abstract_name, missing_ok=True)
             return
-        del self._bindings[abstract_name]
         binding.resource.on_destroy()
 
     def _destroy_by_lifetime(self, abstract_name: str) -> None:
-        binding = self._bindings.pop(abstract_name, None)
+        with self._resources_lock:
+            binding = self._bindings.pop(abstract_name, None)
         if binding is not None:
             binding.resource.on_destroy()
 
@@ -281,7 +308,8 @@ class DataService:
                 if resource:
                     name = resource.strip()
                     span.set_attribute("resource", name)
-                    binding = self._bindings.get(name)
+                    with self._resources_lock:
+                        binding = self._bindings.get(name)
                     creating = (
                         getattr(binding.resource, "creating_trace", None)
                         if binding is not None

@@ -17,6 +17,7 @@ their lexical strings; NULL is preserved exactly).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.core.faults import InvalidDatasetFormatFault
 from repro.dair.namespaces import (
@@ -108,6 +109,7 @@ def parse_rowset(data_format_uri: str, element: XmlElement) -> Rowset:
 # ---------------------------------------------------------------------------
 
 
+@lru_cache(maxsize=None)
 def _q(local: str) -> QName:
     return QName(WSDAIR_NS, local)
 
@@ -158,6 +160,7 @@ def _parse_sqlrowset(element: XmlElement) -> Rowset:
 # ---------------------------------------------------------------------------
 
 
+@lru_cache(maxsize=None)
 def _w(local: str) -> QName:
     return QName(_WEBROWSET_NS, local)
 

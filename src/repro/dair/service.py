@@ -152,9 +152,11 @@ class SQLRealisationService(DataService):
         binding = self._sql_binding(request.abstract_name)
         resource: SQLDataResource = binding.resource
 
-        document = resource.property_document(binding.configurable)
+        # Check the DatasetMap directly: rendering the whole property
+        # document (with its CIM schema snapshot) per execute is pure
+        # overhead when only the format list is needed.
         format_uri = request.dataset_format_uri or SQLROWSET_FORMAT_URI
-        if not document.supports_format(format_uri):
+        if format_uri not in ALL_FORMATS:
             raise InvalidDatasetFormatFault(
                 f"format {format_uri!r} not in DatasetMap"
             )

@@ -58,9 +58,11 @@ class Envelope:
                 f"found {len(payload_elements)}"
             )
         blocks = header.element_children() if header is not None else []
+        # No defensive copy: the parse tree this payload came from is
+        # freshly built per message and referenced by nobody else.
         return cls(
             headers=MessageHeaders.from_header_blocks(blocks),
-            payload=payload_elements[0].copy(),
+            payload=payload_elements[0],
         )
 
     @classmethod

@@ -9,6 +9,7 @@ deterministically, which is what the figure benchmarks report.
 
 from repro.transport.wire import CallRecord, NetworkModel, WireStats
 from repro.transport.loopback import LoopbackTransport
+from repro.transport.pool import HttpConnectionPool
 from repro.transport.httpserver import DaisHttpServer, HttpTransport
 
 __all__ = [
@@ -16,6 +17,7 @@ __all__ = [
     "NetworkModel",
     "WireStats",
     "LoopbackTransport",
+    "HttpConnectionPool",
     "DaisHttpServer",
     "HttpTransport",
 ]

@@ -28,9 +28,8 @@ import http.client
 import json
 import threading
 import time
-import urllib.error
-import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlsplit
 
 from repro.core.faults import ServiceBusyFault, ServiceNotFoundFault, TransportFault
 from repro.resilience import coerce_resilience
@@ -44,6 +43,7 @@ from repro.soap.envelope import Envelope, fault_envelope
 from repro.soap.fault import FaultCode, SoapFault
 from repro.soap.namespaces import SOAP_ENV_NS
 from repro.soap.tracecontext import adopt_current_span, extract_context, inject
+from repro.transport.pool import HttpConnectionPool
 from repro.transport.wire import CallRecord, NetworkModel, WireStats
 
 
@@ -91,9 +91,22 @@ class DaisHttpServer:
         outer = self
 
         class _Handler(BaseHTTPRequestHandler):
+            # HTTP/1.1 keeps the connection alive between requests, so a
+            # pooled client reuses one socket (and one handler thread)
+            # for its whole conversation.  Every response we send carries
+            # Content-Length, which 1.1 persistence requires.
+            protocol_version = "HTTP/1.1"
+            #: Idle keep-alive connections are dropped after this long.
+            timeout = 30
+            # The status+headers flush and the body are separate writes;
+            # with Nagle on, the body write stalls behind the client's
+            # delayed ACK (~40 ms) on every reused connection.
+            disable_nagle_algorithm = True
+
             def do_POST(self) -> None:  # noqa: N802 - stdlib API
                 length = int(self.headers.get("Content-Length", "0"))
                 body = self.rfile.read(length)
+                outer._request_bytes.inc(len(body))
                 if not outer._inject(self):
                     return
                 with get_tracer().span(
@@ -109,7 +122,6 @@ class DaisHttpServer:
                     if status != 200:
                         span.mark_fault()
                 outer._requests.inc(status=str(status))
-                outer._request_bytes.inc(len(body))
                 outer._response_bytes.inc(len(payload))
                 self.send_response(status)
                 self.send_header("Content-Type", "text/xml; charset=utf-8")
@@ -118,7 +130,20 @@ class DaisHttpServer:
                 self.wfile.write(payload)
 
             def do_GET(self) -> None:  # noqa: N802 - stdlib API
-                status, content_type, payload = outer._handle_get(self.path)
+                # Operators always get an HTTP response: a registry
+                # mutating mid-render (service unregistered between
+                # listing and lookup) becomes a JSON 500, not a dropped
+                # connection.
+                try:
+                    status, content_type, payload = outer._handle_get(
+                        self.path
+                    )
+                except Exception as exc:  # noqa: BLE001 - operator boundary
+                    status = 500
+                    content_type = "application/json; charset=utf-8"
+                    payload = json.dumps(
+                        {"error": f"internal error: {exc}"}
+                    ).encode("utf-8")
                 self.send_response(status)
                 self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(payload)))
@@ -200,16 +225,16 @@ class DaisHttpServer:
             return True
         if isinstance(action, (ConnectionRefused, DropResponse)):
             # Vanish: close the socket without an HTTP response — the
-            # client observes a reset/empty reply.
+            # client observes a reset/empty reply.  Still a served POST
+            # as far as the operator's counters are concerned.
+            self._requests.inc(status="dropped")
             handler.close_connection = True
             return False
         if isinstance(action, HttpStatus):
             payload = b"injected fault: service unavailable"
-            handler.send_response(action.status)
-            handler.send_header("Content-Type", "text/plain; charset=utf-8")
-            handler.send_header("Content-Length", str(len(payload)))
-            handler.end_headers()
-            handler.wfile.write(payload)
+            self._respond_injected(
+                handler, action.status, "text/plain; charset=utf-8", payload
+            )
             return False
         if isinstance(action, (Busy, ExpireResource)):
             if isinstance(action, Busy):
@@ -223,13 +248,25 @@ class DaisHttpServer:
             payload = fault_envelope(
                 _transport_fault_headers(handler.path), fault
             ).to_bytes()
-            handler.send_response(500)
-            handler.send_header("Content-Type", "text/xml; charset=utf-8")
-            handler.send_header("Content-Length", str(len(payload)))
-            handler.end_headers()
-            handler.wfile.write(payload)
+            self._respond_injected(
+                handler, 500, "text/xml; charset=utf-8", payload
+            )
             return False
         raise TypeError(f"unknown fault action {type(action).__name__}")
+
+    def _respond_injected(
+        self, handler, status: int, content_type: str, payload: bytes
+    ) -> None:
+        """Send an injected response *through the metrics*: chaos traffic
+        must show up in ``http.server.requests`` / ``response.bytes``
+        exactly like organically served POSTs."""
+        self._requests.inc(status=str(status))
+        self._response_bytes.inc(len(payload))
+        handler.send_response(status)
+        handler.send_header("Content-Type", content_type)
+        handler.send_header("Content-Length", str(len(payload)))
+        handler.end_headers()
+        handler.wfile.write(payload)
 
     # -- read-only exposition endpoints ---------------------------------------
 
@@ -241,12 +278,13 @@ class DaisHttpServer:
                 self.metrics_exposition().encode("utf-8")
             )
         if path == "/healthz":
+            # services() is an atomic snapshot: a concurrent unregister
+            # between listing and lookup cannot make health checks fail.
             body = json.dumps(
                 {
                     "status": "ok",
                     "services": [
-                        self._registry.service_at(address).name
-                        for address in self._registry.addresses()
+                        service.name for service in self._registry.services()
                     ],
                     "tracing": get_tracer().enabled,
                 },
@@ -279,8 +317,7 @@ class DaisHttpServer:
         """The Prometheus text body ``GET /metrics`` serves: this
         server's registry plus every registered service's, labelled."""
         registries = [({"component": "http.server"}, self.metrics)]
-        for address in self._registry.addresses():
-            service = self._registry.service_at(address)
+        for service in self._registry.services():
             registries.append(
                 ({"component": "service", "service": service.name}, service.metrics)
             )
@@ -356,12 +393,23 @@ class DaisHttpServer:
 class HttpTransport:
     """Client side: POST envelopes to service URLs.
 
+    Requests ride a thread-safe HTTP/1.1 keep-alive connection pool
+    (:class:`~repro.transport.pool.HttpConnectionPool`): sequential and
+    concurrent calls to the same host reuse TCP connections instead of
+    paying a connect per request.  A stale pooled connection (the server
+    closed its side while it sat idle) is detected at checkout or at
+    write time and replaced with exactly one transparent reconnect; a
+    connection that fails after the request went out is *poisoned* —
+    closed, never re-pooled, and the failure surfaces to the caller,
+    because the service may already have acted on the request.  Pass
+    ``pooling=False`` for the old connection-per-request behaviour.
+
     Every attempt runs under a socket timeout (default 10 s —
     configurable per transport, overridable per retry policy), and all
     transport-level failures — refused connections, timeouts, dropped
     sockets, non-SOAP error bodies — surface as the typed
     :class:`~repro.core.faults.TransportFault` rather than raw
-    ``urllib``/``socket`` exceptions.  Install a
+    ``http.client``/``socket`` exceptions.  Install a
     :class:`~repro.resilience.Resilience` layer (or pass a bare
     ``RetryPolicy``) to retry them with backoff and breaker protection.
     """
@@ -371,6 +419,8 @@ class HttpTransport:
         network: NetworkModel | None = None,
         timeout: float = 10.0,
         resilience=None,
+        pooling: bool = True,
+        max_idle_per_host: int = 8,
     ) -> None:
         self._network = network if network is not None else NetworkModel()
         self._timeout = timeout
@@ -391,11 +441,26 @@ class HttpTransport:
         self._faults = self.metrics.counter(
             "rpc.client.faults", "fault responses per wsa:Action"
         )
+        #: The keep-alive pool (None = connection per request).  Its
+        #: ``rpc.client.connections.*`` counters live in :attr:`metrics`,
+        #: so pool behaviour shows up in ``obs:ServiceMetrics``.
+        self.pool = (
+            HttpConnectionPool(
+                max_idle_per_host=max_idle_per_host, metrics=self.metrics
+            )
+            if pooling
+            else None
+        )
 
     def send(self, address: str, request: Envelope) -> Envelope:
         if self.resilience is None:
             return self._send_once(address, request)
         return self.resilience.call(address, request, self._send_once)
+
+    def close(self) -> None:
+        """Close every idle pooled connection."""
+        if self.pool is not None:
+            self.pool.close_all()
 
     def _effective_timeout(self) -> float:
         if self.resilience is not None:
@@ -410,49 +475,19 @@ class HttpTransport:
             "rpc.send", transport="http", address=address, action=action
         ) as span:
             request_bytes = inject(request).to_bytes()
-            http_request = urllib.request.Request(
-                address,
-                data=request_bytes,
-                headers={
-                    "Content-Type": "text/xml; charset=utf-8",
-                    "SOAPAction": action,
-                },
-                method="POST",
+            status, response_bytes = self._exchange(
+                address, action, request_bytes
             )
-            try:
-                with urllib.request.urlopen(
-                    http_request, timeout=self._effective_timeout()
-                ) as reply:
-                    response_bytes = reply.read()
-            except urllib.error.HTTPError as err:
+            if not _looks_like_soap(response_bytes):
                 # SOAP 1.1: fault envelopes arrive with status 500 — when
                 # the body is a SOAP message, read it and carry on; an
                 # unparseable body (a proxy error page, an injected 503)
                 # is a transport-level failure.
-                response_bytes = err.read()
-                if not _looks_like_soap(response_bytes):
+                if status != 200:
                     raise TransportFault(
-                        f"HTTP {err.code} from {address} with non-SOAP body",
-                        status=err.code,
-                    ) from err
-            except TimeoutError as err:  # socket.timeout is an alias
-                raise TransportFault(
-                    f"request to {address} timed out after "
-                    f"{self._effective_timeout()}s"
-                ) from err
-            except urllib.error.URLError as err:
-                if isinstance(err.reason, TimeoutError):
-                    raise TransportFault(
-                        f"request to {address} timed out after "
-                        f"{self._effective_timeout()}s"
-                    ) from err
-                raise TransportFault(
-                    f"connection to {address} failed: {err.reason}"
-                ) from err
-            except (ConnectionError, http.client.HTTPException) as err:
-                raise TransportFault(
-                    f"connection to {address} broke mid-exchange: {err}"
-                ) from err
+                        f"HTTP {status} from {address} with non-SOAP body",
+                        status=status,
+                    )
             modeled = self._network.transfer_time(
                 len(request_bytes)
             ) + self._network.transfer_time(len(response_bytes))
@@ -483,3 +518,85 @@ class HttpTransport:
                 )
             )
             return response
+
+    # -- the wire exchange ----------------------------------------------------
+
+    def _exchange(
+        self, address: str, action: str, body: bytes
+    ) -> tuple[int, bytes]:
+        """One POST over a (possibly pooled) connection → (status, body).
+
+        Raises :class:`TransportFault` for connect failures, timeouts and
+        mid-exchange breakage.  A reused connection that fails while the
+        request is being *written* is a stale keep-alive: it is discarded
+        and the request transparently retried once on a fresh connection
+        (the server never saw it).  Failures while *reading* the response
+        are never retried here — the request may have had effects; that
+        call is the resilience layer's, which owns resend semantics.
+        """
+        parts = urlsplit(address)
+        host = parts.hostname or "127.0.0.1"
+        port = parts.port or 80
+        path = parts.path or "/"
+        if parts.query:
+            path = f"{path}?{parts.query}"
+        timeout = self._effective_timeout()
+        headers = {
+            "Content-Type": "text/xml; charset=utf-8",
+            "SOAPAction": action,
+            "Host": f"{host}:{port}",
+        }
+        if self.pool is None:
+            # Connection-per-request mode: tell the server not to hold
+            # the socket (and its handler thread) open for us.
+            headers["Connection"] = "close"
+        reconnected = False
+        while True:
+            conn, reused = self._checkout(host, port, timeout)
+            try:
+                conn.request("POST", path, body=body, headers=headers)
+            except TimeoutError as err:  # socket.timeout is an alias
+                self._checkin(conn, reusable=False)
+                raise TransportFault(
+                    f"request to {address} timed out after {timeout}s"
+                ) from err
+            except (OSError, http.client.HTTPException) as err:
+                self._checkin(conn, reusable=False)
+                if reused and not reconnected:
+                    # Stale keep-alive died under the write; the server
+                    # never received the request, so one fresh-connection
+                    # retry is safe and invisible to the caller.
+                    reconnected = True
+                    continue
+                raise TransportFault(
+                    f"connection to {address} failed: {err}"
+                ) from err
+            try:
+                reply = conn.getresponse()
+                response_bytes = reply.read()
+            except TimeoutError as err:
+                self._checkin(conn, reusable=False)
+                raise TransportFault(
+                    f"request to {address} timed out after {timeout}s"
+                ) from err
+            except (OSError, http.client.HTTPException) as err:
+                # The request went out but no (complete) response came
+                # back: poison the connection and surface the break — the
+                # service may have acted, so no transparent resend.
+                self._checkin(conn, reusable=False)
+                raise TransportFault(
+                    f"connection to {address} broke mid-exchange: {err}"
+                ) from err
+            self._checkin(conn, reusable=not reply.will_close)
+            return reply.status, response_bytes
+
+    def _checkout(self, host: str, port: int, timeout: float):
+        if self.pool is not None:
+            return self.pool.acquire(host, port, timeout)
+        return http.client.HTTPConnection(host, port, timeout=timeout), False
+
+    def _checkin(self, conn, reusable: bool) -> None:
+        if self.pool is not None:
+            self.pool.release(conn, reusable=reusable)
+        else:
+            conn.close()

@@ -1,0 +1,256 @@
+"""A thread-safe HTTP/1.1 keep-alive connection pool for the client side.
+
+``urllib`` opens (and tears down) one TCP connection per request — a tax
+the paper's many-consumers-one-service model cannot afford.  The pool
+keeps bounded per-host stacks of idle :class:`http.client.HTTPConnection`
+objects; :class:`~repro.transport.httpserver.HttpTransport` checks one
+out per request and returns it when the exchange completed cleanly.
+
+Rules the pool enforces:
+
+* a connection is owned by exactly one thread between checkout and
+  check-in (``http.client`` connections are not thread-safe);
+* idle connections are liveness-checked on checkout (a non-blocking
+  ``MSG_PEEK``), so a server that closed its side is detected before a
+  request is written into a dead socket;
+* any connection that saw a transport error is *discarded*, never
+  returned — a dropped socket poisons exactly that connection;
+* the per-host idle stack is bounded; overflow connections are closed.
+
+Checkout/check-in activity feeds the ``rpc.client.connections.*``
+counters of the metrics registry the pool is built with, so pool
+behaviour is visible in ``obs:ServiceMetrics`` and ``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import socket
+import threading
+
+from repro.obs import MetricsRegistry
+
+__all__ = ["HttpConnectionPool"]
+
+HostKey = tuple[str, int]
+
+
+class _LeanResponse(http.client.HTTPResponse):
+    """A lean HTTP response reader for the SOAP exchange profile.
+
+    The DAIS server always frames bodies with ``Content-Length`` and
+    never sends chunked transfer coding or 1xx continuations, so the
+    general ``email.parser`` header machinery ``http.client`` runs per
+    response (a measurable share of a small SOAP round trip) buys
+    nothing.  This reads the status line and scans the few headers the
+    exchange actually uses — Content-Length and Connection — directly.
+    """
+
+    def begin(self) -> None:  # overrides the stdlib parser
+        if self.headers is not None:  # pragma: no cover - begin is once
+            return
+        line = self.fp.readline(65537)
+        if len(line) > 65536:
+            raise http.client.LineTooLong("status line")
+        if not line:
+            raise http.client.RemoteDisconnected(
+                "Remote end closed connection without response"
+            )
+        status_line = line.decode("iso-8859-1").rstrip("\r\n")
+        parts = status_line.split(None, 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+            self._close_conn()
+            raise http.client.BadStatusLine(status_line)
+        version = parts[0]
+        try:
+            self.status = int(parts[1])
+        except ValueError:
+            self._close_conn()
+            raise http.client.BadStatusLine(status_line) from None
+        self.reason = parts[2].strip() if len(parts) > 2 else ""
+        self.version = 11 if version >= "HTTP/1.1" else 10
+
+        length: int | None = None
+        connection = ""
+        headers: dict[str, str] = {}
+        while True:
+            raw = self.fp.readline(65537)
+            if len(raw) > 65536:
+                raise http.client.LineTooLong("header line")
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            key, _, value = raw.decode("iso-8859-1").partition(":")
+            key = key.strip().lower()
+            value = value.strip()
+            headers[key] = value
+            if key == "content-length":
+                try:
+                    length = int(value)
+                except ValueError:
+                    length = None
+            elif key == "connection":
+                connection = value.lower()
+
+        # Attributes HTTPResponse.read()/close() work from.
+        self.headers = self.msg = headers
+        self.chunked = False
+        self.chunk_left = None
+        self.length = length
+        self.will_close = (
+            "close" in connection
+            or (self.version == 10 and "keep-alive" not in connection)
+            or length is None
+        )
+
+
+class _KeepAliveConnection(http.client.HTTPConnection):
+    """An ``HTTPConnection`` tuned for pooled SOAP exchanges.
+
+    Disables Nagle on connect: without ``TCP_NODELAY`` a reused
+    connection pays the Nagle × delayed-ACK stall (~40 ms) whenever a
+    request or response spans two writes — which would erase the whole
+    point of pooling.
+    """
+
+    response_class = _LeanResponse
+
+    def connect(self) -> None:
+        super().connect()
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+
+class HttpConnectionPool:
+    """Bounded per-host pools of reusable keep-alive connections."""
+
+    def __init__(
+        self,
+        max_idle_per_host: int = 8,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if max_idle_per_host < 1:
+            raise ValueError("max_idle_per_host must be >= 1")
+        self.max_idle_per_host = max_idle_per_host
+        self._lock = threading.Lock()
+        self._idle: dict[HostKey, list[http.client.HTTPConnection]] = {}
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._created = self.metrics.counter(
+            "rpc.client.connections.created", "new TCP connections per host"
+        )
+        self._reused = self.metrics.counter(
+            "rpc.client.connections.reused", "keep-alive reuses per host"
+        )
+        self._discarded = self.metrics.counter(
+            "rpc.client.connections.discarded",
+            "connections closed instead of pooled, per reason",
+        )
+
+    # -- checkout / check-in ---------------------------------------------------
+
+    def acquire(
+        self, host: str, port: int, timeout: float
+    ) -> tuple[http.client.HTTPConnection, bool]:
+        """Check out a connection to ``host:port``.
+
+        Returns ``(connection, reused)`` — *reused* is True when the
+        connection already carried a previous exchange (the transport
+        uses this to decide whether a send-time failure is a stale
+        keep-alive worth one transparent reconnect).  Fresh connections
+        are returned unconnected; ``http.client`` connects lazily on the
+        first request.
+        """
+        key = (host, port)
+        while True:
+            with self._lock:
+                stack = self._idle.get(key)
+                conn = stack.pop() if stack else None
+            if conn is None:
+                conn = _KeepAliveConnection(host, port, timeout=timeout)
+                self._created.inc(host=f"{host}:{port}")
+                return conn, False
+            if not self._alive(conn):
+                self._close(conn, reason="stale")
+                continue
+            conn.timeout = timeout
+            if conn.sock is not None:
+                conn.sock.settimeout(timeout)
+            self._reused.inc(host=f"{host}:{port}")
+            return conn, True
+
+    def release(self, conn: http.client.HTTPConnection, reusable: bool) -> None:
+        """Check a connection back in.
+
+        ``reusable=False`` (a transport error, a ``Connection: close``
+        response) closes it — poisoned connections never re-enter the
+        pool.  A full idle stack also closes it.
+        """
+        if not reusable:
+            self._close(conn, reason="poisoned")
+            return
+        if conn.sock is None:
+            self._close(conn, reason="closed")
+            return
+        key = (conn.host, conn.port)
+        with self._lock:
+            stack = self._idle.setdefault(key, [])
+            if len(stack) < self.max_idle_per_host:
+                stack.append(conn)
+                return
+        self._close(conn, reason="overflow")
+
+    # -- introspection ---------------------------------------------------------
+
+    def idle_counts(self) -> dict[str, int]:
+        """Idle connections per ``host:port`` (a snapshot)."""
+        with self._lock:
+            return {
+                f"{host}:{port}": len(stack)
+                for (host, port), stack in sorted(self._idle.items())
+                if stack
+            }
+
+    def idle_total(self) -> int:
+        with self._lock:
+            return sum(len(stack) for stack in self._idle.values())
+
+    def close_all(self) -> None:
+        """Close every idle connection (e.g. at client shutdown)."""
+        with self._lock:
+            stacks = list(self._idle.values())
+            self._idle = {}
+        for stack in stacks:
+            for conn in stack:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - close is best-effort
+                    pass
+
+    # -- internals -------------------------------------------------------------
+
+    def _close(self, conn: http.client.HTTPConnection, reason: str) -> None:
+        self._discarded.inc(reason=reason)
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+    @staticmethod
+    def _alive(conn: http.client.HTTPConnection) -> bool:
+        """Non-destructive liveness probe of an idle connection.
+
+        A readable socket on an idle keep-alive connection means either
+        EOF (the server closed its side) or stray bytes we never asked
+        for — both make the connection unusable, so only a clean
+        "nothing to read yet" verdict keeps it.
+        """
+        sock = conn.sock
+        if sock is None:
+            return False
+        try:
+            sock.settimeout(0.0)
+            try:
+                sock.recv(1, socket.MSG_PEEK)
+            except (BlockingIOError, InterruptedError):
+                return True
+            return False
+        except OSError:
+            return False

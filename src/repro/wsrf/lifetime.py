@@ -5,10 +5,19 @@ or the resource lives as long as the service (paper §5).  With WSRF, a
 resource carries a *termination time*; the :class:`LifetimeManager` sweeps
 expired resources and invokes their destroy callbacks — the soft-state
 model.
+
+The manager is safe under the threaded HTTP binding: every record
+mutation happens under one lock, and destruction is an atomic
+*claim-then-invoke* — whichever of an explicit ``Destroy``, a concurrent
+sweep, or a racing second destroyer claims the record first runs the
+destructor, exactly once.  Destructors are always invoked *outside* the
+manager's lock, so a destructor may call back into the owning service
+(which holds its own lock) without deadlocking against a sweeper.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable
 
@@ -35,6 +44,7 @@ class LifetimeManager:
 
     def __init__(self, clock: Clock | None = None) -> None:
         self._clock = clock if clock is not None else SystemClock()
+        self._lock = threading.RLock()
         self._termination: dict[str, float | None] = {}
         self._destructors: dict[str, Callable[[str], None]] = {}
 
@@ -55,38 +65,45 @@ class LifetimeManager:
         :param lifetime_seconds: initial soft-state lifetime; ``None``
             means no scheduled termination.
         """
-        if resource_id in self._termination:
-            raise ValueError(f"resource {resource_id!r} already registered")
         when = (
             self._clock.now() + lifetime_seconds
             if lifetime_seconds is not None
             else None
         )
-        self._termination[resource_id] = when
-        self._destructors[resource_id] = destructor
+        with self._lock:
+            if resource_id in self._termination:
+                raise ValueError(f"resource {resource_id!r} already registered")
+            self._termination[resource_id] = when
+            self._destructors[resource_id] = destructor
         record_event(
             "lifetime-registered", resource_id, termination_time=when
         )
         return self.current(resource_id)
 
     def registered(self, resource_id: str) -> bool:
-        return resource_id in self._termination
+        with self._lock:
+            return resource_id in self._termination
 
     def current(self, resource_id: str) -> TerminationRecord:
         """The CurrentTime/TerminationTime pair WSRF exposes as properties."""
-        self._require(resource_id)
-        return TerminationRecord(
-            resource_id=resource_id,
-            current_time=self._clock.now(),
-            termination_time=self._termination[resource_id],
-        )
+        with self._lock:
+            self._require(resource_id)
+            return TerminationRecord(
+                resource_id=resource_id,
+                current_time=self._clock.now(),
+                termination_time=self._termination[resource_id],
+            )
 
     def set_termination_time(
         self, resource_id: str, requested: float | None
     ) -> TerminationRecord:
         """SetTerminationTime: absolute time, or None for indefinite."""
-        self._require(resource_id)
-        if requested is not None and requested < self._clock.now():
+        with self._lock:
+            self._require(resource_id)
+            past = requested is not None and requested < self._clock.now()
+            if not past:
+                self._termination[resource_id] = requested
+        if past:
             # A request in the past is honoured as "destroy now" per the
             # spec's permission to schedule immediate termination — but a
             # manager may also refuse; we destroy, which is the useful
@@ -97,49 +114,77 @@ class LifetimeManager:
                 requested=requested,
                 outcome="destroyed-immediately",
             )
-            self.destroy(resource_id)
+            self.destroy(resource_id, missing_ok=True)
             raise UnableToSetTerminationTimeFault(
                 f"termination time {requested} is in the past; "
                 f"resource {resource_id!r} destroyed"
             )
-        self._termination[resource_id] = requested
         record_event("termination-set", resource_id, requested=requested)
         return self.current(resource_id)
 
     def extend(self, resource_id: str, seconds: float) -> TerminationRecord:
         """Keep-alive: push the termination time *seconds* from now."""
-        self._require(resource_id)
-        self._termination[resource_id] = self._clock.now() + seconds
+        with self._lock:
+            self._require(resource_id)
+            when = self._clock.now() + seconds
+            self._termination[resource_id] = when
         record_event(
-            "extended",
-            resource_id,
-            seconds=seconds,
-            termination_time=self._termination[resource_id],
+            "extended", resource_id, seconds=seconds, termination_time=when
         )
         return self.current(resource_id)
 
-    def destroy(self, resource_id: str) -> None:
-        """Immediate destruction (the WSRF ``Destroy`` operation)."""
-        self._require(resource_id)
-        destructor = self._destructors.pop(resource_id)
-        del self._termination[resource_id]
+    def _claim(self, resource_id: str) -> Callable[[str], None] | None:
+        """Atomically take ownership of the record; None when already gone.
+
+        The claim is the destroy-once guarantee: the lock makes pop
+        atomic, so exactly one of any number of racing destroyers gets
+        the destructor back.
+        """
+        with self._lock:
+            destructor = self._destructors.pop(resource_id, None)
+            if destructor is not None:
+                self._termination.pop(resource_id, None)
+            return destructor
+
+    def destroy(self, resource_id: str, missing_ok: bool = False) -> bool:
+        """Immediate destruction (the WSRF ``Destroy`` operation).
+
+        With ``missing_ok=True`` the call is idempotent: destroying a
+        resource that is already gone — because an explicit destroy, the
+        sweeper, or a WSRF ``Destroy`` got there first — is a no-op
+        returning False.  The destructor runs outside the manager lock
+        and exactly once, whichever caller wins the claim.
+        """
+        destructor = self._claim(resource_id)
+        if destructor is None:
+            if missing_ok:
+                return False
+            raise ResourceUnknownFault(f"unknown resource {resource_id!r}")
         destructor(resource_id)
+        return True
 
     def sweep(self) -> list[str]:
         """Destroy every resource whose termination time has passed.
 
-        Returns the ids destroyed, in expiry order.
+        Returns the ids destroyed, in expiry order.  Resources destroyed
+        concurrently (an explicit ``Destroy`` racing the sweeper) are
+        skipped, never double-destroyed — the sweep works from a snapshot
+        and re-claims each id atomically before invoking its destructor.
         """
         now = self._clock.now()
-        expired = sorted(
-            (when, rid)
-            for rid, when in self._termination.items()
-            if when is not None and when <= now
-        )
+        with self._lock:
+            expired = sorted(
+                (when, rid)
+                for rid, when in self._termination.items()
+                if when is not None and when <= now
+            )
         destroyed: list[str] = []
         for when, resource_id in expired:
+            destructor = self._claim(resource_id)
+            if destructor is None:
+                continue  # destroyed out from under the sweep: skip
             record_event("expired", resource_id, termination_time=when)
-            self.destroy(resource_id)
+            destructor(resource_id)
             destroyed.append(resource_id)
         return destroyed
 

@@ -25,16 +25,21 @@ _NAMED_ENTITIES = {
 }
 
 
+_ATTR_NEEDS_ESCAPE = re.compile(r'[&<>"\n\t\r]')
+
+
 def escape_text(value: str) -> str:
     """Escape *value* for use as XML character data."""
-    return "".join(_TEXT_ESCAPES.get(ch, ch) for ch in value) if any(
-        ch in _TEXT_ESCAPES for ch in value
-    ) else value
+    if "&" in value or "<" in value or ">" in value:
+        return (
+            value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+        )
+    return value
 
 
 def escape_attribute(value: str) -> str:
     """Escape *value* for use inside a double-quoted attribute."""
-    if not any(ch in _ATTR_ESCAPES for ch in value):
+    if _ATTR_NEEDS_ESCAPE.search(value) is None:
         return value
     return "".join(_ATTR_ESCAPES.get(ch, ch) for ch in value)
 

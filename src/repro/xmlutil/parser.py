@@ -84,33 +84,57 @@ def _split_prefixed(name: str, scanner: _Scanner) -> tuple[str, str]:
     return prefix, local
 
 
+_QCache = dict[tuple[str, str], QName]
+
+
+def _qname(namespace: str, local: str, qcache: _QCache) -> QName:
+    """Construct-or-reuse a QName.
+
+    A wire document repeats a small tag vocabulary hundreds of times
+    (think row elements in a result set); caching per parse skips the
+    NCName validation all but once per distinct name without letting a
+    hostile peer grow a process-lifetime cache.
+    """
+    key = (namespace, local)
+    qname = qcache.get(key)
+    if qname is None:
+        qname = QName(namespace, local)
+        qcache[key] = qname
+    return qname
+
+
 def _resolve(
     prefix: str,
     local: str,
-    scopes: list[dict[str, str]],
+    nsmap: dict[str, str],
     scanner: _Scanner,
     is_attribute: bool,
+    qcache: _QCache,
 ) -> QName:
     if prefix == "xml":
-        return QName(XML_NS, local)
+        return _qname(XML_NS, local, qcache)
     if not prefix:
         if is_attribute:
-            return QName("", local)
-        for scope in reversed(scopes):
-            if "" in scope:
-                return QName(scope[""], local)
-        return QName("", local)
-    for scope in reversed(scopes):
-        if prefix in scope:
-            return QName(scope[prefix], local)
-    raise scanner.error(f"undeclared namespace prefix {prefix!r}")
+            return _qname("", local, qcache)
+        return _qname(nsmap.get("", ""), local, qcache)
+    try:
+        namespace = nsmap[prefix]
+    except KeyError:
+        raise scanner.error(f"undeclared namespace prefix {prefix!r}") from None
+    return _qname(namespace, local, qcache)
 
 
 def _parse_attributes(scanner: _Scanner) -> dict[str, str]:
+    text = scanner.text
+    size = len(text)
     attributes: dict[str, str] = {}
     while True:
-        scanner.skip_ws()
-        if scanner.peek(">") or scanner.peek("/>"):
+        match = _WS_RE.match(text, scanner.pos)
+        if match:
+            scanner.pos = match.end()
+        pos = scanner.pos
+        ch = text[pos] if pos < size else ""
+        if ch == ">" or (ch == "/" and text.startswith("/>", pos)):
             return attributes
         raw_name = scanner.name()
         scanner.skip_ws()
@@ -152,7 +176,7 @@ def parse(text: str) -> XmlElement:
         raise scanner.error("DTDs are not supported")
     if not scanner.peek("<"):
         raise scanner.error("expected the root element")
-    root = _parse_element(scanner, [])
+    root = _parse_element(scanner, {}, {})
     _skip_misc(scanner)
     if not scanner.eof():
         raise scanner.error("content after the root element")
@@ -164,86 +188,134 @@ def parse_bytes(data: bytes) -> XmlElement:
     return parse(data.decode("utf-8-sig"))
 
 
-def _parse_element(scanner: _Scanner, scopes: list[dict[str, str]]) -> XmlElement:
-    scanner.expect("<")
+def _parse_element(
+    scanner: _Scanner, nsmap: dict[str, str], qcache: _QCache
+) -> XmlElement:
+    # This function runs once per element and is the parser's hot path;
+    # single-character token handling is inlined rather than routed
+    # through the scanner's accept/expect helpers.
+    text = scanner.text
+    size = len(text)
+    pos = scanner.pos
+    if pos >= size or text[pos] != "<":
+        raise scanner.error("expected '<'")
+    scanner.pos = pos + 1
     raw_tag = scanner.name()
-    raw_attributes = _parse_attributes(scanner)
 
-    scope: dict[str, str] = {}
-    plain: dict[str, str] = {}
-    for raw_name, value in raw_attributes.items():
-        if raw_name == "xmlns":
-            scope[""] = value
-        elif raw_name.startswith("xmlns:"):
-            prefix = raw_name[6:]
-            if not value:
-                raise scanner.error("cannot undeclare a namespace prefix")
-            scope[prefix] = value
-        else:
-            plain[raw_name] = value
-    scopes.append(scope)
+    plain: dict[str, str] | None = None
+    pos = scanner.pos
+    ch = text[pos] if pos < size else ""
+    if ch != ">" and not (ch == "/" and text.startswith("/>", pos)):
+        raw_attributes = _parse_attributes(scanner)
+        scope: dict[str, str] | None = None
+        for raw_name, value in raw_attributes.items():
+            if raw_name == "xmlns":
+                if scope is None:
+                    scope = {}
+                scope[""] = value
+            elif raw_name.startswith("xmlns:"):
+                if not value:
+                    raise scanner.error("cannot undeclare a namespace prefix")
+                if scope is None:
+                    scope = {}
+                scope[raw_name[6:]] = value
+            else:
+                if plain is None:
+                    plain = {}
+                plain[raw_name] = value
+        if scope:
+            nsmap = {**nsmap, **scope}
+        pos = scanner.pos
+        ch = text[pos] if pos < size else ""
 
     prefix, local = _split_prefixed(raw_tag, scanner)
-    tag = _resolve(prefix, local, scopes, scanner, is_attribute=False)
+    tag = _resolve(prefix, local, nsmap, scanner, False, qcache)
     node = XmlElement(tag)
-    for raw_name, value in plain.items():
-        aprefix, alocal = _split_prefixed(raw_name, scanner)
-        aname = _resolve(aprefix, alocal, scopes, scanner, is_attribute=True)
-        if aname in node.attributes:
-            raise scanner.error(f"duplicate attribute {aname.clark()}")
-        node.attributes[aname] = value
+    if plain:
+        for raw_name, value in plain.items():
+            aprefix, alocal = _split_prefixed(raw_name, scanner)
+            aname = _resolve(aprefix, alocal, nsmap, scanner, True, qcache)
+            if aname in node.attributes:
+                raise scanner.error(f"duplicate attribute {aname.clark()}")
+            node.attributes[aname] = value
 
-    if scanner.accept("/>"):
-        scopes.pop()
+    if ch == "/":
+        # _parse_attributes (and the fast path above) only stop at '>'
+        # or '/>', so '/' here is always the start of '/>'.
+        scanner.pos = pos + 2
         return node
-    scanner.expect(">")
-    _parse_content(scanner, node, scopes)
+    if ch != ">":
+        raise scanner.error("expected '>'")
+    scanner.pos = pos + 1
+    _parse_content(scanner, node, nsmap, qcache)
 
     closing = scanner.name()
     if closing != raw_tag:
         raise scanner.error(
             f"mismatched end tag: expected </{raw_tag}>, got </{closing}>"
         )
-    scanner.skip_ws()
-    scanner.expect(">")
-    scopes.pop()
+    pos = scanner.pos
+    if pos < size and text[pos] == ">":
+        scanner.pos = pos + 1
+    else:
+        scanner.skip_ws()
+        scanner.expect(">")
     return node
 
 
 def _parse_content(
-    scanner: _Scanner, node: XmlElement, scopes: list[dict[str, str]]
+    scanner: _Scanner,
+    node: XmlElement,
+    nsmap: dict[str, str],
+    qcache: _QCache,
 ) -> None:
+    text = scanner.text
+    size = len(text)
     buffer: list[str] = []
 
-    def flush() -> None:
-        if buffer:
-            node.append(Text("".join(buffer)))
-            buffer.clear()
-
     while True:
-        if scanner.eof():
+        pos = scanner.pos
+        if pos >= size:
             raise scanner.error(f"unexpected end of input inside <{node.tag.local}>")
-        if scanner.accept("<![CDATA["):
-            buffer.append(scanner.until("]]>"))
-        elif scanner.accept("<!--"):
-            flush()
-            node.append(Comment(scanner.until("-->")))
-        elif scanner.peek("<?"):
-            scanner.pos += 2
-            scanner.until("?>")
-        elif scanner.accept("</"):
-            flush()
-            return
-        elif scanner.peek("<"):
-            flush()
-            node.append(_parse_element(scanner, scopes))
-        else:
-            end = scanner.text.find("<", scanner.pos)
+        ch = text[pos]
+        if ch != "<":
+            end = text.find("<", pos)
             if end < 0:
                 raise scanner.error("unexpected end of input in character data")
-            raw = scanner.text[scanner.pos : end]
+            raw = text[pos:end]
             scanner.pos = end
             try:
                 buffer.append(unescape(raw))
             except ValueError as exc:
                 raise scanner.error(str(exc)) from None
+            continue
+        # Dispatch on the character after '<' instead of probing every
+        # construct with startswith — this loop runs once per node.
+        nxt = text[pos + 1] if pos + 1 < size else ""
+        if nxt == "/":
+            scanner.pos = pos + 2
+            if buffer:
+                node.append(Text("".join(buffer)))
+            return
+        if nxt == "?":
+            scanner.pos = pos + 2
+            scanner.until("?>")
+            continue
+        if nxt == "!":
+            if text.startswith("<![CDATA[", pos):
+                scanner.pos = pos + 9
+                buffer.append(scanner.until("]]>"))
+                continue
+            if text.startswith("<!--", pos):
+                scanner.pos = pos + 4
+                if buffer:
+                    node.append(Text("".join(buffer)))
+                    buffer.clear()
+                node.append(Comment(scanner.until("-->")))
+                continue
+            # any other "<!" falls through to element parsing, which
+            # reports the same malformed-name error it always has
+        if buffer:
+            node.append(Text("".join(buffer)))
+            buffer.clear()
+        node.append(_parse_element(scanner, nsmap, qcache))

@@ -50,14 +50,20 @@ class _Writer:
         self._prefixes = prefixes
         self._indent = indent
         self._parts: list[str] = []
+        self._qnames: dict[QName, str] = {}
 
     def result(self) -> str:
         return "".join(self._parts)
 
     def _qname(self, name: QName) -> str:
-        if not name.namespace:
-            return name.local
-        return f"{self._prefixes[name.namespace]}:{name.local}"
+        rendered = self._qnames.get(name)
+        if rendered is None:
+            if not name.namespace:
+                rendered = name.local
+            else:
+                rendered = f"{self._prefixes[name.namespace]}:{name.local}"
+            self._qnames[name] = rendered
+        return rendered
 
     def write(self, node: XmlElement, depth: int, declare: dict[str, str] | None) -> None:
         pad = "" if self._indent is None else "\n" + self._indent * depth
@@ -76,17 +82,20 @@ class _Writer:
             self._parts.append("/>")
             return
         self._parts.append(">")
-        text_only = all(isinstance(c, Text) for c in node.children)
+        parts = self._parts
+        text_only = True
         for child in node.children:
             if isinstance(child, Text):
-                self._parts.append(escape_text(child.value))
+                parts.append(escape_text(child.value))
             elif isinstance(child, Comment):
-                self._parts.append(f"<!--{child.value}-->")
+                text_only = False
+                parts.append(f"<!--{child.value}-->")
             else:
+                text_only = False
                 self.write(child, depth + 1, None)
         if not text_only and self._indent is not None:
-            self._parts.append("\n" + self._indent * depth)
-        self._parts.append(f"</{self._qname(node.tag)}>")
+            parts.append("\n" + self._indent * depth)
+        parts.append(f"</{self._qname(node.tag)}>")
 
 
 def serialize(

@@ -58,11 +58,13 @@ class XmlElement:
     children: list[Node] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        self.tag = _coerce_tag(self.tag)
-        coerced: dict[QName, str] = {}
-        for key, value in self.attributes.items():
-            coerced[_coerce_tag(key)] = str(value)
-        self.attributes = coerced
+        if type(self.tag) is not QName:
+            self.tag = _coerce_tag(self.tag)
+        if self.attributes:
+            coerced: dict[QName, str] = {}
+            for key, value in self.attributes.items():
+                coerced[_coerce_tag(key)] = str(value)
+            self.attributes = coerced
 
     # -- construction -----------------------------------------------------
 
@@ -73,6 +75,9 @@ class XmlElement:
         text node appended directly after another text node is merged into
         it, so trees always round-trip through serialization unchanged.
         """
+        if isinstance(node, XmlElement):  # the overwhelmingly common case
+            self.children.append(node)
+            return self
         if isinstance(node, str):
             node = Text(node)
         if isinstance(node, Text):

@@ -173,3 +173,63 @@ class TestConcurrentConsumers:
             for client in clients
         }
         assert len(results) == 1
+
+
+class TestInjectedFaultMetrics:
+    """Server-side chaos must show up in the operator's counters: an
+    injected 503, Busy, ExpireResource or dropped response is still a
+    served POST as far as ``http.server.requests`` is concerned."""
+
+    def test_injected_faults_increment_server_metrics(self):
+        from repro.core import ServiceRegistry, TransportFault, mint_abstract_name
+        from repro.dair import SQLDataResource, SQLRealisationService
+        from repro.faultinject import Busy, DropResponse, ExpireResource, FaultPlan, HttpStatus
+        from repro.relational import Database
+        from repro.transport import DaisHttpServer, HttpTransport
+        from repro.wsrf.faults import ResourceUnknownFault
+
+        registry = ServiceRegistry()
+        plan = (
+            FaultPlan()
+            .at(1, HttpStatus(503))
+            .at(2, Busy())
+            .at(3, ExpireResource())
+            .at(4, DropResponse())
+        )
+        server = DaisHttpServer(registry, port=0, fault_plan=plan)
+        address = server.url_for("/chaos")
+        service = SQLRealisationService("chaos-sql", address)
+        registry.register(service)
+        database = Database("chaosdb")
+        database.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        database.execute("INSERT INTO t VALUES (1)")
+        resource = SQLDataResource(mint_abstract_name("t"), database)
+        service.add_resource(resource)
+
+        with server:
+            client = SQLClient(HttpTransport())
+
+            def call():
+                return client.sql_execute(
+                    address, resource.abstract_name, "SELECT id FROM t"
+                )
+
+            with pytest.raises(TransportFault):  # injected 503, text body
+                call()
+            with pytest.raises(ServiceBusyFault):  # injected SOAP Busy
+                call()
+            with pytest.raises(ResourceUnknownFault):  # injected expiry
+                call()
+            with pytest.raises(TransportFault):  # dropped response
+                call()
+            assert call().communication.succeeded  # plan exhausted
+
+        requests = server.metrics.counter("http.server.requests")
+        assert requests.value(status="503") == 1
+        assert requests.value(status="500") == 2
+        assert requests.value(status="dropped") == 1
+        assert requests.value(status="200") == 1
+        assert requests.total() == 5
+        # injected bodies are accounted like organic ones
+        assert server.metrics.counter("http.server.response.bytes").total() > 0
+        assert server.metrics.counter("http.server.request.bytes").total() > 0

@@ -1,0 +1,395 @@
+"""Race regressions: the concurrency bugs the threaded binding exposed.
+
+The seed's registry/lifetime layers were written for a single-threaded
+loopback world; under the ``ThreadingHTTPServer`` binding, factory
+creation, soft-state sweeps, explicit ``DestroyDataResource`` and WSRF
+``Destroy`` all mutate the same tables from different handler threads.
+These tests pin the fixed behaviour:
+
+* racing destroyers (explicit destroy × sweep × lifetime destroy) run
+  ``on_destroy`` exactly once, never twice, never zero times;
+* a sweep skips resources destroyed out from under it;
+* the background sweeper expires soft state without manual sweeps;
+* a sustained factory-create + expire + destroy storm over real HTTP
+  (200+ resources) leaves the service consistent and usable;
+* the GET exposition endpoints survive concurrent service churn.
+
+Run them under ``make test-concurrency`` (with ``PYTHONFAULTHANDLER=1``
+so a deadlock dumps stacks instead of hanging silently).
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.client.sql import SQLClient
+from repro.core import (
+    InvalidResourceNameFault,
+    ServiceRegistry,
+    mint_abstract_name,
+)
+from repro.dair import SQLDataResource, SQLRealisationService
+from repro.dair.resources import SQLResponseResource
+from repro.relational import Database
+from repro.transport import DaisHttpServer, HttpTransport
+from repro.wsrf.clock import ManualClock
+from repro.wsrf.faults import (
+    ResourceUnknownFault,
+    UnableToSetTerminationTimeFault,
+)
+
+#: Faults a destroyer may legitimately see when another destroyer won.
+LOST_THE_RACE = (
+    InvalidResourceNameFault,
+    ResourceUnknownFault,
+    UnableToSetTerminationTimeFault,
+)
+
+
+class CountingResource(SQLDataResource):
+    """A SQL resource that counts how often it is destroyed."""
+
+    def __init__(self, name, database):
+        super().__init__(name, database)
+        self.destroy_count = 0
+        self._count_lock = threading.Lock()
+
+    def on_destroy(self):
+        with self._count_lock:
+            self.destroy_count += 1
+        super().on_destroy()
+
+
+def _database() -> Database:
+    database = Database("racedb")
+    database.execute("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(10))")
+    database.execute("INSERT INTO t VALUES (1,'a')")
+    return database
+
+
+# ---------------------------------------------------------------------------
+# destroy-once: direct API, deterministic, hundreds of rounds
+# ---------------------------------------------------------------------------
+
+
+def test_racing_destroyers_run_destructor_exactly_once():
+    """Explicit destroy × sweep × lifetime destroy: one winner per round."""
+    clock = ManualClock()
+    service = SQLRealisationService(
+        "race-direct", "mem://race", wsrf=True, clock=clock
+    )
+    database = _database()
+
+    for round_no in range(200):
+        resource = CountingResource(mint_abstract_name("r"), database)
+        name = resource.abstract_name
+        # lifetime 0 on a manual clock: expired from the very start, so
+        # the sweep is always a live contender.
+        service.add_resource(resource, lifetime_seconds=0.0)
+
+        barrier = threading.Barrier(3)
+        errors: list[BaseException] = []
+
+        def explicit():
+            try:
+                barrier.wait(timeout=10)
+                service.destroy_resource(name)
+            except LOST_THE_RACE:
+                pass
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        def sweeper():
+            try:
+                barrier.wait(timeout=10)
+                service.sweep_expired()
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def lifetime():
+            try:
+                barrier.wait(timeout=10)
+                service.lifetime.destroy(name, missing_ok=True)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=target)
+            for target in (explicit, sweeper, lifetime)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors, f"round {round_no}: {errors}"
+        assert resource.destroy_count == 1, (
+            f"round {round_no}: on_destroy ran {resource.destroy_count} times"
+        )
+        assert not service.has_resource(name)
+        assert not service.lifetime.registered(name)
+
+
+def test_sweep_skips_concurrently_destroyed_resources():
+    """A sweep working from its expiry snapshot must re-claim each id —
+    one destroyed between snapshot and claim is skipped, not re-run."""
+    clock = ManualClock()
+    service = SQLRealisationService(
+        "race-skip", "mem://skip", wsrf=True, clock=clock
+    )
+    database = _database()
+    resources = [
+        CountingResource(mint_abstract_name("s"), database) for _ in range(8)
+    ]
+    for resource in resources:
+        service.add_resource(resource, lifetime_seconds=0.0)
+
+    # Destroy half explicitly, then sweep: the sweep's snapshot logic
+    # must only destroy the survivors.
+    for resource in resources[:4]:
+        service.destroy_resource(resource.abstract_name)
+    swept = service.sweep_expired()
+    assert sorted(swept) == sorted(
+        r.abstract_name for r in resources[4:]
+    )
+    assert [r.destroy_count for r in resources] == [1] * 8
+
+
+# ---------------------------------------------------------------------------
+# background sweeper
+# ---------------------------------------------------------------------------
+
+
+def test_background_sweeper_expires_soft_state():
+    registry = ServiceRegistry()
+    service = SQLRealisationService("sweeper", "mem://sweeper", wsrf=True)
+    registry.register(service)
+    resource = CountingResource(mint_abstract_name("b"), _database())
+    service.add_resource(resource, lifetime_seconds=0.05)
+
+    registry.start_sweeper(interval=0.01)
+    try:
+        assert registry.sweeping
+        with pytest.raises(RuntimeError):
+            registry.start_sweeper(interval=0.01)  # only one sweeper
+        deadline = time.monotonic() + 5.0
+        while (
+            service.has_resource(resource.abstract_name)
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+    finally:
+        registry.stop_sweeper()
+    assert not registry.sweeping
+    assert resource.destroy_count == 1
+    # a second start after stop is fine
+    registry.start_sweeper(interval=0.05)
+    registry.stop_sweeper()
+
+
+def test_sweeper_interval_must_be_positive():
+    with pytest.raises(ValueError):
+        ServiceRegistry().start_sweeper(interval=0.0)
+
+
+# ---------------------------------------------------------------------------
+# the full storm over real HTTP
+# ---------------------------------------------------------------------------
+
+STORM_CREATORS = 2
+STORM_PER_CREATOR = 100  # ≥200 factory-created resources total
+
+
+def test_factory_create_sweep_destroy_storm_over_http(monkeypatch):
+    """Factory creation, soft-state expiry and explicit destroys race
+    across real handler threads while the background sweeper runs.
+
+    Every derived resource must be destroyed exactly once — whichever of
+    the explicit destroyer, the sweeper, or immediate-termination wins —
+    and the service must come out consistent and usable."""
+    destroy_counts: dict[str, int] = {}
+    counts_lock = threading.Lock()
+    original_on_destroy = SQLResponseResource.on_destroy
+
+    def counting_on_destroy(self):
+        with counts_lock:
+            destroy_counts[self.abstract_name] = (
+                destroy_counts.get(self.abstract_name, 0) + 1
+            )
+        original_on_destroy(self)
+
+    monkeypatch.setattr(
+        SQLResponseResource, "on_destroy", counting_on_destroy
+    )
+
+    registry = ServiceRegistry()
+    server = DaisHttpServer(registry, port=0)
+    address = server.url_for("/race")
+    service = SQLRealisationService("race-http", address, wsrf=True)
+    registry.register(service)
+    base = SQLDataResource(mint_abstract_name("base"), _database())
+    service.add_resource(base)
+
+    created: list[str] = []
+    created_lock = threading.Lock()
+    to_destroy: list[str] = []
+    errors: list[BaseException] = []
+    creators_done = threading.Event()
+
+    def creator(index: int):
+        client = SQLClient(HttpTransport())
+        try:
+            for i in range(STORM_PER_CREATOR):
+                response = client.sql_execute_factory(
+                    address, base.abstract_name, "SELECT v FROM t"
+                )
+                name = response.abstract_name
+                with created_lock:
+                    created.append(name)
+                    to_destroy.append(name)
+                # Alternate the expiry route: immediate termination (a
+                # past time destroys right away, racing the destroyer
+                # thread) vs a near-future time the sweeper will catch.
+                try:
+                    if i % 2 == 0:
+                        client.set_termination_time(
+                            address, name, time.time() - 1.0
+                        )
+                    else:
+                        client.set_termination_time(
+                            address, name, time.time() + 0.005
+                        )
+                except LOST_THE_RACE:
+                    pass
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    def destroyer():
+        client = SQLClient(HttpTransport())
+        try:
+            while True:
+                with created_lock:
+                    name = to_destroy.pop() if to_destroy else None
+                if name is None:
+                    if creators_done.is_set():
+                        return
+                    time.sleep(0.001)
+                    continue
+                try:
+                    client.destroy(address, name)
+                except LOST_THE_RACE:
+                    pass
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    with server:
+        registry.start_sweeper(interval=0.002)
+        try:
+            threads = [
+                threading.Thread(target=creator, args=(n,))
+                for n in range(STORM_CREATORS)
+            ] + [threading.Thread(target=destroyer) for _ in range(2)]
+            for thread in threads[:STORM_CREATORS]:
+                thread.start()
+            for thread in threads[STORM_CREATORS:]:
+                thread.start()
+            for thread in threads[:STORM_CREATORS]:
+                thread.join(timeout=120)
+            creators_done.set()
+            for thread in threads[STORM_CREATORS:]:
+                thread.join(timeout=120)
+            assert not errors, errors
+
+            # Everyone who lost the explicit race relied on expiry: give
+            # the sweeper a moment to drain the stragglers.
+            deadline = time.monotonic() + 10.0
+            while (
+                len(service.resource_names()) > 1
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+        finally:
+            registry.stop_sweeper()
+
+        assert len(created) == STORM_CREATORS * STORM_PER_CREATOR
+        assert service.resource_names() == [base.abstract_name]
+        over = {n: c for n, c in destroy_counts.items() if c != 1}
+        assert not over, f"resources not destroyed exactly once: {over}"
+        assert sorted(destroy_counts) == sorted(created)
+
+        # The fabric survived the storm: the base resource still serves.
+        client = SQLClient(HttpTransport())
+        response = client.sql_execute(
+            address, base.abstract_name, "SELECT v FROM t"
+        )
+        assert response.communication.succeeded
+
+
+# ---------------------------------------------------------------------------
+# exposition endpoints vs registry churn
+# ---------------------------------------------------------------------------
+
+
+def test_metrics_exposition_survives_service_churn():
+    """GET /metrics and /healthz render while services register and
+    unregister underneath; every GET gets a well-formed HTTP answer."""
+    registry = ServiceRegistry()
+    server = DaisHttpServer(registry, port=0)
+    base_address = server.url_for("/churn")
+    service = SQLRealisationService("churn-sql", base_address)
+    registry.register(service)
+    resource = SQLDataResource(mint_abstract_name("c"), _database())
+    service.add_resource(resource)
+
+    stop = threading.Event()
+    errors: list[BaseException] = []
+
+    def churn():
+        n = 0
+        try:
+            while not stop.is_set():
+                n += 1
+                address = server.url_for(f"/churn-{n}")
+                extra = SQLRealisationService(f"churn-{n}", address)
+                registry.register(extra)
+                extra.add_resource(
+                    SQLDataResource(mint_abstract_name("x"), _database())
+                )
+                registry.unregister(address)
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    def scrape(path: str):
+        try:
+            for _ in range(40):
+                with urllib.request.urlopen(
+                    server.url_for(path), timeout=10
+                ) as reply:
+                    assert reply.status == 200
+                    assert reply.read()
+        except urllib.error.HTTPError as err:
+            # A mid-render mutation may surface as a JSON 500 — that is
+            # the contract; a dropped connection is not.
+            with err:
+                assert err.code == 500
+                assert json.loads(err.read())["error"]
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    with server:
+        churner = threading.Thread(target=churn)
+        scrapers = [
+            threading.Thread(target=scrape, args=(path,))
+            for path in ("/metrics", "/healthz", "/metrics")
+        ]
+        churner.start()
+        for thread in scrapers:
+            thread.start()
+        for thread in scrapers:
+            thread.join(timeout=60)
+        stop.set()
+        churner.join(timeout=60)
+    assert not errors, errors
