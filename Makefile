@@ -1,13 +1,19 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench coverage-obs trace-demo test-resilience test-concurrency chaos-demo
+.PHONY: test bench bench-stream coverage-obs trace-demo test-resilience test-concurrency chaos-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Streamed-delivery memory/throughput gate: streamed peak memory at
+# 100k rows must stay under 2x the 1k-row baseline, and streamed
+# throughput at 10k rows must be no worse than the materialized path.
+bench-stream:
+	$(PYTHON) -m pytest benchmarks/test_fig5_stream.py -q -s
 
 # Figure 3 factory chain over real HTTP with tracing on; prints the
 # resulting span tree and lifecycle journal.

@@ -10,5 +10,6 @@ raise typed DAIS faults on error responses.
 
 from repro.client.base import DaisClient
 from repro.client.core import CoreClient
+from repro.client.sql import RowsetReader, SQLClient
 
-__all__ = ["DaisClient", "CoreClient"]
+__all__ = ["DaisClient", "CoreClient", "RowsetReader", "SQLClient"]

@@ -276,9 +276,13 @@ class SQLClient(CoreClient):
         epr: EndpointReference,
         abstract_name: str,
         start_position: int,
-        count: int,
+        count: int | None = None,
     ) -> tuple[Rowset, int]:
-        """Returns (window, total rows in the rowset resource)."""
+        """Returns (window, total rows in the rowset resource).
+
+        ``count=None`` omits the ``Count`` element on the wire, which
+        per the spec means the rest of the rowset; an explicit ``0``
+        requests an empty window (useful to learn ``total_rows``)."""
         response = self.call_epr(
             epr,
             msg.GetTuplesRequest(
@@ -306,3 +310,72 @@ class SQLClient(CoreClient):
         if response.document is None:
             raise ValueError("empty rowset property document")
         return response.document
+
+    def rowset_reader(
+        self,
+        epr: EndpointReference,
+        abstract_name: str,
+        page_size: int = 100,
+    ) -> "RowsetReader":
+        """A lazy iterator over a RowsetAccess resource — see
+        :class:`RowsetReader`."""
+        return RowsetReader(self, epr, abstract_name, page_size=page_size)
+
+
+class RowsetReader:
+    """Consumer-side lazy iteration over a RowsetAccess resource.
+
+    Iterating pages ``GetTuples`` windows of ``page_size`` rows on
+    demand, so an arbitrarily large rowset resource is consumed in
+    O(page) client memory — the consumer half of the paper's Figure 5
+    indirect-access pattern.  Column names and SQL types are populated
+    from the first fetched window, and :attr:`total_rows` holds the
+    service-reported rowset size once a page has been fetched.
+
+    Each ``__iter__`` call starts an independent pass from row 0 (the
+    rowset resource itself is stable), so a reader can be re-iterated.
+    """
+
+    def __init__(
+        self,
+        client: SQLClient,
+        epr: EndpointReference,
+        abstract_name: str,
+        page_size: int = 100,
+    ) -> None:
+        if page_size < 1:
+            raise ValueError("page_size must be >= 1")
+        self._client = client
+        self._epr = epr
+        self._abstract_name = abstract_name
+        self.page_size = page_size
+        #: Column names, known after the first page.
+        self.columns: list[str] = []
+        #: SQL type names per column, known after the first page.
+        self.types: list[str] = []
+        #: Service-reported rowset size; None until a page was fetched.
+        self.total_rows: int | None = None
+        #: GetTuples round trips performed across all passes.
+        self.pages_fetched = 0
+
+    def __iter__(self):
+        position = 0
+        while True:
+            window, total = self._client.get_tuples(
+                self._epr, self._abstract_name, position, self.page_size
+            )
+            self.pages_fetched += 1
+            self.total_rows = total
+            if position == 0:
+                self.columns = list(window.columns)
+                self.types = list(window.types)
+            yield from window.rows
+            position += len(window.rows)
+            if position >= total or not window.rows:
+                return
+
+    def read_all(self) -> Rowset:
+        """Drain the resource into a materialized :class:`Rowset` —
+        for consumers that need random access after all."""
+        rows = list(self)
+        return Rowset(list(self.columns), list(self.types), rows)

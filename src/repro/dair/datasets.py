@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
+from typing import Iterable, Iterator
 
 from repro.core.faults import InvalidDatasetFormatFault
 from repro.dair.namespaces import (
@@ -28,9 +29,23 @@ from repro.dair.namespaces import (
 )
 from repro.relational.engine import ResultSet
 from repro.relational.types import NULL
-from repro.xmlutil import E, QName, XmlElement
+from repro.xmlutil import (
+    E,
+    QName,
+    StreamedElement,
+    XmlElement,
+    escape_attribute,
+    escape_text,
+)
 
 _WEBROWSET_NS = "http://java.sun.com/xml/ns/jdbc"
+
+
+def _result_types(result: ResultSet) -> list[str]:
+    """Column type names for a result, aligned to its columns."""
+    if len(result.column_types) == len(result.columns):
+        return list(result.column_types)
+    return ["" for _ in result.columns]
 
 
 @dataclass
@@ -43,14 +58,18 @@ class Rowset:
 
     @classmethod
     def from_result(cls, result: ResultSet) -> "Rowset":
-        """Capture a relational result set (values become lexical text)."""
+        """Capture a relational result set (values become lexical text).
+
+        A streaming result is drained here; use :class:`StreamingRowset`
+        to keep it lazy.
+        """
         rows = [
             tuple(NULL if v is NULL else _lexical(v) for v in row)
-            for row in result.rows
+            for row in result.iter_rows()
         ]
         return cls(
             columns=list(result.columns),
-            types=["" for _ in result.columns],
+            types=_result_types(result),
             rows=rows,
         )
 
@@ -58,20 +77,86 @@ class Rowset:
     def row_count(self) -> int:
         return len(self.rows)
 
-    def slice(self, start: int, count: int) -> "Rowset":
-        """Rows [start, start+count) — the GetTuples paging window."""
-        if start < 0 or count < 0:
+    def slice(self, start: int, count: int | None = None) -> "Rowset":
+        """Rows [start, start+count) — the GetTuples paging window.
+
+        ``count=None`` means the rest of the rowset (a GetTuples request
+        that omits Count); an explicit 0 is an empty window.
+        """
+        if start < 0 or (count is not None and count < 0):
             raise ValueError("start and count must be non-negative")
+        stop = None if count is None else start + count
         return Rowset(
             columns=list(self.columns),
             types=list(self.types),
-            rows=self.rows[start : start + count],
+            rows=self.rows[start:stop],
         )
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Rowset):
             return NotImplemented
         return self.columns == other.columns and self.rows == other.rows
+
+
+class StreamingRowset:
+    """A rowset whose rows come lazily from a one-shot iterator.
+
+    Columns and type names are known up front (they come from catalog
+    metadata, not the data); rows are lexicalized as they are pulled, so
+    peak memory is one row regardless of result size.  ``rows_streamed``
+    counts rows already yielded — after exhaustion it is the total, which
+    is how a communication area serialized *after* a streamed dataset
+    reports the true row count.
+    """
+
+    def __init__(
+        self,
+        columns: Iterable[str],
+        types: Iterable[str],
+        source: Iterable[tuple],
+    ) -> None:
+        self.columns = list(columns)
+        self.types = list(types)
+        self._source = iter(source)
+        self.rows_streamed = 0
+
+    @classmethod
+    def from_result(cls, result: ResultSet) -> "StreamingRowset":
+        """Wrap a result set without draining it."""
+        source = (
+            tuple(NULL if v is NULL else _lexical(v) for v in row)
+            for row in result.iter_rows()
+        )
+        return cls(list(result.columns), _result_types(result), source)
+
+    def __iter__(self) -> Iterator[tuple]:
+        for row in self._source:
+            self.rows_streamed += 1
+            yield row
+
+    def window(self, start: int, count: int | None = None) -> Iterator[tuple]:
+        """Spill-free forward window: skip to *start*, yield up to
+        *count* rows (``None`` = the rest).  Skipped rows are discarded
+        as they are pulled; the stream cannot rewind."""
+        if start < 0 or (count is not None and count < 0):
+            raise ValueError("start and count must be non-negative")
+        if count == 0:
+            return
+        remaining = count
+        skipped = 0
+        for row in self:
+            if skipped < start:
+                skipped += 1
+                continue
+            yield row
+            if remaining is not None:
+                remaining -= 1
+                if remaining == 0:
+                    return
+
+    def materialize(self) -> Rowset:
+        """Drain the stream into an ordinary :class:`Rowset`."""
+        return Rowset(list(self.columns), list(self.types), list(self))
 
 
 def _lexical(value) -> str:
@@ -225,11 +310,18 @@ def _csv_escape(value: str) -> str:
     return value
 
 
-def _csv_split(line: str) -> list[str]:
-    fields: list[str] = []
+def _csv_split_fields(line: str) -> list[tuple[str, bool]]:
+    """Split one record into (text, was_quoted) fields.
+
+    The quoted flag distinguishes the NULL token ``\\N`` (bare) from a
+    literal value ``"\\N"`` (quoted) — dropping it during unquoting is
+    exactly how a quoted literal would collapse into NULL on parse.
+    """
+    fields: list[tuple[str, bool]] = []
     buffer: list[str] = []
     index = 0
     in_quotes = False
+    quoted = False
     while index < len(line):
         ch = line[index]
         if in_quotes:
@@ -243,14 +335,20 @@ def _csv_split(line: str) -> list[str]:
                 buffer.append(ch)
         elif ch == '"':
             in_quotes = True
+            quoted = True
         elif ch == ",":
-            fields.append("".join(buffer))
+            fields.append(("".join(buffer), quoted))
             buffer.clear()
+            quoted = False
         else:
             buffer.append(ch)
         index += 1
-    fields.append("".join(buffer))
+    fields.append(("".join(buffer), quoted))
     return fields
+
+
+def _csv_split(line: str) -> list[str]:
+    return [text for text, _ in _csv_split_fields(line)]
 
 
 def _render_csv(rowset: Rowset) -> XmlElement:
@@ -264,7 +362,19 @@ def _render_csv(rowset: Rowset) -> XmlElement:
         )
     root = E(_q("CsvRowset"), "\n".join(lines))
     root.set("columns", len(rowset.columns))
+    _set_csv_types(root, rowset)
     return root
+
+
+def _set_csv_types(element: XmlElement, rowset) -> None:
+    """CSV bodies cannot carry type names, so they ride the container
+    element as a CSV-escaped attribute (escaped because type names like
+    ``DECIMAL(10,2)`` contain the separator).  Omitted when no column
+    has a type, keeping untyped wire bytes unchanged."""
+    if any(rowset.types):
+        element.set(
+            "types", ",".join(_csv_escape(t) for t in rowset.types)
+        )
 
 
 def _split_records(text: str) -> list[str]:
@@ -293,11 +403,17 @@ def _parse_csv(element: XmlElement) -> Rowset:
     columns = _csv_split(lines[0]) if lines else []
     rows = []
     for line in lines[1:]:
-        fields = _csv_split(line)
         rows.append(
-            tuple(NULL if field == _NULL_TOKEN else field for field in fields)
+            tuple(
+                NULL if field == _NULL_TOKEN and not quoted else field
+                for field, quoted in _csv_split_fields(line)
+            )
         )
-    return Rowset(columns, ["" for _ in columns], rows)
+    types_attr = element.get("types")
+    types = _csv_split(types_attr) if types_attr else []
+    if len(types) != len(columns):
+        types = ["" for _ in columns]
+    return Rowset(columns, types, rows)
 
 
 _RENDERERS = {
@@ -310,4 +426,158 @@ _PARSERS = {
     SQLROWSET_FORMAT_URI: _parse_sqlrowset,
     WEBROWSET_FORMAT_URI: _parse_webrowset,
     CSV_FORMAT_URI: _parse_csv,
+}
+
+
+# ---------------------------------------------------------------------------
+# Incremental emitters
+# ---------------------------------------------------------------------------
+#
+# Each emitter is the streaming twin of its renderer above: it wraps a
+# rowset in a StreamedElement whose chunk source serializes column
+# metadata as one chunk and then one chunk per row, so the serialized
+# dataset is byte-for-byte what serialize() produces for the eager tree
+# — but no tree and no full string ever exist.  The rowset may be a
+# materialized Rowset or a StreamingRowset; rows are pulled only when
+# the serializer (and so the transport) is ready to write them.
+
+
+def stream_rowset(
+    data_format_uri: str, rowset: Rowset | StreamingRowset
+) -> StreamedElement:
+    """Streaming counterpart of :func:`render_rowset`."""
+    emitter = _EMITTERS.get(data_format_uri)
+    if emitter is None:
+        raise InvalidDatasetFormatFault(
+            f"unsupported dataset format {data_format_uri!r}"
+        )
+    return emitter(rowset)
+
+
+def _rows_of(rowset: Rowset | StreamingRowset) -> Iterator[tuple]:
+    if isinstance(rowset, Rowset):
+        return iter(rowset.rows)
+    return iter(rowset)
+
+
+def _type_of(rowset: Rowset | StreamingRowset, index: int) -> str:
+    if index < len(rowset.types):
+        return rowset.types[index]
+    return ""
+
+
+def _stream_sqlrowset(rowset: Rowset | StreamingRowset) -> StreamedElement:
+    def chunks(q) -> Iterator[str]:
+        metadata_tag = q(_q("ColumnMetadata"))
+        parts = [f"<{metadata_tag}"]
+        if not rowset.columns:
+            parts.append("/>")
+        else:
+            parts.append(">")
+            column_tag = q(_q("Column"))
+            for index, name in enumerate(rowset.columns):
+                parts.append(f'<{column_tag} name="{escape_attribute(name)}"')
+                type_name = _type_of(rowset, index)
+                if type_name:
+                    parts.append(f' type="{escape_attribute(type_name)}"')
+                parts.append("/>")
+            parts.append(f"</{metadata_tag}>")
+        yield "".join(parts)
+        row_tag = q(_q("Row"))
+        value_tag = q(_q("Value"))
+        null_tag = q(_q("Null"))
+        for row in _rows_of(rowset):
+            if not row:
+                yield f"<{row_tag}/>"
+                continue
+            parts = [f"<{row_tag}>"]
+            for value in row:
+                if value is NULL:
+                    parts.append(f"<{null_tag}/>")
+                elif value == "":
+                    parts.append(f"<{value_tag}/>")
+                else:
+                    parts.append(
+                        f"<{value_tag}>{escape_text(value)}</{value_tag}>"
+                    )
+            parts.append(f"</{row_tag}>")
+            yield "".join(parts)
+
+    return StreamedElement(_q("SQLRowset"), chunks)
+
+
+def _stream_webrowset(rowset: Rowset | StreamingRowset) -> StreamedElement:
+    def chunks(q) -> Iterator[str]:
+        def simple(tag: str, text: str) -> str:
+            if text:
+                return f"<{tag}>{escape_text(text)}</{tag}>"
+            return f"<{tag}/>"
+
+        metadata_tag = q(_w("metadata"))
+        definition_tag = q(_w("column-definition"))
+        parts = [
+            f"<{metadata_tag}>",
+            simple(q(_w("column-count")), str(len(rowset.columns))),
+        ]
+        for index, name in enumerate(rowset.columns):
+            parts.append(f"<{definition_tag}>")
+            parts.append(simple(q(_w("column-index")), str(index + 1)))
+            parts.append(simple(q(_w("column-name")), name))
+            type_name = _type_of(rowset, index)
+            if type_name:
+                parts.append(simple(q(_w("column-type-name")), type_name))
+            parts.append(f"</{definition_tag}>")
+        parts.append(f"</{metadata_tag}>")
+        yield "".join(parts)
+
+        data_tag = q(_w("data"))
+        row_tag = q(_w("currentRow"))
+        value_tag = q(_w("columnValue"))
+        opened = False
+        for row in _rows_of(rowset):
+            if not opened:
+                yield f"<{data_tag}>"
+                opened = True
+            if not row:
+                yield f"<{row_tag}/>"
+                continue
+            parts = [f"<{row_tag}>"]
+            for value in row:
+                if value is NULL:
+                    parts.append(f'<{value_tag} null="true"/>')
+                elif value == "":
+                    parts.append(f"<{value_tag}/>")
+                else:
+                    parts.append(
+                        f"<{value_tag}>{escape_text(value)}</{value_tag}>"
+                    )
+            parts.append(f"</{row_tag}>")
+            yield "".join(parts)
+        yield f"</{data_tag}>" if opened else f"<{data_tag}/>"
+
+    return StreamedElement(_w("webRowSet"), chunks)
+
+
+def _stream_csv(rowset: Rowset | StreamingRowset) -> StreamedElement:
+    def chunks(q) -> Iterator[str]:
+        header = ",".join(_csv_escape(name) for name in rowset.columns)
+        if header:
+            yield escape_text(header)
+        for row in _rows_of(rowset):
+            line = ",".join(
+                _NULL_TOKEN if value is NULL else _csv_escape(value)
+                for value in row
+            )
+            yield escape_text("\n" + line)
+
+    element = StreamedElement(_q("CsvRowset"), chunks)
+    element.set("columns", len(rowset.columns))
+    _set_csv_types(element, rowset)
+    return element
+
+
+_EMITTERS = {
+    SQLROWSET_FORMAT_URI: _stream_sqlrowset,
+    WEBROWSET_FORMAT_URI: _stream_webrowset,
+    CSV_FORMAT_URI: _stream_csv,
 }

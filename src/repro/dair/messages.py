@@ -10,7 +10,7 @@ template under the WS-DAIR tag.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import ClassVar, Optional
+from typing import Callable, ClassVar, Optional
 
 from repro.core.messages import (
     DaisMessage,
@@ -21,7 +21,7 @@ from repro.core.messages import (
 from repro.core.namespaces import WSDAI_NS
 from repro.dair.namespaces import WSDAIR_NS
 from repro.relational import SqlCommunicationArea
-from repro.xmlutil import E, QName, XmlElement
+from repro.xmlutil import E, LazyText, QName, XmlElement
 
 
 def _q(local: str) -> QName:
@@ -36,6 +36,37 @@ def communication_area_to_xml(area: SqlCommunicationArea) -> XmlElement:
         E(_q("SQLMessage"), area.message),
         E(_q("RowsProcessed"), area.rows_processed),
     )
+
+
+def lazy_communication_area(
+    factory: Callable[[], SqlCommunicationArea],
+) -> XmlElement:
+    """A communication area whose values resolve at serialization time.
+
+    Document order puts the communication area *after* the dataset, so
+    when the dataset is streamed the serializer reaches these values
+    only once every row has been emitted — which is how RowsProcessed
+    can report the true count of a result that was never materialized.
+    *factory* is invoked once, at first access.
+    """
+    cache: list[SqlCommunicationArea] = []
+
+    def area() -> SqlCommunicationArea:
+        if not cache:
+            cache.append(factory())
+        return cache[0]
+
+    root = E(_q("SQLCommunicationArea"))
+    for tag, getter in (
+        ("SQLCode", lambda: area().sqlcode),
+        ("SQLState", lambda: area().sqlstate),
+        ("SQLMessage", lambda: area().message),
+        ("RowsProcessed", lambda: area().rows_processed),
+    ):
+        child = E(_q(tag))
+        child.children.append(LazyText(lambda getter=getter: str(getter())))
+        root.append(child)
+    return root
 
 
 def communication_area_from_xml(element: XmlElement) -> SqlCommunicationArea:
@@ -111,6 +142,10 @@ class SQLExecuteResponse(DaisMessage):
     communication: SqlCommunicationArea = field(
         default_factory=lambda: SqlCommunicationArea.success(0)
     )
+    #: When set, the serialized communication area resolves from this
+    #: factory instead of ``communication`` — used with a streamed
+    #: dataset so RowsProcessed reflects what actually went out.
+    communication_factory: Optional[Callable[[], SqlCommunicationArea]] = None
 
     def to_xml(self) -> XmlElement:
         root = E(
@@ -122,7 +157,10 @@ class SQLExecuteResponse(DaisMessage):
             wrapper.append(self.dataset.copy())
             root.append(wrapper)
         root.append(E(_q("SQLUpdateCount"), self.update_count))
-        root.append(communication_area_to_xml(self.communication))
+        if self.communication_factory is not None:
+            root.append(lazy_communication_area(self.communication_factory))
+        else:
+            root.append(communication_area_to_xml(self.communication))
         return root
 
     @classmethod
@@ -549,20 +587,25 @@ class GetTuplesRequest(DaisRequest):
     TAG: ClassVar[QName] = _q("GetTuplesRequest")
 
     start_position: int = 0
-    count: int = 0
+    #: ``None`` (Count omitted on the wire) means the rest of the rowset;
+    #: an explicit 0 is an empty window.  A bare default of 0 silently
+    #: turned every count-less request into an empty page.
+    count: Optional[int] = None
 
     def to_xml(self) -> XmlElement:
         root = self._root()
         root.append(E(_q("StartPosition"), self.start_position))
-        root.append(E(_q("Count"), self.count))
+        if self.count is not None:
+            root.append(E(_q("Count"), self.count))
         return root
 
     @classmethod
     def from_xml(cls, element: XmlElement):
+        count_text = element.findtext(_q("Count"))
         return cls(
             abstract_name=cls._read_name(element),
             start_position=int(element.findtext(_q("StartPosition"), "0") or "0"),
-            count=int(element.findtext(_q("Count"), "0") or "0"),
+            count=None if count_text is None else int(count_text or "0"),
         )
 
 

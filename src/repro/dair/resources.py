@@ -103,9 +103,16 @@ class SQLDataResource(DataResource):
         expression: str,
         parameters: list[str] | None = None,
         configurable: ConfigurableProperties | None = None,
+        stream: bool = False,
     ) -> ResultSet:
         """Run one SQL statement, honouring Readable/Writeable and the
-        transaction properties of the binding."""
+        transaction properties of the binding.
+
+        With ``stream=True`` a streamable SELECT returns a lazy result
+        (see :meth:`repro.relational.engine.Session.execute`); its
+        statement transaction completes when the row iterator does.
+        Plan and permission errors still surface here, eagerly.
+        """
         self._require_available()
         if self.statement_rewriter is not None:
             expression = self.statement_rewriter(expression)
@@ -113,7 +120,9 @@ class SQLDataResource(DataResource):
         configurable = configurable or ConfigurableProperties()
         session.default_isolation = _isolation_for(configurable)
         try:
-            result = session.execute(expression, tuple(parameters or ()))
+            result = session.execute(
+                expression, tuple(parameters or ()), stream=stream
+            )
         except SqlError as exc:
             raise InvalidExpressionFault(
                 f"{type(exc).__name__} [{exc.sqlstate}]: {exc}"
@@ -339,8 +348,10 @@ class SQLResponseResource(DataResource):
     def on_destroy(self) -> None:
         super().on_destroy()
         # Service managed: data goes away with the relationship (§4.3).
-        self._snapshot = None
+        # Flag first: a concurrent reader must see "destroyed" (a typed
+        # fault), never a half-disposed snapshot.
         self._destroyed = True
+        self._snapshot = None
 
     def property_document(
         self, configurable: ConfigurableProperties
@@ -386,9 +397,13 @@ class SQLRowsetResource(DataResource):
             )
         return self._rowset
 
-    def get_tuples(self, start: int, count: int) -> Rowset:
-        """The GetTuples window; *start* is zero-based."""
-        if start < 0 or count < 0:
+    def get_tuples(self, start: int, count: int | None = None) -> Rowset:
+        """The GetTuples window; *start* is zero-based.
+
+        ``count=None`` (Count omitted on the wire) returns the rest of
+        the rowset; an explicit 0 is an empty window.
+        """
+        if start < 0 or (count is not None and count < 0):
             raise InvalidExpressionFault(
                 "GetTuples start/count must be non-negative"
             )
@@ -400,8 +415,12 @@ class SQLRowsetResource(DataResource):
 
     def on_destroy(self) -> None:
         super().on_destroy()
-        self._rowset = Rowset([], [], [])
+        # Flag first: with the flag set after the data was blanked, a
+        # GetTuples racing destroy could observe the placeholder rowset
+        # and answer with an empty window and total_rows=0 instead of
+        # the typed DataResourceUnavailableFault.
         self._destroyed = True
+        self._rowset = Rowset([], [], [])
 
     def property_document(
         self, configurable: ConfigurableProperties

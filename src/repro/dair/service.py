@@ -20,7 +20,13 @@ from repro.core.names import mint_abstract_name
 from repro.core.properties import ConfigurationMapEntry
 from repro.core.service import DataService, ResourceBinding
 from repro.dair import messages as msg
-from repro.dair.datasets import ALL_FORMATS, Rowset, render_rowset
+from repro.dair.datasets import (
+    ALL_FORMATS,
+    Rowset,
+    StreamingRowset,
+    render_rowset,
+    stream_rowset,
+)
 from repro.dair.namespaces import (
     SQL_ACCESS_PT,
     SQL_FACTORY_PT,
@@ -35,6 +41,7 @@ from repro.dair.resources import (
     SQLResponseResource,
     SQLRowsetResource,
 )
+from repro.relational import SqlCommunicationArea
 from repro.soap.addressing import MessageHeaders
 from repro.xmlutil import QName, XmlElement
 
@@ -58,6 +65,7 @@ class SQLRealisationService(DataService):
         port_types: Iterable[str] = tuple(PORT_TYPES),
         response_target: Optional["SQLRealisationService"] = None,
         rowset_target: Optional["SQLRealisationService"] = None,
+        stream_datasets: bool = True,
         **kwargs,
     ) -> None:
         from repro.core.namespaces import WSDAI_NS
@@ -67,6 +75,14 @@ class SQLRealisationService(DataService):
             {"wsdai": WSDAI_NS, "wsdair": WSDAIR_NS},
         )
         super().__init__(name, address, **kwargs)
+        #: Stream SQLExecute datasets (lazy rows + incremental emitter)
+        #: instead of materialising them; off reproduces the old
+        #: O(result)-memory path, which the fig-5 benchmark compares.
+        self.stream_datasets = stream_datasets
+        self._rows_streamed = self.metrics.counter(
+            "rowset.rows.streamed",
+            "Rows emitted through streamed dataset responses",
+        )
         self.port_types = set(port_types)
         unknown = self.port_types - set(PORT_TYPES)
         if unknown:
@@ -170,16 +186,39 @@ class SQLRealisationService(DataService):
             )
         else:
             result = resource.sql_execute(
-                request.expression, request.parameters, binding.configurable
+                request.expression,
+                request.parameters,
+                binding.configurable,
+                stream=self.stream_datasets,
             )
         dataset = None
+        communication_factory = None
         if result.is_query:
-            dataset = render_rowset(format_uri, Rowset.from_result(result))
+            if result.is_streaming:
+                # Rows flow straight from the engine through the
+                # incremental emitter into the transport; the lazy
+                # communication area (serialized after the dataset)
+                # reports the count that actually went out.
+                rowset = StreamingRowset.from_result(result)
+                dataset = stream_rowset(format_uri, rowset)
+
+                def communication_factory(
+                    rowset: StreamingRowset = rowset,
+                ) -> SqlCommunicationArea:
+                    count = rowset.rows_streamed
+                    self._rows_streamed.inc(count)
+                    return SqlCommunicationArea.success(
+                        count, f"{count} row(s)"
+                    )
+
+            else:
+                dataset = render_rowset(format_uri, Rowset.from_result(result))
         return msg.SQLExecuteResponse(
             dataset_format_uri=format_uri,
             dataset=dataset,
             update_count=result.update_count,
             communication=result.communication,
+            communication_factory=communication_factory,
         )
 
     def _handle_get_sql_property_document(
@@ -332,9 +371,18 @@ class SQLRealisationService(DataService):
         binding.require_readable()
         resource: SQLResponseResource = binding.resource
         format_uri = request.dataset_format_uri or SQLROWSET_FORMAT_URI
+        rowset = resource.rowset()
+        if self.stream_datasets:
+            # The response rowset is already materialized, but emitting
+            # it incrementally lets the transport chunk the reply
+            # instead of buffering one giant serialized string.
+            dataset = stream_rowset(format_uri, rowset)
+            self._rows_streamed.inc(rowset.row_count)
+        else:
+            dataset = render_rowset(format_uri, rowset)
         return msg.GetSQLRowsetResponse(
             dataset_format_uri=format_uri,
-            dataset=render_rowset(format_uri, resource.rowset()),
+            dataset=dataset,
         )
 
     def _handle_get_update_count(

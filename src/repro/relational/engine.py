@@ -11,7 +11,7 @@ the WS-DAIR messages expose.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import Any, Iterator, Optional, Sequence
 
 from repro.relational import ast_nodes as ast
 from repro.relational.catalog import (
@@ -71,12 +71,35 @@ class ResultSet:
     )
     return_value: Optional[str] = None
     output_parameters: dict[str, str] = field(default_factory=dict)
+    #: SQL type names parallel to ``columns`` (``""`` where unknown),
+    #: resolved from the catalog so dataset metadata survives the wire.
+    column_types: list[str] = field(default_factory=list)
+    #: When set, rows arrive lazily from this one-shot generator and
+    #: ``rows`` stays empty; produced by ``Session.execute(stream=True)``.
+    row_source: Optional[Iterator[tuple]] = None
 
     @property
     def is_query(self) -> bool:
         """True when the result carries a rowset (SELECT, EXPLAIN, or a
         CALL whose procedure returned rows)."""
         return bool(self.columns)
+
+    @property
+    def is_streaming(self) -> bool:
+        """True when rows come from a lazy source instead of ``rows``."""
+        return self.row_source is not None
+
+    def iter_rows(self) -> Iterator[tuple]:
+        """Iterate the result's rows.
+
+        For a streamed result this drains the lazy source — it can be
+        consumed exactly once, and the autocommit transaction (if any)
+        completes when the iterator is exhausted or closed.  For a
+        materialized result it simply iterates ``rows``.
+        """
+        if self.row_source is not None:
+            return iter(self.row_source)
+        return iter(self.rows)
 
     def scalar(self) -> Any:
         """First column of the first row (convenience for tests/examples)."""
@@ -154,18 +177,32 @@ class Session:
             return self._transaction.isolation
         return self.default_isolation
 
-    def execute(self, sql: str, parameters: Sequence[Any] = ()) -> ResultSet:
+    def execute(
+        self,
+        sql: str,
+        parameters: Sequence[Any] = (),
+        stream: bool = False,
+    ) -> ResultSet:
         """Parse and execute one statement.
 
         Errors inside an explicit transaction leave it open (the consumer
         decides whether to roll back); errors in autocommit mode undo the
         statement's own changes.
+
+        With ``stream=True``, a SELECT whose plan has no pipeline breaker
+        (sort/group/distinct/union) returns a streaming
+        :class:`ResultSet` — rows arrive via :meth:`ResultSet.iter_rows`
+        and the autocommit transaction stays open until that iterator is
+        exhausted or closed.  Other statements are unaffected.
         """
         statement = parse_statement(sql)
-        return self.execute_ast(statement, parameters)
+        return self.execute_ast(statement, parameters, stream=stream)
 
     def execute_ast(
-        self, statement: ast.Statement, parameters: Sequence[Any] = ()
+        self,
+        statement: ast.Statement,
+        parameters: Sequence[Any] = (),
+        stream: bool = False,
     ) -> ResultSet:
         if isinstance(statement, ast.BeginTransaction):
             return self._begin(statement)
@@ -175,16 +212,39 @@ class Session:
             return self._rollback()
 
         if self._transaction is not None:
-            return self._run_in_transaction(self._transaction, statement, parameters)
+            return self._run_in_transaction(
+                self._transaction, statement, parameters, stream
+            )
         # Autocommit: a statement-scoped transaction.
         transaction = self._database.transactions.begin(self.default_isolation)
         try:
-            result = self._run_in_transaction(transaction, statement, parameters)
+            result = self._run_in_transaction(
+                transaction, statement, parameters, stream
+            )
         except Exception:
             self._database.transactions.rollback(transaction)
             raise
+        if result.is_streaming:
+            # The statement transaction must outlive this call: it ends
+            # (commit on exhaustion, rollback on error/early close) when
+            # the consumer finishes with the rows.
+            result.row_source = self._autocommit_stream(
+                transaction, result.row_source
+            )
+            return result
         self._database.transactions.commit(transaction)
         return result
+
+    def _autocommit_stream(
+        self, transaction: Transaction, source: Iterator[tuple]
+    ) -> Iterator[tuple]:
+        manager = self._database.transactions
+        try:
+            yield from source
+        except BaseException:
+            manager.rollback(transaction)
+            raise
+        manager.commit(transaction)
 
     def close(self) -> None:
         """Roll back any open transaction and release locks."""
@@ -226,6 +286,7 @@ class Session:
         transaction: Transaction,
         statement: ast.Statement,
         parameters: Sequence[Any],
+        stream: bool = False,
     ) -> ResultSet:
         manager = self._database.transactions
         executor = Executor(
@@ -238,7 +299,7 @@ class Session:
         )
         checkpoint = len(transaction.journal.entries)
         try:
-            return self._dispatch(executor, statement)
+            return self._dispatch(executor, statement, stream)
         except Exception:
             # Statement-level atomicity inside explicit transactions.
             self._undo_to(transaction.journal, checkpoint)
@@ -251,12 +312,27 @@ class Session:
         del journal.entries[checkpoint:]
         tail.undo()
 
-    def _dispatch(self, executor: Executor, statement: ast.Statement) -> ResultSet:
+    def _dispatch(
+        self,
+        executor: Executor,
+        statement: ast.Statement,
+        stream: bool = False,
+    ) -> ResultSet:
         if isinstance(statement, ast.Select):
+            column_types = executor.select_column_types(statement)
+            if stream and executor.can_stream(statement):
+                columns, source = executor.iter_select(statement)
+                return ResultSet(
+                    "SELECT",
+                    columns=columns,
+                    column_types=column_types,
+                    row_source=source,
+                )
             columns, rows = executor.execute_select(statement)
             return ResultSet(
                 "SELECT",
                 columns=columns,
+                column_types=column_types,
                 rows=rows,
                 communication=SqlCommunicationArea.success(
                     len(rows), f"{len(rows)} row(s)"

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from decimal import Decimal
 from functools import cmp_to_key
-from typing import Any
+from typing import Any, Iterator
 
 from repro.obs import add_to_current_span, get_tracer
 from repro.relational import ast_nodes as ast
@@ -167,6 +167,207 @@ class Executor:
 
         rows = self._apply_limit(select, rows, outer_env)
         return columns, rows
+
+    # -- streaming ----------------------------------------------------------
+
+    def can_stream(self, select: ast.Select) -> bool:
+        """True when the plan can yield rows lazily.
+
+        Sorting, grouping, aggregation, DISTINCT and UNION are pipeline
+        breakers — they need the whole input before the first output row
+        — so those plans stay on :meth:`execute_select`.
+        """
+        if select.union is not None or select.order_by or select.distinct:
+            return False
+        if select.group_by or _collect_aggregates(select):
+            return False
+        return True
+
+    def iter_select(
+        self, select: ast.Select, outer_env: RowEnvironment | None = None
+    ) -> tuple[list[str], Iterator[tuple]]:
+        """Lazy SELECT: output column names now, rows as a generator.
+
+        Scan, filter, OFFSET/LIMIT and projection all run per pulled
+        row, so peak memory is O(1) rows for a base-table plan (the
+        storage snapshot holds row *references*, never projected
+        copies).  Views, subqueries and joins fall back to a
+        materialized source but still project lazily.  Callers must
+        check :meth:`can_stream` first.
+        """
+        if not self.can_stream(select):
+            raise SqlError("plan has a pipeline breaker; use execute_select")
+        with get_tracer().span("sql.select") as span:
+            if span.recording:
+                span.set_attribute("streamed", True)
+            bindings, source = self._iter_from(select, outer_env)
+            items = self._expand_items(select, Relation(bindings, []))
+            columns = [name for name, _ in items]
+            where_parts = conjuncts(select.where)
+            env0 = RowEnvironment([], (), outer_env)
+            offset = 0
+            if select.offset is not None:
+                offset = _expect_int(
+                    self._evaluator.evaluate(select.offset, env0), "OFFSET"
+                )
+            limit = None
+            if select.limit is not None:
+                limit = _expect_int(
+                    self._evaluator.evaluate(select.limit, env0), "LIMIT"
+                )
+
+        def rows() -> Iterator[tuple]:
+            produced = 0
+            try:
+                if limit == 0:
+                    return
+                for row in source:
+                    env = RowEnvironment(bindings, row, outer_env)
+                    if where_parts and not all(
+                        self._evaluator.truthy(p, env) for p in where_parts
+                    ):
+                        continue
+                    if skipped_box[0] < offset:
+                        skipped_box[0] += 1
+                        continue
+                    yield tuple(
+                        self._evaluator.evaluate(expr, env) for _, expr in items
+                    )
+                    produced += 1
+                    if limit is not None and produced >= limit:
+                        return
+            finally:
+                # The span ended (and was exported) when setup finished;
+                # exporters hold the span object, so the row count lands
+                # on it once known — the one honest moment for a lazy plan.
+                if span.recording:
+                    span.set_attribute("rows_out", produced)
+
+        skipped_box = [0]
+        return columns, rows()
+
+    def _iter_from(
+        self, select: ast.Select, outer_env: RowEnvironment | None
+    ) -> tuple[list[tuple[str, str]], Iterator[tuple]]:
+        item = select.from_item
+        if item is None:
+            return [], iter([()])
+        where_parts = conjuncts(select.where)
+        if isinstance(item, ast.TableRef) and not self._catalog.has_view(
+            item.name
+        ):
+            return self._iter_base_table(item, where_parts)
+        relation = self._from_item(item, where_parts, outer_env)
+        return relation.bindings, iter(relation.rows)
+
+    def _iter_base_table(
+        self, ref: ast.TableRef, where_parts: list[ast.Expression]
+    ) -> tuple[list[tuple[str, str]], Iterator[tuple]]:
+        schema = self._catalog.table(ref.name)
+        self._on_table_read(schema.name.lower())
+        storage = self._storage(ref.name)
+        qualifier = (ref.alias or ref.name).lower()
+        bindings = [(qualifier, c.lower()) for c in schema.column_names]
+
+        path = choose_access_path(storage, qualifier, where_parts, self._parameters)
+        if isinstance(path, EqualityLookup):
+            add_to_current_span("index_lookups")
+            row_ids: list[int] | None = sorted(path.index.lookup(path.key))
+        elif isinstance(path, RangeLookup):
+            add_to_current_span("index_lookups")
+            row_ids = sorted(
+                set(
+                    path.index.range(
+                        path.low, path.high, path.low_inclusive, path.high_inclusive
+                    )
+                )
+            )
+        else:
+            add_to_current_span("table_scans")
+            row_ids = None
+
+        def scan() -> Iterator[tuple]:
+            if row_ids is None:
+                for _, row in storage.iter_rows():
+                    yield row
+            else:
+                for row_id in row_ids:
+                    row = storage.get(row_id)
+                    if row is not None:
+                        yield row
+
+        return bindings, scan()
+
+    # -- column type metadata ------------------------------------------------
+
+    def select_column_types(self, select: ast.Select) -> list[str]:
+        """Best-effort SQL type names for the SELECT's output columns.
+
+        Base-table columns resolve through the catalog (views and
+        derived tables recursively); computed expressions and aggregates
+        report ``""``.  Shape errors degrade to all-blank rather than
+        failing the query — type metadata is advisory.
+        """
+        try:
+            return [type_name for _, type_name in self._select_shape(select)]
+        except Exception:
+            return []
+
+    def _select_shape(self, select: ast.Select) -> list[tuple[str, str]]:
+        """(output name, type name) pairs for a SELECT's projection."""
+        bindings = self._binding_types(select.from_item)
+        pairs: list[tuple[str, str]] = []
+        for item in select.items:
+            expression = item.expression
+            if isinstance(expression, ast.Star):
+                wanted = expression.table.lower() if expression.table else None
+                for (qualifier, column), type_name in bindings:
+                    if wanted is None or qualifier == wanted:
+                        pairs.append((column, type_name))
+                continue
+            name = _output_name(item)
+            if isinstance(expression, ast.ColumnRef):
+                pairs.append((name, _lookup_type(bindings, expression)))
+            else:
+                pairs.append((name, ""))
+        return pairs
+
+    def _binding_types(
+        self, item: ast.FromItem | None
+    ) -> list[tuple[tuple[str, str], str]]:
+        """Ordered ((qualifier, column), type name) for a FROM tree."""
+        if item is None:
+            return []
+        if isinstance(item, ast.TableRef):
+            qualifier = (item.alias or item.name).lower()
+            if self._catalog.has_view(item.name):
+                view = self._catalog.view(item.name)
+                pairs = self._select_shape(view.query)
+                if view.columns:
+                    pairs = [
+                        (declared, type_name)
+                        for declared, (_, type_name) in zip(view.columns, pairs)
+                    ]
+                return [
+                    ((qualifier, name.lower()), type_name)
+                    for name, type_name in pairs
+                ]
+            schema = self._catalog.table(item.name)
+            return [
+                ((qualifier, column.name.lower()), column.type_display)
+                for column in schema.columns
+            ]
+        if isinstance(item, ast.SubqueryRef):
+            alias = item.alias.lower()
+            return [
+                ((alias, name.lower()), type_name)
+                for name, type_name in self._select_shape(item.query)
+            ]
+        if isinstance(item, ast.Join):
+            return self._binding_types(item.left) + self._binding_types(
+                item.right
+            )
+        return []
 
     def _select_core(
         self, select: ast.Select, outer_env: RowEnvironment | None
@@ -870,6 +1071,19 @@ def _output_name(item: ast.SelectItem) -> str:
     if isinstance(expression, ast.FunctionCall):
         return expression.name
     return "expr"
+
+
+def _lookup_type(
+    bindings: list[tuple[tuple[str, str], str]], ref: ast.ColumnRef
+) -> str:
+    wanted_table = ref.table.lower() if ref.table else None
+    wanted_column = ref.column.lower()
+    for (qualifier, column), type_name in bindings:
+        if column != wanted_column:
+            continue
+        if wanted_table is None or qualifier == wanted_table:
+            return type_name
+    return ""
 
 
 def _collect_aggregates(select: ast.Select) -> list[ast.Aggregate]:

@@ -218,6 +218,18 @@ class TableStorage:
         """All (row_id, row) pairs in insertion order."""
         return iter(list(self._rows.items()))
 
+    def iter_rows(self) -> Iterator[tuple[int, Row]]:
+        """Lazy (row_id, row) iteration without the O(table) snapshot
+        :meth:`rows` takes.  Row ids are insertion-ordered, so walking
+        the id range captured at call time yields the same sequence and
+        stays safe against concurrent inserts (their ids land past the
+        bound); rows deleted mid-walk are simply skipped."""
+        bound = self._next_row_id
+        for row_id in range(1, bound):
+            row = self._rows.get(row_id)
+            if row is not None:
+                yield row_id, row
+
     def get(self, row_id: int) -> Row | None:
         return self._rows.get(row_id)
 

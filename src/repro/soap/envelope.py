@@ -13,7 +13,15 @@ from dataclasses import dataclass
 from repro.soap.addressing import MessageHeaders
 from repro.soap.fault import FaultCode, SoapFault
 from repro.soap.namespaces import SOAP_ENV_NS
-from repro.xmlutil import E, QName, XmlElement, parse_bytes, serialize_bytes
+from repro.xmlutil import (
+    E,
+    QName,
+    StreamedElement,
+    XmlElement,
+    parse_bytes,
+    serialize_bytes,
+    serialize_chunks,
+)
 
 _ENVELOPE = QName(SOAP_ENV_NS, "Envelope")
 _HEADER = QName(SOAP_ENV_NS, "Header")
@@ -38,6 +46,21 @@ class Envelope:
     def to_bytes(self) -> bytes:
         """Serialize to UTF-8 wire bytes."""
         return serialize_bytes(self.to_xml())
+
+    def is_streaming(self) -> bool:
+        """True when the payload contains lazily rendered content
+        (a :class:`~repro.xmlutil.StreamedElement` anywhere in the
+        tree) — transports can then serialize incrementally via
+        :meth:`iter_bytes` instead of materializing the whole body."""
+        return _has_streamed_content(self.payload)
+
+    def iter_bytes(self):
+        """Serialize incrementally: an iterator of UTF-8 fragments whose
+        concatenation equals :meth:`to_bytes`.  Lazy payload content is
+        rendered as it is pulled, so a streamed dataset never exists in
+        memory as one string."""
+        for chunk in serialize_chunks(self.to_xml()):
+            yield chunk.encode("utf-8")
 
     @classmethod
     def from_xml(cls, root: XmlElement) -> "Envelope":
@@ -86,6 +109,14 @@ class Envelope:
             return self
         fault = SoapFault.from_xml(self.payload)
         raise _specialize(fault)
+
+
+def _has_streamed_content(element: XmlElement) -> bool:
+    if isinstance(element, StreamedElement):
+        return True
+    return any(
+        _has_streamed_content(child) for child in element.element_children()
+    )
 
 
 def _specialize(fault: SoapFault) -> SoapFault:

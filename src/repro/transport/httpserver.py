@@ -87,14 +87,18 @@ class DaisHttpServer:
         self._response_bytes = self.metrics.counter(
             "http.server.response.bytes", "response body bytes sent"
         )
+        self._chunks = self.metrics.counter(
+            "http.server.chunks", "HTTP chunks written for streamed responses"
+        )
 
         outer = self
 
         class _Handler(BaseHTTPRequestHandler):
             # HTTP/1.1 keeps the connection alive between requests, so a
             # pooled client reuses one socket (and one handler thread)
-            # for its whole conversation.  Every response we send carries
-            # Content-Length, which 1.1 persistence requires.
+            # for its whole conversation.  Every response is framed for
+            # 1.1 persistence: Content-Length for materialized bodies,
+            # Transfer-Encoding: chunked for streamed ones.
             protocol_version = "HTTP/1.1"
             #: Idle keep-alive connections are dropped after this long.
             timeout = 30
@@ -113,15 +117,40 @@ class DaisHttpServer:
                     "http.server.request", path=self.path
                 ) as span:
                     response, status = outer._handle(self.path, body)
-                    payload = response.to_bytes()
+                    streamed = status == 200 and response.is_streaming()
+                    payload = None if streamed else response.to_bytes()
                     span.set_attributes(
                         status=status,
                         request_bytes=len(body),
-                        response_bytes=len(payload),
+                        streamed=streamed,
                     )
+                    if payload is not None:
+                        span.set_attribute("response_bytes", len(payload))
                     if status != 200:
                         span.mark_fault()
                 outer._requests.inc(status=str(status))
+                if streamed:
+                    # The lazy payload renders while it is written out;
+                    # the span above already closed, but exporters hold
+                    # the span object, so the byte count (known only
+                    # once the stream drained) still lands on it.
+                    try:
+                        sent = outer._send_chunked(self, response)
+                    except (ConnectionError, BrokenPipeError, TimeoutError):
+                        self.close_connection = True
+                        return
+                    except Exception:
+                        # The 200 status line is long gone, so a mid-
+                        # stream producer failure cannot become a SOAP
+                        # fault; withholding the terminal chunk makes
+                        # the consumer see an incomplete transfer
+                        # instead of a truncated-but-parseable body.
+                        self.close_connection = True
+                        span.mark_fault()
+                        return
+                    if span.recording:
+                        span.set_attribute("response_bytes", sent)
+                    return
                 outer._response_bytes.inc(len(payload))
                 self.send_response(status)
                 self.send_header("Content-Type", "text/xml; charset=utf-8")
@@ -267,6 +296,46 @@ class DaisHttpServer:
         handler.send_header("Content-Length", str(len(payload)))
         handler.end_headers()
         handler.wfile.write(payload)
+
+    #: Serializer fragments are coalesced to about this many bytes per
+    #: HTTP chunk — per-row fragments are tiny, and framing each one
+    #: separately would pay ~7 bytes and a syscall per row.
+    CHUNK_COALESCE_BYTES = 8192
+
+    def _send_chunked(self, handler, response: Envelope) -> int:
+        """Stream one response envelope as ``Transfer-Encoding: chunked``.
+
+        Returns the total body bytes sent (sum of chunk payloads, not
+        counting chunk framing).  Rows are pulled from the lazy dataset
+        as the serializer is drained, so peak memory stays at one
+        coalescing buffer regardless of result size.
+        """
+        handler.send_response(200)
+        handler.send_header("Content-Type", "text/xml; charset=utf-8")
+        handler.send_header("Transfer-Encoding", "chunked")
+        handler.end_headers()
+        sent = 0
+        buffer = bytearray()
+
+        def flush() -> None:
+            nonlocal sent
+            if not buffer:
+                return
+            handler.wfile.write(
+                b"%x\r\n" % len(buffer) + bytes(buffer) + b"\r\n"
+            )
+            self._chunks.inc()
+            self._response_bytes.inc(len(buffer))
+            sent += len(buffer)
+            buffer.clear()
+
+        for fragment in response.iter_bytes():
+            buffer.extend(fragment)
+            if len(buffer) >= self.CHUNK_COALESCE_BYTES:
+                flush()
+        flush()
+        handler.wfile.write(b"0\r\n\r\n")
+        return sent
 
     # -- read-only exposition endpoints ---------------------------------------
 

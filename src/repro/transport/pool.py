@@ -38,12 +38,14 @@ HostKey = tuple[str, int]
 class _LeanResponse(http.client.HTTPResponse):
     """A lean HTTP response reader for the SOAP exchange profile.
 
-    The DAIS server always frames bodies with ``Content-Length`` and
-    never sends chunked transfer coding or 1xx continuations, so the
-    general ``email.parser`` header machinery ``http.client`` runs per
-    response (a measurable share of a small SOAP round trip) buys
-    nothing.  This reads the status line and scans the few headers the
-    exchange actually uses — Content-Length and Connection — directly.
+    The DAIS server frames bodies with ``Content-Length`` (materialized
+    responses) or ``Transfer-Encoding: chunked`` (streamed datasets) and
+    never sends 1xx continuations, so the general ``email.parser``
+    header machinery ``http.client`` runs per response (a measurable
+    share of a small SOAP round trip) buys nothing.  This reads the
+    status line and scans the few headers the exchange actually uses —
+    Content-Length, Transfer-Encoding and Connection — directly; chunked
+    bodies are decoded by the inherited ``read()`` machinery.
     """
 
     def begin(self) -> None:  # overrides the stdlib parser
@@ -72,6 +74,7 @@ class _LeanResponse(http.client.HTTPResponse):
 
         length: int | None = None
         connection = ""
+        chunked = False
         headers: dict[str, str] = {}
         while True:
             raw = self.fp.readline(65537)
@@ -88,18 +91,23 @@ class _LeanResponse(http.client.HTTPResponse):
                     length = int(value)
                 except ValueError:
                     length = None
+            elif key == "transfer-encoding":
+                chunked = "chunked" in value.lower()
             elif key == "connection":
                 connection = value.lower()
 
-        # Attributes HTTPResponse.read()/close() work from.
+        # Attributes HTTPResponse.read()/close() work from.  With
+        # chunked set (and length None, per RFC 9112 §6.3 Transfer-
+        # Encoding wins over Content-Length), the inherited read()
+        # decodes chunk framing for us.
         self.headers = self.msg = headers
-        self.chunked = False
+        self.chunked = chunked
         self.chunk_left = None
-        self.length = length
+        self.length = None if chunked else length
         self.will_close = (
             "close" in connection
             or (self.version == 10 and "keep-alive" not in connection)
-            or length is None
+            or (length is None and not chunked)
         )
 
 

@@ -12,9 +12,16 @@ and round-trip fidelity can be property-tested.
 """
 
 from repro.xmlutil.names import QName, NamespaceRegistry, XMLNS_NS, XML_NS
-from repro.xmlutil.tree import XmlElement, Text, Comment, is_element
+from repro.xmlutil.tree import (
+    XmlElement,
+    Text,
+    LazyText,
+    Comment,
+    StreamedElement,
+    is_element,
+)
 from repro.xmlutil.builder import E, element
-from repro.xmlutil.serialize import serialize, serialize_bytes
+from repro.xmlutil.serialize import serialize, serialize_bytes, serialize_chunks
 from repro.xmlutil.parser import parse, parse_bytes, XmlParseError
 from repro.xmlutil.escape import escape_text, escape_attribute, unescape
 
@@ -25,12 +32,15 @@ __all__ = [
     "XML_NS",
     "XmlElement",
     "Text",
+    "LazyText",
     "Comment",
+    "StreamedElement",
     "is_element",
     "E",
     "element",
     "serialize",
     "serialize_bytes",
+    "serialize_chunks",
     "parse",
     "parse_bytes",
     "XmlParseError",

@@ -9,9 +9,11 @@ trivially re-parseable.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 from repro.xmlutil.escape import escape_attribute, escape_text
 from repro.xmlutil.names import DEFAULT_REGISTRY, XML_NS, NamespaceRegistry, QName
-from repro.xmlutil.tree import Comment, Text, XmlElement
+from repro.xmlutil.tree import Comment, LazyText, StreamedElement, Text, XmlElement
 
 
 def _collect_namespaces(root: XmlElement) -> list[str]:
@@ -22,6 +24,11 @@ def _collect_namespaces(root: XmlElement) -> list[str]:
         for attr in node.attributes:
             if attr.namespace:
                 seen.setdefault(attr.namespace, None)
+        if isinstance(node, StreamedElement):
+            # Lazy content cannot be walked before it exists; the element
+            # declares its namespaces up front instead.
+            for uri in node.namespaces:
+                seen.setdefault(uri, None)
     seen.pop(XML_NS, None)
     return list(seen)
 
@@ -78,6 +85,22 @@ class _Writer:
             self._parts.append(
                 f' {self._qname(attr)}="{escape_attribute(value)}"'
             )
+        if isinstance(node, StreamedElement):
+            # Drain the lazy content inline (the eager path still works on
+            # streamed trees; only memory behaviour differs from
+            # serialize_chunks).  Streamed content is always compact.
+            produced = False
+            for chunk in node.chunk_source(self._qname):
+                if not chunk:
+                    continue
+                if not produced:
+                    self._parts.append(">")
+                    produced = True
+                self._parts.append(chunk)
+            self._parts.append(
+                f"</{self._qname(node.tag)}>" if produced else "/>"
+            )
+            return
         if not node.children:
             self._parts.append("/>")
             return
@@ -86,6 +109,8 @@ class _Writer:
         text_only = True
         for child in node.children:
             if isinstance(child, Text):
+                parts.append(escape_text(child.value))
+            elif isinstance(child, LazyText):
                 parts.append(escape_text(child.value))
             elif isinstance(child, Comment):
                 text_only = False
@@ -132,3 +157,92 @@ def serialize_bytes(
 ) -> bytes:
     """Serialize *root* to UTF-8 bytes with an XML declaration."""
     return serialize(root, registry, indent, xml_declaration=True).encode("utf-8")
+
+
+class _ChunkWriter:
+    """Generator twin of :class:`_Writer` (compact mode only).
+
+    Static markup accumulates in a buffer; the buffer is flushed as a
+    chunk whenever a :class:`StreamedElement` starts producing, so peak
+    memory is bounded by the largest single chunk, not the document.
+    """
+
+    def __init__(self, prefixes: dict[str, str]) -> None:
+        self._prefixes = prefixes
+        self._buffer: list[str] = []
+        self._qnames: dict[QName, str] = {}
+
+    def _qname(self, name: QName) -> str:
+        rendered = self._qnames.get(name)
+        if rendered is None:
+            if not name.namespace:
+                rendered = name.local
+            else:
+                rendered = f"{self._prefixes[name.namespace]}:{name.local}"
+            self._qnames[name] = rendered
+        return rendered
+
+    def flush(self) -> Iterator[str]:
+        if self._buffer:
+            text = "".join(self._buffer)
+            self._buffer.clear()
+            if text:
+                yield text
+
+    def write(
+        self, node: XmlElement, declare: dict[str, str] | None = None
+    ) -> Iterator[str]:
+        buffer = self._buffer
+        buffer.append(f"<{self._qname(node.tag)}")
+        if declare:
+            for uri, prefix in declare.items():
+                buffer.append(f' xmlns:{prefix}="{escape_attribute(uri)}"')
+        for attr, value in node.attributes.items():
+            buffer.append(f' {self._qname(attr)}="{escape_attribute(value)}"')
+        if isinstance(node, StreamedElement):
+            produced = False
+            for chunk in node.chunk_source(self._qname):
+                if not chunk:
+                    continue
+                if not produced:
+                    buffer.append(">")
+                    produced = True
+                yield from self.flush()
+                yield chunk
+            buffer.append(f"</{self._qname(node.tag)}>" if produced else "/>")
+            return
+        if not node.children:
+            buffer.append("/>")
+            return
+        buffer.append(">")
+        for child in node.children:
+            if isinstance(child, (Text, LazyText)):
+                buffer.append(escape_text(child.value))
+            elif isinstance(child, Comment):
+                buffer.append(f"<!--{child.value}-->")
+            else:
+                yield from self.write(child)
+        buffer.append(f"</{self._qname(node.tag)}>")
+
+
+def serialize_chunks(
+    root: XmlElement,
+    registry: NamespaceRegistry | None = None,
+    xml_declaration: bool = False,
+) -> Iterator[str]:
+    """Serialize *root* incrementally, yielding XML text chunks.
+
+    ``"".join(serialize_chunks(root, r, d))`` is byte-for-byte equal to
+    ``serialize(root, r, xml_declaration=d)`` (compact mode), but trees
+    containing :class:`StreamedElement` nodes are emitted without ever
+    holding the full document: markup before/after each streamed region
+    is one chunk, and the region's own chunks pass straight through.
+    """
+    registry = registry if registry is not None else DEFAULT_REGISTRY
+    uris = _collect_namespaces(root)
+    prefixes = _assign_prefixes(uris, registry)
+    writer = _ChunkWriter(prefixes)
+    if xml_declaration:
+        writer._buffer.append('<?xml version="1.0" encoding="UTF-8"?>\n')
+    yield from writer.write(root, {uri: prefixes[uri] for uri in uris})
+    yield from writer.flush()

@@ -9,7 +9,7 @@ nodes.  Processing instructions and DTDs are out of scope for DAIS messages.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Union
+from typing import Callable, Iterable, Iterator, Union
 
 from repro.xmlutil.names import QName
 
@@ -25,13 +25,31 @@ class Text:
 
 
 @dataclass(slots=True)
+class LazyText:
+    """Character data resolved when the serializer reaches it.
+
+    Streaming responses use this to defer values that are only known
+    after an earlier sibling has been emitted — e.g. the row count of a
+    communication area that follows a streamed dataset in document
+    order.  ``thunk`` is called exactly once per serialization; parsing
+    never produces :class:`LazyText` (it comes back as plain text).
+    """
+
+    thunk: Callable[[], str]
+
+    @property
+    def value(self) -> str:
+        return str(self.thunk())
+
+
+@dataclass(slots=True)
 class Comment:
     """An XML comment node; preserved on round trips."""
 
     value: str
 
 
-Node = Union["XmlElement", Text, Comment]
+Node = Union["XmlElement", Text, LazyText, Comment]
 
 
 def is_element(node: Node) -> bool:
@@ -184,6 +202,8 @@ class XmlElement:
                 clone.children.append(child.copy())
             elif isinstance(child, Text):
                 clone.children.append(Text(child.value))
+            elif isinstance(child, LazyText):
+                clone.children.append(LazyText(child.thunk))
             else:
                 clone.children.append(Comment(child.value))
         return clone
@@ -205,6 +225,53 @@ class XmlElement:
             elif a.value != b.value:
                 return False
         return True
+
+
+#: Renders an inner QName with the prefix the enclosing document assigned.
+QNameRenderer = Callable[[QName], str]
+
+
+class StreamedElement(XmlElement):
+    """An element whose content is produced lazily as serialized chunks.
+
+    The element participates in a tree like any other (tag, attributes,
+    copy, namespace collection) but carries no child nodes; instead,
+    ``chunk_source`` is a factory ``(qname_renderer) -> iterator of
+    already-serialized XML text chunks`` that the serializer drains when
+    it reaches the element.  This is how O(result)-sized datasets ride
+    inside a SOAP envelope without ever being materialized as a tree or
+    a single string: the serializer emits the envelope prefix, streams
+    the chunks, then emits the suffix.
+
+    ``namespaces`` declares any namespace URI the lazy content uses
+    beyond the element's own tag namespace, so the root can declare a
+    prefix for it (the serializer cannot walk content that does not
+    exist yet).
+
+    The chunk factory is called once per serialization; backing sources
+    that are one-shot (a live database cursor) support exactly one
+    serialization, which is all a response envelope ever needs.
+    """
+
+    __slots__ = ("chunk_source", "namespaces")
+
+    def __init__(
+        self,
+        tag: QName | str,
+        chunk_source: Callable[[QNameRenderer], Iterator[str]],
+        namespaces: Iterable[str] = (),
+        attributes: dict | None = None,
+    ) -> None:
+        super().__init__(_coerce_tag(tag), dict(attributes or {}))
+        self.chunk_source = chunk_source
+        self.namespaces = tuple(namespaces)
+
+    def copy(self) -> "StreamedElement":
+        """Copy shares the chunk factory (the stream itself is not
+        duplicable); attributes are copied like any element."""
+        return StreamedElement(
+            self.tag, self.chunk_source, self.namespaces, dict(self.attributes)
+        )
 
 
 def _significant(children: list[Node], ignore_whitespace: bool) -> list[Node]:

@@ -1,0 +1,108 @@
+"""RowsetReader: consumer-side lazy paging over RowsetAccess."""
+
+import pytest
+
+from repro.client import RowsetReader
+from repro.dair import WEBROWSET_FORMAT_URI
+from repro.workload import RelationalWorkload, build_figure5_deployment
+
+SMALL = RelationalWorkload(customers=9, orders_per_customer=3, items_per_order=1)
+
+
+@pytest.fixture()
+def fig5():
+    return build_figure5_deployment(SMALL)
+
+
+@pytest.fixture()
+def rowset_epr(fig5):
+    factory = fig5.client.sql_execute_factory(
+        "dais://ds1",
+        fig5.resource.abstract_name,
+        "SELECT id FROM orders ORDER BY id",
+    )
+    return fig5.client.sql_rowset_factory(
+        factory.address,
+        factory.abstract_name,
+        dataset_format_uri=WEBROWSET_FORMAT_URI,
+    )
+
+
+class TestRowsetReader:
+    def test_pages_lazily_with_exact_page_count(self, fig5, rowset_epr):
+        reader = fig5.client.rowset_reader(
+            rowset_epr.address, rowset_epr.abstract_name, page_size=10
+        )
+        rows = list(reader)
+        assert len(rows) == SMALL.order_count  # 27
+        assert reader.pages_fetched == 3  # 10 + 10 + 7
+        assert reader.total_rows == SMALL.order_count
+        assert rows[0] == ("1",)
+        assert rows[-1] == (str(SMALL.order_count),)
+
+    def test_metadata_populated_from_first_page(self, fig5, rowset_epr):
+        reader = fig5.client.rowset_reader(
+            rowset_epr.address, rowset_epr.abstract_name, page_size=5
+        )
+        assert reader.columns == [] and reader.total_rows is None
+        next(iter(reader))
+        assert reader.columns == ["id"]
+        assert reader.total_rows == SMALL.order_count
+
+    def test_exact_divisor_does_not_fetch_extra_page(self, fig5, rowset_epr):
+        reader = fig5.client.rowset_reader(
+            rowset_epr.address, rowset_epr.abstract_name, page_size=27
+        )
+        assert len(list(reader)) == 27
+        assert reader.pages_fetched == 1
+
+    def test_reiteration_is_an_independent_pass(self, fig5, rowset_epr):
+        reader = fig5.client.rowset_reader(
+            rowset_epr.address, rowset_epr.abstract_name, page_size=10
+        )
+        first = list(reader)
+        second = list(reader)
+        assert first == second
+        assert reader.pages_fetched == 6
+
+    def test_partial_consumption_fetches_only_needed_pages(
+        self, fig5, rowset_epr
+    ):
+        reader = fig5.client.rowset_reader(
+            rowset_epr.address, rowset_epr.abstract_name, page_size=5
+        )
+        iterator = iter(reader)
+        for _ in range(5):
+            next(iterator)
+        assert reader.pages_fetched == 1
+        iterator.close()
+
+    def test_read_all_materializes(self, fig5, rowset_epr):
+        reader = fig5.client.rowset_reader(
+            rowset_epr.address, rowset_epr.abstract_name, page_size=10
+        )
+        rowset = reader.read_all()
+        assert rowset.row_count == SMALL.order_count
+        assert rowset.columns == ["id"]
+
+    def test_empty_rowset(self, fig5):
+        factory = fig5.client.sql_execute_factory(
+            "dais://ds1",
+            fig5.resource.abstract_name,
+            "SELECT id FROM orders WHERE id = '-1'",
+        )
+        epr = fig5.client.sql_rowset_factory(
+            factory.address, factory.abstract_name
+        )
+        reader = fig5.client.rowset_reader(
+            epr.address, epr.abstract_name, page_size=10
+        )
+        assert list(reader) == []
+        assert reader.total_rows == 0
+        assert reader.pages_fetched == 1
+
+    def test_page_size_validated(self, fig5, rowset_epr):
+        with pytest.raises(ValueError):
+            RowsetReader(
+                fig5.client, rowset_epr.address, rowset_epr.abstract_name, 0
+            )

@@ -1,0 +1,102 @@
+"""GetTuples paging semantics: the omitted-Count vs Count=0 distinction
+on the wire, and the disposed-rowset fault (bugfix regressions)."""
+
+import pytest
+
+from repro.core import DataResourceUnavailableFault
+from repro.dair import WEBROWSET_FORMAT_URI
+from repro.dair import messages as msg
+from repro.workload import RelationalWorkload, build_figure5_deployment
+
+SMALL = RelationalWorkload(customers=6, orders_per_customer=2, items_per_order=1)
+
+
+@pytest.fixture()
+def fig5():
+    return build_figure5_deployment(SMALL)
+
+
+@pytest.fixture()
+def rowset_epr(fig5):
+    factory = fig5.client.sql_execute_factory(
+        "dais://ds1",
+        fig5.resource.abstract_name,
+        "SELECT id FROM orders ORDER BY id",
+    )
+    return fig5.client.sql_rowset_factory(
+        factory.address,
+        factory.abstract_name,
+        dataset_format_uri=WEBROWSET_FORMAT_URI,
+    )
+
+
+class TestCountWireFormat:
+    """Count on the wire: absent element = rest of rowset, explicit 0 =
+    empty window.  A bare ``count: int = 0`` default used to render every
+    count-less request as an empty page."""
+
+    def test_omitted_count_has_no_count_element(self):
+        request = msg.GetTuplesRequest(
+            abstract_name="urn:r", start_position=3
+        )
+        element = request.to_xml()
+        assert element.findtext(msg._q("Count")) is None
+        assert element.findtext(msg._q("StartPosition")) == "3"
+
+    def test_explicit_zero_count_serializes_zero(self):
+        element = msg.GetTuplesRequest(
+            abstract_name="urn:r", start_position=0, count=0
+        ).to_xml()
+        assert element.findtext(msg._q("Count")) == "0"
+
+    def test_round_trip_preserves_the_distinction(self):
+        omitted = msg.GetTuplesRequest.from_xml(
+            msg.GetTuplesRequest(abstract_name="urn:r").to_xml()
+        )
+        assert omitted.count is None
+        zero = msg.GetTuplesRequest.from_xml(
+            msg.GetTuplesRequest(abstract_name="urn:r", count=0).to_xml()
+        )
+        assert zero.count == 0
+
+
+class TestCountServiceSemantics:
+    def test_omitted_count_returns_rest_of_rowset(self, fig5, rowset_epr):
+        window, total = fig5.client.get_tuples(
+            rowset_epr.address, rowset_epr.abstract_name, 4
+        )
+        assert total == SMALL.order_count
+        assert len(window.rows) == SMALL.order_count - 4
+
+    def test_explicit_zero_count_returns_empty_window(self, fig5, rowset_epr):
+        window, total = fig5.client.get_tuples(
+            rowset_epr.address, rowset_epr.abstract_name, 0, 0
+        )
+        assert window.rows == []
+        # ... but still reports the true size, so consumers can use it
+        # as a cheap "how big is this rowset" probe.
+        assert total == SMALL.order_count
+
+
+class TestDisposedRowset:
+    def test_disposed_rowset_faults_instead_of_empty_window(
+        self, fig5, rowset_epr
+    ):
+        # Dispose the resource while its binding is still registered —
+        # the window where a GetTuples used to see the blanked rowset
+        # and answer with an empty window and total_rows=0.
+        resource = fig5.service3.binding(rowset_epr.abstract_name).resource
+        resource.on_destroy()
+        with pytest.raises(DataResourceUnavailableFault):
+            fig5.client.get_tuples(
+                rowset_epr.address, rowset_epr.abstract_name, 0, 5
+            )
+
+    def test_disposed_rowset_faults_even_for_omitted_count(
+        self, fig5, rowset_epr
+    ):
+        fig5.service3.binding(rowset_epr.abstract_name).resource.on_destroy()
+        with pytest.raises(DataResourceUnavailableFault):
+            fig5.client.get_tuples(
+                rowset_epr.address, rowset_epr.abstract_name, 0
+            )
