@@ -1,10 +1,23 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-stream coverage-obs trace-demo test-resilience test-concurrency chaos-demo
+.PHONY: test bench bench-stream coverage-obs trace-demo test-resilience test-concurrency test-jobs chaos-demo jobs-demo
 
-test:
+test: test-jobs
 	$(PYTHON) -m pytest -x -q
+
+# Durable-jobs suites: state machine, concurrency races, wire formats,
+# end-to-end async factories, and the crash-recovery property suite —
+# once with the committed fixed seed, then again under a fresh random
+# seed.  PYTHONFAULTHANDLER dumps thread stacks if a race deadlocks.
+test-jobs:
+	PYTHONFAULTHANDLER=1 $(PYTHON) -m pytest tests/jobs -q
+	JOBS_SEED=$$($(PYTHON) -c 'import random; print(random.randrange(10**6))') \
+		PYTHONFAULTHANDLER=1 $(PYTHON) -m pytest tests/jobs/test_crash_recovery.py -q
+
+# Submit → crash → restart → recover → fetch, narrated on stdout.
+jobs-demo:
+	$(PYTHON) -m repro jobs
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

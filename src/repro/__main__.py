@@ -15,6 +15,11 @@ become one connected trace across processes, transports and engines.
 clients in virtual time and tallies the outcomes — every run must end in
 either a correct answer or a typed DAIS fault — then renders one retried
 call as a trace with its ``rpc.retry`` attempts visible.
+
+``python -m repro jobs`` walks the durable asynchronous factory story:
+submit a factory request with ``ExecutionMode=asynchronous``, kill the
+process before any worker runs, restart from the journal, recover the
+job, execute it, and page the results through streamed ``GetTuples``.
 """
 
 from __future__ import annotations
@@ -215,6 +220,102 @@ def trace_main(argv: list[str]) -> int:
     return 0
 
 
+def jobs_main(argv: list[str]) -> int:
+    """Submit → crash → restart → recover → execute → fetch, end to end."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro jobs",
+        description="demo the durable asynchronous factory pipeline",
+    )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        help="journal path (default: a temporary file, removed afterwards)",
+    )
+    parser.add_argument(
+        "--query",
+        default="SELECT region, COUNT(*) FROM customers "
+        "GROUP BY region ORDER BY 1",
+        help="SQL expression the factory evaluates",
+    )
+    options = parser.parse_args(argv)
+
+    import os
+    import tempfile
+
+    from repro.dair import SQLDataResource
+    from repro.jobs import MODE_ASYNCHRONOUS, read_journal
+    from repro.workload import RelationalWorkload, build_jobs_deployment
+
+    if options.journal is None:
+        handle, journal_path = tempfile.mkstemp(
+            prefix="dais-jobs-", suffix=".jsonl"
+        )
+        os.close(handle)
+        cleanup = True
+    else:
+        journal_path, cleanup = options.journal, False
+
+    try:
+        workload = RelationalWorkload(customers=10)
+        print("1. first process: submit an asynchronous factory request")
+        first = build_jobs_deployment(workload, journal_path=journal_path)
+        submitted = first.client.sql_execute_factory(
+            first.address,
+            first.name,
+            options.query,
+            execution_mode=MODE_ASYNCHRONOUS,
+        )
+        job = first.jobs.get(submitted.job_id)
+        print(f"   job {job.job_id}")
+        print(f"   phase {job.phase}, journalled to {journal_path}")
+
+        print("2. crash: the process dies before any worker claims the job")
+        first.jobs.journal.close()
+        records = read_journal(journal_path)
+        print(f"   journal holds {len(records)} durable record(s)")
+
+        print("3. restart: rebuild the job table from the journal")
+        second = build_jobs_deployment(
+            workload, journal_path=journal_path, recover=True
+        )
+        # The restarted service re-registers the same durable resource
+        # name the recovered job's payload points at.
+        second.service.add_resource(SQLDataResource(first.name, second.database))
+        recovered = second.jobs.get(submitted.job_id)
+        print(f"   recovered phase {recovered.phase}")
+
+        print("4. execute: drain the queue, poll to a terminal phase")
+        second.runner.drain()
+        status = second.client.wait_for_job(
+            second.address, submitted.job_id, sleep=lambda delay: None
+        )
+        print(f"   phase {status.phase}, attempts {status.attempts}")
+        print(f"   derived resource {status.result_name}")
+
+        print("5. fetch: page the derived rowset through streamed GetTuples")
+        rowset = second.client.sql_rowset_factory(
+            status.address, status.result_name
+        )
+        reader = second.client.rowset_reader(
+            rowset.address, rowset.abstract_name, page_size=2
+        )
+        for row in reader:
+            print("   " + " | ".join(str(value) for value in row))
+        print(
+            f"   {reader.total_rows} row(s) in {reader.pages_fetched} "
+            f"GetTuples page(s)"
+        )
+        counts = second.jobs.counts()
+        print(f"\njob table after the run: {counts}")
+        return 0
+    finally:
+        if cleanup:
+            try:
+                os.unlink(journal_path)
+            except OSError:
+                pass
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     # Only the explicit subcommand routes away from the self-check, so
@@ -223,6 +324,8 @@ def main(argv: list[str] | None = None) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "chaos":
         return chaos_main(argv[1:])
+    if argv and argv[0] == "jobs":
+        return jobs_main(argv[1:])
     return self_check()
 
 

@@ -2,13 +2,46 @@
 
 from __future__ import annotations
 
-from typing import Optional
+import random
+import time
+from typing import Callable, Optional
 
 from repro.client.base import DaisClient
 from repro.core import messages as msg
 from repro.core import wsrf_messages as wmsg
+from repro.jobs import messages as jmsg
+from repro.jobs.model import ERROR, TERMINAL_PHASES
+from repro.resilience.policy import RetryPolicy
 from repro.soap.addressing import EndpointReference
 from repro.xmlutil import QName, XmlElement
+
+#: Default pacing for :meth:`CoreClient.wait_for_job`: frequent early
+#: polls backing off exponentially, bounded overall — the same
+#: :class:`RetryPolicy` shape the transport retry loop uses, reused as
+#: a poll schedule.
+DEFAULT_POLL_POLICY = RetryPolicy(
+    max_attempts=60,
+    base_delay=0.005,
+    multiplier=2.0,
+    max_delay=0.25,
+    jitter="full",
+    budget_seconds=30.0,
+)
+
+
+class JobTimeoutError(TimeoutError):
+    """The poll schedule ran out before the job reached a terminal phase.
+
+    Carries the last observed status so the caller can keep polling,
+    cancel, or report the in-flight phase.
+    """
+
+    def __init__(self, status: "jmsg.GetJobStatusResponse") -> None:
+        super().__init__(
+            f"job {status.job_id} still {status.phase} when the poll "
+            "schedule was exhausted"
+        )
+        self.status = status
 
 
 class CoreClient(DaisClient):
@@ -73,6 +106,69 @@ class CoreClient(DaisClient):
         if response.address is None:
             raise ValueError(f"service could not resolve {abstract_name!r}")
         return response.address
+
+    # -- asynchronous jobs ----------------------------------------------------
+
+    def get_job_status(
+        self, address: str, job_id: str
+    ) -> jmsg.GetJobStatusResponse:
+        """One GetJobStatus round trip (the job id rides the abstract-
+        name slot, like every other DAIS request)."""
+        return self.call(
+            address,
+            jmsg.GetJobStatusRequest(abstract_name=job_id),
+            jmsg.GetJobStatusResponse,
+        )
+
+    def cancel_job(self, address: str, job_id: str) -> jmsg.CancelJobResponse:
+        """Request cancellation; the response's phase says what won."""
+        return self.call(
+            address,
+            jmsg.CancelJobRequest(abstract_name=job_id),
+            jmsg.CancelJobResponse,
+        )
+
+    def wait_for_job(
+        self,
+        address: str,
+        job_id: str,
+        policy: RetryPolicy | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: random.Random | None = None,
+        raise_on_error: bool = True,
+    ) -> jmsg.GetJobStatusResponse:
+        """Poll until the job reaches a terminal phase.
+
+        *policy* is a :class:`~repro.resilience.RetryPolicy` reused as
+        the poll schedule: ``max_attempts`` bounds the number of status
+        calls, the backoff curve spaces them, and ``budget_seconds``
+        caps the total wait.  *sleep* is injectable so tests drive the
+        wait from a virtual clock.  An ERROR outcome re-raises the
+        job's original typed DAIS fault (``raise_on_error=False``
+        returns the status instead); running out of schedule raises
+        :class:`JobTimeoutError` carrying the last status.
+        """
+        policy = policy or DEFAULT_POLL_POLICY
+        rng = rng or random.Random()
+        waited = 0.0
+        status = self.get_job_status(address, job_id)
+        for poll in range(1, policy.max_attempts):
+            if status.phase in TERMINAL_PHASES:
+                break
+            delay = policy.delay(poll, rng)
+            if (
+                policy.budget_seconds is not None
+                and waited + delay > policy.budget_seconds
+            ):
+                break
+            sleep(delay)
+            waited += delay
+            status = self.get_job_status(address, job_id)
+        if status.phase not in TERMINAL_PHASES:
+            raise JobTimeoutError(status)
+        if raise_on_error and status.phase == ERROR:
+            raise jmsg.fault_from_status(status)
+        return status
 
     # -- WSRF profile ---------------------------------------------------------
 

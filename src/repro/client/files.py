@@ -67,6 +67,7 @@ class FilesClient(CoreClient):
         abstract_name: str,
         pattern: str,
         configuration: Optional[XmlElement] = None,
+        execution_mode: str = "",
     ) -> msg.FileSelectionFactoryResponse:
         return self.call(
             address,
@@ -74,6 +75,7 @@ class FilesClient(CoreClient):
                 abstract_name=abstract_name,
                 expression=pattern,
                 configuration_document=configuration,
+                execution_mode=execution_mode,
             ),
             msg.FileSelectionFactoryResponse,
         )

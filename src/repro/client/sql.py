@@ -155,13 +155,18 @@ class SQLClient(CoreClient):
         parameters: list[str] | None = None,
         port_type_qname: QName | None = None,
         configuration: XmlElement | None = None,
+        execution_mode: str = "",
     ) -> msg.SQLExecuteFactoryResponse:
+        """``execution_mode=MODE_ASYNCHRONOUS`` asks the factory to queue
+        the execution: the response then carries ``job_id`` instead of
+        the derived resource's address (poll with ``wait_for_job``)."""
         request = msg.SQLExecuteFactoryRequest(
             abstract_name=abstract_name,
             expression=expression,
             parameters=[str(p) for p in (parameters or [])],
             port_type_qname=port_type_qname,
             configuration_document=configuration,
+            execution_mode=execution_mode,
         )
         return self.call(address, request, msg.SQLExecuteFactoryResponse)
 

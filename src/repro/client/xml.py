@@ -165,6 +165,7 @@ class XMLClient(CoreClient):
         document_name: Optional[str] = None,
         port_type_qname: Optional[QName] = None,
         configuration: Optional[XmlElement] = None,
+        execution_mode: str = "",
     ) -> msg.XPathExecuteFactoryResponse:
         return self.call(
             address,
@@ -174,6 +175,7 @@ class XMLClient(CoreClient):
                 document_name=document_name,
                 port_type_qname=port_type_qname,
                 configuration_document=configuration,
+                execution_mode=execution_mode,
             ),
             msg.XPathExecuteFactoryResponse,
         )
@@ -186,6 +188,7 @@ class XMLClient(CoreClient):
         document_name: Optional[str] = None,
         port_type_qname: Optional[QName] = None,
         configuration: Optional[XmlElement] = None,
+        execution_mode: str = "",
     ) -> msg.XQueryExecuteFactoryResponse:
         return self.call(
             address,
@@ -195,6 +198,7 @@ class XMLClient(CoreClient):
                 document_name=document_name,
                 port_type_qname=port_type_qname,
                 configuration_document=configuration,
+                execution_mode=execution_mode,
             ),
             msg.XQueryExecuteFactoryResponse,
         )

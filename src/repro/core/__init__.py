@@ -35,6 +35,7 @@ from repro.core.faults import (
     ServiceBusyFault,
     ServiceNotFoundFault,
     TransportFault,
+    UnknownJobFault,
 )
 from repro.core.properties import (
     ConfigurableProperties,
@@ -65,6 +66,7 @@ __all__ = [
     "NotAuthorizedFault",
     "ServiceBusyFault",
     "ServiceNotFoundFault",
+    "UnknownJobFault",
     "TransportFault",
     "DataResourceManagement",
     "TransactionInitiation",

@@ -105,6 +105,17 @@ class TransportFault(DaisFault):
         self.status = status
 
 
+class UnknownJobFault(DaisFault):
+    """The job id does not identify a job known to the service.
+
+    The asynchronous factory pattern hands back a job id; status and
+    cancel requests for an id the service never issued — or one whose
+    terminal record has been swept by soft-state lifetime — fault here.
+    """
+
+    DETAIL_LOCAL = "UnknownJobFault"
+
+
 class ServiceNotFoundFault(DaisFault, LookupError):
     """No data service is deployed at the addressed endpoint.
 
@@ -132,8 +143,19 @@ _FAULTS_BY_DETAIL = {
         ServiceBusyFault,
         ServiceNotFoundFault,
         TransportFault,
+        UnknownJobFault,
     )
 }
+
+
+def fault_class_for(detail_local: str) -> type[DaisFault] | None:
+    """The typed DAIS fault class whose detail element is *detail_local*.
+
+    Used by the job layer to rehydrate the original fault of an ERROR
+    job from its journalled type name; None for unknown names (the
+    caller falls back to a generic fault).
+    """
+    return _FAULTS_BY_DETAIL.get(detail_local)
 
 
 def _resolve_dais_fault(fault: SoapFault) -> SoapFault | None:

@@ -20,6 +20,14 @@ from repro.xmlutil import E, QName, XmlElement
 
 _DRAN = QName(WSDAI_NS, "DataResourceAbstractName")
 
+# Asynchronous-execution extension elements (repro.jobs).  Declared here
+# by QName only — serialized solely when a consumer opts in, so the
+# synchronous wire format is byte-identical to the pre-jobs one.
+_EXECUTION_MODE = QName(
+    "http://www.ggf.org/namespaces/2005/05/WS-DAI-Jobs", "ExecutionMode"
+)
+_JOB_ID = QName("http://www.ggf.org/namespaces/2005/05/WS-DAI-Jobs", "JobID")
+
 
 def _q(local: str) -> QName:
     return QName(WSDAI_NS, local)
@@ -269,9 +277,15 @@ class FactoryRequest(DaisRequest):
     expression: str = ""
     language_uri: str = ""
     parameters: list[str] = field(default_factory=list)
+    #: "" (synchronous, the default) or MODE_ASYNCHRONOUS: execute via
+    #: the durable job queue and answer with a job id instead of the
+    #: derived resource's EPR.
+    execution_mode: str = ""
 
     def to_xml(self) -> XmlElement:
         root = self._root()
+        if self.execution_mode:
+            root.append(E(_EXECUTION_MODE, self.execution_mode))
         if self.port_type_qname is not None:
             root.append(E(_q("PortTypeQName"), self.port_type_qname.clark()))
         if self.configuration_document is not None:
@@ -309,6 +323,7 @@ class FactoryRequest(DaisRequest):
                 (expression_el.get("language", "") or "") if expression_el else ""
             ),
             parameters=[p.text for p in element.findall(_q("Parameter"))],
+            execution_mode=element.findtext(_EXECUTION_MODE, "") or "",
         )
 
 
@@ -318,12 +333,17 @@ class FactoryResponse(DaisMessage):
 
     address: Optional[EndpointReference] = None
     abstract_name: str = ""
+    #: Set instead of address/abstract_name when the factory accepted
+    #: the request asynchronously: poll GetJobStatus with this id.
+    job_id: str = ""
 
     def to_xml(self) -> XmlElement:
         root = E(self.TAG)
         if self.address is not None:
             root.append(self.address.to_xml(_q("DataResourceAddress")))
         root.append(E(_DRAN, self.abstract_name))
+        if self.job_id:
+            root.append(E(_JOB_ID, self.job_id))
         return root
 
     @classmethod
@@ -334,4 +354,5 @@ class FactoryResponse(DaisMessage):
             if address_el is not None
             else None,
             abstract_name=element.findtext(_DRAN, "") or "",
+            job_id=element.findtext(_JOB_ID, "") or "",
         )

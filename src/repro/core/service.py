@@ -91,6 +91,19 @@ class ResourceBinding:
         resilience = self._service.resilience
         if resilience is not None:
             document.append(resilience.status_element())
+        jobs = self._service.jobs
+        if jobs is not None:
+            from repro.jobs.messages import job_set_element
+
+            document.append(
+                job_set_element(
+                    [
+                        job
+                        for job in jobs.jobs()
+                        if job.payload.get("resource") == self.abstract_name
+                    ]
+                )
+            )
         return document
 
     def require_readable(self) -> None:
@@ -137,6 +150,11 @@ class DataService:
         #: :class:`repro.resilience.Resilience` layer here: its breaker
         #: states then publish as the ``obs:ResilienceStatus`` property.
         self.resilience = None
+        #: The durable job queue this service's factories submit into
+        #: when a consumer requests ``ExecutionMode=asynchronous``; None
+        #: (the default) keeps every factory strictly synchronous.  Set
+        #: via :meth:`enable_jobs`.
+        self.jobs = None
         #: The ConcurrentAccess limit: None = unbounded.  Exceeding it
         #: (possible under the threaded HTTP binding) faults ServiceBusy.
         self.max_concurrent = max_concurrent
@@ -449,6 +467,87 @@ class DataService:
         address = self.epr_for(request.abstract_name)
         record_event("resolved", request.abstract_name, service=self.name)
         return msg.ResolveResponse(address=address)
+
+    # -- asynchronous jobs ----------------------------------------------------
+
+    def enable_jobs(self, jobs, terminal_ttl: float | None = None) -> None:
+        """Attach a :class:`repro.jobs.JobManager` and install the
+        ``GetJobStatus``/``CancelJob`` operations.
+
+        Factories on this service then honour
+        ``ExecutionMode=asynchronous`` (realisations override this to
+        register their executors).  Under the WSRF profile,
+        *terminal_ttl* gives finished job records a soft-state
+        termination time via the service's LifetimeManager, so the job
+        table does not grow without bound.
+        """
+        from repro.jobs import messages as jmsg
+
+        self.jobs = jobs
+        if self.lifetime is not None and terminal_ttl is not None:
+            jobs.attach_lifetime(self.lifetime, terminal_ttl)
+        self.register_operation(
+            jmsg.GetJobStatusRequest.action(), self._handle_get_job_status
+        )
+        self.register_operation(
+            jmsg.CancelJobRequest.action(), self._handle_cancel_job
+        )
+
+    def _job_or_fault(self, job_id: str):
+        from repro.core.faults import UnknownJobFault
+        from repro.jobs.manager import UnknownJobError
+
+        if self.jobs is None:  # pragma: no cover - handlers install with jobs
+            raise UnknownJobFault("asynchronous jobs are not enabled")
+        try:
+            return self.jobs.get(job_id)
+        except UnknownJobError:
+            raise UnknownJobFault(
+                f"service {self.name!r} knows no job {job_id!r}"
+            ) from None
+
+    def _job_status_response(self, job):
+        from repro.jobs import messages as jmsg
+        from repro.jobs.model import COMPLETED
+
+        response = jmsg.GetJobStatusResponse(
+            job_id=job.job_id,
+            phase=job.phase,
+            attempts=job.attempts,
+            cancel_requested=job.cancel_requested,
+            fault_type=job.fault_type,
+            fault_message=job.fault_message,
+        )
+        if job.phase == COMPLETED and job.result:
+            name = job.result.get("abstract_name", "")
+            address = job.result.get("address", "")
+            response.result_name = name
+            if address and name:
+                # Reconstruct the data resource address the synchronous
+                # factory response would have carried (paper §3).
+                response.address = EndpointReference(
+                    address=address,
+                    reference_parameters=(
+                        E(RESOURCE_REFERENCE_PARAMETER, name),
+                    ),
+                )
+        return response
+
+    def _handle_get_job_status(
+        self, payload: XmlElement, headers: MessageHeaders
+    ):
+        from repro.jobs import messages as jmsg
+
+        request = jmsg.GetJobStatusRequest.from_xml(payload)
+        return self._job_status_response(self._job_or_fault(request.abstract_name))
+
+    def _handle_cancel_job(self, payload: XmlElement, headers: MessageHeaders):
+        from repro.jobs import messages as jmsg
+
+        request = jmsg.CancelJobRequest.from_xml(payload)
+        self._job_or_fault(request.abstract_name)
+        job = self.jobs.cancel(request.abstract_name)
+        return jmsg.CancelJobResponse(job_id=job.job_id, phase=job.phase)
 
     # -- WSRF handlers -------------------------------------------------------
 

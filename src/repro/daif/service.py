@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.core.faults import (
+    DataResourceUnavailableFault,
     InvalidPortTypeQNameFault,
     InvalidResourceNameFault,
 )
@@ -13,8 +14,9 @@ from repro.core.service import DataService, ResourceBinding
 from repro.daif import messages as msg
 from repro.daif.namespaces import FILE_SET_ACCESS_PT, WSDAIF_NS
 from repro.daif.resources import FileCollectionResource, FileSetResource
+from repro.jobs.namespaces import MODE_ASYNCHRONOUS
 from repro.soap.addressing import MessageHeaders
-from repro.xmlutil import XmlElement
+from repro.xmlutil import XmlElement, parse, serialize
 
 PORT_TYPES = {"collection_access", "selection_factory", "fileset_access"}
 
@@ -155,16 +157,82 @@ class FileRealisationService(DataService):
             configurable = configurable.apply_configuration_document(
                 request.configuration_document
             )
+
+        if request.execution_mode == MODE_ASYNCHRONOUS:
+            if self.jobs is None:
+                raise DataResourceUnavailableFault(
+                    f"service {self.name!r} does not accept asynchronous "
+                    "factory requests (no job queue attached)"
+                )
+            job = self.jobs.submit(
+                self._selection_factory_kind(),
+                {
+                    "resource": str(request.abstract_name),
+                    "expression": request.expression,
+                    "configuration": serialize(request.configuration_document)
+                    if request.configuration_document is not None
+                    else "",
+                },
+            )
+            return msg.FileSelectionFactoryResponse(job_id=job.job_id)
+
         derived = FileSetResource(
             mint_abstract_name("fileset"),
             resource,
             resource.select(request.expression),
         )
         target.add_resource(derived, configurable)
-        return msg.FileSelectionFactoryResponse(
-            address=target.epr_for(derived.abstract_name),
-            abstract_name=derived.abstract_name,
+        try:
+            return msg.FileSelectionFactoryResponse(
+                address=target.epr_for(derived.abstract_name),
+                abstract_name=derived.abstract_name,
+            )
+        except BaseException:
+            # A failure after the name was reserved must not leave the
+            # registry entry dangling.
+            target.destroy_resource(derived.abstract_name)
+            raise
+
+    # -- asynchronous factory execution ------------------------------------
+
+    def _selection_factory_kind(self) -> str:
+        return f"{self.name}:file-selection-factory"
+
+    def enable_jobs(self, jobs, terminal_ttl: float | None = None) -> None:
+        super().enable_jobs(jobs, terminal_ttl)
+        if "selection_factory" in self.port_types:
+            jobs.register_executor(
+                self._selection_factory_kind(),
+                self._execute_selection_factory_job,
+                rollback=self._rollback_selection_factory_job,
+            )
+
+    def _execute_selection_factory_job(self, job) -> dict:
+        """Run one deferred FileSelectionFactory request."""
+        binding = self._collection_binding(job.payload["resource"])
+        binding.require_readable()
+        resource: FileCollectionResource = binding.resource
+        configurable = binding.configurable.copy()
+        if job.payload.get("configuration"):
+            configurable = configurable.apply_configuration_document(
+                parse(job.payload["configuration"])
+            )
+        derived = FileSetResource(
+            mint_abstract_name("fileset"),
+            resource,
+            resource.select(job.payload["expression"]),
         )
+        target = self.fileset_target
+        target.add_resource(derived, configurable)
+        return {
+            "abstract_name": str(derived.abstract_name),
+            "address": target.address,
+        }
+
+    def _rollback_selection_factory_job(self, job, result: dict) -> None:
+        name = result.get("abstract_name")
+        if name and self.fileset_target.has_resource(name):
+            self.fileset_target.destroy_resource(name)
 
     # -- FileSetAccess -----------------------------------------------------------
 

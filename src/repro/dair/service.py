@@ -12,12 +12,13 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.core.faults import (
+    DataResourceUnavailableFault,
     InvalidDatasetFormatFault,
     InvalidPortTypeQNameFault,
     InvalidResourceNameFault,
 )
 from repro.core.names import mint_abstract_name
-from repro.core.properties import ConfigurationMapEntry
+from repro.core.properties import ConfigurationMapEntry, Sensitivity
 from repro.core.service import DataService, ResourceBinding
 from repro.dair import messages as msg
 from repro.dair.datasets import (
@@ -41,9 +42,10 @@ from repro.dair.resources import (
     SQLResponseResource,
     SQLRowsetResource,
 )
+from repro.jobs.namespaces import MODE_ASYNCHRONOUS
 from repro.relational import SqlCommunicationArea
 from repro.soap.addressing import MessageHeaders
-from repro.xmlutil import QName, XmlElement
+from repro.xmlutil import QName, XmlElement, parse, serialize
 
 #: The five WS-DAIR port types, by short name.
 PORT_TYPES = {
@@ -284,13 +286,14 @@ class SQLRealisationService(DataService):
 
     # -- SQLFactory --------------------------------------------------------
 
-    def _handle_sql_execute_factory(
-        self, payload: XmlElement, headers: MessageHeaders
-    ) -> msg.SQLExecuteFactoryResponse:
-        request = msg.SQLExecuteFactoryRequest.from_xml(payload)
-        binding = self._sql_binding(request.abstract_name)
-        resource: SQLDataResource = binding.resource
+    def _validate_sql_factory(self, request: msg.SQLExecuteFactoryRequest):
+        """Shared factory admission: binding, target and configuration.
 
+        Runs for both execution modes, so an asynchronous submission
+        faults *synchronously* on a bad port type or configuration
+        document — only the execution itself is deferred.
+        """
+        binding = self._sql_binding(request.abstract_name)
         requested_pt = request.port_type_qname or SQL_RESPONSE_ACCESS_PT
         if requested_pt != SQL_RESPONSE_ACCESS_PT:
             raise InvalidPortTypeQNameFault(
@@ -302,16 +305,41 @@ class SQLRealisationService(DataService):
             raise InvalidPortTypeQNameFault(
                 f"target service {target.name!r} lacks ResponseAccess"
             )
-
         configurable = binding.configurable.copy()
         if request.configuration_document is not None:
             configurable = configurable.apply_configuration_document(
                 request.configuration_document
             )
+        return binding, target, configurable
+
+    def _handle_sql_execute_factory(
+        self, payload: XmlElement, headers: MessageHeaders
+    ) -> msg.SQLExecuteFactoryResponse:
+        request = msg.SQLExecuteFactoryRequest.from_xml(payload)
+        binding, target, configurable = self._validate_sql_factory(request)
+
+        if request.execution_mode == MODE_ASYNCHRONOUS:
+            if self.jobs is None:
+                raise DataResourceUnavailableFault(
+                    f"service {self.name!r} does not accept asynchronous "
+                    "factory requests (no job queue attached)"
+                )
+            job = self.jobs.submit(
+                self._sql_factory_kind(),
+                {
+                    "resource": str(request.abstract_name),
+                    "expression": request.expression,
+                    "parameters": list(request.parameters),
+                    "configuration": serialize(request.configuration_document)
+                    if request.configuration_document is not None
+                    else "",
+                },
+            )
+            return msg.SQLExecuteFactoryResponse(job_id=job.job_id)
 
         derived = SQLResponseResource(
             abstract_name=mint_abstract_name("sqlresponse"),
-            parent=resource,
+            parent=binding.resource,
             expression=request.expression,
             parameters=request.parameters,
             sensitivity=configurable.sensitivity,
@@ -320,10 +348,81 @@ class SQLRealisationService(DataService):
             configurable=binding.configurable,
         )
         target.add_resource(derived, configurable)
-        return msg.SQLExecuteFactoryResponse(
-            address=target.epr_for(derived.abstract_name),
-            abstract_name=derived.abstract_name,
+        try:
+            return msg.SQLExecuteFactoryResponse(
+                address=target.epr_for(derived.abstract_name),
+                abstract_name=derived.abstract_name,
+            )
+        except BaseException:
+            # A failure after the name was reserved must not leave the
+            # registry entry dangling.
+            target.destroy_resource(derived.abstract_name)
+            raise
+
+    # -- asynchronous factory execution ------------------------------------
+
+    def _sql_factory_kind(self) -> str:
+        """Executor-registry key; service-scoped so deployments sharing
+        one JobManager across services route each job back to the
+        service that accepted it."""
+        return f"{self.name}:sql-execute-factory"
+
+    def enable_jobs(self, jobs, terminal_ttl: float | None = None) -> None:
+        super().enable_jobs(jobs, terminal_ttl)
+        if "sql_factory" in self.port_types:
+            jobs.register_executor(
+                self._sql_factory_kind(),
+                self._execute_sql_factory_job,
+                rollback=self._rollback_sql_factory_job,
+            )
+
+    def _execute_sql_factory_job(self, job) -> dict:
+        """Run one deferred SQLExecuteFactory: materialize the derived
+        response resource and return its coordinates.
+
+        Ordering mirrors the reservation-leak contract: the derived name
+        is reserved (``add_resource``), then the expression is forced —
+        a fault after the reservation destroys the entry before it
+        propagates, so an ERROR job never strands a registry entry.
+        """
+        payload = job.payload
+        binding = self._sql_binding(payload["resource"])
+        configurable = binding.configurable.copy()
+        if payload.get("configuration"):
+            configurable = configurable.apply_configuration_document(
+                parse(payload["configuration"])
+            )
+        sensitivity = configurable.sensitivity
+        derived = SQLResponseResource(
+            abstract_name=mint_abstract_name("sqlresponse"),
+            parent=binding.resource,
+            expression=payload["expression"],
+            parameters=list(payload.get("parameters") or ()),
+            sensitivity=sensitivity,
+            configurable=binding.configurable,
         )
+        target = self.response_target
+        target.add_resource(derived, configurable)
+        try:
+            if sensitivity is Sensitivity.SENSITIVE:
+                # Asynchronous means the work happens *now*, not at first
+                # access: force one evaluation so a faulting expression
+                # surfaces as the job outcome instead of at fetch time.
+                derived.communication_area()
+        except BaseException:
+            target.destroy_resource(derived.abstract_name)
+            raise
+        return {
+            "abstract_name": str(derived.abstract_name),
+            "address": target.address,
+        }
+
+    def _rollback_sql_factory_job(self, job, result: dict) -> None:
+        """Undo a materialization whose completion lost the terminal
+        race (duplicate run, expired lease, cancel-vs-complete)."""
+        name = result.get("abstract_name")
+        if name and self.response_target.has_resource(name):
+            self.response_target.destroy_resource(name)
 
     # -- ResponseAccess ----------------------------------------------------
 
@@ -472,10 +571,14 @@ class SQLRealisationService(DataService):
             rowset=resource.rowset(),
         )
         target.add_resource(derived, configurable)
-        return msg.SQLRowsetFactoryResponse(
-            address=target.epr_for(derived.abstract_name),
-            abstract_name=derived.abstract_name,
-        )
+        try:
+            return msg.SQLRowsetFactoryResponse(
+                address=target.epr_for(derived.abstract_name),
+                abstract_name=derived.abstract_name,
+            )
+        except BaseException:
+            target.destroy_resource(derived.abstract_name)
+            raise
 
     # -- RowsetAccess ----------------------------------------------------------
 

@@ -395,6 +395,7 @@ class XPathExecuteFactoryRequest(FactoryRequest):
             expression=base.expression,
             language_uri=base.language_uri,
             parameters=base.parameters,
+            execution_mode=base.execution_mode,
             document_name=element.findtext(_q("DocumentName")),
         )
 

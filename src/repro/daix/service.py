@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.core.faults import (
+    DataResourceUnavailableFault,
     InvalidExpressionFault,
     InvalidPortTypeQNameFault,
     InvalidResourceNameFault,
@@ -17,9 +18,10 @@ from repro.daix.namespaces import (
     XML_SEQUENCE_ACCESS_PT,
 )
 from repro.daix.resources import XMLCollectionResource, XMLSequenceResource
+from repro.jobs.namespaces import MODE_ASYNCHRONOUS
 from repro.soap.addressing import MessageHeaders
 from repro.xmldb.errors import XmlDbError
-from repro.xmlutil import XmlElement
+from repro.xmlutil import XmlElement, parse, serialize
 
 #: Short names of the WS-DAIX port types.
 PORT_TYPES = {
@@ -324,30 +326,115 @@ class XMLRealisationService(DataService):
                 request.configuration_document
             )
 
-        if use_xquery:
-            items = resource.xquery_execute(
-                request.expression, request.document_name
+        if request.execution_mode == MODE_ASYNCHRONOUS:
+            if self.jobs is None:
+                raise DataResourceUnavailableFault(
+                    f"service {self.name!r} does not accept asynchronous "
+                    "factory requests (no job queue attached)"
+                )
+            job = self.jobs.submit(
+                self._xml_factory_kind(),
+                {
+                    "resource": str(request.abstract_name),
+                    "expression": request.expression,
+                    "document_name": request.document_name,
+                    "use_xquery": use_xquery,
+                    "configuration": serialize(request.configuration_document)
+                    if request.configuration_document is not None
+                    else "",
+                },
             )
-        else:
-            items = resource.xpath_execute(
-                request.expression, request.document_name
-            )
+            return {"job_id": job.job_id}
+
+        derived = self._materialize_sequence(
+            binding,
+            configurable,
+            request.expression,
+            request.document_name,
+            use_xquery,
+        )
+        target.add_resource(derived, configurable)
+        try:
+            return {
+                "address": target.epr_for(derived.abstract_name),
+                "abstract_name": derived.abstract_name,
+            }
+        except BaseException:
+            # A failure after the name was reserved must not leave the
+            # registry entry dangling.
+            target.destroy_resource(derived.abstract_name)
+            raise
+
+    def _materialize_sequence(
+        self,
+        binding: ResourceBinding,
+        configurable,
+        expression: str,
+        document_name: Optional[str],
+        use_xquery: bool,
+    ) -> XMLSequenceResource:
+        """Evaluate an XPath/XQuery factory expression into the derived
+        sequence resource (not yet registered)."""
         from repro.core.properties import Sensitivity
 
-        derived = XMLSequenceResource(
+        resource: XMLCollectionResource = binding.resource
+        if use_xquery:
+            items = resource.xquery_execute(expression, document_name)
+        else:
+            items = resource.xpath_execute(expression, document_name)
+        return XMLSequenceResource(
             mint_abstract_name("xmlsequence"),
             resource,
             items,
-            query=request.expression,
+            query=expression,
             use_xquery=use_xquery,
-            document_name=request.document_name,
+            document_name=document_name,
             sensitive=configurable.sensitivity is Sensitivity.SENSITIVE,
         )
+
+    # -- asynchronous factory execution ------------------------------------
+
+    def _xml_factory_kind(self) -> str:
+        """Executor-registry key, service-scoped (see the WS-DAIR twin)."""
+        return f"{self.name}:xml-factory"
+
+    def enable_jobs(self, jobs, terminal_ttl: float | None = None) -> None:
+        super().enable_jobs(jobs, terminal_ttl)
+        if {"xpath_factory", "xquery_factory"} & self.port_types:
+            jobs.register_executor(
+                self._xml_factory_kind(),
+                self._execute_xml_factory_job,
+                rollback=self._rollback_xml_factory_job,
+            )
+
+    def _execute_xml_factory_job(self, job) -> dict:
+        """Run one deferred XPath/XQuery factory request."""
+        payload = job.payload
+        binding = self._collection_binding(payload["resource"])
+        binding.require_readable()
+        configurable = binding.configurable.copy()
+        if payload.get("configuration"):
+            configurable = configurable.apply_configuration_document(
+                parse(payload["configuration"])
+            )
+        derived = self._materialize_sequence(
+            binding,
+            configurable,
+            payload["expression"],
+            payload.get("document_name"),
+            bool(payload.get("use_xquery")),
+        )
+        target = self.sequence_target
         target.add_resource(derived, configurable)
         return {
-            "address": target.epr_for(derived.abstract_name),
-            "abstract_name": derived.abstract_name,
+            "abstract_name": str(derived.abstract_name),
+            "address": target.address,
         }
+
+    def _rollback_xml_factory_job(self, job, result: dict) -> None:
+        name = result.get("abstract_name")
+        if name and self.sequence_target.has_resource(name):
+            self.sequence_target.destroy_resource(name)
 
     # -- SequenceAccess -----------------------------------------------------------
 

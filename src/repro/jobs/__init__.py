@@ -1,0 +1,84 @@
+"""Durable asynchronous job orchestration behind the DAIS factories.
+
+The factory pattern's response — "here is a reference, fetch the data
+later" — already *is* an asynchronous contract; this package gives it a
+durable spine.  A factory invoked with ``ExecutionMode=asynchronous``
+submits a :class:`Job` into a :class:`JobManager` instead of executing
+inline; a bounded :class:`JobRunner` pool claims jobs under expiring
+leases and executes them at-least-once; every phase transition is
+journalled (fsync'd, append-only) before it becomes visible, so a crash
+at any instant replays back to a legal state with no lost jobs and no
+double-materialized results.
+
+See ``docs/JOBS.md`` for the design tour and invariants.
+"""
+
+from repro.jobs.journal import (
+    JobJournal,
+    JournalCorruptError,
+    parse_journal_text,
+    read_journal,
+    replay_records,
+)
+from repro.jobs.manager import JobManager, UnknownJobError
+from repro.jobs.messages import (
+    CancelJobRequest,
+    CancelJobResponse,
+    GetJobStatusRequest,
+    GetJobStatusResponse,
+    fault_from_status,
+    job_set_element,
+    job_status_element,
+)
+from repro.jobs.model import (
+    CANCELLED,
+    COMPLETED,
+    ERROR,
+    EXECUTING,
+    LEGAL_TRANSITIONS,
+    PENDING,
+    PHASES,
+    TERMINAL_PHASES,
+    IllegalTransitionError,
+    Job,
+    check_transition,
+)
+from repro.jobs.namespaces import (
+    MODE_ASYNCHRONOUS,
+    MODE_SYNCHRONOUS,
+    WSDAIJ_NS,
+)
+from repro.jobs.runner import JobRunner, execute_claimed
+
+__all__ = [
+    "CANCELLED",
+    "COMPLETED",
+    "ERROR",
+    "EXECUTING",
+    "LEGAL_TRANSITIONS",
+    "MODE_ASYNCHRONOUS",
+    "MODE_SYNCHRONOUS",
+    "PENDING",
+    "PHASES",
+    "TERMINAL_PHASES",
+    "WSDAIJ_NS",
+    "CancelJobRequest",
+    "CancelJobResponse",
+    "GetJobStatusRequest",
+    "GetJobStatusResponse",
+    "IllegalTransitionError",
+    "Job",
+    "JobJournal",
+    "JobManager",
+    "JobRunner",
+    "JournalCorruptError",
+    "UnknownJobError",
+    "check_transition",
+    "execute_claimed",
+    "fault_from_status",
+    "job_set_element",
+    "job_status_element",
+    "parse_journal_text",
+    "read_journal",
+    "replay_records",
+]

@@ -1,0 +1,395 @@
+"""The durable job queue: submit, claim under lease, converge to one outcome.
+
+Concurrency contract (the claim-then-invoke pattern from the PR-4
+service fabric, applied to jobs):
+
+* **Claim** — ``claim()`` picks the oldest runnable job and moves it to
+  EXECUTING under the manager lock, stamping a lease.  Two workers
+  racing one job cannot both win: the phase check and the transition
+  are one critical section.
+* **Lease expiry** — an EXECUTING job whose lease has passed is
+  runnable again (journalled ``lease-expired`` then ``claimed``); the
+  stale worker keeps running, which is fine because…
+* **Idempotent completion** — ``complete()``/``fail()``/``cancel()``
+  commit a terminal phase under the lock; the *first* committer wins
+  and every later attempt returns ``False`` without journalling.  The
+  caller that materialized a result resource and then lost the commit
+  race rolls its materialization back (see the factory executors), so
+  at-least-once execution still converges to exactly one result
+  resource.
+* **Durability** — the journal line is written and fsync'd inside the
+  critical section, *before* the new phase is visible to any other
+  thread.  A crash therefore never leaves an acknowledged decision
+  unjournalled; replaying the journal prefix reconstructs the table.
+
+Observability: every transition is a ``job-*`` event in the WSRF
+lifecycle journal and a ``jobs.*`` counter; submit records the current
+trace so the execute span can link back to it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.core.names import mint_abstract_name
+from repro.jobs.journal import JobJournal, read_journal, replay_records
+from repro.jobs.model import (
+    CANCELLED,
+    COMPLETED,
+    ERROR,
+    EXECUTING,
+    PENDING,
+    TERMINAL_PHASES,
+    Job,
+)
+from repro.obs import MetricsRegistry
+from repro.obs.journal import record_event
+from repro.obs.tracing import current_span
+from repro.wsrf.clock import Clock, SystemClock
+
+__all__ = ["JobManager", "UnknownJobError"]
+
+#: Abstract-name hint for minted job ids (jobs are WS-Resources: the
+#: job id rides in the DataResourceAbstractName slot of the status and
+#: cancel messages).
+JOB_NAME_HINT = "job"
+
+
+class UnknownJobError(KeyError):
+    """No job with that id (the service maps this to a typed DAIS fault)."""
+
+
+class JobManager:
+    """The durable job table one deployment's factories submit into."""
+
+    def __init__(
+        self,
+        journal: JobJournal | None = None,
+        clock: Clock | None = None,
+        default_lease_seconds: float = 30.0,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.journal = journal if journal is not None else JobJournal()
+        self.clock = clock if clock is not None else SystemClock()
+        self.default_lease_seconds = default_lease_seconds
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._lock = threading.RLock()
+        self._jobs: dict[str, Job] = {}
+        #: Submission order, for oldest-first claiming.
+        self._order: list[str] = []
+        self._executors: dict[str, Callable[[Job], dict]] = {}
+        #: Rollback hooks per kind: invoked with (job, result) when a
+        #: completion loses the terminal race after materializing.
+        self._rollbacks: dict[str, Callable[[Job, dict], None]] = {}
+        #: Optional WSRF lifetime integration: terminal jobs get a
+        #: termination time and are swept away like any soft-state
+        #: resource (set via :meth:`attach_lifetime`).
+        self._lifetime = None
+        self._terminal_ttl: float | None = None
+
+        counter = self.metrics.counter
+        self._submitted = counter("jobs.submitted", "jobs accepted")
+        self._claimed = counter("jobs.claimed", "job claims granted")
+        self._completed = counter("jobs.completed", "jobs completed")
+        self._failed = counter("jobs.failed", "jobs ended in ERROR")
+        self._cancelled = counter("jobs.cancelled", "jobs cancelled")
+        self._expired = counter(
+            "jobs.lease_expired", "leases expired and reclaimed"
+        )
+        self._recovered = counter(
+            "jobs.recovered", "in-flight jobs recovered from the journal"
+        )
+        self._duplicates = counter(
+            "jobs.duplicate_outcomes",
+            "terminal decisions that lost the first-writer race",
+        )
+
+    # -- executors ---------------------------------------------------------
+
+    def register_executor(
+        self,
+        kind: str,
+        executor: Callable[[Job], dict],
+        rollback: Callable[[Job, dict], None] | None = None,
+    ) -> None:
+        """Register the function that runs jobs of *kind*.
+
+        *executor* returns the result dict for ``complete()``.
+        *rollback* undoes a materialized result when the completion
+        loses the terminal race (duplicate completion, cancel-vs-
+        complete) — without one, a lost race would leak the registered
+        derived resource (the reservation-leak fix this module exists
+        to make structural).
+        """
+        self._executors[kind] = executor
+        if rollback is not None:
+            self._rollbacks[kind] = rollback
+
+    def executor_for(self, kind: str) -> Callable[[Job], dict]:
+        try:
+            return self._executors[kind]
+        except KeyError:
+            raise UnknownJobError(f"no executor for job kind {kind!r}") from None
+
+    def rollback_for(self, kind: str) -> Callable[[Job, dict], None] | None:
+        return self._rollbacks.get(kind)
+
+    # -- lifetime ----------------------------------------------------------
+
+    def attach_lifetime(self, lifetime, terminal_ttl: float) -> None:
+        """Tie terminal job records to a WSRF LifetimeManager: a job that
+        reaches COMPLETED/ERROR/CANCELLED is registered with a
+        *terminal_ttl*-second termination time and forgotten when the
+        soft-state sweep destroys it."""
+        self._lifetime = lifetime
+        self._terminal_ttl = terminal_ttl
+
+    def _schedule_forget(self, job_id: str) -> None:
+        if self._lifetime is None:
+            return
+        if not self._lifetime.registered(job_id):
+            self._lifetime.register(job_id, self._forget, self._terminal_ttl)
+
+    def _forget(self, job_id: str) -> None:
+        """Lifetime destructor: drop a terminal job record."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or not job.terminal:
+                return
+            self.journal.append("forgotten", job_id, self.clock.now())
+            del self._jobs[job_id]
+            self._order.remove(job_id)
+        record_event("job-forgotten", job_id)
+
+    # -- queries -----------------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise UnknownJobError(f"unknown job {job_id!r}")
+            return job
+
+    def jobs(self, phase: str | None = None) -> list[Job]:
+        """Snapshot in submission order, optionally filtered by phase."""
+        with self._lock:
+            snapshot = [self._jobs[job_id] for job_id in self._order]
+        if phase is None:
+            return snapshot
+        return [job for job in snapshot if job.phase == phase]
+
+    def counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for job in self.jobs():
+            counts[job.phase] = counts.get(job.phase, 0) + 1
+        return counts
+
+    # -- submit ------------------------------------------------------------
+
+    def submit(
+        self, kind: str, payload: dict | None = None, job_id: str | None = None
+    ) -> Job:
+        """Accept a job; durable before this returns."""
+        job_id = job_id or str(mint_abstract_name(JOB_NAME_HINT))
+        span = current_span()
+        job = Job(
+            job_id=job_id,
+            kind=kind,
+            payload=dict(payload or {}),
+            created_at=self.clock.now(),
+            trace=(span.trace_id, span.span_id) if span.recording else None,
+        )
+        with self._lock:
+            if job_id in self._jobs:
+                raise ValueError(f"job {job_id!r} already submitted")
+            self.journal.append(
+                "submitted",
+                job_id,
+                job.created_at,
+                kind=kind,
+                payload=job.payload,
+            )
+            self._jobs[job_id] = job
+            self._order.append(job_id)
+        self._submitted.inc(kind=kind)
+        record_event("job-submitted", job_id, kind=kind)
+        return job
+
+    # -- claim / lease -----------------------------------------------------
+
+    def claim(
+        self, worker: str = "worker", lease_seconds: float | None = None
+    ) -> Job | None:
+        """Claim the oldest runnable job under a lease; None when idle.
+
+        Runnable = PENDING, or EXECUTING with an expired lease (the
+        at-least-once edge: the stale worker may still finish, but the
+        first terminal commit wins).
+        """
+        lease = (
+            lease_seconds
+            if lease_seconds is not None
+            else self.default_lease_seconds
+        )
+        now = self.clock.now()
+        with self._lock:
+            for job_id in self._order:
+                job = self._jobs[job_id]
+                if job.phase == PENDING:
+                    break
+                if job.lease_expired(now):
+                    self.journal.append(
+                        "lease-expired", job_id, now, worker=job.worker
+                    )
+                    job.transition(PENDING)
+                    job.worker = None
+                    job.lease_expires = None
+                    self._expired.inc()
+                    record_event("job-lease-expired", job_id)
+                    break
+            else:
+                return None
+            expires = now + lease
+            self.journal.append(
+                "claimed",
+                job.job_id,
+                now,
+                worker=worker,
+                attempts=job.attempts + 1,
+                lease_expires=expires,
+            )
+            job.transition(EXECUTING)
+            job.worker = worker
+            job.attempts += 1
+            job.lease_expires = expires
+        self._claimed.inc()
+        record_event(
+            "job-claimed", job.job_id, worker=worker, attempt=job.attempts
+        )
+        return job
+
+    def extend_lease(
+        self, job_id: str, worker: str, lease_seconds: float | None = None
+    ) -> bool:
+        """Heartbeat: push the lease out, if *worker* still holds it."""
+        lease = (
+            lease_seconds
+            if lease_seconds is not None
+            else self.default_lease_seconds
+        )
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.phase != EXECUTING or job.worker != worker:
+                return False
+            job.lease_expires = self.clock.now() + lease
+            return True
+
+    # -- terminal commits --------------------------------------------------
+
+    def _commit_terminal(self, job_id: str, target: str, **fields) -> bool:
+        """First-writer-wins terminal transition; False when lost."""
+        event = {COMPLETED: "completed", ERROR: "failed", CANCELLED: "cancelled"}[
+            target
+        ]
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise UnknownJobError(f"unknown job {job_id!r}")
+            if job.terminal:
+                self._duplicates.inc(outcome=target)
+                return False
+            self.journal.append(event, job_id, self.clock.now(), **fields)
+            job.transition(target)
+            job.worker = None
+            job.lease_expires = None
+            if target == COMPLETED:
+                job.result = dict(fields.get("result") or {})
+            elif target == ERROR:
+                job.fault_type = fields.get("fault_type", "")
+                job.fault_message = fields.get("fault_message", "")
+            self._schedule_forget(job_id)
+        record_event(f"job-{event}", job_id, **fields)
+        return True
+
+    def complete(self, job_id: str, result: dict | None = None) -> bool:
+        """Commit COMPLETED; False when another outcome already won —
+        the caller must then roll back anything it materialized."""
+        won = self._commit_terminal(job_id, COMPLETED, result=dict(result or {}))
+        if won:
+            self._completed.inc()
+        return won
+
+    def fail(self, job_id: str, fault_type: str, fault_message: str) -> bool:
+        """Commit ERROR carrying the original fault; False when lost."""
+        won = self._commit_terminal(
+            job_id, ERROR, fault_type=fault_type, fault_message=fault_message
+        )
+        if won:
+            self._failed.inc(fault=fault_type or "unknown")
+        return won
+
+    def cancel(self, job_id: str) -> Job:
+        """CancelJob semantics.
+
+        PENDING → CANCELLED immediately.  EXECUTING → CANCELLED too (the
+        cancel commits the terminal phase; the in-flight executor loses
+        the completion race and rolls back), with ``cancel_requested``
+        left set so a cooperative executor can stop early.  A job already
+        terminal is returned unchanged — cancel after the fact is a
+        no-op, not a fault.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise UnknownJobError(f"unknown job {job_id!r}")
+            if job.terminal:
+                return job
+            job.cancel_requested = True
+        won = self._commit_terminal(job_id, CANCELLED)
+        if won:
+            self._cancelled.inc()
+        return self.get(job_id)
+
+    # -- recovery ----------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        path: str,
+        clock: Clock | None = None,
+        fsync: bool = True,
+        **kwargs,
+    ) -> "JobManager":
+        """Rebuild a manager from the journal at *path* and reopen it.
+
+        Jobs the journal leaves EXECUTING lost their worker with the old
+        process; they are handed back to PENDING with a durable
+        ``recovered`` record — the at-least-once guarantee across
+        crashes.  Terminal jobs keep their outcome (and their recorded
+        result/fault), so duplicate submissions converge instead of
+        re-running.
+        """
+        records = read_journal(path)
+        jobs = replay_records(records)
+        manager = cls(
+            journal=JobJournal(path, fsync=fsync), clock=clock, **kwargs
+        )
+        # Continue the journal's sequence where the dead process left it.
+        manager.journal._seq = int(records[-1]["seq"]) if records else 0
+        with manager._lock:
+            for job in jobs.values():
+                if job.phase == EXECUTING:
+                    manager.journal.append(
+                        "recovered", job.job_id, manager.clock.now()
+                    )
+                    job.transition(PENDING)
+                    job.worker = None
+                    job.lease_expires = None
+                    manager._recovered.inc()
+                    record_event("job-recovered", job.job_id)
+                manager._jobs[job.job_id] = job
+                manager._order.append(job.job_id)
+                if job.terminal:
+                    manager._schedule_forget(job.job_id)
+        return manager

@@ -1,0 +1,200 @@
+"""Job status / cancel message payloads and the job-phase property.
+
+Jobs are addressed like WS-Resources: the job id (a URI) travels in the
+mandatory ``DataResourceAbstractName`` body slot, exactly as every
+other DAIS request addresses its target — the framework stays identical
+with and without WSRF (paper §3/§5), and the same holds for jobs.
+
+``GetJobStatusResponse`` carries the phase, the attempt count, and —
+once the job is COMPLETED — the derived data resource's EPR and
+abstract name, i.e. exactly what the synchronous factory response would
+have carried.  An ERROR job carries the *original* fault's typed name
+and message, which :func:`fault_from_status` rehydrates into the typed
+DAIS exception on the consumer side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Optional
+
+from repro.core.faults import fault_class_for
+from repro.core.messages import DaisMessage, DaisRequest
+from repro.jobs.model import ERROR, Job
+from repro.jobs.namespaces import WSDAIJ_NS
+from repro.soap.addressing import EndpointReference
+from repro.soap.fault import FaultCode, SoapFault
+from repro.xmlutil import E, QName, XmlElement
+
+
+def _q(local: str) -> QName:
+    return QName(WSDAIJ_NS, local)
+
+
+#: QName of the job-status property element (GetResourceProperty target).
+JOB_STATUS = _q("JobStatus")
+#: QName of the per-resource job list property element.
+JOB_SET = _q("JobSet")
+
+
+@dataclass
+class GetJobStatusRequest(DaisRequest):
+    """Poll one job's phase (the async half of the DALI sync/async split)."""
+
+    TAG: ClassVar[QName] = _q("GetJobStatusRequest")
+
+    def to_xml(self) -> XmlElement:
+        return self._root()
+
+    @classmethod
+    def from_xml(cls, element: XmlElement) -> "GetJobStatusRequest":
+        return cls(abstract_name=cls._read_name(element))
+
+
+@dataclass
+class GetJobStatusResponse(DaisMessage):
+    TAG: ClassVar[QName] = _q("GetJobStatusResponse")
+
+    job_id: str = ""
+    phase: str = ""
+    attempts: int = 0
+    cancel_requested: bool = False
+    #: EPR of the derived data resource, once COMPLETED.
+    address: Optional[EndpointReference] = None
+    #: Abstract name of the derived data resource, once COMPLETED.
+    result_name: str = ""
+    #: Original fault, once ERROR.
+    fault_type: str = ""
+    fault_message: str = ""
+
+    def to_xml(self) -> XmlElement:
+        root = E(
+            self.TAG,
+            E(_q("JobID"), self.job_id),
+            E(_q("Phase"), self.phase),
+            E(_q("Attempts"), self.attempts),
+        )
+        if self.cancel_requested:
+            root.append(E(_q("CancelRequested"), "true"))
+        if self.address is not None:
+            root.append(self.address.to_xml(_q("ResultAddress")))
+        if self.result_name:
+            root.append(E(_q("ResultAbstractName"), self.result_name))
+        if self.fault_type:
+            fault = E(_q("JobFault"), E(_q("FaultType"), self.fault_type))
+            fault.append(E(_q("FaultMessage"), self.fault_message))
+            root.append(fault)
+        return root
+
+    @classmethod
+    def from_xml(cls, element: XmlElement) -> "GetJobStatusResponse":
+        address_el = element.find(_q("ResultAddress"))
+        fault_el = element.find(_q("JobFault"))
+        return cls(
+            job_id=element.findtext(_q("JobID"), "") or "",
+            phase=element.findtext(_q("Phase"), "") or "",
+            attempts=int(element.findtext(_q("Attempts"), "0") or "0"),
+            cancel_requested=(
+                (element.findtext(_q("CancelRequested"), "") or "") == "true"
+            ),
+            address=EndpointReference.from_xml(address_el)
+            if address_el is not None
+            else None,
+            result_name=element.findtext(_q("ResultAbstractName"), "") or "",
+            fault_type=(
+                fault_el.findtext(_q("FaultType"), "") if fault_el is not None else ""
+            )
+            or "",
+            fault_message=(
+                fault_el.findtext(_q("FaultMessage"), "")
+                if fault_el is not None
+                else ""
+            )
+            or "",
+        )
+
+
+@dataclass
+class CancelJobRequest(DaisRequest):
+    """Request cancellation; the response reports the phase that won."""
+
+    TAG: ClassVar[QName] = _q("CancelJobRequest")
+
+    def to_xml(self) -> XmlElement:
+        return self._root()
+
+    @classmethod
+    def from_xml(cls, element: XmlElement) -> "CancelJobRequest":
+        return cls(abstract_name=cls._read_name(element))
+
+
+@dataclass
+class CancelJobResponse(DaisMessage):
+    """The job's phase after the cancel raced every other outcome.
+
+    ``phase=CANCELLED`` means the cancel won; a terminal phase that is
+    not CANCELLED means a completion or failure committed first — the
+    cancel was a no-op, per the one-terminal-state rule.
+    """
+
+    TAG: ClassVar[QName] = _q("CancelJobResponse")
+
+    job_id: str = ""
+    phase: str = ""
+
+    def to_xml(self) -> XmlElement:
+        return E(
+            self.TAG, E(_q("JobID"), self.job_id), E(_q("Phase"), self.phase)
+        )
+
+    @classmethod
+    def from_xml(cls, element: XmlElement) -> "CancelJobResponse":
+        return cls(
+            job_id=element.findtext(_q("JobID"), "") or "",
+            phase=element.findtext(_q("Phase"), "") or "",
+        )
+
+
+# ---------------------------------------------------------------------------
+# The job-phase WSRF property rendering
+# ---------------------------------------------------------------------------
+
+
+def job_status_element(job: Job, tag: QName = JOB_STATUS) -> XmlElement:
+    """Render one job as the ``wsdaij:JobStatus`` property element."""
+    node = E(
+        tag,
+        job=job.job_id,
+        phase=job.phase,
+        kind=job.kind,
+        attempts=job.attempts,
+        cancelRequested=True if job.cancel_requested else None,
+    )
+    if job.result and job.result.get("abstract_name"):
+        node.append(E(_q("ResultAbstractName"), job.result["abstract_name"]))
+    if job.fault_type:
+        fault = E(_q("JobFault"), E(_q("FaultType"), job.fault_type))
+        fault.append(E(_q("FaultMessage"), job.fault_message))
+        node.append(fault)
+    return node
+
+
+def job_set_element(jobs: list[Job]) -> XmlElement:
+    """Render *jobs* as the ``wsdaij:JobSet`` resource property — how a
+    consumer reads job phases through the standard WSRF property
+    operations instead of (or alongside) ``GetJobStatus``."""
+    root = E(JOB_SET)
+    for job in jobs:
+        root.append(job_status_element(job))
+    return root
+
+
+def fault_from_status(status: GetJobStatusResponse) -> SoapFault:
+    """Rehydrate an ERROR job's original fault as a typed exception."""
+    if status.phase != ERROR:
+        raise ValueError(f"job {status.job_id} is {status.phase}, not ERROR")
+    message = status.fault_message or f"job {status.job_id} failed"
+    cls = fault_class_for(status.fault_type)
+    if cls is not None:
+        return cls(message)
+    return SoapFault(FaultCode.SERVER, f"{status.fault_type}: {message}")

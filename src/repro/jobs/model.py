@@ -1,0 +1,117 @@
+"""The job state machine behind the asynchronous factory pattern.
+
+WS-DAI's indirect access (paper §3, Figure 1 right) *is* an
+asynchronous job-submission API in disguise: the factory request names
+the work, the response hands back a reference, and the results are
+fetched later through the derived resource.  This module makes the
+implied job explicit — one :class:`Job` per asynchronous factory
+request, moving through a small, strictly legal state machine::
+
+    PENDING ──▶ EXECUTING ──▶ COMPLETED
+       │            │    ╲──▶ ERROR
+       │            │
+       ╰── CANCELLED ╯          (EXECUTING ──▶ PENDING on lease expiry
+                                 or crash recovery — at-least-once)
+
+The terminal phases are absorbing: once a job is COMPLETED, ERROR or
+CANCELLED no further transition is legal, which is what makes duplicate
+completions, stale-lease completions and cancel-vs-complete races
+converge to exactly one outcome (see :mod:`repro.jobs.manager`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Job phases, modelled on the IVOA DALI/UWS execution phases mapped
+#: onto the DAIS factory pattern.
+PENDING = "PENDING"
+EXECUTING = "EXECUTING"
+COMPLETED = "COMPLETED"
+ERROR = "ERROR"
+CANCELLED = "CANCELLED"
+
+PHASES = (PENDING, EXECUTING, COMPLETED, ERROR, CANCELLED)
+
+#: Absorbing phases: a job here never moves again.
+TERMINAL_PHASES = frozenset({COMPLETED, ERROR, CANCELLED})
+
+#: The full legal-transition relation.  ``EXECUTING → PENDING`` is the
+#: at-least-once edge: a lease expired or the process crashed, so the
+#: work is handed back to the queue.
+LEGAL_TRANSITIONS: dict[str, frozenset[str]] = {
+    PENDING: frozenset({EXECUTING, CANCELLED}),
+    EXECUTING: frozenset({COMPLETED, ERROR, CANCELLED, PENDING}),
+    COMPLETED: frozenset(),
+    ERROR: frozenset(),
+    CANCELLED: frozenset(),
+}
+
+
+class IllegalTransitionError(RuntimeError):
+    """An attempted job-phase transition outside :data:`LEGAL_TRANSITIONS`.
+
+    Raised by :meth:`Job.transition` — and never expected to escape the
+    manager, which checks phases under its lock before transitioning.
+    The crash-recovery suite asserts that *replay* never produces one.
+    """
+
+
+def check_transition(current: str, target: str) -> None:
+    """Raise :class:`IllegalTransitionError` unless current → target is legal."""
+    if target not in LEGAL_TRANSITIONS.get(current, frozenset()):
+        raise IllegalTransitionError(
+            f"illegal job transition {current} -> {target}"
+        )
+
+
+@dataclass
+class Job:
+    """One asynchronous factory execution and its durable state.
+
+    ``payload`` and ``result`` are JSON-plain dicts (strings, numbers,
+    lists, None) so every field survives the journal round trip
+    unchanged.  ``result`` conventionally carries the derived resource's
+    ``abstract_name`` and the address of the service it was registered
+    with; ``fault_type``/``fault_message`` carry the original DAIS fault
+    for ERROR jobs.
+    """
+
+    job_id: str
+    kind: str
+    payload: dict = field(default_factory=dict)
+    phase: str = PENDING
+    #: Submission time (manager clock), seconds.
+    created_at: float = 0.0
+    #: Execution attempts started so far (1 after the first claim).
+    attempts: int = 0
+    #: Identity of the worker holding the current lease, if EXECUTING.
+    worker: Optional[str] = None
+    #: Absolute lease expiry (manager clock); None unless EXECUTING.
+    lease_expires: Optional[float] = None
+    result: Optional[dict] = None
+    fault_type: str = ""
+    fault_message: str = ""
+    #: Set by CancelJob while the job is EXECUTING: the executor should
+    #: stop cooperatively; the cancel itself already committed.
+    cancel_requested: bool = False
+    #: (trace_id, span_id) of the submitting request, when traced.
+    trace: Optional[tuple] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.phase in TERMINAL_PHASES
+
+    def transition(self, target: str) -> None:
+        """Move to *target*, enforcing the legal-transition relation."""
+        check_transition(self.phase, target)
+        self.phase = target
+
+    def lease_expired(self, now: float) -> bool:
+        """True when this job is EXECUTING past its lease."""
+        return (
+            self.phase == EXECUTING
+            and self.lease_expires is not None
+            and self.lease_expires <= now
+        )

@@ -1,0 +1,19 @@
+"""Wire namespace for the asynchronous-jobs extension.
+
+The DAIS specifications leave long-running execution to the factory
+pattern's "extensibility points" (paper §2.2); this namespace holds the
+message vocabulary that makes the implied job explicit — status, cancel
+and the job-phase property — in the same 2005 GGF namespace family as
+the rest of the wire surface.
+"""
+
+from repro.xmlutil.names import DEFAULT_REGISTRY
+
+#: The asynchronous-jobs extension namespace.
+WSDAIJ_NS = "http://www.ggf.org/namespaces/2005/05/WS-DAI-Jobs"
+
+DEFAULT_REGISTRY.register("wsdaij", WSDAIJ_NS)
+
+#: ExecutionMode values carried in factory requests.
+MODE_SYNCHRONOUS = "synchronous"
+MODE_ASYNCHRONOUS = "asynchronous"

@@ -1,0 +1,140 @@
+"""The job runner: a bounded worker pool over the durable queue.
+
+Workers loop claim → execute → commit.  Execution is at-least-once: a
+crash or an expired lease hands the job back, and the idempotent
+terminal commit in :class:`~repro.jobs.manager.JobManager` makes the
+re-run converge.  Each execution is one ``job.execute`` span carrying a
+``submitted-by`` link to the submitting trace, so submit → execute →
+fetch renders as one connected story in the trace tree.
+
+``run_once()``/``drain()`` run the same claim-execute-commit path
+inline on the calling thread — deterministic tests and the CLI demo use
+them; production deployments call ``start()``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.jobs.manager import JobManager
+from repro.jobs.model import Job
+from repro.obs import get_tracer
+from repro.soap.fault import SoapFault
+
+__all__ = ["JobRunner", "execute_claimed"]
+
+
+def execute_claimed(manager: JobManager, job: Job) -> bool:
+    """Run one claimed job to a terminal commit; True when this call won.
+
+    The executor materializes the result (typically: evaluate the
+    factory expression and register the derived resource), then the
+    completion is offered to the manager.  Losing the commit race —
+    because a duplicate run already completed, the lease expired and a
+    re-run won, or a cancel landed first — triggers the kind's rollback
+    hook so the losing materialization is taken back out.  Faults
+    commit ERROR carrying the original typed fault.
+    """
+    tracer = get_tracer()
+    with tracer.span(
+        "job.execute", job=job.job_id, kind=job.kind, attempt=job.attempts
+    ) as span:
+        if span.recording and job.trace and job.trace[0] != span.trace_id:
+            span.add_link(job.trace[0], job.trace[1], relation="submitted-by")
+        executor = manager.executor_for(job.kind)
+        try:
+            result = executor(job)
+        except SoapFault as fault:
+            span.mark_fault(str(fault))
+            return manager.fail(job.job_id, type(fault).__name__, str(fault))
+        except Exception as exc:  # noqa: BLE001 - job boundary
+            span.mark_fault(str(exc))
+            return manager.fail(job.job_id, "InternalError", str(exc))
+        won = manager.complete(job.job_id, result)
+        if not won:
+            rollback = manager.rollback_for(job.kind)
+            if rollback is not None:
+                rollback(job, result)
+            span.set_attribute("outcome", "lost-terminal-race")
+        return won
+
+
+class JobRunner:
+    """Runs jobs from a :class:`JobManager` on a bounded thread pool."""
+
+    def __init__(
+        self,
+        manager: JobManager,
+        workers: int = 2,
+        poll_interval: float = 0.02,
+        lease_seconds: float | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.manager = manager
+        self.workers = workers
+        self.poll_interval = poll_interval
+        self.lease_seconds = lease_seconds
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+
+    # -- inline execution (tests, demos, draining) -------------------------
+
+    def run_once(self, worker: str = "inline") -> Job | None:
+        """Claim and execute one job on the calling thread."""
+        job = self.manager.claim(worker, self.lease_seconds)
+        if job is None:
+            return None
+        execute_claimed(self.manager, job)
+        return self.manager.get(job.job_id)
+
+    def drain(self, worker: str = "inline", limit: int = 10_000) -> int:
+        """Run until no job is claimable; returns executions performed."""
+        executed = 0
+        while executed < limit and self.run_once(worker) is not None:
+            executed += 1
+        return executed
+
+    # -- background pool ---------------------------------------------------
+
+    def start(self) -> None:
+        if self._threads:
+            raise RuntimeError("runner already started")
+        self._stop.clear()
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(f"worker-{index}",),
+                name=f"job-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads.clear()
+
+    def __enter__(self) -> "JobRunner":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _worker_loop(self, worker: str) -> None:
+        while not self._stop.is_set():
+            job = self.manager.claim(worker, self.lease_seconds)
+            if job is None:
+                # Idle: nothing runnable right now.  time.sleep (not the
+                # manager clock) — the pool waits in real time even when
+                # job leases run on a virtual clock.
+                time.sleep(self.poll_interval)
+                continue
+            try:
+                execute_claimed(self.manager, job)
+            except Exception:  # pragma: no cover - worker must survive
+                continue

@@ -13,9 +13,11 @@ from repro.workload.relational import (
 from repro.workload.xmlcorpus import XmlCorpus, populate_catalog_collection
 from repro.workload.deploy import (
     Figure5Deployment,
+    JobsDeployment,
     SingleServiceDeployment,
     XmlDeployment,
     build_figure5_deployment,
+    build_jobs_deployment,
     build_single_service,
     build_xml_deployment,
 )
@@ -26,9 +28,11 @@ __all__ = [
     "XmlCorpus",
     "populate_catalog_collection",
     "Figure5Deployment",
+    "JobsDeployment",
     "SingleServiceDeployment",
     "XmlDeployment",
     "build_figure5_deployment",
+    "build_jobs_deployment",
     "build_single_service",
     "build_xml_deployment",
 ]

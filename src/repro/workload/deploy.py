@@ -10,6 +10,7 @@ from repro.core import ServiceRegistry, mint_abstract_name
 from repro.core.names import AbstractName
 from repro.dair import SQLDataResource, SQLRealisationService
 from repro.daix import XMLCollectionResource, XMLRealisationService
+from repro.jobs import JobJournal, JobManager, JobRunner
 from repro.relational import Database
 from repro.transport import LoopbackTransport
 from repro.transport.wire import NetworkModel
@@ -54,6 +55,65 @@ def build_single_service(
     service.add_resource(resource)
     client = SQLClient(LoopbackTransport(registry, network=network))
     return SingleServiceDeployment(registry, service, database, resource, client)
+
+
+@dataclass
+class JobsDeployment(SingleServiceDeployment):
+    """A single-service deployment with the durable job queue attached.
+
+    Factories on :attr:`service` accept ``ExecutionMode=asynchronous``;
+    :attr:`runner` executes queued jobs (``runner.drain()`` inline for
+    deterministic tests, ``runner.start()`` for a background pool).
+    """
+
+    jobs: JobManager = None
+    runner: JobRunner = None
+
+
+def build_jobs_deployment(
+    workload: RelationalWorkload = RelationalWorkload(),
+    wsrf: bool = False,
+    network: NetworkModel | None = None,
+    clock: Clock | None = None,
+    journal_path: str | None = None,
+    recover: bool = False,
+    workers: int = 2,
+    lease_seconds: float = 30.0,
+    terminal_ttl: float | None = None,
+) -> JobsDeployment:
+    """One service, one database, plus the async job spine.
+
+    ``journal_path=None`` keeps the journal in memory (fast tests);
+    give a path for durability, and pass ``recover=True`` to rebuild
+    the job table from that journal after a crash — the deployment
+    half of the submit → crash → restart → recover story.
+    """
+    base = build_single_service(
+        workload, wsrf=wsrf, network=network, clock=clock
+    )
+    if recover:
+        if journal_path is None:
+            raise ValueError("recover=True requires a journal_path")
+        manager = JobManager.recover(
+            journal_path, clock=clock, default_lease_seconds=lease_seconds
+        )
+    else:
+        manager = JobManager(
+            journal=JobJournal(journal_path),
+            clock=clock,
+            default_lease_seconds=lease_seconds,
+        )
+    base.service.enable_jobs(manager, terminal_ttl=terminal_ttl)
+    runner = JobRunner(manager, workers=workers)
+    return JobsDeployment(
+        base.registry,
+        base.service,
+        base.database,
+        base.resource,
+        base.client,
+        jobs=manager,
+        runner=runner,
+    )
 
 
 @dataclass

@@ -1,0 +1,220 @@
+"""Concurrency and idempotency: every race converges to one outcome.
+
+The races the lease/first-writer-wins design must absorb:
+
+* two workers claiming the same job at the same instant;
+* a lease expiring mid-execution, the job re-run, and *both* runs
+  finishing — at-least-once execution, exactly-one result;
+* duplicate terminal commits (the loser rolls back its materialization);
+* a cancel racing a completion.
+"""
+
+import threading
+
+import pytest
+
+from repro.jobs import (
+    CANCELLED,
+    COMPLETED,
+    ERROR,
+    EXECUTING,
+    PENDING,
+    TERMINAL_PHASES,
+    JobJournal,
+    JobManager,
+    JobRunner,
+    execute_claimed,
+)
+from repro.wsrf.clock import ManualClock
+
+LEASE = 10.0
+
+
+@pytest.fixture()
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture()
+def manager(clock):
+    return JobManager(clock=clock, default_lease_seconds=LEASE)
+
+
+def test_two_workers_racing_one_job(manager):
+    """Exactly one of N simultaneous claims wins the single job."""
+    manager.submit("k", {})
+    barrier = threading.Barrier(4)
+    wins: list = []
+
+    def contend(worker):
+        barrier.wait()
+        wins.append(manager.claim(worker))
+
+    threads = [
+        threading.Thread(target=contend, args=(f"w{i}",)) for i in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    claimed = [job for job in wins if job is not None]
+    assert len(claimed) == 1
+    assert claimed[0].phase == EXECUTING
+    assert claimed[0].attempts == 1
+
+
+def test_claim_respects_live_lease(manager, clock):
+    job = manager.submit("k", {})
+    assert manager.claim("w0") is not None
+    # The lease is live: nobody else can steal the job.
+    clock.advance(LEASE - 0.1)
+    assert manager.claim("w1") is None
+    # ...until it expires; then the claim journals lease-expired and
+    # hands the job to the new worker with a bumped attempt count.
+    clock.advance(0.2)
+    reclaimed = manager.claim("w1")
+    assert reclaimed is not None and reclaimed.job_id == job.job_id
+    assert reclaimed.worker == "w1"
+    assert reclaimed.attempts == 2
+    assert manager.metrics.counter("jobs.lease_expired").total() == 1
+
+
+def test_extend_lease_heartbeat(manager, clock):
+    job = manager.submit("k", {})
+    manager.claim("w0")
+    clock.advance(LEASE - 1.0)
+    assert manager.extend_lease(job.job_id, "w0")
+    clock.advance(LEASE - 1.0)  # would have expired without the heartbeat
+    assert manager.claim("w1") is None
+    # Only the holder can heartbeat.
+    assert not manager.extend_lease(job.job_id, "w1")
+    assert not manager.extend_lease("urn:no-such-job", "w0")
+
+
+def test_lease_expiry_mid_execution_converges(manager, clock):
+    """Both the stale run and the re-run finish; one result survives."""
+    materialized: list[str] = []
+
+    def executor(job):
+        name = f"res-{job.job_id}-attempt{job.attempts}"
+        materialized.append(name)
+        return {"abstract_name": name}
+
+    def rollback(job, result):
+        materialized.remove(result["abstract_name"])
+
+    manager.register_executor("k", executor, rollback=rollback)
+    job = manager.submit("k", {})
+
+    stale = manager.claim("w0")  # starts executing, then stalls...
+    clock.advance(LEASE + 1.0)
+    rerun = manager.claim("w1")  # ...lease expires, re-run claims
+    assert rerun is not None and rerun.attempts == 2
+
+    # The re-run commits first; the stale worker's completion loses and
+    # its materialization is rolled back.
+    assert execute_claimed(manager, rerun) is True
+    assert execute_claimed(manager, stale) is False
+
+    final = manager.get(job.job_id)
+    assert final.phase == COMPLETED
+    assert materialized == [final.result["abstract_name"]]
+    assert manager.metrics.counter("jobs.duplicate_outcomes").total() == 1
+
+
+def test_duplicate_complete_is_idempotent(manager):
+    job = manager.submit("k", {})
+    manager.claim("w0")
+    assert manager.complete(job.job_id, {"abstract_name": "a"}) is True
+    assert manager.complete(job.job_id, {"abstract_name": "b"}) is False
+    assert manager.fail(job.job_id, "X", "late fault") is False
+    final = manager.get(job.job_id)
+    assert final.phase == COMPLETED
+    assert final.result == {"abstract_name": "a"}  # first writer's result
+    assert final.fault_type == ""
+    assert manager.metrics.counter("jobs.duplicate_outcomes").total() == 2
+
+
+def test_cancel_racing_completion(manager):
+    """Cancel lands while EXECUTING: cancel wins, completion rolls back."""
+    materialized: list[str] = []
+    manager.register_executor(
+        "k",
+        lambda job: (materialized.append("r"), {"abstract_name": "r"})[1],
+        rollback=lambda job, result: materialized.remove("r"),
+    )
+    job = manager.submit("k", {})
+    claimed = manager.claim("w0")
+    cancelled = manager.cancel(job.job_id)
+    assert cancelled.phase == CANCELLED
+    assert cancelled.cancel_requested
+
+    assert execute_claimed(manager, claimed) is False
+    final = manager.get(job.job_id)
+    assert final.phase == CANCELLED
+    assert final.result is None
+    assert materialized == []  # the losing materialization was undone
+
+
+def test_completion_racing_cancel(manager):
+    """The mirror race: completion commits first, cancel is a no-op."""
+    job = manager.submit("k", {})
+    manager.claim("w0")
+    assert manager.complete(job.job_id, {"abstract_name": "a"})
+    after = manager.cancel(job.job_id)
+    assert after.phase == COMPLETED  # one terminal state, cancel lost
+    # Cancel-after-the-fact is a pure no-op: it neither journals nor
+    # counts as a lost terminal race.
+    assert manager.metrics.counter("jobs.duplicate_outcomes").total() == 0
+    assert manager.metrics.counter("jobs.cancelled").total() == 0
+
+
+def test_cancel_pending_job(manager):
+    job = manager.submit("k", {})
+    assert manager.cancel(job.job_id).phase == CANCELLED
+    assert manager.claim("w0") is None  # cancelled jobs are not runnable
+
+
+def test_threaded_pool_completes_each_job_exactly_once(tmp_path):
+    """A real worker pool over a real journal: N jobs, N completions."""
+    path = tmp_path / "journal.jsonl"
+    manager = JobManager(
+        journal=JobJournal(str(path), fsync=False), default_lease_seconds=30.0
+    )
+    executions: list[str] = []
+    lock = threading.Lock()
+
+    def executor(job):
+        with lock:
+            executions.append(job.job_id)
+        return {"abstract_name": f"res-{job.job_id}"}
+
+    manager.register_executor("k", executor)
+    jobs = [manager.submit("k", {"n": n}) for n in range(40)]
+    with JobRunner(manager, workers=4, poll_interval=0.001):
+        deadline = 200
+        while deadline and any(
+            not manager.get(job.job_id).terminal for job in jobs
+        ):
+            deadline -= 1
+            threading.Event().wait(0.01)
+    phases = [manager.get(job.job_id).phase for job in jobs]
+    assert phases == [COMPLETED] * 40
+    assert sorted(executions) == sorted(job.job_id for job in jobs)
+    # The journal agrees: exactly one completed record per job.
+    completed = [
+        r["job"] for r in manager.journal.records() if r["event"] == "completed"
+    ]
+    assert sorted(completed) == sorted(job.job_id for job in jobs)
+
+
+def test_executing_jobs_survive_as_pending_not_lost(manager, clock):
+    """An abandoned claim is never lost — it goes back to the queue."""
+    manager.register_executor("k", lambda job: {"abstract_name": "a"})
+    job = manager.submit("k", {})
+    manager.claim("w0")  # worker dies silently
+    clock.advance(LEASE + 1)
+    assert manager.jobs(EXECUTING)[0].job_id == job.job_id
+    JobRunner(manager, workers=1).drain()
+    assert manager.get(job.job_id).phase == COMPLETED
+    assert manager.get(job.job_id).attempts == 2

@@ -1,0 +1,247 @@
+"""Crash-recovery property suite: kill the journal at arbitrary offsets.
+
+Each scenario drives a real :class:`JobManager` through a seeded random
+schedule of submits, claims, executions, cancels and virtual-clock
+jumps, journalling to a file as production would.  The "crash" is then
+simulated the way crashes actually bite: the journal file is cut at a
+byte offset chosen at random (mid-record more often than not) and a new
+manager recovers from the truncated file.
+
+The contract asserted for every truncation point:
+
+* recovery never raises — any prefix of the journal (plus one torn
+  final line) replays to a legal state machine;
+* no lost jobs — every job whose submission made it to disk is present
+  (unless durably forgotten), and nothing else is;
+* terminal outcomes are durable — COMPLETED keeps its recorded result,
+  ERROR keeps the *original* fault type and message;
+* no double-materialized results — at most one terminal record per job
+  ever reaches the journal (first-writer-wins is what the journal
+  proves), and re-running recovered jobs converges every job to exactly
+  one terminal phase;
+* the recovered journal keeps working — draining the queue and
+  recovering *again* reproduces the post-drain state byte-for-byte in
+  phases (the append-after-torn-tail edge).
+
+Seeds derive from one base seed so failures replay exactly; set
+``JOBS_SEED`` to explore a different slice, e.g.::
+
+    JOBS_SEED=123456 pytest tests/jobs/test_crash_recovery.py
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.core.faults import InvalidExpressionFault
+from repro.jobs import (
+    JobJournal,
+    JobManager,
+    JobRunner,
+    execute_claimed,
+    parse_journal_text,
+)
+from repro.jobs.model import (
+    CANCELLED,
+    COMPLETED,
+    ERROR,
+    EXECUTING,
+    PENDING,
+    PHASES,
+    TERMINAL_PHASES,
+)
+from repro.wsrf.clock import ManualClock
+
+BASE_SEED = int(os.environ.get("JOBS_SEED", "20050505"))
+SCENARIOS = 40
+#: Random truncation points per scenario, plus the two boundary cuts
+#: (empty journal, uncut journal) -> >= 240 crash cases per run.
+CUTS_PER_SCENARIO = 4
+OPS_PER_SCENARIO = 28
+LEASE_SECONDS = 5.0
+
+TERMINAL_EVENTS = {"completed", "failed", "cancelled"}
+
+
+def _register_executors(manager: JobManager) -> None:
+    manager.register_executor(
+        "ok",
+        lambda job: {
+            "abstract_name": f"urn:dais:res:{job.job_id}",
+            "address": "dais://svc",
+        },
+    )
+
+    def boom(job):
+        raise InvalidExpressionFault(f"cannot evaluate job {job.job_id}")
+
+    manager.register_executor("boom", boom)
+
+
+def _run_scenario(rng: random.Random, path: str) -> None:
+    """Random-but-legal manager activity, journalled to *path*."""
+    clock = ManualClock()
+    manager = JobManager(
+        journal=JobJournal(path, fsync=False),
+        clock=clock,
+        default_lease_seconds=LEASE_SECONDS,
+    )
+    _register_executors(manager)
+    ops = (
+        ["submit"] * 6 + ["run_once"] * 5 + ["claim_only"] * 3
+        + ["cancel"] * 2 + ["advance"] * 3
+    )
+    for step in range(OPS_PER_SCENARIO):
+        op = rng.choice(ops)
+        if op == "submit" or not manager.jobs():
+            kind = "ok" if rng.random() < 0.7 else "boom"
+            manager.submit(kind, {"step": step})
+        elif op == "run_once":
+            job = manager.claim(f"w{rng.randrange(3)}")
+            if job is not None:
+                execute_claimed(manager, job)
+        elif op == "claim_only":
+            # Claim and walk away: the crash will catch this job
+            # EXECUTING, or its lease expires first.
+            manager.claim(f"w{rng.randrange(3)}")
+        elif op == "cancel":
+            manager.cancel(rng.choice([j.job_id for j in manager.jobs()]))
+        elif op == "advance":
+            clock.advance(rng.uniform(0.0, LEASE_SECONDS * 1.6))
+    manager.journal.close()
+
+
+def _durable_view(data: bytes) -> list[dict]:
+    """What the truncated journal durably says (torn tail dropped)."""
+    return parse_journal_text(data.decode("utf-8", errors="replace"))
+
+
+def _assert_recovered_state(manager: JobManager, records: list[dict], ctx: str):
+    submitted = {r["job"] for r in records if r["event"] == "submitted"}
+    forgotten = {r["job"] for r in records if r["event"] == "forgotten"}
+    last_terminal = {
+        r["job"]: r for r in records if r["event"] in TERMINAL_EVENTS
+    }
+
+    # At most one terminal record per job ever reached the journal:
+    # first-writer-wins means the losers never journalled.
+    terminal_counts: dict[str, int] = {}
+    for record in records:
+        if record["event"] in TERMINAL_EVENTS:
+            terminal_counts[record["job"]] = (
+                terminal_counts.get(record["job"], 0) + 1
+            )
+    doubled = {job for job, n in terminal_counts.items() if n > 1}
+    assert not doubled, f"{ctx}: duplicate terminal records for {doubled}"
+
+    jobs = {job.job_id: job for job in manager.jobs()}
+    assert set(jobs) == submitted - forgotten, f"{ctx}: lost or invented jobs"
+
+    for job in jobs.values():
+        assert job.phase in PHASES, f"{ctx}: bogus phase {job.phase!r}"
+        assert job.phase != EXECUTING, (
+            f"{ctx}: {job.job_id} still EXECUTING after recovery"
+        )
+        record = last_terminal.get(job.job_id)
+        if record is None:
+            assert job.phase == PENDING, (
+                f"{ctx}: {job.job_id} is {job.phase} without a durable "
+                "terminal record"
+            )
+            continue
+        expected = {
+            "completed": COMPLETED, "failed": ERROR, "cancelled": CANCELLED
+        }[record["event"]]
+        assert job.phase == expected, (
+            f"{ctx}: {job.job_id} recovered as {job.phase}, journal says "
+            f"{expected}"
+        )
+        if job.phase == COMPLETED:
+            assert job.result == record.get("result", {}), (
+                f"{ctx}: {job.job_id} lost its result across the crash"
+            )
+        if job.phase == ERROR:
+            assert job.fault_type == record.get("fault_type", ""), (
+                f"{ctx}: {job.job_id} lost its fault type"
+            )
+            assert job.fault_message == record.get("fault_message", ""), (
+                f"{ctx}: {job.job_id} lost its fault message"
+            )
+            assert job.fault_type == "InvalidExpressionFault", (
+                f"{ctx}: ERROR fault is not the original typed fault"
+            )
+
+
+@pytest.mark.parametrize("scenario", range(SCENARIOS))
+def test_recovery_from_any_truncation_point(scenario, tmp_path):
+    rng = random.Random(BASE_SEED + scenario)
+    source = tmp_path / "journal.jsonl"
+    _run_scenario(rng, str(source))
+    data = source.read_bytes()
+    assert data, "scenario produced an empty journal"
+
+    offsets = sorted(
+        {0, len(data)}
+        | {rng.randrange(len(data) + 1) for _ in range(CUTS_PER_SCENARIO)}
+    )
+    for offset in offsets:
+        ctx = f"seed={BASE_SEED + scenario} cut={offset}/{len(data)}"
+        crashed = tmp_path / f"crash-{offset}.jsonl"
+        crashed.write_bytes(data[:offset])
+
+        records = _durable_view(data[:offset])
+        manager = JobManager.recover(
+            str(crashed),
+            clock=ManualClock(10_000.0),
+            default_lease_seconds=LEASE_SECONDS,
+        )
+        _assert_recovered_state(manager, records, ctx)
+
+        # The recovered queue must keep working: drain everything that
+        # was handed back, then prove the continued journal itself
+        # recovers (the append-after-torn-tail edge).
+        _register_executors(manager)
+        JobRunner(manager, workers=1).drain()
+        for job in manager.jobs():
+            assert job.phase in TERMINAL_PHASES, (
+                f"{ctx}: {job.job_id} did not converge after drain"
+            )
+        manager.journal.close()
+
+        again = JobManager.recover(str(crashed), clock=ManualClock(20_000.0))
+        assert {j.job_id: j.phase for j in again.jobs()} == {
+            j.job_id: j.phase for j in manager.jobs()
+        }, f"{ctx}: post-drain journal did not round-trip"
+        again.journal.close()
+
+
+def test_mid_file_corruption_is_reported(tmp_path):
+    """Damage before the final line is real corruption, not a crash."""
+    from repro.jobs.journal import JournalCorruptError
+
+    path = tmp_path / "journal.jsonl"
+    clock = ManualClock()
+    manager = JobManager(
+        journal=JobJournal(str(path), fsync=False), clock=clock
+    )
+    manager.submit("ok", {})
+    manager.submit("ok", {})
+    manager.journal.close()
+    lines = path.read_bytes().split(b"\n")
+    lines[0] = lines[0][: len(lines[0]) // 2]  # damage a *non-final* line
+    path.write_bytes(b"\n".join(lines))
+    with pytest.raises(JournalCorruptError):
+        JobManager.recover(str(path))
+
+
+def test_replay_of_unknown_event_is_corruption(tmp_path):
+    from repro.jobs.journal import JournalCorruptError, replay_records
+
+    with pytest.raises(JournalCorruptError):
+        replay_records(
+            [{"seq": 1, "event": "teleported", "job": "j", "at": 0.0}]
+        )
+    # ...and so is an event for a job never submitted in the prefix.
+    with pytest.raises(JournalCorruptError):
+        replay_records([{"seq": 1, "event": "claimed", "job": "j", "at": 0.0}])

@@ -1,0 +1,89 @@
+"""The job state machine: the legal-transition relation, exhaustively.
+
+Everything else in the jobs subsystem (idempotent completion, lease
+expiry, crash recovery) reduces to this relation, so it is pinned here
+transition by transition.
+"""
+
+import pytest
+
+from repro.jobs.model import (
+    CANCELLED,
+    COMPLETED,
+    ERROR,
+    EXECUTING,
+    LEGAL_TRANSITIONS,
+    PENDING,
+    PHASES,
+    TERMINAL_PHASES,
+    IllegalTransitionError,
+    Job,
+    check_transition,
+)
+
+LEGAL = [
+    (PENDING, EXECUTING),
+    (PENDING, CANCELLED),
+    (EXECUTING, COMPLETED),
+    (EXECUTING, ERROR),
+    (EXECUTING, CANCELLED),
+    # The at-least-once edge: lease expiry / crash recovery.
+    (EXECUTING, PENDING),
+]
+
+
+@pytest.mark.parametrize("current,target", LEGAL)
+def test_legal_transitions(current, target):
+    check_transition(current, target)  # must not raise
+    job = Job(job_id="j", kind="k", phase=current)
+    job.transition(target)
+    assert job.phase == target
+
+
+@pytest.mark.parametrize(
+    "current,target",
+    [
+        (current, target)
+        for current in PHASES
+        for target in PHASES
+        if (current, target) not in LEGAL
+    ],
+)
+def test_illegal_transitions(current, target):
+    with pytest.raises(IllegalTransitionError):
+        check_transition(current, target)
+    job = Job(job_id="j", kind="k", phase=current)
+    with pytest.raises(IllegalTransitionError):
+        job.transition(target)
+    assert job.phase == current  # a rejected transition changes nothing
+
+
+def test_relation_tables_agree():
+    """LEGAL_TRANSITIONS is exactly the LEGAL list, phrased as a map."""
+    as_pairs = {
+        (current, target)
+        for current, targets in LEGAL_TRANSITIONS.items()
+        for target in targets
+    }
+    assert as_pairs == set(LEGAL)
+    assert set(LEGAL_TRANSITIONS) == set(PHASES)
+
+
+def test_terminal_phases_are_absorbing():
+    for phase in TERMINAL_PHASES:
+        assert LEGAL_TRANSITIONS[phase] == frozenset()
+        assert Job(job_id="j", kind="k", phase=phase).terminal
+    for phase in set(PHASES) - TERMINAL_PHASES:
+        assert not Job(job_id="j", kind="k", phase=phase).terminal
+
+
+def test_lease_expiry_predicate():
+    job = Job(job_id="j", kind="k", phase=EXECUTING, lease_expires=10.0)
+    assert not job.lease_expired(9.9)
+    assert job.lease_expired(10.0)  # expiry is inclusive
+    assert job.lease_expired(11.0)
+    # Only EXECUTING jobs hold leases.
+    job.phase = COMPLETED
+    assert not job.lease_expired(11.0)
+    pending = Job(job_id="j2", kind="k", phase=PENDING)
+    assert not pending.lease_expired(11.0)

@@ -1,0 +1,190 @@
+"""Golden wire-format regression tests for the job messages.
+
+The asynchronous half of the factory pattern adds its own spec surface:
+the ``GetJobStatus``/``CancelJob`` envelopes and the ``wsdaij:JobSet``
+resource property.  Each canonical shape is snapshotted byte-for-byte
+under ``golden/`` so serialization drift is a reviewed diff, never an
+accident.
+
+Regenerate deliberately with::
+
+    PYTHONPATH=src python tests/jobs/test_wire_format.py --regen
+"""
+
+import pathlib
+
+import pytest
+
+from repro.core.namespaces import WSDAI_NS
+from repro.jobs import messages as jmsg
+from repro.jobs.model import COMPLETED, ERROR, EXECUTING, PENDING, Job
+from repro.soap.addressing import EndpointReference, MessageHeaders
+from repro.soap.envelope import Envelope
+from repro.xmlutil import E, QName, serialize_bytes
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+ADDRESS = "dais://example/sql"
+JOB_ID = "urn:dais:job:golden:0001"
+RESULT_NAME = "urn:dais:resource:golden:0002"
+
+
+def _headers(action: str) -> MessageHeaders:
+    """Fully pinned headers: no minted ids, no clock, no randomness."""
+    return MessageHeaders(
+        to=ADDRESS, action=action, message_id="urn:dais-py:msg:golden"
+    )
+
+
+def _request(message) -> Envelope:
+    return Envelope(headers=_headers(message.action()), payload=message.to_xml())
+
+
+def _response(message) -> Envelope:
+    return Envelope(
+        headers=_headers(f"{message.action()}Response"), payload=message.to_xml()
+    )
+
+
+def _result_epr() -> EndpointReference:
+    return EndpointReference(
+        address=ADDRESS,
+        reference_parameters=(
+            E(QName(WSDAI_NS, "DataResourceAbstractName"), RESULT_NAME),
+        ),
+    )
+
+
+def _build_envelopes() -> dict[str, Envelope]:
+    return {
+        "get_job_status_request": _request(
+            jmsg.GetJobStatusRequest(abstract_name=JOB_ID)
+        ),
+        "get_job_status_response_pending": _response(
+            jmsg.GetJobStatusResponse(job_id=JOB_ID, phase=PENDING, attempts=0)
+        ),
+        "get_job_status_response_completed": _response(
+            jmsg.GetJobStatusResponse(
+                job_id=JOB_ID,
+                phase=COMPLETED,
+                attempts=1,
+                address=_result_epr(),
+                result_name=RESULT_NAME,
+            )
+        ),
+        "get_job_status_response_error": _response(
+            jmsg.GetJobStatusResponse(
+                job_id=JOB_ID,
+                phase=ERROR,
+                attempts=2,
+                fault_type="InvalidExpressionFault",
+                fault_message="golden fault message",
+            )
+        ),
+        "cancel_job_request": _request(
+            jmsg.CancelJobRequest(abstract_name=JOB_ID)
+        ),
+        "cancel_job_response": _response(
+            jmsg.CancelJobResponse(job_id=JOB_ID, phase="CANCELLED")
+        ),
+    }
+
+
+def _build_documents() -> dict[str, bytes]:
+    """Non-envelope golden shapes: the WSRF job-phase property."""
+    jobs = [
+        Job(job_id=JOB_ID, kind="sql-service:sql-execute-factory",
+            phase=COMPLETED, attempts=1,
+            result={"abstract_name": RESULT_NAME, "address": ADDRESS}),
+        Job(job_id="urn:dais:job:golden:0003", kind="sql-service:sql-execute-factory",
+            phase=ERROR, attempts=2,
+            fault_type="InvalidExpressionFault",
+            fault_message="golden fault message"),
+        Job(job_id="urn:dais:job:golden:0004", kind="sql-service:sql-execute-factory",
+            phase=EXECUTING, attempts=1, cancel_requested=True),
+    ]
+    return {"job_set_property": serialize_bytes(jmsg.job_set_element(jobs))}
+
+
+def _build_all() -> dict[str, bytes]:
+    snapshots = {
+        key: envelope.to_bytes() for key, envelope in _build_envelopes().items()
+    }
+    snapshots.update(_build_documents())
+    return snapshots
+
+
+@pytest.mark.parametrize("key", sorted(_build_all()))
+def test_bytes_match_golden(key):
+    golden_path = GOLDEN_DIR / f"{key}.xml"
+    assert golden_path.exists(), (
+        f"missing snapshot {golden_path}; run this module with --regen"
+    )
+    actual = _build_all()[key]
+    expected = golden_path.read_bytes()
+    assert actual == expected, (
+        f"wire bytes for {key!r} drifted from the golden snapshot "
+        f"({len(actual)} vs {len(expected)} bytes); if intentional, "
+        "regenerate with --regen and review the diff"
+    )
+
+
+@pytest.mark.parametrize("key", sorted(_build_envelopes()))
+def test_golden_bytes_reparse_to_equal_envelope(key):
+    envelope = _build_envelopes()[key]
+    reparsed = Envelope.from_bytes((GOLDEN_DIR / f"{key}.xml").read_bytes())
+    assert reparsed.headers.action == envelope.headers.action
+    assert reparsed.headers.message_id == envelope.headers.message_id
+    assert reparsed.payload.equals(envelope.payload)
+    # A second serialize is byte-stable too (no prefix churn on re-emit).
+    assert reparsed.to_bytes() == envelope.to_bytes()
+
+
+def test_status_response_field_round_trip():
+    """from_xml(to_xml(x)) == x for every populated field combination."""
+    for key in (
+        "get_job_status_response_pending",
+        "get_job_status_response_completed",
+        "get_job_status_response_error",
+    ):
+        envelope = _build_envelopes()[key]
+        parsed = jmsg.GetJobStatusResponse.from_xml(envelope.payload)
+        rebuilt = jmsg.GetJobStatusResponse.from_xml(parsed.to_xml())
+        assert parsed == rebuilt
+        assert parsed.job_id == JOB_ID
+    completed = jmsg.GetJobStatusResponse.from_xml(
+        _build_envelopes()["get_job_status_response_completed"].payload
+    )
+    assert completed.address is not None
+    assert completed.address.address == ADDRESS
+    assert completed.result_name == RESULT_NAME
+
+
+def test_fault_from_status_rehydrates_typed_fault():
+    from repro.core.faults import InvalidExpressionFault
+
+    error = jmsg.GetJobStatusResponse.from_xml(
+        _build_envelopes()["get_job_status_response_error"].payload
+    )
+    fault = jmsg.fault_from_status(error)
+    assert isinstance(fault, InvalidExpressionFault)
+    assert "golden fault message" in str(fault)
+    pending = jmsg.GetJobStatusResponse(job_id=JOB_ID, phase=PENDING)
+    with pytest.raises(ValueError):
+        jmsg.fault_from_status(pending)
+
+
+def _regen() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for key, data in _build_all().items():
+        (GOLDEN_DIR / f"{key}.xml").write_bytes(data)
+        print(f"wrote golden/{key}.xml")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)
