@@ -1,10 +1,32 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-stream coverage-obs trace-demo test-resilience test-concurrency test-jobs chaos-demo jobs-demo
+.PHONY: test bench bench-stream bench-load coverage-obs trace-demo test-resilience test-concurrency test-jobs test-server chaos-demo jobs-demo
 
 test: test-jobs
 	$(PYTHON) -m pytest -x -q
+	BENCH_LOAD_SMOKE=1 PYTHONFAULTHANDLER=1 $(PYTHON) -m pytest benchmarks/test_bench_load.py -q
+
+# Event-loop server suites: c=100 load/soak with keep-alive reuse and
+# admission-control degradation, slow-loris reaping, client in-stream
+# deadlines and chunked-decode edge cases.  Runs once with the default
+# seed, then the load suite again under a fresh LOAD_SEED so workload
+# interleavings vary run to run (set LOAD_SEED to replay a failure).
+test-server:
+	PYTHONFAULTHANDLER=1 $(PYTHON) -m pytest \
+		tests/transport/test_server_load.py \
+		tests/transport/test_server_slowloris.py \
+		tests/transport/test_stream_read_deadline.py \
+		tests/transport/test_lean_response_chunked.py -q
+	LOAD_SEED=$$($(PYTHON) -c 'import random; print(random.randrange(10**6))') \
+		PYTHONFAULTHANDLER=1 $(PYTHON) -m pytest tests/transport/test_server_load.py -q
+
+# Throughput + tail latency with c=100 / 1k / 10k open keep-alive
+# connections; gates on zero lost responses, parseable sheds and a
+# fast /healthz under saturation.  The c=10k tier serves from a
+# subprocess (`python -m repro serve`) for file-descriptor headroom.
+bench-load:
+	PYTHONFAULTHANDLER=1 $(PYTHON) -m pytest benchmarks/test_bench_load.py -q -s
 
 # Durable-jobs suites: state machine, concurrency races, wire formats,
 # end-to-end async factories, and the crash-recovery property suite —

@@ -16,6 +16,12 @@ clients in virtual time and tallies the outcomes — every run must end in
 either a correct answer or a typed DAIS fault — then renders one retried
 call as a trace with its ``rpc.retry`` attempts visible.
 
+``python -m repro serve`` binds one SQL realisation service to a real
+HTTP port (event-loop front end, admission control armed) and serves
+until interrupted, printing ``LISTENING <port>`` first — the deploy
+path used by operators and by the out-of-process tiers of
+``make bench-load``.
+
 ``python -m repro jobs`` walks the durable asynchronous factory story:
 submit a factory request with ``ExecutionMode=asynchronous``, kill the
 process before any worker runs, restart from the journal, recover the
@@ -26,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 
 def self_check() -> int:
@@ -316,6 +323,61 @@ def jobs_main(argv: list[str]) -> int:
                 pass
 
 
+def serve_main(argv: list[str]) -> int:
+    """Stand up one WS-DAIR service on a real HTTP port and serve until
+    interrupted.  The bound port is printed as the first stdout line
+    (``LISTENING <port>``) so harnesses — notably the c=10k tier of
+    ``make bench-load``, which needs the server's file descriptors in a
+    separate process — can drive it programmatically."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="serve one SQL realisation service over HTTP",
+    )
+    parser.add_argument("--port", type=int, default=0, help="TCP port (0 = ephemeral)")
+    parser.add_argument("--workers", type=int, default=8, help="handler pool size")
+    parser.add_argument("--queue-depth", type=int, default=64, help="admission queue bound")
+    parser.add_argument(
+        "--queue-deadline", type=float, default=5.0,
+        help="max queued wait seconds before a shed (<= 0 disables)",
+    )
+    parser.add_argument(
+        "--read-deadline", type=float, default=10.0,
+        help="slow-loris reap deadline for partial requests, seconds",
+    )
+    parser.add_argument(
+        "--idle-timeout", type=float, default=60.0,
+        help="idle keep-alive retention, seconds",
+    )
+    parser.add_argument(
+        "--customers", type=int, default=100, help="synthetic workload size"
+    )
+    options = parser.parse_args(argv)
+
+    from repro.workload import RelationalWorkload, build_http_deployment
+
+    deployment = build_http_deployment(
+        RelationalWorkload(customers=options.customers),
+        port=options.port,
+        workers=options.workers,
+        queue_depth=options.queue_depth,
+        queue_deadline=(
+            options.queue_deadline if options.queue_deadline > 0 else None
+        ),
+        read_deadline=options.read_deadline,
+        idle_timeout=options.idle_timeout,
+    )
+    with deployment.server:
+        print(f"LISTENING {deployment.port}", flush=True)
+        print(f"RESOURCE {deployment.name}", flush=True)
+        print(f"service: {deployment.address}", flush=True)
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     # Only the explicit subcommand routes away from the self-check, so
@@ -326,6 +388,8 @@ def main(argv: list[str] | None = None) -> int:
         return chaos_main(argv[1:])
     if argv and argv[0] == "jobs":
         return jobs_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     return self_check()
 
 

@@ -9,8 +9,13 @@ from repro.bench.harness import (
     span_table,
     summarize_spans,
 )
+from repro.bench.loadgen import LoadReport, percentile, render_post, run_load
 
 __all__ = [
+    "LoadReport",
+    "percentile",
+    "render_post",
+    "run_load",
     "Series",
     "SpanRollup",
     "Table",

@@ -1,0 +1,281 @@
+"""Raw-socket HTTP load generator for the event-loop server benchmarks.
+
+``make bench-load`` needs to hold thousands of *open keep-alive
+connections* against one :class:`~repro.transport.DaisHttpServer` —
+far more than the pooled client transport (or ``http.client``) is
+shaped for.  This generator opens ``connections`` plain sockets up
+front, partitions them across ``threads`` driver threads, and drives
+one full request/response exchange at a time per connection, measuring
+wall latency per exchange.  A separate prober hits ``GET /healthz`` on
+its own connection throughout, so the loop-thread fast path is
+measured *under* the load, not beside it.
+
+Responses are classified strictly: a 200 counts as served; a 503 must
+carry a parseable SOAP ``ServiceBusyFault`` envelope to count as a
+shed (anything else is an error); every other outcome — wrong status,
+truncated body, connection reset — is a lost response.  The benchmark
+gates on ``lost == 0``.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["LoadReport", "percentile", "render_post", "run_load"]
+
+_RECV = 65536
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The *q*-quantile (0..1) of *values* by nearest-rank."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(q * len(ordered)) - (0 if q < 1 else 1)))
+    return ordered[rank]
+
+
+def render_post(path: str, body: bytes) -> bytes:
+    """One keep-alive SOAP POST as exact wire bytes."""
+    head = (
+        f"POST {path} HTTP/1.1\r\n"
+        f"Host: 127.0.0.1\r\n"
+        f"Content-Type: text/xml; charset=utf-8\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"\r\n"
+    ).encode("ascii")
+    return head + body
+
+
+class _WireError(Exception):
+    """The peer broke HTTP framing (or the socket died)."""
+
+
+class _Conn:
+    """A buffered raw connection that can read full HTTP responses."""
+
+    __slots__ = ("sock", "buf")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.buf = bytearray()
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def _fill(self) -> None:
+        piece = self.sock.recv(_RECV)
+        if not piece:
+            raise _WireError("connection closed mid-response")
+        self.buf.extend(piece)
+
+    def _read_line(self) -> bytes:
+        while True:
+            index = self.buf.find(b"\r\n")
+            if index >= 0:
+                line = bytes(self.buf[:index])
+                del self.buf[: index + 2]
+                return line
+            self._fill()
+
+    def _read_exact(self, count: int) -> bytes:
+        while len(self.buf) < count:
+            self._fill()
+        data = bytes(self.buf[:count])
+        del self.buf[:count]
+        return data
+
+    def read_response(self) -> tuple[int, bytes]:
+        """Read one complete response → (status, body)."""
+        status_line = self._read_line()
+        parts = status_line.split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise _WireError(f"bad status line {status_line!r}")
+        status = int(parts[1])
+        headers: dict[bytes, bytes] = {}
+        while True:
+            line = self._read_line()
+            if not line:
+                break
+            key, _, value = line.partition(b":")
+            headers[key.strip().lower()] = value.strip()
+        if headers.get(b"transfer-encoding", b"").lower() == b"chunked":
+            body = bytearray()
+            while True:
+                size_token = self._read_line().split(b";", 1)[0].strip()
+                try:
+                    size = int(size_token, 16)
+                except ValueError as err:
+                    raise _WireError(f"bad chunk size {size_token!r}") from err
+                if size == 0:
+                    while self._read_line():  # drain trailers
+                        pass
+                    break
+                body.extend(self._read_exact(size))
+                if self._read_exact(2) != b"\r\n":
+                    raise _WireError("missing chunk CRLF")
+            return status, bytes(body)
+        length = int(headers.get(b"content-length", b"0"))
+        return status, self._read_exact(length)
+
+
+@dataclass
+class LoadReport:
+    """The outcome of one load run."""
+
+    connections: int
+    threads: int
+    requests: int
+    ok: int
+    sheds: int
+    unparseable_sheds: int
+    lost: int
+    elapsed: float
+    latencies: list[float] = field(repr=False)
+    healthz_latencies: list[float] = field(repr=False)
+    errors: list[str] = field(default_factory=list, repr=False)
+
+    @property
+    def throughput(self) -> float:
+        return self.requests / self.elapsed if self.elapsed > 0 else 0.0
+
+    def latency_ms(self, q: float) -> float:
+        return percentile(self.latencies, q) * 1000.0
+
+    def healthz_ms(self, q: float) -> float:
+        return percentile(self.healthz_latencies, q) * 1000.0
+
+
+def _shed_parses(body: bytes) -> bool:
+    from repro.core.faults import ServiceBusyFault
+    from repro.soap.envelope import Envelope
+
+    try:
+        Envelope.from_bytes(body).raise_if_fault()
+    except ServiceBusyFault:
+        return True
+    except Exception:  # noqa: BLE001 - any other shape is a bad shed
+        return False
+    return False  # a 503 with no fault envelope is a bad shed
+
+
+def run_load(
+    port: int,
+    path: str,
+    body: bytes,
+    *,
+    connections: int,
+    requests_per_connection: int = 1,
+    threads: int = 16,
+    timeout: float = 60.0,
+    healthz_interval: float = 0.005,
+) -> LoadReport:
+    """Open ``connections`` keep-alive sockets, drive them from
+    ``threads`` driver threads, and probe ``/healthz`` throughout."""
+    request = render_post(path, body)
+    conns: list[_Conn] = []
+    for _ in range(connections):
+        sock = socket.create_connection(("127.0.0.1", port), timeout=timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        conns.append(_Conn(sock))
+
+    lock = threading.Lock()
+    latencies: list[float] = []
+    errors: list[str] = []
+    counts = {"ok": 0, "shed": 0, "bad_shed": 0, "lost": 0}
+
+    def drive(partition: list[_Conn]) -> None:
+        local_latencies = []
+        local_counts = {"ok": 0, "shed": 0, "bad_shed": 0, "lost": 0}
+        local_errors = []
+        for _round in range(requests_per_connection):
+            for conn in partition:
+                started = time.monotonic()
+                try:
+                    conn.sock.sendall(request)
+                    status, payload = conn.read_response()
+                except (OSError, _WireError) as err:
+                    local_counts["lost"] += 1
+                    local_errors.append(repr(err))
+                    continue
+                local_latencies.append(time.monotonic() - started)
+                if status == 200:
+                    local_counts["ok"] += 1
+                elif status == 503:
+                    if _shed_parses(payload):
+                        local_counts["shed"] += 1
+                    else:
+                        local_counts["bad_shed"] += 1
+                        local_errors.append(f"unparseable 503: {payload[:120]!r}")
+                else:
+                    local_counts["lost"] += 1
+                    local_errors.append(f"status {status}: {payload[:120]!r}")
+        with lock:
+            latencies.extend(local_latencies)
+            errors.extend(local_errors[:20])
+            for key, value in local_counts.items():
+                counts[key] += value
+
+    healthz_latencies: list[float] = []
+    stop_probe = threading.Event()
+
+    def probe() -> None:
+        sock = socket.create_connection(("127.0.0.1", port), timeout=timeout)
+        probe_conn = _Conn(sock)
+        wire = b"GET /healthz HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n"
+        try:
+            while not stop_probe.is_set():
+                started = time.monotonic()
+                probe_conn.sock.sendall(wire)
+                status, _payload = probe_conn.read_response()
+                healthz_latencies.append(time.monotonic() - started)
+                if status != 200:
+                    errors.append(f"healthz status {status}")
+                stop_probe.wait(healthz_interval)
+        except (OSError, _WireError) as err:
+            errors.append(f"healthz probe died: {err!r}")
+        finally:
+            probe_conn.close()
+
+    thread_count = max(1, min(threads, connections))
+    partitions: list[list[_Conn]] = [[] for _ in range(thread_count)]
+    for index, conn in enumerate(conns):
+        partitions[index % thread_count].append(conn)
+
+    drivers = [
+        threading.Thread(target=drive, args=(partition,))
+        for partition in partitions
+    ]
+    prober = threading.Thread(target=probe, daemon=True)
+    started = time.monotonic()
+    prober.start()
+    for thread in drivers:
+        thread.start()
+    for thread in drivers:
+        thread.join()
+    elapsed = time.monotonic() - started
+    stop_probe.set()
+    prober.join(timeout=5)
+    for conn in conns:
+        conn.close()
+
+    total = connections * requests_per_connection
+    return LoadReport(
+        connections=connections,
+        threads=thread_count,
+        requests=total,
+        ok=counts["ok"],
+        sheds=counts["shed"],
+        unparseable_sheds=counts["bad_shed"],
+        lost=counts["lost"],
+        elapsed=elapsed,
+        latencies=latencies,
+        healthz_latencies=healthz_latencies,
+        errors=errors,
+    )

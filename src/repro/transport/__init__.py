@@ -10,6 +10,7 @@ deterministically, which is what the figure benchmarks report.
 from repro.transport.wire import CallRecord, NetworkModel, WireStats
 from repro.transport.loopback import LoopbackTransport
 from repro.transport.pool import HttpConnectionPool
+from repro.transport.eventloop import EventLoopCore
 from repro.transport.httpserver import DaisHttpServer, HttpTransport
 
 __all__ = [
@@ -18,6 +19,7 @@ __all__ = [
     "WireStats",
     "LoopbackTransport",
     "HttpConnectionPool",
+    "EventLoopCore",
     "DaisHttpServer",
     "HttpTransport",
 ]

@@ -1,0 +1,526 @@
+"""The event-loop transport core: one selector thread, a bounded worker
+pool, and admission control between them.
+
+``ThreadingHTTPServer`` spent one OS thread per *connection* — at the
+millions-of-users concurrency the paper's fabric aims for, ten thousand
+mostly-idle keep-alive consumers would pin ten thousand stacks.  This
+core inverts the model:
+
+* an **event loop** (one thread, a ``selectors`` poll) owns every idle
+  or partially-read connection: it accepts, reads incrementally through
+  :class:`~repro.transport.http11.RequestParser`, reaps slow or idle
+  connections on deadlines, and performs non-blocking buffered writes
+  for the responses it produces itself;
+* a **bounded worker pool** owns a connection only for the span of one
+  admitted request: the worker handles it, writes the response
+  (blocking, under a write timeout), and hands the connection back to
+  the loop for the next keep-alive request;
+* an **admission queue** sits between them: bounded depth, bounded
+  queued wait.  Overload is not an accident here — it is converted into
+  an explicit, wire-correct *shed* decision the application renders
+  (for DAIS: a retryable ``ServiceBusyFault``, per the DALI
+  service-busy convention).
+
+The core is application-agnostic: it drives an *app* object (in
+practice :class:`~repro.transport.httpserver.DaisHttpServer`) through a
+small protocol::
+
+    app.fast_response(request) -> bytes | None
+        Loop-thread fast path (GET /healthz, /metrics, ...).  Must not
+        block; returning bytes answers without touching the queue, so
+        probes survive saturation.  None means "queue it".
+    app.render_shed(request, reason, depth) -> bytes
+        A complete response for a request refused at admission
+        ("full") — rendered on the loop thread, written non-blocking.
+    app.on_request(conn, request, core, waited) -> None
+        Worker-thread handler for one admitted request.  Must finish by
+        calling core.finish(conn, keep_alive=...) exactly once (or
+        core.close(conn)).
+    app.on_shed(conn, request, core, waited) -> None
+        Worker-thread handler for a request whose queued wait exceeded
+        the admission deadline; same completion contract.
+
+Ownership rule: a connection is owned either by the loop (registered in
+the selector, non-blocking) or by exactly one worker (unregistered,
+blocking with a write timeout) — never both.  ``core.finish`` is the
+only way ownership returns to the loop.
+"""
+
+from __future__ import annotations
+
+import queue
+import selectors
+import socket
+import threading
+import time
+from collections import deque
+
+from repro.obs import MetricsRegistry
+
+from repro.transport.http11 import (
+    HttpParseError,
+    ParsedRequest,
+    RequestParser,
+    render_response,
+)
+
+__all__ = ["Connection", "EventLoopCore", "SHED_FULL", "SHED_DEADLINE"]
+
+#: Shed reasons, used as metric labels and span attributes.
+SHED_FULL = "queue-full"
+SHED_DEADLINE = "queue-deadline"
+
+_RECV_SIZE = 65536
+
+
+class Connection:
+    """Per-connection state shared by the loop and (briefly) a worker."""
+
+    __slots__ = (
+        "sock",
+        "fd",
+        "parser",
+        "outbuf",
+        "close_after_flush",
+        "close_event",
+        "request_started",
+        "last_activity",
+        "want_write",
+    )
+
+    def __init__(self, sock: socket.socket, parser: RequestParser) -> None:
+        self.sock = sock
+        self.fd = sock.fileno()
+        self.parser = parser
+        self.outbuf = bytearray()
+        self.close_after_flush = False
+        #: Overrides the ``http.server.connections`` event label for
+        #: this connection's close (e.g. a reap counted as "reaped"
+        #: even when the deferred flush performs the actual close).
+        self.close_event: str | None = None
+        #: Monotonic time the currently-partial request started arriving
+        #: (None when no request is in flight on the wire).
+        self.request_started: float | None = None
+        self.last_activity = time.monotonic()
+        self.want_write = False
+
+
+class EventLoopCore:
+    """Selector loop + admission queue + worker pool (see module doc)."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        app,
+        metrics: MetricsRegistry,
+        *,
+        workers: int = 8,
+        queue_depth: int = 64,
+        queue_deadline: float | None = 2.0,
+        read_deadline: float = 10.0,
+        idle_timeout: float = 30.0,
+        write_timeout: float = 30.0,
+        backlog: int = 1024,
+        max_body_bytes: int = 256 * 1024 * 1024,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self._app = app
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.queue_deadline = queue_deadline
+        self.read_deadline = read_deadline
+        self.idle_timeout = idle_timeout
+        self.write_timeout = write_timeout
+        self._max_body_bytes = max_body_bytes
+
+        self.metrics = metrics
+        self._admitted = metrics.counter(
+            "http.server.queue.admitted", "requests admitted to the queue"
+        )
+        self._shed = metrics.counter(
+            "http.server.queue.shed", "requests refused at admission, per reason"
+        )
+        self._depth = metrics.histogram(
+            "http.server.queue.depth", "dispatch queue depth at admission"
+        )
+        self._wait = metrics.histogram(
+            "http.server.queue.wait.seconds", "queued wait before a worker"
+        )
+        self._connections = metrics.counter(
+            "http.server.connections", "connection lifecycle events"
+        )
+
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(backlog)
+        self._listener.setblocking(False)
+
+        self._selector = selectors.DefaultSelector()
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
+        self._conns: dict[int, Connection] = {}
+        #: Connections with a partially-received request (read-deadline
+        #: candidates) — kept separately so the reap scan is O(partial),
+        #: not O(all connections).
+        self._partial: set[Connection] = set()
+        self._resume_box: deque[Connection] = deque()
+        self._resume_lock = threading.Lock()
+        self._wakeup_r, self._wakeup_w = socket.socketpair()
+        self._wakeup_r.setblocking(False)
+        self._running = False
+        self._loop_thread: threading.Thread | None = None
+        self._worker_threads: list[threading.Thread] = []
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        return self._listener.getsockname()[1]
+
+    def start(self) -> None:
+        self._running = True
+        self._selector.register(self._listener, selectors.EVENT_READ, "accept")
+        self._selector.register(self._wakeup_r, selectors.EVENT_READ, "wakeup")
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker, name=f"dais-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._worker_threads.append(thread)
+        self._loop_thread = threading.Thread(
+            target=self._loop, name="dais-eventloop", daemon=True
+        )
+        self._loop_thread.start()
+
+    def stop(self) -> None:
+        self._running = False
+        self._wake()
+        if self._loop_thread is not None:
+            self._loop_thread.join(timeout=5)
+        for _ in self._worker_threads:
+            self._queue.put(None)
+        for thread in self._worker_threads:
+            thread.join(timeout=5)
+        # Drain anything still queued (requests admitted but never
+        # served): their connections just close.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not None:
+                self._close_sock(item[0].sock)
+        for conn in list(self._conns.values()):
+            self._close_sock(conn.sock)
+        self._conns.clear()
+        self._partial.clear()
+        try:
+            self._selector.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+        for sock in (self._listener, self._wakeup_r, self._wakeup_w):
+            self._close_sock(sock)
+
+    # -- worker-side API -------------------------------------------------------
+
+    def finish(self, conn: Connection, keep_alive: bool) -> None:
+        """A worker is done with *conn*: hand it back to the loop for
+        the next keep-alive request, or close it."""
+        if not keep_alive or not self._running:
+            self.close(conn)
+            return
+        with self._resume_lock:
+            self._resume_box.append(conn)
+        self._wake()
+
+    def close(self, conn: Connection) -> None:
+        """Close a worker-owned connection."""
+        self._connections.inc(event="closed")
+        self._close_sock(conn.sock)
+
+    # -- the loop --------------------------------------------------------------
+
+    def _loop(self) -> None:
+        next_idle_sweep = time.monotonic() + self._idle_tick()
+        while self._running:
+            timeout = self._select_timeout()
+            try:
+                events = self._selector.select(timeout)
+            except OSError:  # selector closed under us at shutdown
+                break
+            if not self._running:
+                break
+            for key, mask in events:
+                if key.data == "accept":
+                    self._accept()
+                elif key.data == "wakeup":
+                    self._drain_wakeup()
+                else:
+                    conn = key.data
+                    if mask & selectors.EVENT_WRITE:
+                        self._flush(conn)
+                    if mask & selectors.EVENT_READ and conn.fd in self._conns:
+                        self._readable(conn)
+            self._resume_pending()
+            now = time.monotonic()
+            self._reap_partial(now)
+            if now >= next_idle_sweep:
+                self._sweep_idle(now)
+                next_idle_sweep = now + self._idle_tick()
+
+    def _idle_tick(self) -> float:
+        return max(min(self.idle_timeout / 4.0, 2.0), 0.05)
+
+    def _select_timeout(self) -> float:
+        # Partial requests need deadline resolution; otherwise a coarse
+        # tick for the idle sweep is enough.
+        if self._partial:
+            return max(min(self.read_deadline / 4.0, 0.05), 0.01)
+        return 0.5
+
+    def _accept(self) -> None:
+        while True:
+            try:
+                sock, _addr = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            sock.setblocking(False)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn = Connection(
+                sock, RequestParser(max_body_bytes=self._max_body_bytes)
+            )
+            self._conns[conn.fd] = conn
+            self._selector.register(sock, selectors.EVENT_READ, conn)
+            self._connections.inc(event="accepted")
+
+    def _drain_wakeup(self) -> None:
+        try:
+            while self._wakeup_r.recv(4096):
+                pass
+        except (BlockingIOError, InterruptedError):
+            pass
+
+    def _wake(self) -> None:
+        try:
+            self._wakeup_w.send(b"\x01")
+        except OSError:  # pragma: no cover - shutdown race
+            pass
+
+    def _resume_pending(self) -> None:
+        while True:
+            with self._resume_lock:
+                if not self._resume_box:
+                    return
+                conn = self._resume_box.popleft()
+            sock = conn.sock
+            try:
+                sock.setblocking(False)
+                conn.fd = sock.fileno()
+                self._conns[conn.fd] = conn
+                self._selector.register(sock, selectors.EVENT_READ, conn)
+            except (OSError, ValueError):
+                self._close_conn(conn, "closed")
+                continue
+            conn.last_activity = time.monotonic()
+            conn.want_write = False
+            # The worker's response may have crossed with bytes the
+            # client pipelined; serve anything already buffered.
+            self._drain_requests(conn)
+
+    def _readable(self, conn: Connection) -> None:
+        try:
+            data = conn.sock.recv(_RECV_SIZE)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close_conn(conn, "closed")
+            return
+        if not data:
+            self._close_conn(conn, "closed")
+            return
+        conn.last_activity = time.monotonic()
+        try:
+            conn.parser.feed(data)
+        except HttpParseError as err:
+            self._respond_loop(
+                conn,
+                render_response(
+                    err.status,
+                    "text/plain; charset=utf-8",
+                    f"{err}".encode("utf-8"),
+                    keep_alive=False,
+                ),
+                close=True,
+            )
+            return
+        self._drain_requests(conn)
+        if conn.fd not in self._conns:
+            return
+        if conn.parser.receiving:
+            if conn.request_started is None:
+                conn.request_started = conn.last_activity
+                self._partial.add(conn)
+        else:
+            conn.request_started = None
+            self._partial.discard(conn)
+
+    def _drain_requests(self, conn: Connection) -> None:
+        """Dispatch every complete buffered request until the connection
+        leaves loop ownership (admitted to a worker) or runs dry."""
+        while conn.fd in self._conns:
+            request = conn.parser.next_request()
+            if request is None:
+                return
+            conn.request_started = None
+            self._partial.discard(conn)
+            if not self._dispatch(conn, request):
+                return  # ownership moved to a worker
+
+    def _dispatch(self, conn: Connection, request: ParsedRequest) -> bool:
+        """Route one complete request.  Returns True while the loop still
+        owns the connection."""
+        fast = self._app.fast_response(request)
+        if fast is not None:
+            self._respond_loop(conn, fast, close=not request.keep_alive)
+            return True
+        depth = self._queue.qsize()
+        self._depth.observe(depth)
+        try:
+            self._queue.put_nowait((conn, request, time.monotonic()))
+        except queue.Full:
+            self._shed.inc(reason=SHED_FULL)
+            shed = self._app.render_shed(request, SHED_FULL, depth)
+            self._respond_loop(conn, shed, close=not request.keep_alive)
+            return True
+        self._admitted.inc()
+        self._unregister(conn)
+        return False
+
+    def _respond_loop(
+        self, conn: Connection, payload: bytes, close: bool
+    ) -> None:
+        """Queue *payload* on the connection's outbound buffer and flush
+        as much as the socket accepts right now (never blocking)."""
+        conn.outbuf.extend(payload)
+        if close:
+            conn.close_after_flush = True
+        self._flush(conn)
+
+    def _flush(self, conn: Connection) -> None:
+        sock = conn.sock
+        while conn.outbuf:
+            try:
+                sent = sock.send(bytes(conn.outbuf[:_RECV_SIZE]))
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._close_conn(conn, "closed")
+                return
+            if sent == 0:  # pragma: no cover - send never returns 0
+                break
+            del conn.outbuf[:sent]
+        if conn.outbuf:
+            if not conn.want_write:
+                conn.want_write = True
+                self._selector.modify(
+                    sock, selectors.EVENT_READ | selectors.EVENT_WRITE, conn
+                )
+            return
+        if conn.want_write:
+            conn.want_write = False
+            try:
+                self._selector.modify(sock, selectors.EVENT_READ, conn)
+            except (KeyError, OSError):
+                pass
+        if conn.close_after_flush:
+            self._close_conn(conn, "closed")
+
+    def _reap_partial(self, now: float) -> None:
+        if not self._partial:
+            return
+        for conn in list(self._partial):
+            if (
+                conn.request_started is not None
+                and now - conn.request_started > self.read_deadline
+            ):
+                # A sender that cannot complete a request inside the
+                # read deadline is a slow-loris (or dead): answer 408
+                # best-effort and reap — no worker ever blocked on it.
+                conn.close_event = "reaped"
+                self._respond_loop(
+                    conn,
+                    render_response(
+                        408,
+                        "text/plain; charset=utf-8",
+                        b"request read deadline exceeded",
+                        keep_alive=False,
+                    ),
+                    close=True,
+                )
+                if conn.fd in self._conns:
+                    self._close_conn(conn, "reaped")
+
+    def _sweep_idle(self, now: float) -> None:
+        for conn in list(self._conns.values()):
+            if (
+                conn.request_started is None
+                and not conn.outbuf
+                and now - conn.last_activity > self.idle_timeout
+            ):
+                self._close_conn(conn, "idle")
+
+    # -- worker pool -----------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            conn, request, enqueued = item
+            waited = time.monotonic() - enqueued
+            self._wait.observe(waited)
+            try:
+                conn.sock.settimeout(self.write_timeout)
+            except OSError:
+                self._connections.inc(event="closed")
+                continue
+            try:
+                if (
+                    self.queue_deadline is not None
+                    and waited > self.queue_deadline
+                ):
+                    self._shed.inc(reason=SHED_DEADLINE)
+                    self._app.on_shed(conn, request, self, waited)
+                else:
+                    self._app.on_request(conn, request, self, waited)
+            except Exception:  # noqa: BLE001 - worker must survive anything
+                self.close(conn)
+
+    # -- internals -------------------------------------------------------------
+
+    def _unregister(self, conn: Connection) -> None:
+        self._partial.discard(conn)
+        conn.request_started = None
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, OSError):
+            pass
+        self._conns.pop(conn.fd, None)
+
+    def _close_conn(self, conn: Connection, event: str) -> None:
+        self._unregister(conn)
+        self._connections.inc(event=conn.close_event or event)
+        self._close_sock(conn.sock)
+
+    @staticmethod
+    def _close_sock(sock: socket.socket) -> None:
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass

@@ -1,0 +1,274 @@
+"""Shared HTTP/1.1 request/response codec for the event-loop server.
+
+The selector front end (:mod:`repro.transport.eventloop`) reads bytes
+off non-blocking sockets as they arrive; :class:`RequestParser` turns
+that byte dribble into complete requests *incrementally* — it never
+blocks, never over-reads, and keeps per-connection state so a request
+may arrive one byte at a time (the slow-loris case) without costing
+anything but its buffer.  The rendering half builds wire-correct
+HTTP/1.1 responses: ``Content-Length`` framing for materialized bodies,
+chunk framing for streamed ones.
+
+The codec is deliberately narrower than a general HTTP stack — the DAIS
+exchange profile needs POSTed SOAP envelopes framed by Content-Length,
+a few read-only GETs, and keep-alive — but every limit violation and
+malformed input becomes a typed :class:`HttpParseError` carrying the
+status code the connection should die with, never a hang.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "HttpParseError",
+    "ParsedRequest",
+    "RequestParser",
+    "REASONS",
+    "render_headers",
+    "render_response",
+    "chunk",
+    "TERMINAL_CHUNK",
+]
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Payload Too Large",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    505: "HTTP Version Not Supported",
+}
+
+#: The zero-size chunk that terminates a chunked body.
+TERMINAL_CHUNK = b"0\r\n\r\n"
+
+
+class HttpParseError(ValueError):
+    """A request that cannot be parsed (or violates a codec limit).
+
+    ``status`` is the HTTP status the server should answer with before
+    closing the connection — parse state is unrecoverable afterwards.
+    """
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class ParsedRequest:
+    """One complete request as the event loop hands it to a worker."""
+
+    method: str
+    target: str
+    version: str
+    headers: dict[str, str]
+    body: bytes
+    #: HTTP/1.1 semantics: persist unless the client said close (or
+    #: spoke 1.0 without asking for keep-alive).
+    keep_alive: bool
+
+    @property
+    def path(self) -> str:
+        return self.target
+
+
+class RequestParser:
+    """Incremental HTTP/1.1 request parser for one connection.
+
+    Feed raw bytes with :meth:`feed`; pull complete requests with
+    :meth:`next_request` (pipelined bytes simply stay buffered until
+    asked for).  :attr:`receiving` is True while a request is partially
+    buffered — the event loop uses it to arm the read deadline that
+    reaps slow-loris senders.
+    """
+
+    _LINE, _HEADERS, _BODY = range(3)
+
+    def __init__(
+        self,
+        max_line_bytes: int = 16384,
+        max_header_bytes: int = 65536,
+        max_body_bytes: int = 256 * 1024 * 1024,
+    ) -> None:
+        self.max_line_bytes = max_line_bytes
+        self.max_header_bytes = max_header_bytes
+        self.max_body_bytes = max_body_bytes
+        self._buffer = bytearray()
+        self._state = self._LINE
+        self._method = ""
+        self._target = ""
+        self._version = ""
+        self._headers: dict[str, str] = {}
+        self._header_bytes = 0
+        self._body_length = 0
+        self._ready: list[ParsedRequest] = []
+
+    @property
+    def receiving(self) -> bool:
+        """True while a request is partially buffered (line, headers or
+        an incomplete body) — the slow-loris window."""
+        return self._state != self._LINE or bool(self._buffer)
+
+    def feed(self, data: bytes) -> None:
+        """Buffer *data* and advance the state machine as far as the
+        bytes allow.  Raises :class:`HttpParseError` on malformed input;
+        the connection must be closed after answering."""
+        self._buffer.extend(data)
+        self._advance()
+
+    def next_request(self) -> ParsedRequest | None:
+        """The next complete request, or None when more bytes are needed."""
+        if self._ready:
+            return self._ready.pop(0)
+        return None
+
+    # -- state machine ---------------------------------------------------------
+
+    def _advance(self) -> None:
+        while True:
+            if self._state == self._LINE:
+                line = self._take_line(self.max_line_bytes, "request line")
+                if line is None:
+                    return
+                if not line:
+                    # Tolerate stray blank lines between requests
+                    # (RFC 9112 §2.2 allows ignoring leading CRLF).
+                    continue
+                self._parse_request_line(line)
+                self._state = self._HEADERS
+                self._headers = {}
+                self._header_bytes = 0
+            elif self._state == self._HEADERS:
+                line = self._take_line(self.max_line_bytes, "header line")
+                if line is None:
+                    return
+                self._header_bytes += len(line) + 2
+                if self._header_bytes > self.max_header_bytes:
+                    raise HttpParseError("header section too large", 431)
+                if line:
+                    self._parse_header_line(line)
+                    continue
+                self._body_length = self._content_length()
+                self._state = self._BODY
+            else:  # _BODY
+                if len(self._buffer) < self._body_length:
+                    return
+                body = bytes(self._buffer[: self._body_length])
+                del self._buffer[: self._body_length]
+                self._emit(body)
+                self._state = self._LINE
+
+    def _take_line(self, limit: int, what: str) -> bytes | None:
+        index = self._buffer.find(b"\n")
+        if index == -1:
+            if len(self._buffer) > limit:
+                raise HttpParseError(f"{what} too long", 431)
+            return None
+        if index > limit:
+            raise HttpParseError(f"{what} too long", 431)
+        line = bytes(self._buffer[:index])
+        del self._buffer[: index + 1]
+        return line.rstrip(b"\r")
+
+    def _parse_request_line(self, line: bytes) -> None:
+        try:
+            text = line.decode("iso-8859-1")
+        except UnicodeDecodeError as err:  # pragma: no cover - latin-1 total
+            raise HttpParseError(f"undecodable request line: {err}") from err
+        parts = text.split()
+        if len(parts) != 3:
+            raise HttpParseError(f"malformed request line {text!r}")
+        method, target, version = parts
+        if not version.startswith("HTTP/"):
+            raise HttpParseError(f"malformed HTTP version {version!r}")
+        if version not in ("HTTP/1.1", "HTTP/1.0"):
+            raise HttpParseError(f"unsupported version {version!r}", 505)
+        self._method = method
+        self._target = target
+        self._version = version
+
+    def _parse_header_line(self, line: bytes) -> None:
+        key, sep, value = line.partition(b":")
+        if not sep:
+            raise HttpParseError(f"malformed header line {line!r}")
+        self._headers[key.strip().decode("iso-8859-1").lower()] = (
+            value.strip().decode("iso-8859-1")
+        )
+
+    def _content_length(self) -> int:
+        raw = self._headers.get("content-length")
+        if raw is None:
+            if "chunked" in self._headers.get("transfer-encoding", "").lower():
+                # The exchange profile never sends chunked *requests*;
+                # refuse rather than silently mis-frame.
+                raise HttpParseError("chunked request bodies unsupported", 411)
+            return 0
+        try:
+            length = int(raw)
+        except ValueError as err:
+            raise HttpParseError(f"bad Content-Length {raw!r}") from err
+        if length < 0:
+            raise HttpParseError(f"bad Content-Length {raw!r}")
+        if length > self.max_body_bytes:
+            raise HttpParseError(f"body of {length} bytes too large", 413)
+        return length
+
+    def _emit(self, body: bytes) -> None:
+        connection = self._headers.get("connection", "").lower()
+        if self._version == "HTTP/1.1":
+            keep_alive = "close" not in connection
+        else:
+            keep_alive = "keep-alive" in connection
+        self._ready.append(
+            ParsedRequest(
+                method=self._method,
+                target=self._target,
+                version=self._version,
+                headers=self._headers,
+                body=body,
+                keep_alive=keep_alive,
+            )
+        )
+
+
+# -- response rendering --------------------------------------------------------
+
+
+def render_headers(
+    status: int, headers: list[tuple[str, str]]
+) -> bytes:
+    """The status line plus *headers*, terminated by the blank line."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}\r\n"]
+    for key, value in headers:
+        lines.append(f"{key}: {value}\r\n")
+    lines.append("\r\n")
+    return "".join(lines).encode("iso-8859-1")
+
+
+def render_response(
+    status: int,
+    content_type: str,
+    body: bytes,
+    keep_alive: bool = True,
+) -> bytes:
+    """A complete Content-Length-framed response as one byte string."""
+    headers = [
+        ("Content-Type", content_type),
+        ("Content-Length", str(len(body))),
+    ]
+    if not keep_alive:
+        headers.append(("Connection", "close"))
+    return render_headers(status, headers) + body
+
+
+def chunk(payload: bytes) -> bytes:
+    """One chunk of a ``Transfer-Encoding: chunked`` body."""
+    return b"%x\r\n%s\r\n" % (len(payload), payload)

@@ -6,11 +6,26 @@ the request path selects the service (its address is
 side.  Used by the examples and a handful of integration tests; the
 loopback transport remains the default elsewhere.
 
+The server front end is an **event-loop core**
+(:class:`~repro.transport.eventloop.EventLoopCore`): one selector
+thread multiplexes every keep-alive connection, parses requests
+incrementally, reaps slow-loris senders on a read deadline, and feeds
+complete requests through **admission control** — a bounded dispatch
+queue with depth and queued-wait limits — into a bounded worker pool.
+Overload is a first-class protocol outcome: a refused request is
+answered with a wire-correct 503 carrying a SOAP ``ServiceBusyFault``
+envelope, which the resilience layer already classifies as retryable
+(the IVOA DALI service-busy convention).  ``GET /healthz`` and
+``GET /metrics`` are served on the loop thread itself, bypassing the
+queue, so probes survive saturation.
+
 Per SOAP 1.1 over HTTP, every response carrying a ``soapenv:Fault`` is
 sent with status 500; transport-level problems (unparseable envelope,
 unknown service path) are wrapped into proper SOAP fault envelopes
 rather than ad-hoc error bodies, so consumers always get something
 :meth:`~repro.soap.envelope.Envelope.raise_if_fault` understands.
+Shed responses use 503 to distinguish overload from application faults
+on the wire, but still carry a parseable fault envelope.
 
 Besides the SOAP POST endpoint, the server exposes three read-only GET
 endpoints for operators:
@@ -26,9 +41,7 @@ from __future__ import annotations
 
 import http.client
 import json
-import threading
 import time
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import urlsplit
 
 from repro.core.faults import ServiceBusyFault, ServiceNotFoundFault, TransportFault
@@ -43,6 +56,19 @@ from repro.soap.envelope import Envelope, fault_envelope
 from repro.soap.fault import FaultCode, SoapFault
 from repro.soap.namespaces import SOAP_ENV_NS
 from repro.soap.tracecontext import adopt_current_span, extract_context, inject
+from repro.transport.eventloop import (
+    SHED_DEADLINE,
+    SHED_FULL,
+    Connection,
+    EventLoopCore,
+)
+from repro.transport.http11 import (
+    ParsedRequest,
+    TERMINAL_CHUNK,
+    chunk,
+    render_headers,
+    render_response,
+)
 from repro.transport.pool import HttpConnectionPool
 from repro.transport.wire import CallRecord, NetworkModel, WireStats
 
@@ -65,6 +91,29 @@ class DaisHttpServer:
     handler path itself: matching POSTs are delayed, answered with a
     bare 503/500, a SOAP ``ServiceBusyFault``, or dropped outright
     before the registry ever sees them — real sockets, injected chaos.
+
+    Admission-control knobs (all keyword-only):
+
+    *workers*
+        Bounded handler pool size — the maximum number of requests in
+        service at once, regardless of connection count.
+    *queue_depth*
+        Dispatch queue bound.  A complete request arriving while the
+        queue is full is *shed*: answered immediately with a retryable
+        ``ServiceBusyFault`` (HTTP 503), never buffered without bound.
+    *queue_deadline*
+        Maximum queued wait in seconds (None disables).  A request a
+        worker dequeues later than this is shed rather than served —
+        the client has likely given up; serving it wastes a worker.
+    *read_deadline*
+        Seconds a partially-received request may dribble in before the
+        connection is reaped (the slow-loris guard).  Applies per
+        request, not per byte — workers never block on request reads.
+    *idle_timeout*
+        Seconds an idle keep-alive connection is retained.
+    *write_timeout*
+        Socket timeout for worker response writes (a consumer that
+        stops reading mid-response cannot pin a worker forever).
     """
 
     def __init__(
@@ -72,6 +121,13 @@ class DaisHttpServer:
         registry: ServiceRegistry,
         port: int = 0,
         fault_plan=None,
+        *,
+        workers: int = 8,
+        queue_depth: int = 64,
+        queue_deadline: float | None = 5.0,
+        read_deadline: float = 10.0,
+        idle_timeout: float = 30.0,
+        write_timeout: float = 30.0,
     ) -> None:
         self._registry = registry
         #: Server-side fault injection plan (settable at any time).
@@ -90,112 +146,149 @@ class DaisHttpServer:
         self._chunks = self.metrics.counter(
             "http.server.chunks", "HTTP chunks written for streamed responses"
         )
+        self._core = EventLoopCore(
+            "127.0.0.1",
+            port,
+            app=self,
+            metrics=self.metrics,
+            workers=workers,
+            queue_depth=queue_depth,
+            queue_deadline=queue_deadline,
+            read_deadline=read_deadline,
+            idle_timeout=idle_timeout,
+            write_timeout=write_timeout,
+        )
 
-        outer = self
+    # -- event-loop app protocol (loop thread) ---------------------------------
 
-        class _Handler(BaseHTTPRequestHandler):
-            # HTTP/1.1 keeps the connection alive between requests, so a
-            # pooled client reuses one socket (and one handler thread)
-            # for its whole conversation.  Every response is framed for
-            # 1.1 persistence: Content-Length for materialized bodies,
-            # Transfer-Encoding: chunked for streamed ones.
-            protocol_version = "HTTP/1.1"
-            #: Idle keep-alive connections are dropped after this long.
-            timeout = 30
-            # The status+headers flush and the body are separate writes;
-            # with Nagle on, the body write stalls behind the client's
-            # delayed ACK (~40 ms) on every reused connection.
-            disable_nagle_algorithm = True
+    def fast_response(self, request: ParsedRequest) -> bytes | None:
+        """Loop-thread fast path: answer GETs (and refuse unknown
+        methods) without touching the dispatch queue.  POSTs return
+        None — they go through admission."""
+        if request.method == "POST":
+            return None
+        if request.method != "GET":
+            return render_response(
+                501,
+                "text/plain; charset=utf-8",
+                f"unsupported method {request.method}".encode("utf-8"),
+                keep_alive=False,
+            )
+        # Operators always get an HTTP response: a registry mutating
+        # mid-render (service unregistered between listing and lookup)
+        # becomes a JSON 500, not a dropped connection.
+        try:
+            status, content_type, payload = self._handle_get(request.target)
+        except Exception as exc:  # noqa: BLE001 - operator boundary
+            status = 500
+            content_type = "application/json; charset=utf-8"
+            payload = json.dumps(
+                {"error": f"internal error: {exc}"}
+            ).encode("utf-8")
+        return render_response(
+            status, content_type, payload, keep_alive=request.keep_alive
+        )
 
-            def do_POST(self) -> None:  # noqa: N802 - stdlib API
-                length = int(self.headers.get("Content-Length", "0"))
-                body = self.rfile.read(length)
-                outer._request_bytes.inc(len(body))
-                if not outer._inject(self):
-                    return
-                with get_tracer().span(
-                    "http.server.request", path=self.path
-                ) as span:
-                    response, status = outer._handle(self.path, body)
-                    streamed = status == 200 and response.is_streaming()
-                    payload = None if streamed else response.to_bytes()
-                    span.set_attributes(
-                        status=status,
-                        request_bytes=len(body),
-                        streamed=streamed,
-                    )
-                    if payload is not None:
-                        span.set_attribute("response_bytes", len(payload))
-                    if status != 200:
-                        span.mark_fault()
-                outer._requests.inc(status=str(status))
-                if streamed:
-                    # The lazy payload renders while it is written out;
-                    # the span above already closed, but exporters hold
-                    # the span object, so the byte count (known only
-                    # once the stream drained) still lands on it.
-                    try:
-                        sent = outer._send_chunked(self, response)
-                    except (ConnectionError, BrokenPipeError, TimeoutError):
-                        self.close_connection = True
-                        return
-                    except Exception:
-                        # The 200 status line is long gone, so a mid-
-                        # stream producer failure cannot become a SOAP
-                        # fault; withholding the terminal chunk makes
-                        # the consumer see an incomplete transfer
-                        # instead of a truncated-but-parseable body.
-                        self.close_connection = True
-                        span.mark_fault()
-                        return
-                    if span.recording:
-                        span.set_attribute("response_bytes", sent)
-                    return
-                outer._response_bytes.inc(len(payload))
-                self.send_response(status)
-                self.send_header("Content-Type", "text/xml; charset=utf-8")
-                self.send_header("Content-Length", str(len(payload)))
-                self.end_headers()
-                self.wfile.write(payload)
+    def render_shed(
+        self, request: ParsedRequest, reason: str, depth: int
+    ) -> bytes:
+        """A complete 503 + ``ServiceBusyFault`` response for a request
+        refused at admission (loop thread — must not block)."""
+        with get_tracer().span(
+            "http.server.admission",
+            path=request.target,
+            decision="shed",
+            reason=reason,
+            depth=depth,
+        ) as span:
+            span.mark_fault()
+        return self._shed_payload(request, reason)
 
-            def do_GET(self) -> None:  # noqa: N802 - stdlib API
-                # Operators always get an HTTP response: a registry
-                # mutating mid-render (service unregistered between
-                # listing and lookup) becomes a JSON 500, not a dropped
-                # connection.
-                try:
-                    status, content_type, payload = outer._handle_get(
-                        self.path
-                    )
-                except Exception as exc:  # noqa: BLE001 - operator boundary
-                    status = 500
-                    content_type = "application/json; charset=utf-8"
-                    payload = json.dumps(
-                        {"error": f"internal error: {exc}"}
-                    ).encode("utf-8")
-                self.send_response(status)
-                self.send_header("Content-Type", content_type)
-                self.send_header("Content-Length", str(len(payload)))
-                self.end_headers()
-                self.wfile.write(payload)
+    # -- event-loop app protocol (worker threads) ------------------------------
 
-            def log_message(self, *args) -> None:  # silence stderr
-                pass
+    def on_shed(
+        self, conn: Connection, request: ParsedRequest, core, waited: float
+    ) -> None:
+        """A request dequeued past the admission deadline: shed it now
+        rather than serve a caller that has likely timed out."""
+        with get_tracer().span(
+            "http.server.admission",
+            path=request.target,
+            decision="shed",
+            reason=SHED_DEADLINE,
+            waited_seconds=round(waited, 4),
+        ) as span:
+            span.mark_fault()
+        self._write(conn, core, self._shed_payload(request, SHED_DEADLINE),
+                    keep_alive=request.keep_alive)
 
-        class _Server(ThreadingHTTPServer):
-            def handle_error(self, request, client_address):
-                # A consumer that timed out and hung up mid-response is
-                # business as usual under fault injection — don't splat
-                # a traceback; everything else keeps the stdlib report.
-                import sys
+    def on_request(
+        self, conn: Connection, request: ParsedRequest, core, waited: float
+    ) -> None:
+        """Serve one admitted POST on a worker thread."""
+        body = request.body
+        self._request_bytes.inc(len(body))
+        if not self._apply_fault_plan(conn, request, core):
+            return
+        # The admitted decision rides the request span itself (a
+        # separate admission span would be a second root and fragment
+        # the consumer's trace — only *shed* decisions, which never
+        # open a request span, get standalone admission spans).
+        with get_tracer().span(
+            "http.server.request", path=request.target
+        ) as span:
+            response, status = self._handle(request.target, body)
+            streamed = status == 200 and response.is_streaming()
+            payload = None if streamed else response.to_bytes()
+            span.set_attributes(
+                status=status,
+                request_bytes=len(body),
+                streamed=streamed,
+                admission="admitted",
+                queue_waited_seconds=round(waited, 6),
+            )
+            if payload is not None:
+                span.set_attribute("response_bytes", len(payload))
+            if status != 200:
+                span.mark_fault()
+        self._requests.inc(status=str(status))
+        if streamed:
+            # The lazy payload renders while it is written out; the
+            # span above already closed, but exporters hold the span
+            # object, so the byte count (known only once the stream
+            # drained) still lands on it.
+            try:
+                sent = self._send_chunked(conn, response)
+            except (ConnectionError, BrokenPipeError, TimeoutError, OSError):
+                core.close(conn)
+                return
+            except Exception:
+                # The 200 status line is long gone, so a mid-stream
+                # producer failure cannot become a SOAP fault;
+                # withholding the terminal chunk makes the consumer see
+                # an incomplete transfer instead of a truncated-but-
+                # parseable body.
+                core.close(conn)
+                span.mark_fault()
+                return
+            if span.recording:
+                span.set_attribute("response_bytes", sent)
+            core.finish(conn, keep_alive=request.keep_alive)
+            return
+        self._response_bytes.inc(len(payload))
+        self._write(
+            conn,
+            core,
+            render_response(
+                status,
+                "text/xml; charset=utf-8",
+                payload,
+                keep_alive=request.keep_alive,
+            ),
+            keep_alive=request.keep_alive,
+        )
 
-                exc = sys.exception()
-                if isinstance(exc, (ConnectionError, BrokenPipeError)):
-                    return
-                super().handle_error(request, client_address)
-
-        self._server = _Server(("127.0.0.1", port), _Handler)
-        self._thread: threading.Thread | None = None
+    # -- request handling ------------------------------------------------------
 
     def _handle(self, path: str, body: bytes) -> tuple[Envelope, int]:
         """Turn one POST body into (response envelope, HTTP status).
@@ -213,8 +306,9 @@ class DaisHttpServer:
             )
             return fault_envelope(_transport_fault_headers(path), fault), 500
         # Join the remote caller's trace before any further span opens:
-        # the handler thread is fresh, so the open http.server.request
-        # span is a root and adopts the obs:TraceContext header.
+        # the worker's span stack is empty between requests, so the open
+        # http.server.request span is a root and adopts the
+        # obs:TraceContext header.
         adopt_current_span(
             extract_context(request.headers.reference_parameters)
         )
@@ -228,8 +322,28 @@ class DaisHttpServer:
         response = service.dispatch(request)
         return response, (500 if response.is_fault() else 200)
 
-    def _inject(self, handler) -> bool:
-        """Apply the armed fault plan to one POST.
+    def _shed_payload(self, request: ParsedRequest, reason: str) -> bytes:
+        """Render the wire bytes of one shed decision: HTTP 503 carrying
+        a SOAP ``ServiceBusyFault`` the resilience layer retries."""
+        fault = ServiceBusyFault(
+            f"server overloaded: request shed at admission ({reason})"
+        )
+        payload = fault_envelope(
+            _transport_fault_headers(request.target), fault
+        ).to_bytes()
+        self._requests.inc(status="503")
+        self._response_bytes.inc(len(payload))
+        return render_response(
+            503,
+            "text/xml; charset=utf-8",
+            payload,
+            keep_alive=request.keep_alive,
+        )
+
+    def _apply_fault_plan(
+        self, conn: Connection, request: ParsedRequest, core
+    ) -> bool:
+        """Apply the armed fault plan to one POST (worker thread).
 
         Returns True when normal handling should proceed; False when the
         injection already answered (or deliberately dropped) the request.
@@ -246,7 +360,7 @@ class DaisHttpServer:
             Latency,
         )
 
-        action = plan.decide(handler.path, "http.server.request")
+        action = plan.decide(request.target, "http.server.request")
         if action is None:
             return True
         if isinstance(action, Latency):
@@ -257,12 +371,13 @@ class DaisHttpServer:
             # client observes a reset/empty reply.  Still a served POST
             # as far as the operator's counters are concerned.
             self._requests.inc(status="dropped")
-            handler.close_connection = True
+            core.close(conn)
             return False
         if isinstance(action, HttpStatus):
             payload = b"injected fault: service unavailable"
             self._respond_injected(
-                handler, action.status, "text/plain; charset=utf-8", payload
+                conn, core, request, action.status,
+                "text/plain; charset=utf-8", payload,
             )
             return False
         if isinstance(action, (Busy, ExpireResource)):
@@ -275,34 +390,55 @@ class DaisHttpServer:
                     "resource lifetime expired [injected]"
                 )
             payload = fault_envelope(
-                _transport_fault_headers(handler.path), fault
+                _transport_fault_headers(request.target), fault
             ).to_bytes()
             self._respond_injected(
-                handler, 500, "text/xml; charset=utf-8", payload
+                conn, core, request, 500, "text/xml; charset=utf-8", payload
             )
             return False
         raise TypeError(f"unknown fault action {type(action).__name__}")
 
     def _respond_injected(
-        self, handler, status: int, content_type: str, payload: bytes
+        self,
+        conn: Connection,
+        core,
+        request: ParsedRequest,
+        status: int,
+        content_type: str,
+        payload: bytes,
     ) -> None:
         """Send an injected response *through the metrics*: chaos traffic
         must show up in ``http.server.requests`` / ``response.bytes``
         exactly like organically served POSTs."""
         self._requests.inc(status=str(status))
         self._response_bytes.inc(len(payload))
-        handler.send_response(status)
-        handler.send_header("Content-Type", content_type)
-        handler.send_header("Content-Length", str(len(payload)))
-        handler.end_headers()
-        handler.wfile.write(payload)
+        self._write(
+            conn,
+            core,
+            render_response(
+                status, content_type, payload, keep_alive=request.keep_alive
+            ),
+            keep_alive=request.keep_alive,
+        )
+
+    def _write(
+        self, conn: Connection, core, payload: bytes, keep_alive: bool
+    ) -> None:
+        """Blocking worker-side response write (under the write timeout),
+        then hand the connection back to the loop or close it."""
+        try:
+            conn.sock.sendall(payload)
+        except (OSError, TimeoutError):
+            core.close(conn)
+            return
+        core.finish(conn, keep_alive=keep_alive)
 
     #: Serializer fragments are coalesced to about this many bytes per
     #: HTTP chunk — per-row fragments are tiny, and framing each one
     #: separately would pay ~7 bytes and a syscall per row.
     CHUNK_COALESCE_BYTES = 8192
 
-    def _send_chunked(self, handler, response: Envelope) -> int:
+    def _send_chunked(self, conn: Connection, response: Envelope) -> int:
         """Stream one response envelope as ``Transfer-Encoding: chunked``.
 
         Returns the total body bytes sent (sum of chunk payloads, not
@@ -310,10 +446,16 @@ class DaisHttpServer:
         as the serializer is drained, so peak memory stays at one
         coalescing buffer regardless of result size.
         """
-        handler.send_response(200)
-        handler.send_header("Content-Type", "text/xml; charset=utf-8")
-        handler.send_header("Transfer-Encoding", "chunked")
-        handler.end_headers()
+        sock = conn.sock
+        sock.sendall(
+            render_headers(
+                200,
+                [
+                    ("Content-Type", "text/xml; charset=utf-8"),
+                    ("Transfer-Encoding", "chunked"),
+                ],
+            )
+        )
         sent = 0
         buffer = bytearray()
 
@@ -321,9 +463,7 @@ class DaisHttpServer:
             nonlocal sent
             if not buffer:
                 return
-            handler.wfile.write(
-                b"%x\r\n" % len(buffer) + bytes(buffer) + b"\r\n"
-            )
+            sock.sendall(chunk(bytes(buffer)))
             self._chunks.inc()
             self._response_bytes.inc(len(buffer))
             sent += len(buffer)
@@ -334,7 +474,7 @@ class DaisHttpServer:
             if len(buffer) >= self.CHUNK_COALESCE_BYTES:
                 flush()
         flush()
-        handler.wfile.write(b"0\r\n\r\n")
+        sock.sendall(TERMINAL_CHUNK)
         return sent
 
     # -- read-only exposition endpoints ---------------------------------------
@@ -423,7 +563,7 @@ class DaisHttpServer:
 
     @property
     def port(self) -> int:
-        return self._server.server_address[1]
+        return self._core.port
 
     @property
     def base_url(self) -> str:
@@ -440,17 +580,11 @@ class DaisHttpServer:
         return f"{self.base_url}{service_path}"
 
     def start(self) -> "DaisHttpServer":
-        self._thread = threading.Thread(
-            target=self._server.serve_forever, daemon=True
-        )
-        self._thread.start()
+        self._core.start()
         return self
 
     def stop(self) -> None:
-        self._server.shutdown()
-        self._server.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5)
+        self._core.stop()
 
     def __enter__(self) -> "DaisHttpServer":
         return self.start()
@@ -474,14 +608,22 @@ class HttpTransport:
     ``pooling=False`` for the old connection-per-request behaviour.
 
     Every attempt runs under a socket timeout (default 10 s —
-    configurable per transport, overridable per retry policy), and all
-    transport-level failures — refused connections, timeouts, dropped
-    sockets, non-SOAP error bodies — surface as the typed
-    :class:`~repro.core.faults.TransportFault` rather than raw
+    configurable per transport, overridable per retry policy) that also
+    caps the *total* time spent draining the response body, so a server
+    that stalls or trickles mid-stream (a dropped connection during a
+    chunked response, a byte-per-second sender) surfaces as a
+    :class:`~repro.core.faults.TransportFault` instead of blocking the
+    caller indefinitely.  All transport-level failures — refused
+    connections, timeouts, dropped sockets, non-SOAP error bodies —
+    surface as that typed fault rather than raw
     ``http.client``/``socket`` exceptions.  Install a
     :class:`~repro.resilience.Resilience` layer (or pass a bare
     ``RetryPolicy``) to retry them with backoff and breaker protection.
     """
+
+    #: Response bodies are drained in reads of this size so the total
+    #: read deadline can be enforced between reads.
+    READ_CHUNK_BYTES = 65536
 
     def __init__(
         self,
@@ -642,7 +784,7 @@ class HttpTransport:
                 ) from err
             try:
                 reply = conn.getresponse()
-                response_bytes = reply.read()
+                response_bytes = self._read_body(reply, conn, timeout)
             except TimeoutError as err:
                 self._checkin(conn, reusable=False)
                 raise TransportFault(
@@ -658,6 +800,37 @@ class HttpTransport:
                 ) from err
             self._checkin(conn, reusable=not reply.will_close)
             return reply.status, response_bytes
+
+    def _read_body(self, reply, conn, timeout: float) -> bytes:
+        """Drain one response body under a *total* deadline.
+
+        The socket timeout alone only bounds each individual ``recv`` —
+        a server that trickles a chunked body (or stalls after an
+        injected mid-stream drop) would keep a plain ``read()`` blocked
+        forever, one byte at a time.  ``read1`` performs at most one
+        underlying ``recv`` per call, so checking the remaining budget
+        between calls (and shrinking the socket timeout to it) makes
+        *timeout* the ceiling for the whole body.
+        """
+        deadline = time.monotonic() + timeout
+        pieces: list[bytes] = []
+        sock = getattr(conn, "sock", None)
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"response body not drained within {timeout}s"
+                )
+            if sock is not None:
+                sock.settimeout(min(timeout, remaining))
+            piece = reply.read1(self.READ_CHUNK_BYTES)
+            if not piece:
+                # read1() does not mark a fully-drained Content-Length
+                # response as closed the way read() does; close it so
+                # the connection can be reused for the next exchange.
+                reply.close()
+                return b"".join(pieces)
+            pieces.append(piece)
 
     def _checkout(self, host: str, port: int, timeout: float):
         if self.pool is not None:

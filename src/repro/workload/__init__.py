@@ -13,10 +13,12 @@ from repro.workload.relational import (
 from repro.workload.xmlcorpus import XmlCorpus, populate_catalog_collection
 from repro.workload.deploy import (
     Figure5Deployment,
+    HttpDeployment,
     JobsDeployment,
     SingleServiceDeployment,
     XmlDeployment,
     build_figure5_deployment,
+    build_http_deployment,
     build_jobs_deployment,
     build_single_service,
     build_xml_deployment,
@@ -28,10 +30,12 @@ __all__ = [
     "XmlCorpus",
     "populate_catalog_collection",
     "Figure5Deployment",
+    "HttpDeployment",
     "JobsDeployment",
     "SingleServiceDeployment",
     "XmlDeployment",
     "build_figure5_deployment",
+    "build_http_deployment",
     "build_jobs_deployment",
     "build_single_service",
     "build_xml_deployment",

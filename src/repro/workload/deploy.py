@@ -202,3 +202,59 @@ def build_xml_deployment(
     service.add_resource(resource)
     client = XMLClient(LoopbackTransport(registry, network=network))
     return XmlDeployment(registry, service, resource, client)
+
+
+@dataclass
+class HttpDeployment:
+    """One WS-DAIR service behind the real event-loop HTTP binding.
+
+    Unlike the loopback topologies above, this one binds a TCP port:
+    the load/soak tests, ``make bench-load`` and ``python -m repro
+    serve`` all deploy through here so they exercise the same server
+    configuration surface (worker pool, admission queue, deadlines).
+    """
+
+    registry: ServiceRegistry
+    server: "DaisHttpServer"
+    service: SQLRealisationService
+    database: Database
+    resource: SQLDataResource
+
+    @property
+    def address(self) -> str:
+        return self.service.address
+
+    @property
+    def name(self) -> AbstractName:
+        return self.resource.abstract_name
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+
+def build_http_deployment(
+    workload: RelationalWorkload = RelationalWorkload(),
+    port: int = 0,
+    fault_plan=None,
+    **server_knobs,
+) -> HttpDeployment:
+    """One service on a real HTTP port (server not yet started).
+
+    *server_knobs* pass straight to :class:`DaisHttpServer` — workers,
+    queue_depth, queue_deadline, read_deadline, idle_timeout,
+    write_timeout.
+    """
+    from repro.transport import DaisHttpServer
+
+    database = populate_shop_database(workload)
+    registry = ServiceRegistry()
+    server = DaisHttpServer(
+        registry, port=port, fault_plan=fault_plan, **server_knobs
+    )
+    address = server.url_for("/sql")
+    service = SQLRealisationService("http-sql", address)
+    registry.register(service)
+    resource = SQLDataResource(mint_abstract_name("shop"), database)
+    service.add_resource(resource)
+    return HttpDeployment(registry, server, service, database, resource)

@@ -1,0 +1,145 @@
+"""A scripted raw-socket HTTP server for transport edge-case tests.
+
+``ScriptedServer`` binds an ephemeral port and answers every accepted
+connection by first reading one complete request (headers plus
+Content-Length body) and then executing a byte-level script — exact
+wire bytes, deliberate stalls, trickles, and early closes.  That makes
+the nasty cases deterministic: chunked framing violations, a server
+that dies mid-chunk, a sender that dribbles a byte at a time.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+__all__ = ["ScriptedServer", "send", "sleep", "trickle", "hold", "close"]
+
+
+def send(data: bytes):
+    """Script step: write *data* to the client."""
+    return ("send", data)
+
+
+def sleep(seconds: float):
+    """Script step: pause without closing."""
+    return ("sleep", seconds)
+
+
+def trickle(data: bytes, interval: float):
+    """Script step: write *data* one byte every *interval* seconds."""
+    return ("trickle", data, interval)
+
+
+def hold(seconds: float):
+    """Script step: keep the socket open, sending nothing."""
+    return ("sleep", seconds)
+
+
+def close():
+    """Script step: close the connection immediately."""
+    return ("close",)
+
+
+class ScriptedServer:
+    """Accepts connections and replays *script* on each, after reading
+    one complete HTTP request off the socket."""
+
+    def __init__(self, script, read_request: bool = True) -> None:
+        self.script = list(script)
+        self.read_request = read_request
+        self.requests: list[bytes] = []
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self._running = False
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self._listener.getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}/stub"
+
+    def __enter__(self) -> "ScriptedServer":
+        self._running = True
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def _serve(self) -> None:
+        self._listener.settimeout(0.2)
+        while self._running:
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            threading.Thread(
+                target=self._handle, args=(conn,), daemon=True
+            ).start()
+
+    def _handle(self, conn: socket.socket) -> None:
+        try:
+            if self.read_request:
+                self.requests.append(self._read_request(conn))
+            for step in self.script:
+                if not self._running:
+                    break
+                if step[0] == "send":
+                    conn.sendall(step[1])
+                elif step[0] == "sleep":
+                    time.sleep(step[1])
+                elif step[0] == "trickle":
+                    _, data, interval = step
+                    for index in range(len(data)):
+                        if not self._running:
+                            break
+                        conn.sendall(data[index : index + 1])
+                        time.sleep(interval)
+                elif step[0] == "close":
+                    break
+        except OSError:
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _read_request(conn: socket.socket) -> bytes:
+        conn.settimeout(5)
+        data = bytearray()
+        while b"\r\n\r\n" not in data:
+            piece = conn.recv(65536)
+            if not piece:
+                return bytes(data)
+            data.extend(piece)
+        head, _, rest = bytes(data).partition(b"\r\n\r\n")
+        length = 0
+        for line in head.split(b"\r\n")[1:]:
+            key, _, value = line.partition(b":")
+            if key.strip().lower() == b"content-length":
+                length = int(value.strip())
+        body = bytearray(rest)
+        while len(body) < length:
+            piece = conn.recv(65536)
+            if not piece:
+                break
+            body.extend(piece)
+        return head + b"\r\n\r\n" + bytes(body)

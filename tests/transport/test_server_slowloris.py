@@ -1,0 +1,146 @@
+"""Slow-loris and partial-write defense in the event-loop front end.
+
+A sender that dribbles a request line byte-by-byte, or stalls forever
+mid-body, must never pin a worker: partial requests live on the loop
+thread only, and the read deadline reaps them with a best-effort 408.
+Healthy traffic sharing the server — even with a single worker — must
+be completely unaffected while dozens of loris connections hang.
+"""
+
+import socket
+import threading
+import time
+
+from repro.client.sql import SQLClient
+from repro.core import ServiceRegistry, mint_abstract_name
+from repro.dair import SQLDataResource, SQLRealisationService
+from repro.relational import Database
+from repro.resilience import NO_RETRY
+from repro.transport import DaisHttpServer, HttpTransport
+
+
+def _make_server(**knobs):
+    registry = ServiceRegistry()
+    server = DaisHttpServer(registry, port=0, **knobs)
+    address = server.url_for("/loris")
+    service = SQLRealisationService("loris-sql", address)
+    registry.register(service)
+    database = Database("lorisdb")
+    database.execute("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(10))")
+    database.execute("INSERT INTO t VALUES (1,'a')")
+    resource = SQLDataResource(mint_abstract_name("t"), database)
+    service.add_resource(resource)
+    return server, address, resource.abstract_name
+
+
+def _drain(sock: socket.socket, overall: float) -> bytes:
+    """Read until the peer closes (or *overall* seconds pass)."""
+    deadline = time.monotonic() + overall
+    data = bytearray()
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            break
+        sock.settimeout(remaining)
+        try:
+            piece = sock.recv(65536)
+        except (socket.timeout, OSError):
+            break
+        if not piece:
+            break
+        data.extend(piece)
+    return bytes(data)
+
+
+class TestSlowLorisReaped:
+    def test_dribbled_request_line_is_reaped_with_408(self):
+        server, _address, _name = _make_server(read_deadline=0.4)
+        with server:
+            sock = socket.create_connection(("127.0.0.1", server.port))
+            try:
+                started = time.monotonic()
+                sock.sendall(b"PO")  # never finishes the request line
+                data = _drain(sock, overall=3.0)
+                elapsed = time.monotonic() - started
+            finally:
+                sock.close()
+            # Reaped promptly — not held until some huge global timeout.
+            assert elapsed < 3.0, f"loris survived {elapsed:.1f}s"
+            assert b"408" in data and b"read deadline" in data
+            reaped = server.metrics.counter("http.server.connections")
+            assert reaped.value(event="reaped") == 1
+
+    def test_stalled_mid_body_is_reaped(self):
+        server, _address, _name = _make_server(read_deadline=0.4)
+        with server:
+            sock = socket.create_connection(("127.0.0.1", server.port))
+            try:
+                started = time.monotonic()
+                sock.sendall(
+                    b"POST /loris HTTP/1.1\r\n"
+                    b"Host: x\r\n"
+                    b"Content-Length: 4096\r\n"
+                    b"\r\n"
+                    b"only-a-fragment"  # then silence
+                )
+                data = _drain(sock, overall=3.0)
+                elapsed = time.monotonic() - started
+            finally:
+                sock.close()
+            assert elapsed < 3.0
+            assert b"408" in data
+            reaped = server.metrics.counter("http.server.connections")
+            assert reaped.value(event="reaped") == 1
+
+    def test_loris_swarm_never_consumes_the_single_worker(self):
+        # Twenty hanging partial requests against a one-worker server:
+        # if any of them reached the worker pool, the healthy call
+        # below would stall.  It must complete fast.
+        server, address, name = _make_server(
+            workers=1, read_deadline=5.0, idle_timeout=30.0
+        )
+        with server:
+            swarm = []
+            try:
+                for index in range(20):
+                    sock = socket.create_connection(
+                        ("127.0.0.1", server.port)
+                    )
+                    # Half dribble a request line, half stall mid-body.
+                    if index % 2:
+                        sock.sendall(b"POST /loris HT")
+                    else:
+                        sock.sendall(
+                            b"POST /loris HTTP/1.1\r\n"
+                            b"Content-Length: 1000\r\n\r\nhalf"
+                        )
+                    swarm.append(sock)
+                client = SQLClient(
+                    HttpTransport(timeout=5.0, resilience=NO_RETRY)
+                )
+                started = time.monotonic()
+                rowset = client.sql_query_rowset(
+                    address, name, "SELECT v FROM t"
+                )
+                elapsed = time.monotonic() - started
+                assert rowset.rows == [("a",)]
+                assert elapsed < 2.0, (
+                    f"healthy request took {elapsed:.2f}s behind a loris swarm"
+                )
+            finally:
+                for sock in swarm:
+                    sock.close()
+
+    def test_reap_frees_connection_slot_for_new_clients(self):
+        # After the reap, the server keeps accepting and serving.
+        server, address, name = _make_server(read_deadline=0.3)
+        with server:
+            sock = socket.create_connection(("127.0.0.1", server.port))
+            sock.sendall(b"GARBAGE-DRIBBLE")
+            _drain(sock, overall=2.0)
+            sock.close()
+            client = SQLClient(HttpTransport(timeout=5.0, resilience=NO_RETRY))
+            rowset = client.sql_query_rowset(address, name, "SELECT v FROM t")
+            assert rowset.rows == [("a",)]
+            reaped = server.metrics.counter("http.server.connections")
+            assert reaped.value(event="reaped") == 1
