@@ -1,11 +1,12 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-stream bench-load coverage-obs trace-demo test-resilience test-concurrency test-jobs test-server chaos-demo jobs-demo
+.PHONY: test bench bench-fig2 bench-stream bench-load coverage-obs trace-demo test-resilience test-concurrency test-jobs test-server chaos-demo jobs-demo
 
 test: test-jobs
 	$(PYTHON) -m pytest -x -q
 	BENCH_LOAD_SMOKE=1 PYTHONFAULTHANDLER=1 $(PYTHON) -m pytest benchmarks/test_bench_load.py -q
+	BENCH_FIG2_SMOKE=1 $(PYTHON) -m pytest benchmarks/test_fig2_hotpath.py -q
 
 # Event-loop server suites: c=100 load/soak with keep-alive reuse and
 # admission-control degradation, slow-loris reaping, client in-stream
@@ -43,6 +44,15 @@ jobs-demo:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Compiled hot-path gate: on the repeat-query workload, message-layer
+# time (total - engine) must drop >= 3x with the fast path on vs off
+# (measured interleaved in one process), with byte-identical wire
+# output templated-vs-tree and eager-vs-streamed.  Plan-cache
+# invalidation regressions ride along from the tier-1 suite.
+bench-fig2:
+	$(PYTHON) -m pytest benchmarks/test_fig2_hotpath.py \
+		tests/relational/test_plan_cache.py -q -s
 
 # Streamed-delivery memory/throughput gate: streamed peak memory at
 # 100k rows must stay under 2x the 1k-row baseline, and streamed

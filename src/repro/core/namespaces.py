@@ -1,11 +1,28 @@
 """WS-DAI wire namespace and action URIs."""
 
 from repro.xmlutil.names import DEFAULT_REGISTRY
+from repro.xmlutil.parser import intern_vocabulary
 
 #: The WS-DAI 1.0 namespace (GGF DAIS-WG, 2005 drafts).
 WSDAI_NS = "http://www.ggf.org/namespaces/2005/05/WS-DAI"
 
 DEFAULT_REGISTRY.register("wsdai", WSDAI_NS)
+
+# Core message scaffolding seen on every DAIS request/response; interning
+# lets the parser resolve these names without per-document work.
+intern_vocabulary(
+    WSDAI_NS,
+    (
+        "DataResourceAbstractName",
+        "DataResourceAddress",
+        "DatasetFormatURI",
+        "DatasetData",
+        "GenericExpression",
+        "Expression",
+        "Parameter",
+        "Parameters",
+    ),
+)
 
 
 def action_uri(operation: str, namespace: str = WSDAI_NS) -> str:

@@ -25,20 +25,24 @@ from repro.dair.namespaces import (
     CSV_FORMAT_URI,
     SQLROWSET_FORMAT_URI,
     WEBROWSET_FORMAT_URI,
+    WEBROWSET_NS,
     WSDAIR_NS,
 )
+from repro import fastpath
 from repro.relational.engine import ResultSet
 from repro.relational.types import NULL
 from repro.xmlutil import (
     E,
     QName,
     StreamedElement,
+    Text,
     XmlElement,
     escape_attribute,
     escape_text,
+    interned_qname,
 )
 
-_WEBROWSET_NS = "http://java.sun.com/xml/ns/jdbc"
+_WEBROWSET_NS = WEBROWSET_NS
 
 
 def _result_types(result: ResultSet) -> list[str]:
@@ -64,7 +68,16 @@ class Rowset:
         to keep it lazy.
         """
         rows = [
-            tuple(NULL if v is NULL else _lexical(v) for v in row)
+            tuple(
+                [
+                    str(v)
+                    if type(v) is int
+                    else v
+                    if type(v) is str
+                    else NULL if v is NULL else _lexical(v)
+                    for v in row
+                ]
+            )
             for row in result.iter_rows()
         ]
         return cls(
@@ -124,7 +137,16 @@ class StreamingRowset:
     def from_result(cls, result: ResultSet) -> "StreamingRowset":
         """Wrap a result set without draining it."""
         source = (
-            tuple(NULL if v is NULL else _lexical(v) for v in row)
+            tuple(
+                [
+                    str(v)
+                    if type(v) is int
+                    else v
+                    if type(v) is str
+                    else NULL if v is NULL else _lexical(v)
+                    for v in row
+                ]
+            )
             for row in result.iter_rows()
         )
         return cls(list(result.columns), _result_types(result), source)
@@ -229,6 +251,38 @@ def _parse_sqlrowset(element: XmlElement) -> Rowset:
             columns.append(column.get("name", "") or "")
             types.append(column.get("type", "") or "")
     rows = []
+    if fastpath.enabled():
+        # One pass over raw children with the tag QNames bound once.
+        # Freshly parsed trees carry the interned instances, so tags
+        # compare by identity; equality is the fallback for hand-built
+        # trees.  A Value's single merged Text child is read directly
+        # instead of through the joining ``text`` property.
+        row_qi = interned_qname(WSDAIR_NS, "Row")
+        value_qi = interned_qname(WSDAIR_NS, "Value")
+        null_qi = interned_qname(WSDAIR_NS, "Null")
+        for row_el in element.children:
+            if type(row_el) is not XmlElement or (
+                row_el.tag is not row_qi and row_el.tag != row_qi
+            ):
+                continue
+            values = []
+            append = values.append
+            for child in row_el.children:
+                if type(child) is not XmlElement:
+                    continue
+                tag = child.tag
+                if tag is value_qi:
+                    inner = child.children
+                    if len(inner) == 1 and type(inner[0]) is Text:
+                        append(inner[0].value)
+                    else:
+                        append(child.text)
+                elif tag is null_qi or tag == null_qi:
+                    append(NULL)
+                else:
+                    append(child.text)
+            rows.append(tuple(values))
+        return Rowset(columns, types, rows)
     for row_el in element.findall(_q("Row")):
         values = []
         for child in row_el.element_children():
@@ -466,6 +520,12 @@ def _type_of(rowset: Rowset | StreamingRowset, index: int) -> str:
     return ""
 
 
+#: Rows accumulated per yielded chunk.  One-chunk-per-row makes the
+#: serializer/transport handshake the per-row cost; batching amortizes it
+#: while the HTTP layer's coalescing buffer (8 KiB) still bounds latency.
+_ROW_BATCH = 64
+
+
 def _stream_sqlrowset(rowset: Rowset | StreamingRowset) -> StreamedElement:
     def chunks(q) -> Iterator[str]:
         metadata_tag = q(_q("ColumnMetadata"))
@@ -486,22 +546,53 @@ def _stream_sqlrowset(rowset: Rowset | StreamingRowset) -> StreamedElement:
         row_tag = q(_q("Row"))
         value_tag = q(_q("Value"))
         null_tag = q(_q("Null"))
+        # Static markup is rendered once; the row loop only escapes and
+        # joins.  Rows with no NULL/empty values — the common shape by
+        # far — become one join over the </Value><Value> seam.
+        open_r, close_r, empty_r = f"<{row_tag}>", f"</{row_tag}>", f"<{row_tag}/>"
+        open_v, close_v, empty_v = f"<{value_tag}>", f"</{value_tag}>", f"<{value_tag}/>"
+        null_v = f"<{null_tag}/>"
+        pre_rv = open_r + open_v
+        post_vr = close_v + close_r
+        join_vv = (close_v + open_v).join
+        escape = escape_text
+        fast = fastpath.enabled()
+        limit = _ROW_BATCH if fast else 1
+        batch: list[str] = []
         for row in _rows_of(rowset):
-            if not row:
-                yield f"<{row_tag}/>"
-                continue
-            parts = [f"<{row_tag}>"]
-            for value in row:
-                if value is NULL:
-                    parts.append(f"<{null_tag}/>")
-                elif value == "":
-                    parts.append(f"<{value_tag}/>")
-                else:
-                    parts.append(
-                        f"<{value_tag}>{escape_text(value)}</{value_tag}>"
+            if fast and row and NULL not in row and "" not in row:
+                batch.append(
+                    pre_rv
+                    + join_vv(
+                        [
+                            v
+                            if "&" not in v and "<" not in v and ">" not in v
+                            else escape(v)
+                            for v in row
+                        ]
                     )
-            parts.append(f"</{row_tag}>")
-            yield "".join(parts)
+                    + post_vr
+                )
+            elif not row:
+                batch.append(empty_r)
+            else:
+                parts = [open_r]
+                for value in row:
+                    if value is NULL:
+                        parts.append(null_v)
+                    elif value == "":
+                        parts.append(empty_v)
+                    else:
+                        parts.append(open_v)
+                        parts.append(escape(value))
+                        parts.append(close_v)
+                parts.append(close_r)
+                batch.append("".join(parts))
+            if len(batch) >= limit:
+                yield "".join(batch)
+                batch.clear()
+        if batch:
+            yield "".join(batch)
 
     return StreamedElement(_q("SQLRowset"), chunks)
 
@@ -533,27 +624,54 @@ def _stream_webrowset(rowset: Rowset | StreamingRowset) -> StreamedElement:
         data_tag = q(_w("data"))
         row_tag = q(_w("currentRow"))
         value_tag = q(_w("columnValue"))
+        open_r, close_r, empty_r = f"<{row_tag}>", f"</{row_tag}>", f"<{row_tag}/>"
+        open_v, close_v, empty_v = f"<{value_tag}>", f"</{value_tag}>", f"<{value_tag}/>"
+        null_v = f'<{value_tag} null="true"/>'
+        pre_rv = open_r + open_v
+        post_vr = close_v + close_r
+        join_vv = (close_v + open_v).join
+        escape = escape_text
+        fast = fastpath.enabled()
+        limit = _ROW_BATCH if fast else 1
         opened = False
+        batch: list[str] = []
         for row in _rows_of(rowset):
             if not opened:
-                yield f"<{data_tag}>"
+                batch.append(f"<{data_tag}>")
                 opened = True
-            if not row:
-                yield f"<{row_tag}/>"
-                continue
-            parts = [f"<{row_tag}>"]
-            for value in row:
-                if value is NULL:
-                    parts.append(f'<{value_tag} null="true"/>')
-                elif value == "":
-                    parts.append(f"<{value_tag}/>")
-                else:
-                    parts.append(
-                        f"<{value_tag}>{escape_text(value)}</{value_tag}>"
+            if fast and row and NULL not in row and "" not in row:
+                batch.append(
+                    pre_rv
+                    + join_vv(
+                        [
+                            v
+                            if "&" not in v and "<" not in v and ">" not in v
+                            else escape(v)
+                            for v in row
+                        ]
                     )
-            parts.append(f"</{row_tag}>")
-            yield "".join(parts)
-        yield f"</{data_tag}>" if opened else f"<{data_tag}/>"
+                    + post_vr
+                )
+            elif not row:
+                batch.append(empty_r)
+            else:
+                parts = [open_r]
+                for value in row:
+                    if value is NULL:
+                        parts.append(null_v)
+                    elif value == "":
+                        parts.append(empty_v)
+                    else:
+                        parts.append(open_v)
+                        parts.append(escape(value))
+                        parts.append(close_v)
+                parts.append(close_r)
+                batch.append("".join(parts))
+            if len(batch) >= limit:
+                yield "".join(batch)
+                batch.clear()
+        batch.append(f"</{data_tag}>" if opened else f"<{data_tag}/>")
+        yield "".join(batch)
 
     return StreamedElement(_w("webRowSet"), chunks)
 
@@ -563,12 +681,19 @@ def _stream_csv(rowset: Rowset | StreamingRowset) -> StreamedElement:
         header = ",".join(_csv_escape(name) for name in rowset.columns)
         if header:
             yield escape_text(header)
+        limit = _ROW_BATCH if fastpath.enabled() else 1
+        batch: list[str] = []
         for row in _rows_of(rowset):
             line = ",".join(
                 _NULL_TOKEN if value is NULL else _csv_escape(value)
                 for value in row
             )
-            yield escape_text("\n" + line)
+            batch.append(escape_text("\n" + line))
+            if len(batch) >= limit:
+                yield "".join(batch)
+                batch.clear()
+        if batch:
+            yield "".join(batch)
 
     element = StreamedElement(_q("CsvRowset"), chunks)
     element.set("columns", len(rowset.columns))

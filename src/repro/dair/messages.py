@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, ClassVar, Optional
 
+from repro import fastpath
 from repro.core.messages import (
     DaisMessage,
     DaisRequest,
@@ -153,8 +154,13 @@ class SQLExecuteResponse(DaisMessage):
             E(QName(WSDAI_NS, "DatasetFormatURI"), self.dataset_format_uri),
         )
         if self.dataset is not None:
+            # The dataset subtree is shared, not copied: serializers never
+            # mutate and a 1000-row rowset deep copy would dominate the
+            # response render (fig-2 message-layer share).
             wrapper = E(_q("SQLDataset"))
-            wrapper.append(self.dataset.copy())
+            wrapper.append(
+                self.dataset if fastpath.enabled() else self.dataset.copy()
+            )
             root.append(wrapper)
         root.append(E(_q("SQLUpdateCount"), self.update_count))
         if self.communication_factory is not None:
@@ -169,7 +175,10 @@ class SQLExecuteResponse(DaisMessage):
         dataset = None
         if wrapper is not None:
             children = wrapper.element_children()
-            dataset = children[0].copy() if children else None
+            if children:
+                # Shared with the (single-use) request tree, not copied —
+                # deep-copying a 1000-row rowset dominates client parse time.
+                dataset = children[0] if fastpath.enabled() else children[0].copy()
         area_el = element.find(_q("SQLCommunicationArea"))
         return cls(
             dataset_format_uri=element.findtext(
@@ -386,7 +395,10 @@ class GetSQLRowsetResponse(DaisMessage):
             E(QName(WSDAI_NS, "DatasetFormatURI"), self.dataset_format_uri),
         )
         if self.dataset is not None:
-            root.append(self.dataset.copy())
+            # Shared, not copied — see SQLExecuteResponse.to_xml.
+            root.append(
+                self.dataset if fastpath.enabled() else self.dataset.copy()
+            )
         return root
 
     @classmethod
@@ -401,7 +413,9 @@ class GetSQLRowsetResponse(DaisMessage):
                 QName(WSDAI_NS, "DatasetFormatURI"), ""
             )
             or "",
-            dataset=children[0].copy() if children else None,
+            dataset=(children[0] if fastpath.enabled() else children[0].copy())
+            if children
+            else None,
         )
 
 
@@ -624,7 +638,10 @@ class GetTuplesResponse(DaisMessage):
             E(_q("TotalRows"), self.total_rows),
         )
         if self.dataset is not None:
-            root.append(self.dataset.copy())
+            # Shared, not copied — see SQLExecuteResponse.to_xml.
+            root.append(
+                self.dataset if fastpath.enabled() else self.dataset.copy()
+            )
         return root
 
     @classmethod
@@ -636,6 +653,8 @@ class GetTuplesResponse(DaisMessage):
                 QName(WSDAI_NS, "DatasetFormatURI"), ""
             )
             or "",
-            dataset=children[0].copy() if children else None,
+            dataset=(children[0] if fastpath.enabled() else children[0].copy())
+            if children
+            else None,
             total_rows=int(element.findtext(_q("TotalRows"), "0") or "0"),
         )

@@ -2,11 +2,51 @@
 
 from repro.xmlutil import QName
 from repro.xmlutil.names import DEFAULT_REGISTRY
+from repro.xmlutil.parser import intern_vocabulary
 
 #: The WS-DAIR 1.0 namespace (GGF DAIS-WG, 2005 drafts).
 WSDAIR_NS = "http://www.ggf.org/namespaces/2005/05/WS-DAIR"
 
 DEFAULT_REGISTRY.register("wsdair", WSDAIR_NS)
+
+#: The Sun WebRowSet schema namespace (dataset format payloads).
+WEBROWSET_NS = "http://java.sun.com/xml/ns/jdbc"
+
+# Rowset vocabulary: thousands of these names appear in a single large
+# response, so resolving them from the shared intern table (instead of
+# per-document caches warming up from zero) matters on the parse path.
+intern_vocabulary(
+    WSDAIR_NS,
+    (
+        "SQLRowset",
+        "ColumnMetadata",
+        "Column",
+        "Row",
+        "Value",
+        "Null",
+        "CsvRowset",
+        "SQLDataset",
+        "SQLUpdateCount",
+        "SQLCommunicationArea",
+        "SQLExpression",
+        "TotalRows",
+    ),
+)
+intern_vocabulary(
+    WEBROWSET_NS,
+    (
+        "webRowSet",
+        "metadata",
+        "column-count",
+        "column-definition",
+        "column-index",
+        "column-name",
+        "column-type-name",
+        "data",
+        "currentRow",
+        "columnValue",
+    ),
+)
 
 #: Dataset format URIs advertised in DatasetMap properties.
 SQLROWSET_FORMAT_URI = f"{WSDAIR_NS}/SQLRowset"

@@ -85,6 +85,21 @@ class SQLRealisationService(DataService):
             "rowset.rows.streamed",
             "Rows emitted through streamed dataset responses",
         )
+        # Plan-cache visibility: bound to each SQL resource's database
+        # cache in add_resource, surfaced via /metrics and the
+        # obs:ServiceMetrics property like every other counter here.
+        self._plan_hits = self.metrics.counter(
+            "cache.plan.hits",
+            "Statements served from the plan cache without reparsing",
+        )
+        self._plan_misses = self.metrics.counter(
+            "cache.plan.misses",
+            "Statements compiled because no live plan was cached",
+        )
+        self._plan_invalidations = self.metrics.counter(
+            "cache.plan.invalidations",
+            "Cached plans dropped because the catalog version moved",
+        )
         self.port_types = set(port_types)
         unknown = self.port_types - set(PORT_TYPES)
         if unknown:
@@ -134,6 +149,14 @@ class SQLRealisationService(DataService):
                 msg.GetRowsetPropertyDocumentRequest.action(),
                 self._handle_get_rowset_property_document,
             )
+
+    def add_resource(self, resource, configurable=None, lifetime_seconds=None):
+        binding = super().add_resource(resource, configurable, lifetime_seconds)
+        if isinstance(resource, SQLDataResource):
+            resource.database.plan_cache.bind_counters(
+                self._plan_hits, self._plan_misses, self._plan_invalidations
+            )
+        return binding
 
     # -- typed binding lookups -----------------------------------------------
 

@@ -1,0 +1,37 @@
+"""Kill switch for the compiled hot path.
+
+The serialization/plan-cache optimizations (prepared-statement plan
+cache, byte-template envelopes, shared — not copied — dataset subtrees,
+batched row emission) are pure performance work: with the switch off,
+every call site falls back to the straightforward tree-walking path the
+optimizations replaced.  Two audiences use this:
+
+* the ``bench-fig2`` gate runs the same workload both ways in one
+  process to prove (and hard-assert) the message-layer speedup;
+* operators can set ``REPRO_FASTPATH=0`` to rule the compiled path out
+  when chasing a wire-format discrepancy, since both paths must be
+  byte-identical.
+
+The flag is read per call, not captured at import, so tests and
+benchmarks can flip it at runtime.  It is process-global and not meant
+to be toggled while requests are in flight.
+"""
+
+from __future__ import annotations
+
+import os
+
+_enabled: bool = os.environ.get("REPRO_FASTPATH", "1") != "0"
+
+
+def enabled() -> bool:
+    """True when hot-path shortcuts (templates, caches, batching) run."""
+    return _enabled
+
+
+def set_enabled(flag: bool) -> bool:
+    """Flip the switch; returns the previous value for restore."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(flag)
+    return previous

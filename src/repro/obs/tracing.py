@@ -108,6 +108,17 @@ class Span:
         if message:
             self.attributes.setdefault("fault.message", message)
 
+    def record_exception(self, exc: BaseException) -> None:
+        """Attach a caught exception to this span and mark it faulted.
+
+        For boundaries that swallow exceptions (turning them into HTTP
+        error bodies or closed connections), this keeps the failure
+        visible to trace consumers instead of vanishing silently.
+        """
+        self.attributes["exception.type"] = type(exc).__name__
+        self.attributes["exception.message"] = str(exc)
+        self.mark_fault()
+
     def add_link(
         self, trace_id: str, span_id: str, relation: str = "related"
     ) -> None:
@@ -146,6 +157,9 @@ class _NoopSpan(Span):
         pass
 
     def mark_fault(self, message: str = "") -> None:
+        pass
+
+    def record_exception(self, exc: BaseException) -> None:
         pass
 
     def add_link(

@@ -31,6 +31,7 @@ from repro.relational.errors import (
 from repro.relational.types import SqlType, Null, NULL
 from repro.relational.engine import Database, ProcedureResult, ResultSet, Session
 from repro.relational.communication import SqlCommunicationArea
+from repro.relational.plancache import PlanCache, PlanEntry
 from repro.relational.transactions import IsolationLevel
 
 __all__ = [
@@ -49,4 +50,6 @@ __all__ = [
     "ProcedureResult",
     "SqlCommunicationArea",
     "IsolationLevel",
+    "PlanCache",
+    "PlanEntry",
 ]

@@ -156,6 +156,29 @@ class Catalog:
         self._tables: dict[str, TableSchema] = {}
         self._indexes: dict[str, IndexDef] = {}
         self._views: dict[str, ViewDef] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic schema version: bumped on every catalog mutation.
+
+        Plans compiled against version *N* are valid only while the
+        catalog still reports *N* — the plan cache compares versions on
+        lookup and discards stale entries (DROP/CREATE/ALTER, and the
+        undo arms of failed DDL, all bump it).
+        """
+        return self._version
+
+    def bump_version(self) -> int:
+        """Invalidate cached plans after an out-of-band schema change.
+
+        Used by DDL paths that mutate schema objects in place (ALTER
+        TABLE mutates the :class:`TableSchema` directly) and by undo
+        paths that restore earlier state — restoring is still a change
+        relative to what a plan may have been compiled against.
+        """
+        self._version += 1
+        return self._version
 
     # -- tables -----------------------------------------------------------
 
@@ -180,6 +203,7 @@ class Catalog:
         for fk in schema.foreign_keys:
             self._validate_foreign_key(schema, fk)
         self._tables[key] = schema
+        self._version += 1
 
     def drop_table(self, name: str) -> TableSchema:
         key = name.lower()
@@ -198,6 +222,7 @@ class Catalog:
             n for n, d in self._indexes.items() if d.table.lower() == key
         ]:
             del self._indexes[index_name]
+        self._version += 1
         return schema
 
     def _validate_foreign_key(self, schema: TableSchema, fk: ForeignKey) -> None:
@@ -243,10 +268,12 @@ class Catalog:
                 f"a table named {definition.name!r} already exists"
             )
         self._views[key] = definition
+        self._version += 1
 
     def drop_view(self, name: str) -> ViewDef:
         definition = self.view(name)
         del self._views[name.lower()]
+        self._version += 1
         return definition
 
     # -- indexes ----------------------------------------------------------
@@ -275,8 +302,10 @@ class Catalog:
         for column in definition.columns:
             schema.column(column)
         self._indexes[key] = definition
+        self._version += 1
 
     def drop_index(self, name: str) -> IndexDef:
         definition = self.index(name)
         del self._indexes[name.lower()]
+        self._version += 1
         return definition

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional, Sequence
 
+from repro import fastpath
 from repro.relational import ast_nodes as ast
 from repro.relational.catalog import (
     Catalog,
@@ -31,6 +32,7 @@ from repro.relational.errors import (
 from repro.relational.executor import Executor, Journal
 from repro.relational.expressions import ExpressionEvaluator, RowEnvironment
 from repro.relational.parser import parse_statement
+from repro.relational.plancache import PlanCache, PlanEntry
 from repro.relational.storage import TableStorage
 from repro.relational.transactions import (
     IsolationLevel,
@@ -119,6 +121,9 @@ class Database:
         self.storages: dict[str, TableStorage] = {}
         self.transactions = TransactionManager()
         self._procedures: dict[str, object] = {}
+        #: Prepared-statement cache shared by every session of this
+        #: database; entries are invalidated by catalog version bumps.
+        self.plan_cache = PlanCache()
 
     def register_procedure(self, name: str, procedure) -> None:
         """Register a stored procedure for ``CALL name(...)``.
@@ -194,15 +199,30 @@ class Session:
         :class:`ResultSet` — rows arrive via :meth:`ResultSet.iter_rows`
         and the autocommit transaction stays open until that iterator is
         exhausted or closed.  Other statements are unaffected.
+
+        Repeat statements skip the lexer and parser: the compiled form
+        is served from the database's :class:`PlanCache`, stamped with
+        the catalog version so any schema change forces a recompile.
         """
-        statement = parse_statement(sql)
-        return self.execute_ast(statement, parameters, stream=stream)
+        if not fastpath.enabled():
+            return self.execute_ast(parse_statement(sql), parameters, stream=stream)
+        cache = self._database.plan_cache
+        version = self._database.catalog.version
+        plan = cache.lookup(sql, version)
+        if plan is None:
+            plan = cache.store(
+                sql, PlanEntry(parse_statement(sql), catalog_version=version)
+            )
+        return self.execute_ast(
+            plan.statement, parameters, stream=stream, plan=plan
+        )
 
     def execute_ast(
         self,
         statement: ast.Statement,
         parameters: Sequence[Any] = (),
         stream: bool = False,
+        plan: Optional[PlanEntry] = None,
     ) -> ResultSet:
         if isinstance(statement, ast.BeginTransaction):
             return self._begin(statement)
@@ -213,13 +233,13 @@ class Session:
 
         if self._transaction is not None:
             return self._run_in_transaction(
-                self._transaction, statement, parameters, stream
+                self._transaction, statement, parameters, stream, plan
             )
         # Autocommit: a statement-scoped transaction.
         transaction = self._database.transactions.begin(self.default_isolation)
         try:
             result = self._run_in_transaction(
-                transaction, statement, parameters, stream
+                transaction, statement, parameters, stream, plan
             )
         except Exception:
             self._database.transactions.rollback(transaction)
@@ -287,6 +307,7 @@ class Session:
         statement: ast.Statement,
         parameters: Sequence[Any],
         stream: bool = False,
+        plan: Optional[PlanEntry] = None,
     ) -> ResultSet:
         manager = self._database.transactions
         executor = Executor(
@@ -299,7 +320,7 @@ class Session:
         )
         checkpoint = len(transaction.journal.entries)
         try:
-            return self._dispatch(executor, statement, stream)
+            return self._dispatch(executor, statement, stream, plan)
         except Exception:
             # Statement-level atomicity inside explicit transactions.
             self._undo_to(transaction.journal, checkpoint)
@@ -317,22 +338,38 @@ class Session:
         executor: Executor,
         statement: ast.Statement,
         stream: bool = False,
+        plan: Optional[PlanEntry] = None,
     ) -> ResultSet:
         if isinstance(statement, ast.Select):
-            column_types = executor.select_column_types(statement)
-            if stream and executor.can_stream(statement):
+            if plan is not None:
+                # Memoize the catalog-derived planning facts on the
+                # cached entry; the version stamp keeps them honest.
+                if plan.column_types is None or plan.can_stream is None:
+                    with plan.lock:
+                        if plan.column_types is None:
+                            plan.column_types = executor.select_column_types(
+                                statement
+                            )
+                        if plan.can_stream is None:
+                            plan.can_stream = executor.can_stream(statement)
+                column_types = plan.column_types
+                streamable = plan.can_stream
+            else:
+                column_types = executor.select_column_types(statement)
+                streamable = executor.can_stream(statement)
+            if stream and streamable:
                 columns, source = executor.iter_select(statement)
                 return ResultSet(
                     "SELECT",
                     columns=columns,
-                    column_types=column_types,
+                    column_types=list(column_types),
                     row_source=source,
                 )
             columns, rows = executor.execute_select(statement)
             return ResultSet(
                 "SELECT",
                 columns=columns,
-                column_types=column_types,
+                column_types=list(column_types),
                 rows=rows,
                 communication=SqlCommunicationArea.success(
                     len(rows), f"{len(rows)} row(s)"
@@ -590,6 +627,9 @@ class Session:
             default=definition.default,
         )
         schema.add_column(column)
+        # ALTER mutates the TableSchema in place, which the catalog can't
+        # observe — bump its version explicitly so cached plans recompile.
+        self._database.catalog.bump_version()
         for row_id, row in storage.rows():
             storage.update(row_id, row + (fill_value,))
         if definition.unique:

@@ -8,24 +8,89 @@ XML-bytes round trip that every transport performs.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
+from repro import fastpath
 from repro.soap.addressing import MessageHeaders
 from repro.soap.fault import FaultCode, SoapFault
-from repro.soap.namespaces import SOAP_ENV_NS
+from repro.soap.namespaces import SOAP_ENV_NS, WSA_NS
 from repro.xmlutil import (
+    ByteTemplate,
     E,
     QName,
     StreamedElement,
     XmlElement,
+    document_prefixes,
     parse_bytes,
     serialize_bytes,
     serialize_chunks,
+    serialize_fragment,
 )
+from repro.xmlutil.serialize import _collect_namespaces
 
 _ENVELOPE = QName(SOAP_ENV_NS, "Envelope")
 _HEADER = QName(SOAP_ENV_NS, "Header")
 _BODY = QName(SOAP_ENV_NS, "Body")
+
+_WSA_TO = QName(WSA_NS, "To")
+_WSA_ACTION = QName(WSA_NS, "Action")
+_WSA_MESSAGE_ID = QName(WSA_NS, "MessageID")
+_WSA_RELATES_TO = QName(WSA_NS, "RelatesTo")
+
+
+class _EnvelopeTemplate:
+    """A compiled envelope skeleton plus the prefix map it was built with."""
+
+    __slots__ = ("template", "prefixes")
+
+    def __init__(self, template: ByteTemplate, prefixes: dict[str, str]) -> None:
+        self.template = template
+        self.prefixes = prefixes
+
+
+#: Compiled skeletons keyed by (payload namespace order, has RelatesTo).
+_TEMPLATES: dict[tuple, _EnvelopeTemplate] = {}
+_TEMPLATES_LOCK = threading.Lock()
+#: Bound on distinct shapes retained (a DAIS deployment has a handful).
+_TEMPLATES_CAP = 256
+
+
+def _skeleton_builder(payload_ns: tuple[str, ...], has_relates_to: bool):
+    def build(slots) -> XmlElement:
+        blocks = [
+            E(_WSA_TO, slots.text("to")),
+            E(_WSA_ACTION, slots.text("action")),
+            E(_WSA_MESSAGE_ID, slots.text("message_id")),
+        ]
+        if has_relates_to:
+            blocks.append(E(_WSA_RELATES_TO, slots.text("relates_to")))
+        sentinel = slots.splice("payload")
+        body = StreamedElement(
+            _BODY, lambda q: iter([sentinel]), namespaces=payload_ns
+        )
+        return E(_ENVELOPE, E(_HEADER, blocks), body)
+
+    return build
+
+
+def _envelope_template(
+    payload_ns: tuple[str, ...], has_relates_to: bool
+) -> _EnvelopeTemplate:
+    key = (payload_ns, has_relates_to)
+    entry = _TEMPLATES.get(key)
+    if entry is not None:
+        return entry
+    build = _skeleton_builder(payload_ns, has_relates_to)
+    template = ByteTemplate.compile(build, xml_declaration=True)
+    from repro.xmlutil import TemplateSlots
+
+    prefixes = document_prefixes(build(TemplateSlots()))
+    entry = _EnvelopeTemplate(template, prefixes)
+    with _TEMPLATES_LOCK:
+        if len(_TEMPLATES) < _TEMPLATES_CAP:
+            _TEMPLATES.setdefault(key, entry)
+        return _TEMPLATES.get(key, entry)
 
 
 @dataclass
@@ -43,9 +108,56 @@ class Envelope:
             E(_BODY, self.payload.copy()),
         )
 
+    def _serial_view(self) -> XmlElement:
+        """The envelope tree for serialization only: shares the payload
+        (no deep copy) — serializers never mutate, and the view is
+        discarded right after writing."""
+        return E(
+            _ENVELOPE,
+            E(_HEADER, self.headers.to_header_blocks()),
+            E(_BODY, self.payload),
+        )
+
     def to_bytes(self) -> bytes:
-        """Serialize to UTF-8 wire bytes."""
-        return serialize_bytes(self.to_xml())
+        """Serialize to UTF-8 wire bytes.
+
+        Common-shape envelopes (the WS-Addressing trio, optionally
+        RelatesTo, no reply-to/reference parameters) render through a
+        precompiled byte template: the fixed scaffolding is replayed
+        from bytes and only the header values and the payload fragment
+        are spliced in — byte-identical to tree serialization, which
+        remains the fallback for every other shape."""
+        if not fastpath.enabled():
+            return serialize_bytes(self.to_xml())
+        fast = self._template_bytes()
+        if fast is not None:
+            return fast
+        return serialize_bytes(self._serial_view())
+
+    def _template_bytes(self) -> bytes | None:
+        headers = self.headers
+        if headers.reply_to is not None or headers.reference_parameters:
+            return None
+        if not (headers.to and headers.action and headers.message_id):
+            # Checked before the payload fragment is rendered: a lazy
+            # payload is one-shot, so nothing may drain it unless the
+            # template is certain to be used.
+            return None
+        try:
+            payload_ns = tuple(_collect_namespaces(self.payload))
+            entry = _envelope_template(payload_ns, bool(headers.relates_to))
+            values = {
+                "to": headers.to,
+                "action": headers.action,
+                "message_id": headers.message_id,
+                "payload": serialize_fragment(self.payload, entry.prefixes),
+            }
+            if headers.relates_to:
+                values["relates_to"] = headers.relates_to
+            return entry.template.render(values)
+        except (KeyError, ValueError):
+            # Unbound prefix or odd shape: the tree path handles it.
+            return None
 
     def is_streaming(self) -> bool:
         """True when the payload contains lazily rendered content
@@ -59,7 +171,8 @@ class Envelope:
         concatenation equals :meth:`to_bytes`.  Lazy payload content is
         rendered as it is pulled, so a streamed dataset never exists in
         memory as one string."""
-        for chunk in serialize_chunks(self.to_xml()):
+        view = self._serial_view() if fastpath.enabled() else self.to_xml()
+        for chunk in serialize_chunks(view):
             yield chunk.encode("utf-8")
 
     @classmethod

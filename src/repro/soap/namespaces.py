@@ -1,6 +1,7 @@
 """Wire namespaces for the SOAP and WS-Addressing layers."""
 
 from repro.xmlutil.names import DEFAULT_REGISTRY
+from repro.xmlutil.parser import intern_vocabulary
 
 #: SOAP 1.1 envelope namespace.
 SOAP_ENV_NS = "http://schemas.xmlsoap.org/soap/envelope/"
@@ -9,3 +10,12 @@ WSA_NS = "http://www.w3.org/2005/08/addressing"
 
 DEFAULT_REGISTRY.register("soapenv", SOAP_ENV_NS)
 DEFAULT_REGISTRY.register("wsa", WSA_NS)
+
+# Every message on a DAIS wire carries these; interning them lets the
+# parser skip name resolution for the envelope scaffolding.
+intern_vocabulary(SOAP_ENV_NS, ("Envelope", "Header", "Body", "Fault"))
+intern_vocabulary(
+    WSA_NS, ("To", "Action", "MessageID", "RelatesTo", "ReplyTo",
+             "Address", "ReferenceParameters", "Metadata",
+             "EndpointReference")
+)

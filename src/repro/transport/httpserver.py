@@ -47,7 +47,7 @@ from urllib.parse import urlsplit
 from repro.core.faults import ServiceBusyFault, ServiceNotFoundFault, TransportFault
 from repro.resilience import coerce_resilience
 from repro.core.registry import ServiceRegistry
-from repro.obs import MetricsRegistry, get_tracer
+from repro.obs import MetricsRegistry, current_span, get_tracer
 from repro.obs.exporters import span_to_dict
 from repro.obs.exposition import prometheus_text
 from repro.obs.journal import get_journal
@@ -146,6 +146,10 @@ class DaisHttpServer:
         self._chunks = self.metrics.counter(
             "http.server.chunks", "HTTP chunks written for streamed responses"
         )
+        self._errors = self.metrics.counter(
+            "http.server.errors",
+            "exceptions caught at server boundaries, by where they surfaced",
+        )
         self._core = EventLoopCore(
             "127.0.0.1",
             port,
@@ -180,6 +184,10 @@ class DaisHttpServer:
         try:
             status, content_type, payload = self._handle_get(request.target)
         except Exception as exc:  # noqa: BLE001 - operator boundary
+            # Swallowed into a JSON 500 for the caller, but never
+            # silently: counted and attached to whatever span is open.
+            self._errors.inc(where="get")
+            current_span().record_exception(exc)
             status = 500
             content_type = "application/json; charset=utf-8"
             payload = json.dumps(
@@ -262,14 +270,17 @@ class DaisHttpServer:
             except (ConnectionError, BrokenPipeError, TimeoutError, OSError):
                 core.close(conn)
                 return
-            except Exception:
+            except Exception as exc:
                 # The 200 status line is long gone, so a mid-stream
                 # producer failure cannot become a SOAP fault;
                 # withholding the terminal chunk makes the consumer see
                 # an incomplete transfer instead of a truncated-but-
-                # parseable body.
+                # parseable body.  The exception itself must not vanish
+                # with the connection: count it and pin it to the
+                # request span (exporters still hold the span object).
                 core.close(conn)
-                span.mark_fault()
+                self._errors.inc(where="stream")
+                span.record_exception(exc)
                 return
             if span.recording:
                 span.set_attribute("response_bytes", sent)
@@ -301,6 +312,8 @@ class DaisHttpServer:
         try:
             request = Envelope.from_bytes(body)
         except Exception as exc:
+            self._errors.inc(where="parse")
+            current_span().record_exception(exc)
             fault = SoapFault(
                 FaultCode.CLIENT, f"malformed request envelope: {exc}"
             )
@@ -705,6 +718,7 @@ class HttpTransport:
             try:
                 response = Envelope.from_bytes(response_bytes)
             except Exception as err:
+                span.record_exception(err)
                 raise TransportFault(
                     f"unparseable response from {address}: {err}"
                 ) from err

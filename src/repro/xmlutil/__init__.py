@@ -21,9 +21,22 @@ from repro.xmlutil.tree import (
     is_element,
 )
 from repro.xmlutil.builder import E, element
-from repro.xmlutil.serialize import serialize, serialize_bytes, serialize_chunks
-from repro.xmlutil.parser import parse, parse_bytes, XmlParseError
+from repro.xmlutil.serialize import (
+    document_prefixes,
+    serialize,
+    serialize_bytes,
+    serialize_chunks,
+    serialize_fragment,
+)
+from repro.xmlutil.parser import (
+    XmlParseError,
+    intern_vocabulary,
+    interned_qname,
+    parse,
+    parse_bytes,
+)
 from repro.xmlutil.escape import escape_text, escape_attribute, unescape
+from repro.xmlutil.template import ByteTemplate, TemplateSlots
 
 __all__ = [
     "QName",
@@ -41,10 +54,16 @@ __all__ = [
     "serialize",
     "serialize_bytes",
     "serialize_chunks",
+    "serialize_fragment",
+    "document_prefixes",
     "parse",
     "parse_bytes",
     "XmlParseError",
+    "intern_vocabulary",
+    "interned_qname",
     "escape_text",
     "escape_attribute",
     "unescape",
+    "ByteTemplate",
+    "TemplateSlots",
 ]

@@ -44,20 +44,59 @@ def escape_attribute(value: str) -> str:
     return "".join(_ATTR_ESCAPES.get(ch, ch) for ch in value)
 
 
+def _is_xml_char(code: int) -> bool:
+    """XML 1.0 Char production: the code points a document may contain."""
+    return (
+        code in (0x9, 0xA, 0xD)
+        or 0x20 <= code <= 0xD7FF
+        or 0xE000 <= code <= 0xFFFD
+        or 0x10000 <= code <= 0x10FFFF
+    )
+
+
 def _decode_entity(match: re.Match[str]) -> str:
     body = match.group(1)
     if body.startswith("#x") or body.startswith("#X"):
-        return chr(int(body[2:], 16))
-    if body.startswith("#"):
-        return chr(int(body[1:]))
-    try:
-        return _NAMED_ENTITIES[body]
-    except KeyError:
-        raise ValueError(f"unknown entity reference &{body};") from None
+        code = int(body[2:], 16)
+    elif body.startswith("#"):
+        code = int(body[1:])
+    else:
+        try:
+            return _NAMED_ENTITIES[body]
+        except KeyError:
+            raise ValueError(f"unknown entity reference &{body};") from None
+    if not _is_xml_char(code):
+        raise ValueError(
+            f"character reference &{body}; is not a valid XML character"
+        )
+    return chr(code)
 
 
 def unescape(value: str) -> str:
-    """Resolve the five predefined entities and numeric character refs."""
-    if "&" not in value:
+    """Resolve the five predefined entities and numeric character refs.
+
+    Strict: every ``&`` must begin a well-formed reference.  A bare
+    ampersand, a truncated reference (``&#x1F`` with no semicolon), an
+    unknown entity name, or a numeric reference outside the XML Char
+    production (``&#x110000;``, surrogates, most control characters)
+    raises :class:`ValueError` — the parser wraps it into its positioned
+    parse error rather than letting malformed bytes pass through.
+    """
+    amp = value.find("&")
+    if amp < 0:
         return value
-    return _ENTITY_RE.sub(_decode_entity, value)
+    parts: list[str] = []
+    pos = 0
+    while amp >= 0:
+        match = _ENTITY_RE.match(value, amp)
+        if match is None:
+            snippet = value[amp : amp + 12]
+            raise ValueError(
+                f"malformed entity or character reference at {snippet!r}"
+            )
+        parts.append(value[pos:amp])
+        parts.append(_decode_entity(match))
+        pos = match.end()
+        amp = value.find("&", pos)
+    parts.append(value[pos:])
+    return "".join(parts)

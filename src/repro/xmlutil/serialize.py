@@ -159,6 +159,30 @@ def serialize_bytes(
     return serialize(root, registry, indent, xml_declaration=True).encode("utf-8")
 
 
+def document_prefixes(
+    root: XmlElement, registry: NamespaceRegistry | None = None
+) -> dict[str, str]:
+    """The namespace→prefix map :func:`serialize` would use for *root*.
+
+    Exposed for byte-template callers that serialize a subtree
+    separately (with :func:`serialize_fragment`) and splice it into a
+    precompiled skeleton: rendering the fragment with the skeleton's own
+    prefix map keeps the spliced output byte-identical to a whole-tree
+    serialization."""
+    registry = registry if registry is not None else DEFAULT_REGISTRY
+    return _assign_prefixes(_collect_namespaces(root), registry)
+
+
+def serialize_fragment(root: XmlElement, prefixes: dict[str, str]) -> str:
+    """Serialize *root* as a fragment: no declarations, fixed prefixes.
+
+    Every namespace used in the subtree must already be bound in
+    *prefixes* (the enclosing document's map); compact mode only."""
+    writer = _Writer(prefixes, None)
+    writer.write(root, 0, None)
+    return writer.result()
+
+
 class _ChunkWriter:
     """Generator twin of :class:`_Writer` (compact mode only).
 

@@ -1,0 +1,108 @@
+"""Strictness of entity/character-reference handling.
+
+``unescape`` accepts exactly the five XML entities plus numeric
+references to characters the XML 1.0 ``Char`` production allows.
+Everything else — bare ampersands, truncated references, out-of-range
+or surrogate code points — is a loud error, and the parser surfaces it
+as a positioned :class:`XmlParseError` whether it occurs in character
+data or inside an attribute value.
+"""
+
+import pytest
+
+from repro.xmlutil import XmlParseError, escape_attribute, escape_text, parse, unescape
+
+
+class TestUnescapeAccepts:
+    @pytest.mark.parametrize(
+        ("text", "expected"),
+        [
+            ("&amp;", "&"),
+            ("&lt;&gt;", "<>"),
+            ("&quot;&apos;", "\"'"),
+            ("&#65;", "A"),
+            ("&#x41;", "A"),
+            ("&#x1F600;", "\U0001F600"),
+            ("&#xD7FF;", "퟿"),
+            ("&#xE000;", ""),
+            ("&#x10FFFF;", "\U0010FFFF"),
+            ("&#9;&#10;&#13;", "\t\n\r"),
+            ("a &amp; b &#x26; c", "a & b & c"),
+            ("no references at all", "no references at all"),
+            ("", ""),
+        ],
+    )
+    def test_valid_input(self, text, expected):
+        assert unescape(text) == expected
+
+
+class TestUnescapeRejects:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "&",  # bare ampersand
+            "bare & ampersand",
+            "&amp",  # missing semicolon
+            "&#x1F",  # truncated hex reference
+            "&#65",  # truncated decimal reference
+            "&#;",  # empty numeric reference
+            "&#x;",  # empty hex reference
+            "&;",  # empty entity name
+            "&bogus;",  # unknown entity
+            "&#x110000;",  # beyond U+10FFFF
+            "&#1114112;",  # same, decimal
+            "&#0;",  # NUL is not an XML Char
+            "&#x8;",  # C0 control outside the allowed trio
+            "&#xD800;",  # surrogate low bound
+            "&#xDFFF;",  # surrogate high bound
+            "&#xFFFE;",  # non-character
+            "&& double",
+            "tail &",
+        ],
+    )
+    def test_invalid_input(self, text):
+        with pytest.raises(ValueError):
+            unescape(text)
+
+
+class TestParserStrictness:
+    def test_malformed_reference_in_content_is_parse_error(self):
+        with pytest.raises(XmlParseError):
+            parse("<doc>&#x110000;</doc>")
+
+    def test_truncated_reference_in_content_is_parse_error(self):
+        with pytest.raises(XmlParseError):
+            parse("<doc>&#x1F</doc>")
+
+    def test_bare_ampersand_in_content_is_parse_error(self):
+        with pytest.raises(XmlParseError):
+            parse("<doc>tom & jerry</doc>")
+
+    def test_malformed_reference_in_attribute_is_parse_error(self):
+        with pytest.raises(XmlParseError):
+            parse('<doc a="&#xD800;"/>')
+
+    def test_bare_ampersand_in_attribute_is_parse_error(self):
+        with pytest.raises(XmlParseError):
+            parse('<doc a="tom & jerry"/>')
+
+    def test_parse_error_carries_position(self):
+        with pytest.raises(XmlParseError) as info:
+            parse("<doc>\n  &#x110000;</doc>")
+        assert "offset" in str(info.value)
+
+    def test_valid_references_still_parse(self):
+        tree = parse("<doc a='&#x41;&amp;'>&#x1F600;&lt;</doc>")
+        assert tree.text == "\U0001F600<"
+        attrs = list(tree.attributes.values())
+        assert attrs == ["A&"]
+
+
+class TestRoundTripWithEscaping:
+    @pytest.mark.parametrize(
+        "value",
+        ["&", "<", ">", '"', "'", "a&b<c>d", "\t\n", "\U0001F600", "&#x41;"],
+    )
+    def test_escape_then_unescape_is_identity(self, value):
+        assert unescape(escape_text(value)) == value
+        assert unescape(escape_attribute(value)) == value

@@ -137,3 +137,52 @@ def test_known_nasty_corpus_round_trips():
         tree.append(value)
         reparsed = parse(serialize(tree))
         assert reparsed.full_text() == value, value
+
+
+# -- reference strictness fuzzing -------------------------------------------
+#
+# The serializer only ever emits the five named entities, but parsed input
+# may carry arbitrary numeric references.  Valid references (any XML 1.0
+# Char) must round-trip through escape on re-serialization; malformed or
+# out-of-range references must be rejected, never smuggled through.
+
+_VALID_CODEPOINTS = (
+    [0x9, 0xA, 0xD]
+    + list(range(0x20, 0x7F))
+    + [0xE9, 0x2026, 0xD7FF, 0xE000, 0xFFFD, 0x10000, 0x1F600, 0x10FFFF]
+)
+
+_INVALID_REFERENCES = [
+    "&#x110000;", "&#1114112;", "&#0;", "&#x8;", "&#xD800;", "&#xDC00;",
+    "&#xDFFF;", "&#xFFFE;", "&#xFFFF;", "&#;", "&#x;", "&bogus;", "&amp",
+    "&#x1F", "&", "&;",
+]
+
+
+@pytest.mark.parametrize("seed", range(55, 65))
+def test_numeric_references_round_trip(seed):
+    rng = random.Random(seed)
+    codes = [rng.choice(_VALID_CODEPOINTS) for _ in range(12)]
+    refs = "".join(
+        f"&#x{code:X};" if rng.random() < 0.5 else f"&#{code};"
+        for code in codes
+    )
+    tree = parse(f"<doc>{refs}</doc>")
+    assert tree.text == "".join(chr(code) for code in codes)
+    # Re-serialization escapes what must be escaped and reparses equal.
+    assert parse(serialize(tree)).equals(tree)
+
+
+@pytest.mark.parametrize("seed", range(65, 75))
+def test_malformed_references_rejected_wherever_they_land(seed):
+    from repro.xmlutil import XmlParseError
+
+    rng = random.Random(seed)
+    bad = rng.choice(_INVALID_REFERENCES)
+    prefix = "".join(rng.choice("abc ") for _ in range(rng.randint(0, 6)))
+    if rng.random() < 0.5:
+        document = f"<doc>{prefix}{bad}</doc>"
+    else:
+        document = f'<doc a="{prefix}{bad}"/>'
+    with pytest.raises(XmlParseError):
+        parse(document)
