@@ -1,12 +1,13 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-fig2 bench-stream bench-load coverage-obs trace-demo test-resilience test-concurrency test-jobs test-server chaos-demo jobs-demo
+.PHONY: test bench bench-fig2 bench-fig4 bench-stream bench-load coverage-obs trace-demo test-resilience test-concurrency test-jobs test-server chaos-demo jobs-demo
 
 test: test-jobs
 	$(PYTHON) -m pytest -x -q
 	BENCH_LOAD_SMOKE=1 PYTHONFAULTHANDLER=1 $(PYTHON) -m pytest benchmarks/test_bench_load.py -q
 	BENCH_FIG2_SMOKE=1 $(PYTHON) -m pytest benchmarks/test_fig2_hotpath.py -q
+	BENCH_FIG4_SMOKE=1 $(PYTHON) -m pytest benchmarks/test_fig4_cache.py -q
 
 # Event-loop server suites: c=100 load/soak with keep-alive reuse and
 # admission-control degradation, slow-loris reaping, client in-stream
@@ -53,6 +54,17 @@ bench:
 bench-fig2:
 	$(PYTHON) -m pytest benchmarks/test_fig2_hotpath.py \
 		tests/relational/test_plan_cache.py -q -s
+
+# Caching + wire-efficiency gate (fig-4 property workload): over real
+# HTTP, wire bytes per property-document fetch must drop >= 5x with
+# gzip + the property-document cache on vs off (measured interleaved
+# in one process) at a p50 no worse than the uncached/uncompressed
+# path, and an identical SQLExecuteFactory must be answered from the
+# shared-result cache no slower than a fresh evaluation.  Stale-read
+# regression tests ride along.
+bench-fig4:
+	$(PYTHON) -m pytest benchmarks/test_fig4_cache.py \
+		tests/core/test_propdoc_cache.py tests/dair/test_result_reuse.py -q -s
 
 # Streamed-delivery memory/throughput gate: streamed peak memory at
 # 100k rows must stay under 2x the 1k-row baseline, and streamed

@@ -55,8 +55,21 @@ class DaisClient:
             payload=request.to_xml(),
         )
         response = self._transport.send(address, envelope)
-        response.raise_if_fault()
+        try:
+            response.raise_if_fault()
+        except Exception as exc:
+            self._on_call_fault(address, request, exc)
+            raise
         return response_cls.from_xml(response.payload)
+
+    def _on_call_fault(self, address: str, request: DaisMessage, exc) -> None:
+        """Observation hook for typed fault responses.
+
+        Subclasses override it to react to specific faults — e.g.
+        :class:`~repro.client.core.CoreClient` drops cached ``resolve``
+        EPRs when the service or the named resource turns out to be
+        gone.  The fault always propagates to the caller regardless.
+        """
 
     def call_epr(
         self,

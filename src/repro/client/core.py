@@ -3,12 +3,16 @@
 from __future__ import annotations
 
 import random
+import threading
 import time
 from typing import Callable, Optional
 
 from repro.client.base import DaisClient
 from repro.core import messages as msg
 from repro.core import wsrf_messages as wmsg
+from repro.core.faults import InvalidResourceNameFault, ServiceNotFoundFault
+from repro.core.messages import DaisMessage
+from repro.wsrf.faults import ResourceUnknownFault
 from repro.jobs import messages as jmsg
 from repro.jobs.model import ERROR, TERMINAL_PHASES
 from repro.resilience.policy import RetryPolicy
@@ -45,7 +49,36 @@ class JobTimeoutError(TimeoutError):
 
 
 class CoreClient(DaisClient):
-    """CoreDataAccess + CoreResourceList + WSRF property/lifetime calls."""
+    """CoreDataAccess + CoreResourceList + WSRF property/lifetime calls.
+
+    :meth:`resolve` results are cached per ``(address, abstract_name)``
+    — an EPR is stable for the life of the resource, so re-resolving on
+    every interaction only burns round trips.  The cache self-corrects
+    on typed faults: a :class:`ServiceNotFoundFault` from an address
+    drops every EPR cached against it, and a resource-name fault
+    (unknown, invalid, or WSRF-expired) drops the one entry it names.
+    """
+
+    def __init__(self, transport, resilience=None) -> None:
+        super().__init__(transport, resilience)
+        self._resolve_lock = threading.Lock()
+        self._resolve_cache: dict[tuple[str, str], EndpointReference] = {}
+        metrics = getattr(transport, "metrics", None)
+        if metrics is not None:
+            self._resolve_hits = metrics.counter(
+                "cache.resolve.hits", "resolve() calls served from cache"
+            )
+            self._resolve_misses = metrics.counter(
+                "cache.resolve.misses", "resolve() calls sent on the wire"
+            )
+            self._resolve_invalidations = metrics.counter(
+                "cache.resolve.invalidations",
+                "cached EPRs dropped after a typed fault",
+            )
+        else:  # pragma: no cover - every shipped transport has metrics
+            self._resolve_hits = None
+            self._resolve_misses = None
+            self._resolve_invalidations = None
 
     # -- CoreDataAccess ------------------------------------------------------
 
@@ -97,7 +130,22 @@ class CoreClient(DaisClient):
         )
         return response.names
 
-    def resolve(self, address: str, abstract_name: str) -> EndpointReference:
+    def resolve(
+        self, address: str, abstract_name: str, refresh: bool = False
+    ) -> EndpointReference:
+        """The EPR for *abstract_name*, cached across calls.
+
+        ``refresh=True`` bypasses the cache (and overwrites the entry
+        with the freshly resolved EPR).
+        """
+        key = (address, abstract_name)
+        if not refresh:
+            with self._resolve_lock:
+                cached = self._resolve_cache.get(key)
+            if cached is not None:
+                if self._resolve_hits is not None:
+                    self._resolve_hits.inc()
+                return cached
         response = self.call(
             address,
             msg.ResolveRequest(abstract_name=abstract_name),
@@ -105,7 +153,45 @@ class CoreClient(DaisClient):
         )
         if response.address is None:
             raise ValueError(f"service could not resolve {abstract_name!r}")
+        with self._resolve_lock:
+            self._resolve_cache[key] = response.address
+        if self._resolve_misses is not None:
+            self._resolve_misses.inc()
         return response.address
+
+    def _on_call_fault(self, address: str, request: DaisMessage, exc) -> None:
+        """Drop cached EPRs contradicted by a typed fault.
+
+        The faulting call may have travelled through a cached EPR (so
+        *address* is the EPR's own address) or named the resource
+        directly — either way the stale entries are found by matching
+        both the cache key's address and the cached EPR's address.
+        """
+        if isinstance(exc, ServiceNotFoundFault):
+            dropped = self._drop_resolved(address, None)
+        elif isinstance(exc, (InvalidResourceNameFault, ResourceUnknownFault)):
+            name = getattr(request, "abstract_name", None)
+            if name is None:
+                return
+            dropped = self._drop_resolved(address, name)
+        else:
+            return
+        if dropped and self._resolve_invalidations is not None:
+            self._resolve_invalidations.inc(dropped)
+
+    def _drop_resolved(self, address: str, abstract_name: str | None) -> int:
+        """Remove cache entries for *address* (all of them, or just the
+        one naming *abstract_name*); returns how many were dropped."""
+        with self._resolve_lock:
+            stale = [
+                key
+                for key, epr in self._resolve_cache.items()
+                if (abstract_name is None or key[1] == abstract_name)
+                and (key[0] == address or epr.address == address)
+            ]
+            for key in stale:
+                del self._resolve_cache[key]
+        return len(stale)
 
     # -- asynchronous jobs ----------------------------------------------------
 

@@ -7,6 +7,19 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.obs import MetricsRegistry, current_span
+
+#: Engine-wide metrics: pipelines are built ad hoc (no long-lived
+#: service object to hang a registry off), so failures land here.
+METRICS = MetricsRegistry()
+
+#: Activity failures by ``where=<activity label>`` — every exception the
+#: engine converts into an :class:`ActivityError` is counted and
+#: recorded on the active span before it propagates.
+ERRORS = METRICS.counter(
+    "compose.errors", "activity failures per activity label"
+)
+
 
 class ActivityError(Exception):
     """An activity failed; carries which one and why."""
@@ -92,9 +105,11 @@ class Pipeline:
             start = time.perf_counter()
             try:
                 value = activity.run(value)
-            except ActivityError:
+            except ActivityError as err:
+                _record_failure(activity, err)
                 raise
             except Exception as exc:
+                _record_failure(activity, exc)
                 raise ActivityError(activity, exc) from exc
             trace.append(
                 ActivityTrace(
@@ -104,6 +119,14 @@ class Pipeline:
                 )
             )
         return PipelineResult(output=value, trace=trace)
+
+
+def _record_failure(activity: Activity, exc: Exception) -> None:
+    """Make an activity failure observable before it propagates."""
+    span = current_span()
+    if span.recording:
+        span.record_exception(exc)
+    ERRORS.inc(where=activity.label)
 
 
 def _summarize(value: Any) -> str:

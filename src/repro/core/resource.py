@@ -58,6 +58,19 @@ class DataResource(ABC):
         """Build the current property document for this resource as bound
         to a service with the given configurable properties."""
 
+    def property_version(self) -> int | None:
+        """Version stamp for property-document caching.
+
+        The served document may be rebuilt from cached bytes as long as
+        this value is unchanged (see
+        :class:`repro.core.propcache.PropertyDocumentCache`).  Resources
+        whose document derives from mutable state return a counter that
+        bumps on every mutation (the relational resource returns
+        :attr:`Catalog.version`); fully static documents keep the
+        default ``0``.  Return ``None`` to opt out of caching entirely.
+        """
+        return 0
+
     # -- generic query ----------------------------------------------------
 
     def generic_query_languages(self) -> list[str]:

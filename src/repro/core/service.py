@@ -22,6 +22,7 @@ from repro.core.faults import (
     ServiceBusyFault,
 )
 from repro.core.names import AbstractName
+from repro.core.propcache import PropertyDocumentCache
 from repro.core.properties import ConfigurableProperties
 from repro.core.resource import DataResource
 from repro.obs import MetricsRegistry, get_tracer
@@ -35,7 +36,7 @@ from repro.wsrf.clock import Clock
 from repro.wsrf.faults import WsrfFault
 from repro.wsrf.lifetime import LifetimeManager
 from repro.wsrf.properties import PropertyAccess
-from repro.xmlutil import E, QName, XmlElement
+from repro.xmlutil import E, QName, XmlElement, serialize_bytes
 from repro.core.namespaces import WSDAI_NS
 
 #: The reference-parameter tag DAIS puts in data resource EPRs.
@@ -56,6 +57,13 @@ class ResourceBinding:
         self.resource = resource
         self.configurable = configurable
         self._service = service
+        #: How many independent service↔resource relationships share this
+        #: binding.  A shared derived resource (factory result reuse)
+        #: raises it via :meth:`DataService.acquire_resource`; explicit
+        #: destroys release claims one at a time and only the last claim
+        #: actually destroys (soft-state expiry ignores claims — a
+        #: passed termination time ends the resource for every holder).
+        self.refcount = 1
 
     @property
     def abstract_name(self) -> str:
@@ -71,8 +79,13 @@ class ResourceBinding:
         ride along too — eviction is observable, never silent.  The
         resource's lifecycle history is the ``LifecycleJournal``
         property element.
+
+        Only the resource's *own* document is cacheable (see
+        :meth:`DataService._resource_document`); the metrics, journal,
+        resilience and job-set elements below are volatile and are
+        appended fresh on every read.
         """
-        document = self.resource.property_document(self.configurable).to_xml()
+        document = self._service._resource_document(self)
         journal = get_journal()
         extra = []
         exporter = get_tracer().exporter
@@ -163,6 +176,21 @@ class DataService:
         #: Per-service metrics (dispatch counts, latency, faults); exposed
         #: to consumers through the property document (ServiceMetrics).
         self.metrics = MetricsRegistry()
+        #: Rendered-bytes cache for resource property documents; set to
+        #: ``None`` to disable (the fig-4 benchmark baseline does).
+        self.propdoc_cache = PropertyDocumentCache()
+        self.propdoc_cache.bind_counters(
+            self.metrics.counter(
+                "cache.propdoc.hits", "property-document cache hits"
+            ),
+            self.metrics.counter(
+                "cache.propdoc.misses", "property-document cache misses"
+            ),
+            self.metrics.counter(
+                "cache.propdoc.invalidations",
+                "property-document cache invalidations",
+            ),
+        )
         self._dispatch_counter = self.metrics.counter(
             "dais.dispatch.count", "dispatches per wsa:Action"
         )
@@ -230,6 +258,21 @@ class DataService:
                     f"{abstract_name!r}"
                 ) from None
 
+    def acquire_resource(self, abstract_name: str) -> bool:
+        """Add one claim on an existing binding (shared derived results).
+
+        Returns ``False`` when the resource is already gone — the caller
+        (the factory result cache) must then treat its entry as stale.
+        The claim is released by :meth:`destroy_resource`: only the last
+        release actually destroys.
+        """
+        with self._resources_lock:
+            binding = self._bindings.get(abstract_name)
+            if binding is None:
+                return False
+            binding.refcount += 1
+            return True
+
     def destroy_resource(self, abstract_name: str) -> None:
         """Sever the service↔resource relationship (paper §4.3).
 
@@ -237,9 +280,22 @@ class DataService:
         binding table happens under the resource lock, and the lifetime
         route is idempotent — when an explicit destroy, a sweep and a
         WSRF ``Destroy`` race, exactly one runs ``on_destroy``.
+
+        A binding holding several claims (see :meth:`acquire_resource`)
+        just sheds one claim here; the relationship persists for the
+        other holders and only the final destroy tears it down.
         """
         with self._resources_lock:
             binding = self.binding(abstract_name)  # faults when unknown
+            if binding.refcount > 1:
+                binding.refcount -= 1
+                record_event(
+                    "released",
+                    abstract_name,
+                    service=self.name,
+                    remaining=binding.refcount,
+                )
+                return
             via_lifetime = (
                 self.lifetime is not None
                 and self.lifetime.registered(abstract_name)
@@ -251,12 +307,14 @@ class DataService:
             # coherent; losing the claim to a concurrent sweep is fine.
             self.lifetime.destroy(abstract_name, missing_ok=True)
             return
+        self._invalidate_document(abstract_name)
         binding.resource.on_destroy()
 
     def _destroy_by_lifetime(self, abstract_name: str) -> None:
         with self._resources_lock:
             binding = self._bindings.pop(abstract_name, None)
         if binding is not None:
+            self._invalidate_document(abstract_name)
             binding.resource.on_destroy()
 
     def sweep_expired(self) -> list[str]:
@@ -264,6 +322,38 @@ class DataService:
         if self.lifetime is None:
             return []
         return self.lifetime.sweep()
+
+    # -- property-document cache -------------------------------------------
+
+    def _resource_document(self, binding: ResourceBinding) -> XmlElement:
+        """The resource's own property document, served from the cache.
+
+        The cache is filled with *rendered bytes*; its master tree is
+        parsed back from those bytes and every serve (the fill included)
+        is a deep copy of that master, so a hit and the fill it followed
+        are byte-identical and neither aliases mutable catalog state.  A
+        resource whose :meth:`~repro.core.resource.DataResource.property_version`
+        is ``None`` (or a service with the cache disabled) renders
+        directly.
+        """
+        cache = self.propdoc_cache
+        version = binding.resource.property_version()
+        if cache is None or version is None:
+            return binding.resource.property_document(
+                binding.configurable
+            ).to_xml()
+        key = binding.abstract_name
+        served = cache.lookup_document(key, version)
+        if served is None:
+            document = binding.resource.property_document(
+                binding.configurable
+            ).to_xml()
+            served = cache.store(key, version, serialize_bytes(document))
+        return served
+
+    def _invalidate_document(self, abstract_name: str) -> None:
+        if self.propdoc_cache is not None:
+            self.propdoc_cache.invalidate(abstract_name)
 
     def epr_for(self, abstract_name: str) -> EndpointReference:
         """The data resource address: service address + abstract name as a
@@ -620,6 +710,9 @@ class DataService:
         record = self.lifetime.set_termination_time(
             request.abstract_name, request.requested_termination_time
         )
+        # A lifetime transition changes what a property read should
+        # reflect without touching the resource's version stamp.
+        self._invalidate_document(request.abstract_name)
         return wmsg.SetTerminationTimeResponse(
             new_termination_time=record.termination_time,
             current_time=record.current_time,

@@ -230,6 +230,12 @@ class SQLDataResource(DataResource):
 
     # -- property document ----------------------------------------------------
 
+    def property_version(self) -> int | None:
+        # The document embeds the CIM schema description, which is valid
+        # exactly as long as the catalog version stamp is (every DDL
+        # path bumps it, including failed-DDL undo arms).
+        return self.database.catalog.version
+
     def property_document(
         self, configurable: ConfigurableProperties
     ) -> SQLPropertyDocument:
@@ -295,6 +301,10 @@ class SQLResponseResource(DataResource):
         if sensitivity is Sensitivity.INSENSITIVE:
             self._snapshot = self._evaluate()
         self._destroyed = False
+        #: Invoked exactly once when the resource is torn down — the
+        #: shared-result cache hooks this to forget its entry, so a
+        #: destroyed resource's name can never be handed out again.
+        self._destroy_listener = None
 
     def _evaluate(self) -> tuple:
         result = self._parent_resource.sql_execute(
@@ -345,6 +355,9 @@ class SQLResponseResource(DataResource):
     def sensitivity(self) -> Sensitivity:
         return self._sensitivity
 
+    def set_destroy_listener(self, callback) -> None:
+        self._destroy_listener = callback
+
     def on_destroy(self) -> None:
         super().on_destroy()
         # Service managed: data goes away with the relationship (§4.3).
@@ -352,6 +365,9 @@ class SQLResponseResource(DataResource):
         # fault), never a half-disposed snapshot.
         self._destroyed = True
         self._snapshot = None
+        listener, self._destroy_listener = self._destroy_listener, None
+        if listener is not None:
+            listener(self)
 
     def property_document(
         self, configurable: ConfigurableProperties

@@ -42,6 +42,7 @@ from repro.dair.resources import (
     SQLResponseResource,
     SQLRowsetResource,
 )
+from repro.dair.resultcache import SharedResultCache
 from repro.jobs.namespaces import MODE_ASYNCHRONOUS
 from repro.relational import SqlCommunicationArea
 from repro.soap.addressing import MessageHeaders
@@ -99,6 +100,24 @@ class SQLRealisationService(DataService):
         self._plan_invalidations = self.metrics.counter(
             "cache.plan.invalidations",
             "Cached plans dropped because the catalog version moved",
+        )
+        #: Shared derived results: a repeat SQLExecuteFactory request
+        #: reuses the existing response resource (refcounted) instead of
+        #: re-executing.  Set to ``None`` to disable.
+        self.result_cache = SharedResultCache()
+        self.result_cache.bind_counters(
+            self.metrics.counter(
+                "cache.result.hits",
+                "Factory requests answered with a shared derived resource",
+            ),
+            self.metrics.counter(
+                "cache.result.misses",
+                "Factory requests that executed and materialized anew",
+            ),
+            self.metrics.counter(
+                "cache.result.invalidations",
+                "Shared-result entries dropped (version moved or destroyed)",
+            ),
         )
         self.port_types = set(port_types)
         unknown = self.port_types - set(PORT_TYPES)
@@ -360,6 +379,36 @@ class SQLRealisationService(DataService):
             )
             return msg.SQLExecuteFactoryResponse(job_id=job.job_id)
 
+        # Shared-result reuse: an identical insensitive, unconfigured
+        # request against the same parent at the same catalog + data
+        # version answers with the existing derived resource, adding one
+        # refcount claim.  The stamp is taken *before* evaluation, so a
+        # write racing the snapshot costs a miss, never a stale hit.
+        cache = self.result_cache
+        reusable = (
+            cache is not None
+            and request.configuration_document is None
+            and configurable.sensitivity is Sensitivity.INSENSITIVE
+            and isinstance(binding.resource, SQLDataResource)
+        )
+        if reusable:
+            database = binding.resource.database
+            stamp = (
+                database.catalog.version,
+                database.transactions.data_version,
+            )
+            key = (
+                str(request.abstract_name),
+                request.expression,
+                tuple(request.parameters),
+            )
+            shared = cache.lookup(key, stamp, target.acquire_resource)
+            if shared is not None:
+                return msg.SQLExecuteFactoryResponse(
+                    address=target.epr_for(shared),
+                    abstract_name=shared,
+                )
+
         derived = SQLResponseResource(
             abstract_name=mint_abstract_name("sqlresponse"),
             parent=binding.resource,
@@ -372,6 +421,11 @@ class SQLRealisationService(DataService):
         )
         target.add_resource(derived, configurable)
         try:
+            if reusable:
+                derived.set_destroy_listener(
+                    lambda resource: cache.forget(resource.abstract_name)
+                )
+                cache.store(key, stamp, derived.abstract_name)
             return msg.SQLExecuteFactoryResponse(
                 address=target.epr_for(derived.abstract_name),
                 abstract_name=derived.abstract_name,

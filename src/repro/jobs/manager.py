@@ -104,6 +104,12 @@ class JobManager:
             "jobs.duplicate_outcomes",
             "terminal decisions that lost the first-writer race",
         )
+        #: Exceptions caught (and survived) at job-system boundaries,
+        #: labelled by ``where`` — the runner's worker loop, rollback
+        #: hooks.  These used to vanish silently.
+        self.errors = counter(
+            "jobs.errors", "exceptions swallowed at job-system boundaries"
+        )
 
     # -- executors ---------------------------------------------------------
 

@@ -55,7 +55,14 @@ def execute_claimed(manager: JobManager, job: Job) -> bool:
         if not won:
             rollback = manager.rollback_for(job.kind)
             if rollback is not None:
-                rollback(job, result)
+                try:
+                    rollback(job, result)
+                except Exception as exc:  # noqa: BLE001 - rollback boundary
+                    # A failed rollback leaks the losing materialization
+                    # but must not take the worker down with it — make
+                    # the leak visible instead of silent.
+                    span.record_exception(exc)
+                    manager.errors.inc(where="rollback")
             span.set_attribute("outcome", "lost-terminal-race")
         return won
 
@@ -136,5 +143,14 @@ class JobRunner:
                 continue
             try:
                 execute_claimed(self.manager, job)
-            except Exception:  # pragma: no cover - worker must survive
-                continue
+            except Exception as exc:  # noqa: BLE001 - worker must survive
+                # Anything escaping execute_claimed (journal IO, a
+                # broken executor registration, …) used to vanish here;
+                # count it and leave a fault span so the claim that
+                # went nowhere can be traced.
+                with get_tracer().span(
+                    "job.worker.error", worker=worker, job=job.job_id
+                ) as span:
+                    span.record_exception(exc)
+                    span.mark_fault(str(exc))
+                self.manager.errors.inc(where="worker-loop")

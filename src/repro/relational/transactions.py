@@ -103,6 +103,18 @@ class TransactionManager:
         self._lock_manager = LockManager()
         self._txids = itertools.count(1)
         self._active: dict[int, Transaction] = {}
+        self._data_version = 0
+
+    @property
+    def data_version(self) -> int:
+        """Bumps on every committed transaction that wrote a table.
+
+        The catalog version only moves on schema changes; this counter
+        is the DML analogue, letting caches of *data-derived* artefacts
+        (shared factory results) notice that committed rows changed.
+        Rollbacks restore the prior state, so they do not bump it.
+        """
+        return self._data_version
 
     @property
     def locks(self) -> LockManager:
@@ -137,6 +149,8 @@ class TransactionManager:
 
     def commit(self, transaction: Transaction) -> None:
         self._require_active(transaction)
+        if transaction.write_locks:
+            self._data_version += 1
         transaction.journal.entries.clear()
         self._finish(transaction)
 

@@ -258,12 +258,20 @@ def render_response(
     content_type: str,
     body: bytes,
     keep_alive: bool = True,
+    extra_headers: list[tuple[str, str]] | None = None,
 ) -> bytes:
-    """A complete Content-Length-framed response as one byte string."""
+    """A complete Content-Length-framed response as one byte string.
+
+    *extra_headers* (e.g. ``Content-Encoding: gzip``) are emitted after
+    Content-Type/Content-Length; *body* must already be in its encoded
+    form — Content-Length frames the bytes actually sent.
+    """
     headers = [
         ("Content-Type", content_type),
         ("Content-Length", str(len(body))),
     ]
+    if extra_headers:
+        headers.extend(extra_headers)
     if not keep_alive:
         headers.append(("Connection", "close"))
     return render_headers(status, headers) + body

@@ -40,6 +40,7 @@ endpoints for operators:
 from __future__ import annotations
 
 import http.client
+import itertools
 import json
 import time
 from urllib.parse import urlsplit
@@ -61,6 +62,13 @@ from repro.transport.eventloop import (
     SHED_FULL,
     Connection,
     EventLoopCore,
+)
+from repro.transport.compression import (
+    GZIP_FLOOR_BYTES,
+    accepts_gzip,
+    gunzip,
+    gzip_compress,
+    gzip_stream,
 )
 from repro.transport.http11 import (
     ParsedRequest,
@@ -150,6 +158,18 @@ class DaisHttpServer:
             "http.server.errors",
             "exceptions caught at server boundaries, by where they surfaced",
         )
+        # Wire-truth byte counters: `out` counts bytes as actually sent
+        # (post-compression), so the fig-4 bytes gate and operators see
+        # what the network sees, not the logical payload size.
+        self._bytes_in = self.metrics.counter(
+            "http.bytes.in", "request body bytes received on the wire"
+        )
+        self._bytes_out = self.metrics.counter(
+            "http.bytes.out", "response body bytes sent on the wire"
+        )
+        #: Negotiated response compression (Accept-Encoding: gzip); off
+        #: reproduces the uncompressed wire for benchmarks.
+        self.compression = True
         self._core = EventLoopCore(
             "127.0.0.1",
             port,
@@ -236,8 +256,10 @@ class DaisHttpServer:
         """Serve one admitted POST on a worker thread."""
         body = request.body
         self._request_bytes.inc(len(body))
+        self._bytes_in.inc(len(body))
         if not self._apply_fault_plan(conn, request, core):
             return
+        gzip_ok = self.compression and accepts_gzip(request.headers)
         # The admitted decision rides the request span itself (a
         # separate admission span would be a second root and fragment
         # the consumer's trace — only *shed* decisions, which never
@@ -266,7 +288,7 @@ class DaisHttpServer:
             # object, so the byte count (known only once the stream
             # drained) still lands on it.
             try:
-                sent = self._send_chunked(conn, response)
+                sent = self._send_chunked(conn, response, compress=gzip_ok)
             except (ConnectionError, BrokenPipeError, TimeoutError, OSError):
                 core.close(conn)
                 return
@@ -286,7 +308,17 @@ class DaisHttpServer:
                 span.set_attribute("response_bytes", sent)
             core.finish(conn, keep_alive=request.keep_alive)
             return
+        # Content negotiation: above the floor, a willing client gets
+        # the body gzip-encoded.  Content-Length frames the *encoded*
+        # bytes, so keep-alive framing is untouched.
+        extra_headers = None
+        if gzip_ok and len(payload) >= GZIP_FLOOR_BYTES:
+            payload = gzip_compress(payload)
+            extra_headers = [("Content-Encoding", "gzip")]
+            if span.recording:
+                span.set_attribute("response_bytes", len(payload))
         self._response_bytes.inc(len(payload))
+        self._bytes_out.inc(len(payload))
         self._write(
             conn,
             core,
@@ -295,6 +327,7 @@ class DaisHttpServer:
                 "text/xml; charset=utf-8",
                 payload,
                 keep_alive=request.keep_alive,
+                extra_headers=extra_headers,
             ),
             keep_alive=request.keep_alive,
         )
@@ -451,24 +484,46 @@ class DaisHttpServer:
     #: separately would pay ~7 bytes and a syscall per row.
     CHUNK_COALESCE_BYTES = 8192
 
-    def _send_chunked(self, conn: Connection, response: Envelope) -> int:
+    def _send_chunked(
+        self, conn: Connection, response: Envelope, compress: bool = False
+    ) -> int:
         """Stream one response envelope as ``Transfer-Encoding: chunked``.
 
-        Returns the total body bytes sent (sum of chunk payloads, not
-        counting chunk framing).  Rows are pulled from the lazy dataset
-        as the serializer is drained, so peak memory stays at one
-        coalescing buffer regardless of result size.
+        Returns the total body bytes sent on the wire (sum of chunk
+        payloads — post-compression, not counting chunk framing).  Rows
+        are pulled from the lazy dataset as the serializer is drained,
+        so peak memory stays at one coalescing buffer regardless of
+        result size.
+
+        With *compress*, the first fragments are held back until the
+        size floor is reached — a stream that ends below it goes out
+        uncompressed, exactly like a small eager body — and only then
+        are the response headers (with ``Content-Encoding: gzip``)
+        committed.  Chunk framing wraps the *compressed* byte stream,
+        so the client's chunked decoder is oblivious.
         """
         sock = conn.sock
-        sock.sendall(
-            render_headers(
-                200,
-                [
-                    ("Content-Type", "text/xml; charset=utf-8"),
-                    ("Transfer-Encoding", "chunked"),
-                ],
-            )
-        )
+        fragments = response.iter_bytes()
+        if compress:
+            head: list[bytes] = []
+            head_bytes = 0
+            for fragment in fragments:
+                head.append(fragment)
+                head_bytes += len(fragment)
+                if head_bytes >= GZIP_FLOOR_BYTES:
+                    break
+            else:
+                compress = False
+                fragments = iter(head)
+            if compress:
+                fragments = gzip_stream(itertools.chain(head, fragments))
+        headers = [
+            ("Content-Type", "text/xml; charset=utf-8"),
+            ("Transfer-Encoding", "chunked"),
+        ]
+        if compress:
+            headers.append(("Content-Encoding", "gzip"))
+        sock.sendall(render_headers(200, headers))
         sent = 0
         buffer = bytearray()
 
@@ -479,10 +534,11 @@ class DaisHttpServer:
             sock.sendall(chunk(bytes(buffer)))
             self._chunks.inc()
             self._response_bytes.inc(len(buffer))
+            self._bytes_out.inc(len(buffer))
             sent += len(buffer)
             buffer.clear()
 
-        for fragment in response.iter_bytes():
+        for fragment in fragments:
             buffer.extend(fragment)
             if len(buffer) >= self.CHUNK_COALESCE_BYTES:
                 flush()
@@ -645,9 +701,13 @@ class HttpTransport:
         resilience=None,
         pooling: bool = True,
         max_idle_per_host: int = 8,
+        compression: bool = True,
     ) -> None:
         self._network = network if network is not None else NetworkModel()
         self._timeout = timeout
+        #: Advertise ``Accept-Encoding: gzip`` and decode encoded
+        #: responses; off reproduces the uncompressed wire.
+        self.compression = compression
         #: Optional retry/breaker layer; every ``send`` routes through it.
         self.resilience = coerce_resilience(resilience)
         self.stats = WireStats()
@@ -664,6 +724,15 @@ class HttpTransport:
         )
         self._faults = self.metrics.counter(
             "rpc.client.faults", "fault responses per wsa:Action"
+        )
+        # Wire-truth byte counters (`in` is post-compression, as read
+        # off the socket) — the client-side mirror of the server's
+        # http.bytes.{in,out}.
+        self._bytes_out = self.metrics.counter(
+            "http.bytes.out", "request body bytes sent on the wire"
+        )
+        self._bytes_in = self.metrics.counter(
+            "http.bytes.in", "response body bytes received on the wire"
         )
         #: The keep-alive pool (None = connection per request).  Its
         #: ``rpc.client.connections.*`` counters live in :attr:`metrics`,
@@ -699,7 +768,7 @@ class HttpTransport:
             "rpc.send", transport="http", address=address, action=action
         ) as span:
             request_bytes = inject(request).to_bytes()
-            status, response_bytes = self._exchange(
+            status, response_bytes, wire_bytes = self._exchange(
                 address, action, request_bytes
             )
             if not _looks_like_soap(response_bytes):
@@ -712,9 +781,12 @@ class HttpTransport:
                         f"HTTP {status} from {address} with non-SOAP body",
                         status=status,
                     )
+            # Wire truth everywhere bytes are recorded: a gzip response
+            # is accounted at its compressed size (what the network
+            # carried), while the envelope parses the decoded body.
             modeled = self._network.transfer_time(
                 len(request_bytes)
-            ) + self._network.transfer_time(len(response_bytes))
+            ) + self._network.transfer_time(wire_bytes)
             try:
                 response = Envelope.from_bytes(response_bytes)
             except Exception as err:
@@ -724,13 +796,15 @@ class HttpTransport:
                 ) from err
             self._requests.inc(action=action)
             self._request_bytes.inc(len(request_bytes), action=action)
-            self._response_bytes.inc(len(response_bytes), action=action)
+            self._response_bytes.inc(wire_bytes, action=action)
+            self._bytes_out.inc(len(request_bytes))
+            self._bytes_in.inc(wire_bytes)
             if response.is_fault():
                 self._faults.inc(action=action)
                 span.mark_fault()
             span.set_attributes(
                 request_bytes=len(request_bytes),
-                response_bytes=len(response_bytes),
+                response_bytes=wire_bytes,
                 modeled_seconds=modeled,
             )
             self.stats.record(
@@ -738,7 +812,7 @@ class HttpTransport:
                     address=address,
                     action=action,
                     request_bytes=len(request_bytes),
-                    response_bytes=len(response_bytes),
+                    response_bytes=wire_bytes,
                     modeled_seconds=modeled,
                 )
             )
@@ -748,8 +822,15 @@ class HttpTransport:
 
     def _exchange(
         self, address: str, action: str, body: bytes
-    ) -> tuple[int, bytes]:
-        """One POST over a (possibly pooled) connection → (status, body).
+    ) -> tuple[int, bytes, int]:
+        """One POST over a (possibly pooled) connection →
+        ``(status, decoded body, wire bytes)``.
+
+        *wire bytes* is the response body size as read off the socket —
+        for a gzip-encoded response that is the compressed size, while
+        the returned body is already decoded.  Decoding happens after
+        the body is fully drained, so framing (and therefore keep-alive
+        reuse) is independent of the encoding.
 
         Raises :class:`TransportFault` for connect failures, timeouts and
         mid-exchange breakage.  A reused connection that fails while the
@@ -771,6 +852,8 @@ class HttpTransport:
             "SOAPAction": action,
             "Host": f"{host}:{port}",
         }
+        if self.compression:
+            headers["Accept-Encoding"] = "gzip"
         if self.pool is None:
             # Connection-per-request mode: tell the server not to hold
             # the socket (and its handler thread) open for us.
@@ -812,8 +895,25 @@ class HttpTransport:
                 raise TransportFault(
                     f"connection to {address} broke mid-exchange: {err}"
                 ) from err
+            wire_bytes = len(response_bytes)
+            encoding = ""
+            if reply.headers is not None:
+                encoding = (
+                    reply.headers.get("content-encoding") or ""
+                ).lower()
+            if encoding == "gzip":
+                try:
+                    response_bytes = gunzip(response_bytes)
+                except Exception as err:
+                    # A truncated/garbled member is a broken exchange:
+                    # the connection framing may still be fine, but the
+                    # payload is not — poison it and surface the break.
+                    self._checkin(conn, reusable=False)
+                    raise TransportFault(
+                        f"undecodable gzip response from {address}: {err}"
+                    ) from err
             self._checkin(conn, reusable=not reply.will_close)
-            return reply.status, response_bytes
+            return reply.status, response_bytes, wire_bytes
 
     def _read_body(self, reply, conn, timeout: float) -> bytes:
         """Drain one response body under a *total* deadline.

@@ -96,6 +96,45 @@ class TestPipelineEngine:
         with pytest.raises(ActivityError, match="Boom failed: inner"):
             Pipeline([Boom()]).execute()
 
+    def test_failure_counted_and_recorded_on_active_span(self):
+        from repro.compose.pipeline import ERRORS
+        from repro.obs import get_tracer, use_exporter
+
+        class Boom(Activity):
+            def run(self, value):
+                raise RuntimeError("inner")
+
+        before = ERRORS.value(where="Boom")
+        with use_exporter() as exporter:
+            with get_tracer().span("compose.test"):
+                with pytest.raises(ActivityError):
+                    Pipeline([Boom()]).execute()
+        assert ERRORS.value(where="Boom") == before + 1
+        spans = exporter.spans("compose.test")
+        assert spans
+        assert spans[0].attributes.get("exception.type") == "RuntimeError"
+        assert spans[0].attributes.get("exception.message") == "inner"
+
+    def test_nested_activity_error_counted_once_per_frame(self):
+        from repro.compose.pipeline import ERRORS
+
+        class Boom(Activity):
+            def run(self, value):
+                raise RuntimeError("inner")
+
+        class Wrapper(Activity):
+            def run(self, value):
+                return Pipeline([Boom()]).execute(value).output
+
+        boom_before = ERRORS.value(where="Boom")
+        wrapper_before = ERRORS.value(where="Wrapper")
+        with pytest.raises(ActivityError):
+            Pipeline([Wrapper()]).execute()
+        # The inner engine counts Boom; the outer engine re-raises the
+        # already-typed error and attributes it to Wrapper.
+        assert ERRORS.value(where="Boom") == boom_before + 1
+        assert ERRORS.value(where="Wrapper") == wrapper_before + 1
+
 
 class TestTransformActivities:
     def test_project_columns(self):

@@ -1,0 +1,99 @@
+"""Exceptions at job-system boundaries must never vanish silently.
+
+Two boundaries swallow exceptions by design — the runner's worker loop
+(a worker must survive anything) and the rollback hook invoked after a
+lost terminal race (a failed rollback must not take the worker down).
+PR-10 makes both visible: each increments ``jobs.errors`` with a
+``where`` label and leaves the exception on a span.
+"""
+
+import time
+
+import pytest
+
+import repro.jobs.runner as runner_module
+from repro.jobs import JobManager, JobRunner
+from repro.jobs.runner import execute_claimed
+from repro.obs import use_exporter
+
+
+class TestRollbackBoundary:
+    def test_failing_rollback_is_counted_and_recorded(self):
+        manager = JobManager()
+
+        def executor(job):
+            return {"abstract_name": "r"}
+
+        def exploding_rollback(job, result):
+            raise RuntimeError("rollback exploded")
+
+        manager.register_executor(
+            "k", executor, rollback=exploding_rollback
+        )
+        job = manager.submit("k")
+        claimed = manager.claim("w")
+        # Cancel commits the terminal phase first: the in-flight
+        # execution loses the race and must roll back — which fails.
+        manager.cancel(job.job_id)
+        with use_exporter() as exporter:
+            won = execute_claimed(manager, claimed)
+        assert won is False
+        assert manager.errors.value(where="rollback") == 1
+        spans = exporter.spans("job.execute")
+        assert spans
+        assert spans[0].attributes.get("exception.type") == "RuntimeError"
+        assert spans[0].attributes.get("outcome") == "lost-terminal-race"
+
+    def test_working_rollback_does_not_count(self):
+        manager = JobManager()
+        rolled_back = []
+        manager.register_executor(
+            "k",
+            lambda job: {"abstract_name": "r"},
+            rollback=lambda job, result: rolled_back.append(job.job_id),
+        )
+        job = manager.submit("k")
+        claimed = manager.claim("w")
+        manager.cancel(job.job_id)
+        assert execute_claimed(manager, claimed) is False
+        assert rolled_back == [job.job_id]
+        assert manager.errors.total() == 0
+
+
+class TestWorkerLoopBoundary:
+    def test_escaping_exception_counts_and_leaves_fault_span(
+        self, monkeypatch
+    ):
+        manager = JobManager()
+        manager.register_executor("k", lambda job: {})
+        job = manager.submit("k")
+
+        def exploding_execute(manager_, job_):
+            raise RuntimeError("execute blew up past the boundary")
+
+        monkeypatch.setattr(
+            runner_module, "execute_claimed", exploding_execute
+        )
+        runner = JobRunner(manager, workers=1, poll_interval=0.005)
+        with use_exporter() as exporter:
+            with runner:
+                deadline = time.monotonic() + 5.0
+                while (
+                    manager.errors.value(where="worker-loop") < 1
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.01)
+        assert manager.errors.value(where="worker-loop") >= 1
+        spans = exporter.spans("job.worker.error")
+        assert spans
+        assert spans[0].attributes.get("exception.type") == "RuntimeError"
+        assert spans[0].status == "fault"
+        assert spans[0].attributes.get("job") == job.job_id
+
+    def test_healthy_loop_counts_nothing(self):
+        manager = JobManager()
+        manager.register_executor("k", lambda job: {"abstract_name": "a"})
+        manager.submit("k")
+        runner = JobRunner(manager, workers=1, poll_interval=0.005)
+        assert runner.drain() == 1
+        assert manager.errors.total() == 0

@@ -109,7 +109,7 @@ class TestStreamBoundary:
         server, address, resource = deployment
         original = server._send_chunked
 
-        def explode(conn, response):
+        def explode(conn, response, compress=False):
             raise RuntimeError("producer died mid-stream")
 
         server._send_chunked = explode
